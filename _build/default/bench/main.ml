@@ -1,0 +1,588 @@
+(* Benchmark harness: regenerates every figure/table/claim of the paper
+   (see DESIGN.md §4 and EXPERIMENTS.md).  The paper is a HotOS vision
+   paper with one figure and a one-paragraph evaluation; each experiment
+   below reifies one of its quantitative or qualitative claims.  Run with
+   `dune exec bench/main.exe`; pass experiment ids (e.g. `e3 e5`) to run a
+   subset, or `bechamel` for the microbenchmark suite. *)
+
+let section id title = Fmt.pr "@.=== %s: %s ===@." (String.uppercase_ascii id) title
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let analyze ?(max_segments = 8) w =
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  let config =
+    {
+      Res_core.Res.default_config with
+      search =
+        { Res_core.Search.default_config with max_segments; max_nodes = 30_000 };
+    }
+  in
+  (dump, ctx, Res_core.Res.analyze ~config ctx dump)
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Figure 1: predecessor disambiguation on the buffer overflow.   *)
+(* Paper: "Since x = 1 in the coredump, and only Pred1 ever sets x to   *)
+(* 1, then Pred1 must be part of the correct execution suffix; RES      *)
+(* discards the execution suffix that traverses Pred2."                 *)
+(* ------------------------------------------------------------------ *)
+let e1 () =
+  section "e1" "Figure 1 — buffer overflow, predecessor disambiguation";
+  let w = Res_workloads.Fig1.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  let snap0 = Res_core.Snapshot.of_coredump dump in
+  let r1 =
+    Res_core.Backstep.step_back ctx snap0 ~tid:0
+      ~kind:
+        (Res_core.Backstep.K_partial
+           (Some dump.Res_vm.Coredump.crash.Res_vm.Crash.kind))
+  in
+  let snap1 = (List.hd r1.Res_core.Backstep.applied).Res_core.Backstep.ap_snapshot in
+  Fmt.pr "coredump: x=%d, y=%d, crash=%a@."
+    (Res_vm.Coredump.read dump (Res_mem.Layout.globals_base + 5))
+    (Res_vm.Coredump.read dump (Res_mem.Layout.globals_base + 7))
+    Res_vm.Crash.pp_kind dump.Res_vm.Coredump.crash.Res_vm.Crash.kind;
+  List.iter
+    (fun pred ->
+      let r =
+        Res_core.Backstep.step_back ctx snap1 ~tid:0
+          ~kind:(Res_core.Backstep.K_full { block = pred })
+      in
+      Fmt.pr "candidate %-6s -> %s@." pred
+        (if r.Res_core.Backstep.applied <> [] then "FEASIBLE (kept)"
+         else "infeasible (discarded)"))
+    [ "pred1"; "pred2" ];
+  let result =
+    Res_core.Search.search
+      ~config:{ Res_core.Search.default_config with max_segments = 6 }
+      ctx dump
+  in
+  List.iter
+    (fun s ->
+      if s.Res_core.Suffix.complete then
+        Fmt.pr "complete suffix: %a@."
+          Fmt.(list ~sep:(any " -> ") string)
+          (List.map (fun seg -> seg.Res_core.Suffix.seg_block) s.Res_core.Suffix.segments))
+    result.Res_core.Search.suffixes
+
+(* ------------------------------------------------------------------ *)
+(* E2 — §4: "We evaluated RES on three synthetic concurrency bugs...    *)
+(* In all the cases RES was able to identify the correct root cause in  *)
+(* less than 1 minute... it had no false positives."                    *)
+(* ------------------------------------------------------------------ *)
+let e2 () =
+  section "e2" "§4 preliminary evaluation — three synthetic concurrency bugs";
+  Fmt.pr "%-24s %-10s %-44s %-8s %s@." "bug" "time(s)" "root cause" "correct"
+    "false positives";
+  let balance_race_workload =
+    {
+      Res_workloads.Truth.w_name = "balance-race";
+      w_prog = Res_workloads.Corpus.same_stack_race;
+      w_bug = Res_workloads.Truth.B_data_race;
+      w_crash_config =
+        (fun () ->
+          {
+            (Res_vm.Exec.default_config ()) with
+            sched = Res_vm.Sched.create (Res_vm.Sched.Fixed [ 0; 1; 2; 1; 2; 0; 0 ]);
+          });
+      w_description = "";
+    }
+  in
+  List.iter
+    (fun w ->
+      let (_, _, analysis), dt = time (fun () -> analyze w) in
+      let cause = Res_core.Res.best_cause analysis in
+      let correct =
+        match cause with
+        | Some c -> Res_workloads.Truth.matches w.Res_workloads.Truth.w_bug c
+        | None -> false
+      in
+      (* false positives: a reproduced, deterministic suffix classified
+         with a *definite* cause that contradicts ground truth *)
+      let false_pos =
+        List.length
+          (List.filter
+             (fun (r : Res_core.Res.report) ->
+               match r.Res_core.Res.root_cause with
+               | Some c ->
+                   Res_core.Res.definite_cause c
+                   && not (Res_workloads.Truth.matches w.Res_workloads.Truth.w_bug c)
+               | None -> false)
+             analysis.Res_core.Res.reports)
+      in
+      Fmt.pr "%-24s %-10.3f %-44s %-8b %d@." w.Res_workloads.Truth.w_name dt
+        (match cause with
+        | Some c -> Res_core.Rootcause.signature c
+        | None -> "(none)")
+        correct false_pos)
+    [
+      Res_workloads.Counter_race.workload;
+      balance_race_workload;
+      Res_workloads.Deadlock.workload;
+    ];
+  Fmt.pr "paper: all 3 root causes correct, < 1 minute, no false positives@."
+
+(* ------------------------------------------------------------------ *)
+(* E3 — the title claim: suffix synthesis is independent of execution   *)
+(* length; whole-execution (forward) synthesis is not.                  *)
+(* ------------------------------------------------------------------ *)
+let e3 () =
+  section "e3" "cost vs execution length — RES vs forward synthesis";
+  Fmt.pr "%-8s %-12s %-12s %-14s %-12s@." "n" "res-nodes" "res-time(s)"
+    "fwd-segments" "fwd-time(s)";
+  List.iter
+    (fun n ->
+      let w = Res_workloads.Long_exec.workload_n n in
+      let dump = Res_workloads.Truth.coredump w in
+      let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+      let res_result, res_t =
+        time (fun () ->
+            Res_core.Search.search
+              ~config:
+                {
+                  Res_core.Search.default_config with
+                  max_segments = 3;
+                  max_suffixes = 1;
+                }
+              ctx dump)
+      in
+      let fwd, fwd_t =
+        time (fun () ->
+            Res_baselines.Forward_synth.synthesize
+              ~config:
+                {
+                  Res_baselines.Forward_synth.default_config with
+                  max_segments_total = 2_000_000;
+                  max_depth = 2_000_000;
+                }
+              w.Res_workloads.Truth.w_prog dump)
+      in
+      Fmt.pr "%-8d %-12d %-12.4f %-14d %-12.4f%s@." n
+        res_result.Res_core.Search.stats.Res_core.Search.nodes res_t
+        fwd.Res_baselines.Forward_synth.stats
+          .Res_baselines.Forward_synth.segments_executed
+        fwd_t
+        (if not fwd.Res_baselines.Forward_synth.found then "  (not found!)" else ""))
+    [ 10; 100; 1000; 10000 ];
+  Fmt.pr "expected shape: RES flat, forward linear in n@."
+
+(* ------------------------------------------------------------------ *)
+(* E4 — §3.1: "WER can incorrectly bucket up to 37%% of the bug         *)
+(* reports"; root-cause bucketing fixes both fragmentation and merging. *)
+(* ------------------------------------------------------------------ *)
+let e4 () =
+  section "e4" "triaging accuracy — stack-hash (WER) vs root cause (RES)";
+  let reports = Res_workloads.Corpus.generate ~n_per_bug:4 () in
+  let as_triage =
+    List.map
+      (fun (r : Res_workloads.Corpus.report) ->
+        ( { Res_usecases.Triage.t_id = r.r_id; t_prog = r.r_prog; t_dump = r.r_dump },
+          r.r_bug ))
+      reports
+  in
+  let rs = List.map fst as_triage in
+  let truth r = List.assq r as_triage in
+  let eval name key =
+    let buckets = Res_usecases.Triage.bucket ~key rs in
+    let q = Res_usecases.Triage.quality ~truth ~buckets rs in
+    Fmt.pr "%-4s %a@." name Res_usecases.Triage.pp_quality q
+  in
+  eval "WER" (fun (r : Res_usecases.Triage.report) ->
+      Res_usecases.Triage.wer_key r.t_dump);
+  eval "RES" Res_usecases.Triage.res_key;
+  Fmt.pr "paper: WER mis-buckets up to 37%% of reports@."
+
+(* ------------------------------------------------------------------ *)
+(* E5 — §3.2: detecting hardware errors as coredump/history             *)
+(* inconsistencies, and identifying the corrupted location.             *)
+(* ------------------------------------------------------------------ *)
+let e5 () =
+  section "e5" "hardware-error identification";
+  Fmt.pr "%-28s %-12s %-40s %s@." "case" "truth" "verdict" "correct";
+  let correct = ref 0 and total = ref 0 in
+  List.iter
+    (fun (c : Res_workloads.Hw_fault.case) ->
+      let dump = Res_workloads.Hw_fault.coredump_of_case c in
+      let v, _dt = time (fun () -> Res_usecases.Hwdiag.diagnose c.c_prog dump) in
+      let is_hw = match v with Res_usecases.Hwdiag.Hardware _ -> true | _ -> false in
+      incr total;
+      if is_hw = c.c_hardware then incr correct;
+      Fmt.pr "%-28s %-12s %-40s %b@." c.c_name
+        (if c.c_hardware then "hardware" else "software")
+        (Fmt.str "%a" Res_usecases.Hwdiag.pp_verdict v)
+        (is_hw = c.c_hardware))
+    Res_workloads.Hw_fault.cases;
+  Fmt.pr "accuracy: %d/%d@." !correct !total
+
+(* ------------------------------------------------------------------ *)
+(* E6 — §2.4: "LBR provides a precise execution suffix that can         *)
+(* substantially trim the search space in RES."                         *)
+(* ------------------------------------------------------------------ *)
+let e6 () =
+  section "e6" "LBR breadcrumbs vs search-space size";
+  Fmt.pr "%-10s %-12s %-12s %-10s@." "lbr-depth" "candidates" "nodes" "suffixes";
+  List.iter
+    (fun lbr_depth ->
+      let w = Res_workloads.Long_exec.workload_n 64 in
+      let config =
+        { (w.Res_workloads.Truth.w_crash_config ()) with lbr_depth }
+      in
+      let dump =
+        match Res_vm.Exec.run_to_coredump ~config w.Res_workloads.Truth.w_prog with
+        | Some d, _ -> d
+        | None, _ -> failwith "no crash"
+      in
+      let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+      let result =
+        Res_core.Search.search
+          ~config:
+            {
+              Res_core.Search.default_config with
+              max_segments = 6;
+              max_suffixes = 16;
+              use_breadcrumbs = lbr_depth > 0;
+            }
+          ctx dump
+      in
+      Fmt.pr "%-10d %-12d %-12d %-10d@." lbr_depth
+        result.Res_core.Search.stats.Res_core.Search.candidates
+        result.Res_core.Search.stats.Res_core.Search.nodes
+        (List.length result.Res_core.Search.suffixes))
+    [ 0; 2; 4; 8; 16 ];
+  Fmt.pr "expected shape: candidates shrink as LBR depth grows@."
+
+(* ------------------------------------------------------------------ *)
+(* E7 — §6: hard-to-invert constructs are crossed by re-executing them  *)
+(* forward; without that, the backward walk stalls.                     *)
+(* ------------------------------------------------------------------ *)
+let e7 () =
+  section "e7" "hash construct — forward re-execution on/off";
+  let w = Res_workloads.Hash_construct.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  Fmt.pr "%-22s %-14s %-12s %-10s@." "forward re-execution" "max-suffix-len"
+    "complete?" "suffixes";
+  List.iter
+    (fun inline_calls ->
+      let sym_config = { Res_symex.Symexec.default_config with inline_calls } in
+      let ctx =
+        Res_core.Backstep.make_ctx ~sym_config w.Res_workloads.Truth.w_prog
+      in
+      let result =
+        Res_core.Search.search
+          ~config:
+            { Res_core.Search.default_config with max_segments = 8; max_suffixes = 4 }
+          ctx dump
+      in
+      let max_len =
+        List.fold_left
+          (fun acc s -> max acc (Res_core.Suffix.length s))
+          0 result.Res_core.Search.suffixes
+      in
+      let complete =
+        List.exists (fun s -> s.Res_core.Suffix.complete) result.Res_core.Search.suffixes
+      in
+      Fmt.pr "%-22s %-14d %-12b %-10d@."
+        (if inline_calls then "enabled" else "disabled")
+        max_len complete
+        (List.length result.Res_core.Search.suffixes))
+    [ true; false ];
+  Fmt.pr "expected shape: enabled crosses the hash, disabled stalls before it@."
+
+(* ------------------------------------------------------------------ *)
+(* E8 — §3.1/§5: taint-over-suffix vs !exploitable heuristics.          *)
+(* ------------------------------------------------------------------ *)
+let e8 () =
+  section "e8" "exploitability — RES taint vs !exploitable heuristic";
+  let cases =
+    [
+      (Res_workloads.Heap_overflow.workload_tainted, true);
+      (Res_workloads.Heap_overflow.workload_internal, false);
+      (Res_workloads.Fig1.workload, true);
+      (Res_workloads.Uaf.workload_variant 0, false);
+      (Res_workloads.Double_free.workload, false);
+    ]
+  in
+  Fmt.pr "%-24s %-10s %-26s %-26s@." "workload" "truth" "res" "heuristic";
+  let res_ok = ref 0 and heur_ok = ref 0 in
+  List.iter
+    (fun (w, expected) ->
+      let dump = Res_workloads.Truth.coredump w in
+      let e = Res_usecases.Exploit.classify_dump w.Res_workloads.Truth.w_prog dump in
+      let h =
+        Res_baselines.Exploitable_heuristic.rate w.Res_workloads.Truth.w_prog dump
+      in
+      let res_says = e.Res_usecases.Exploit.rating = Res_usecases.Exploit.Exploitable in
+      let heur_says = h = Res_baselines.Exploitable_heuristic.H_exploitable in
+      if res_says = expected then incr res_ok;
+      if heur_says = expected then incr heur_ok;
+      Fmt.pr "%-24s %-10b %-26s %-26s@." w.Res_workloads.Truth.w_name expected
+        (Res_usecases.Exploit.rating_name e.Res_usecases.Exploit.rating)
+        (Res_baselines.Exploitable_heuristic.rating_name h))
+    cases;
+  Fmt.pr "accuracy: RES %d/%d, heuristic %d/%d@." !res_ok (List.length cases)
+    !heur_ok (List.length cases)
+
+(* ------------------------------------------------------------------ *)
+(* E9 — §2 requirement (5): "execution E deterministically leads to C". *)
+(* ------------------------------------------------------------------ *)
+let e9 () =
+  section "e9" "replay determinism — 10 replays per synthesized suffix";
+  Fmt.pr "%-24s %-10s %-14s@." "workload" "replays" "exact matches";
+  List.iter
+    (fun w ->
+      let dump, ctx, analysis = analyze w in
+      match analysis.Res_core.Res.reports with
+      | [] -> Fmt.pr "%-24s (no reproduced suffix)@." w.Res_workloads.Truth.w_name
+      | r :: _ ->
+          let _, verdicts =
+            Res_core.Replay.replay_deterministically ~times:10 ctx
+              r.Res_core.Res.suffix dump
+          in
+          let exact =
+            List.length
+              (List.filter (fun v -> v.Res_core.Replay.reproduced) verdicts)
+          in
+          Fmt.pr "%-24s %-10d %-14d@." w.Res_workloads.Truth.w_name 10 exact)
+    Res_workloads.Workloads.all
+
+(* ------------------------------------------------------------------ *)
+(* E10 — §2.2/§5: static backward slicing (PSE) is imprecise; RES's     *)
+(* suffix pinpoints.                                                    *)
+(* ------------------------------------------------------------------ *)
+let e10 () =
+  section "e10" "root-cause localization — PSE slice vs RES suffix";
+  Fmt.pr "%-24s %-12s %-12s %-14s %-14s@." "workload" "slice-size"
+    "slice-stores" "suffix-blocks" "suffix-instrs";
+  List.iter
+    (fun w ->
+      let dump = Res_workloads.Truth.coredump w in
+      let prog = w.Res_workloads.Truth.w_prog in
+      let s = Res_baselines.Pse.slice prog (Res_vm.Coredump.crash_pc dump) in
+      let ctx = Res_core.Backstep.make_ctx prog in
+      let result =
+        Res_core.Search.search
+          ~config:
+            { Res_core.Search.default_config with max_segments = 8; max_suffixes = 4 }
+          ctx dump
+      in
+      let best =
+        match
+          List.find_opt (fun x -> x.Res_core.Suffix.complete) result.Res_core.Search.suffixes
+        with
+        | Some x -> Some x
+        | None -> (
+            match result.Res_core.Search.suffixes with
+            | x :: _ -> Some x
+            | [] -> None)
+      in
+      match best with
+      | None -> Fmt.pr "%-24s (no suffix)@." w.Res_workloads.Truth.w_name
+      | Some suffix ->
+          Fmt.pr "%-24s %-12d %-12d %-14d %-14d@." w.Res_workloads.Truth.w_name
+            (Res_baselines.Pse.size s)
+            (List.length s.Res_baselines.Pse.store_sites)
+            (Res_core.Suffix.length suffix)
+            (Res_core.Suffix.length_steps suffix))
+    [
+      Res_workloads.Fig1.workload;
+      Res_workloads.Div_zero.workload;
+      Res_workloads.Uaf.workload_variant 0;
+      Res_workloads.Semantic.workload;
+    ];
+  Fmt.pr "expected shape: slices over-approximate, suffixes stay small@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: per-operation costs of the RES pipeline.   *)
+(* ------------------------------------------------------------------ *)
+let bechamel () =
+  section "bechamel" "microbenchmarks of the RES pipeline (monotonic clock)";
+  let open Bechamel in
+  let fig1_dump = Res_workloads.Truth.coredump Res_workloads.Fig1.workload in
+  let fig1_ctx = Res_core.Backstep.make_ctx Res_workloads.Fig1.prog in
+  let race_dump = Res_workloads.Truth.coredump Res_workloads.Counter_race.workload in
+  let race_ctx = Res_core.Backstep.make_ctx Res_workloads.Counter_race.prog in
+  let fig1_suffix =
+    let r =
+      Res_core.Search.search
+        ~config:{ Res_core.Search.default_config with max_segments = 6 }
+        fig1_ctx fig1_dump
+    in
+    List.find (fun s -> s.Res_core.Suffix.complete) r.Res_core.Search.suffixes
+  in
+  let tests =
+    Test.make_grouped ~name:"res"
+      [
+        Test.make ~name:"backstep(fig1 crash segment)"
+          (Staged.stage (fun () ->
+               let snap = Res_core.Snapshot.of_coredump fig1_dump in
+               ignore
+                 (Res_core.Backstep.step_back fig1_ctx snap ~tid:0
+                    ~kind:
+                      (Res_core.Backstep.K_partial
+                         (Some fig1_dump.Res_vm.Coredump.crash.Res_vm.Crash.kind)))));
+        Test.make ~name:"search(fig1, depth 6)"
+          (Staged.stage (fun () ->
+               ignore
+                 (Res_core.Search.search
+                    ~config:{ Res_core.Search.default_config with max_segments = 6 }
+                    fig1_ctx fig1_dump)));
+        Test.make ~name:"analyze(counter race)"
+          (Staged.stage (fun () ->
+               ignore (Res_core.Res.analyze race_ctx race_dump)));
+        Test.make ~name:"replay(fig1 suffix)"
+          (Staged.stage (fun () ->
+               ignore (Res_core.Replay.replay fig1_ctx fig1_suffix fig1_dump)));
+        Test.make ~name:"vm-run(fig1 to crash)"
+          (Staged.stage (fun () ->
+               ignore
+                 (Res_vm.Exec.run
+                    ~config:(Res_workloads.Fig1.crash_config ())
+                    Res_workloads.Fig1.prog)));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure per_test ->
+      Fmt.pr "measure: %s@." measure;
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Fmt.pr "  %-36s %12.1f ns/run@." name est
+          | _ -> Fmt.pr "  %-36s (no estimate)@." name)
+        rows)
+    merged
+
+(* ------------------------------------------------------------------ *)
+(* E11 — §1: "RES interprets the entire coredump, not just a minidump,  *)
+(* which makes RES strictly more powerful."  With only stacks and no    *)
+(* memory contents, Fig. 1's disambiguation evaporates.                 *)
+(* ------------------------------------------------------------------ *)
+let e11 () =
+  section "e11" "full coredump vs minidump (ablation)";
+  let w = Res_workloads.Fig1.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  Fmt.pr "%-14s %-18s %-22s@." "input" "complete suffixes" "predecessors kept";
+  List.iter
+    (fun (name, snapshot0) ->
+      let result =
+        Res_core.Search.search
+          ~config:
+            { Res_core.Search.default_config with max_segments = 6; max_suffixes = 8 }
+          ?snapshot0 ctx dump
+      in
+      let complete =
+        List.filter (fun s -> s.Res_core.Suffix.complete) result.Res_core.Search.suffixes
+      in
+      let preds =
+        List.concat_map
+          (fun s ->
+            List.filter_map
+              (fun seg ->
+                let b = seg.Res_core.Suffix.seg_block in
+                if String.length b >= 4 && String.sub b 0 4 = "pred" then Some b
+                else None)
+              s.Res_core.Suffix.segments)
+          complete
+        |> List.sort_uniq compare
+      in
+      Fmt.pr "%-14s %-18d %a@." name (List.length complete)
+        Fmt.(list ~sep:comma string)
+        preds)
+    [
+      ("full coredump", None);
+      ( "minidump",
+        Some
+          (Res_core.Snapshot.of_minidump dump ~layout:ctx.Res_core.Backstep.layout)
+      );
+    ];
+  Fmt.pr
+    "expected shape: the full dump keeps only pred1; the minidump cannot \
+     refute pred2 and keeps both@."
+
+(* ------------------------------------------------------------------ *)
+(* A1 — design-choice ablation: the address-pool heuristic.  Havocked   *)
+(* pointer registers (e.g. a halted worker's base pointer) have no      *)
+(* constraints until the end-of-block check; resolving them against     *)
+(* plausible mapped addresses (suffix-touched first) is what lets the   *)
+(* backward walk cross such segments at all.                            *)
+(* ------------------------------------------------------------------ *)
+let a1 () =
+  section "a1" "ablation — unconstrained-pointer resolution via address pool";
+  let w = Res_workloads.Counter_race.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  Fmt.pr "%-14s %-18s %-14s %-22s@." "addr pool" "suffixes found" "max length"
+    "complete reconstruction";
+  List.iter
+    (fun use_addr_pool ->
+      let ctx =
+        Res_core.Backstep.make_ctx ~use_addr_pool w.Res_workloads.Truth.w_prog
+      in
+      let result =
+        Res_core.Search.search
+          ~config:
+            { Res_core.Search.default_config with max_segments = 8; max_suffixes = 8 }
+          ctx dump
+      in
+      let max_len =
+        List.fold_left
+          (fun acc s -> max acc (Res_core.Suffix.length s))
+          0 result.Res_core.Search.suffixes
+      in
+      Fmt.pr "%-14s %-18d %-14d %-22b@."
+        (if use_addr_pool then "enabled" else "disabled")
+        (List.length result.Res_core.Search.suffixes)
+        max_len
+        (List.exists
+           (fun s -> s.Res_core.Suffix.complete)
+           result.Res_core.Search.suffixes))
+    [ true; false ];
+  Fmt.pr "expected shape: without the pool the walk cannot cross the halted \
+          workers' segments@."
+
+let experiments =
+  [
+    ("e1", e1);
+    ("e2", e2);
+    ("e3", e3);
+    ("e4", e4);
+    ("e5", e5);
+    ("e6", e6);
+    ("e7", e7);
+    ("e8", e8);
+    ("e9", e9);
+    ("e10", e10);
+    ("e11", e11);
+    ("a1", a1);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with [] | [ _ ] -> None | _ :: rest -> Some rest
+  in
+  List.iter
+    (fun (id, f) ->
+      match requested with
+      | Some ids when not (List.mem id ids) -> ()
+      | _ -> f ())
+    experiments;
+  Fmt.pr "@.all requested experiments done.@."

@@ -1,0 +1,363 @@
+(* The `res` command-line tool: run MiniIR programs, capture coredumps,
+   and drive reverse execution synthesis over them.
+
+     res validate prog.res            check a program is well-formed
+     res run prog.res -o core.txt     run; save the coredump on a crash
+     res analyze prog.res core.txt    synthesize, replay, classify
+     res replay prog.res core.txt     verify deterministic reproduction
+     res hwdiag prog.res core.txt     software bug or hardware error?
+     res exploit prog.res core.txt    exploitability rating
+     res workload NAME -o core.txt    generate a built-in buggy workload
+     res triage-demo                  run the triaging comparison corpus *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_prog path =
+  match Res_ir.Parser.parse_result (read_file path) with
+  | Ok prog -> (
+      match Res_ir.Validate.check prog with
+      | [] -> Ok prog
+      | errs ->
+          Error
+            (Fmt.str "invalid program:@.%a"
+               Fmt.(list ~sep:cut Res_ir.Validate.pp_error)
+               errs))
+  | Error msg -> Error msg
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      Fmt.epr "error: %s@." msg;
+      exit 1
+
+(* --- common arguments --- *)
+
+let prog_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"PROG" ~doc:"MiniIR program file (textual assembly).")
+
+let dump_arg pos_idx =
+  Arg.(
+    required
+    & pos pos_idx (some file) None
+    & info [] ~docv:"CORE" ~doc:"Coredump file produced by $(b,res run).")
+
+let depth_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "depth"; "d" ] ~docv:"N" ~doc:"Maximum suffix length in segments.")
+
+let breadcrumbs_arg =
+  Arg.(
+    value & flag
+    & info [ "breadcrumbs"; "b" ]
+        ~doc:"Prune backward search with the coredump's LBR breadcrumbs.")
+
+(* --- run --- *)
+
+let run_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to save the coredump.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Scheduler seed (random interleaving).")
+  in
+  let schedule =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "schedule" ] ~docv:"T0,T1,..."
+          ~doc:"Fixed thread schedule (tids at successive boundaries).")
+  in
+  let inputs =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "inputs" ] ~docv:"V0,V1,..."
+          ~doc:"Scripted input values, consumed in program order.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Instruction budget.")
+  in
+  let run prog_path out seed schedule inputs max_steps =
+    let prog = or_die (load_prog prog_path) in
+    let config =
+      {
+        (Res_vm.Exec.default_config ()) with
+        sched =
+          Res_vm.Sched.create
+            (match schedule with
+            | Some tids -> Res_vm.Sched.Fixed tids
+            | None -> Res_vm.Sched.Seeded seed);
+        oracle =
+          (match inputs with
+          | Some vs -> Res_vm.Oracle.scripted vs
+          | None -> Res_vm.Oracle.seeded ~seed);
+        max_steps;
+      }
+    in
+    match Res_vm.Exec.run_to_coredump ~config prog with
+    | Some dump, _ ->
+        Fmt.pr "%a@." Res_vm.Crash.pp dump.Res_vm.Coredump.crash;
+        (match out with
+        | Some path ->
+            Res_vm.Coredump_io.save path dump;
+            Fmt.pr "coredump written to %s@." path
+        | None -> Fmt.pr "%s@." (Res_vm.Coredump.to_string dump))
+    | None, r -> (
+        match r.Res_vm.Exec.outcome with
+        | Res_vm.Exec.Exited -> Fmt.pr "program exited normally (no coredump)@."
+        | Res_vm.Exec.Out_of_fuel -> Fmt.pr "instruction budget exhausted@."
+        | Res_vm.Exec.Crashed _ -> assert false)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a program and capture its coredump on a crash.")
+    Term.(const run $ prog_arg $ out $ seed $ schedule $ inputs $ max_steps)
+
+(* --- validate --- *)
+
+let validate_cmd =
+  let run prog_path =
+    let prog = or_die (load_prog prog_path) in
+    Fmt.pr "%s: %d function(s), %d global(s), %d instruction(s) — OK@."
+      prog_path
+      (List.length prog.Res_ir.Prog.funcs)
+      (List.length prog.Res_ir.Prog.globals)
+      (Res_ir.Prog.size prog)
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Parse and validate a MiniIR program.")
+    Term.(const run $ prog_arg)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run prog_path dump_path depth breadcrumbs =
+    let prog = or_die (load_prog prog_path) in
+    let dump = Res_vm.Coredump_io.load dump_path in
+    let ctx = Res_core.Backstep.make_ctx prog in
+    let config =
+      {
+        Res_core.Res.default_config with
+        search =
+          {
+            Res_core.Search.default_config with
+            max_segments = depth;
+            max_nodes = 30_000;
+            use_breadcrumbs = breadcrumbs;
+          };
+      }
+    in
+    let analysis = Res_core.Res.analyze ~config ctx dump in
+    Fmt.pr "%s@." (Res_core.Report.analysis_to_string ctx analysis)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Synthesize execution suffixes for a coredump, replay them, and \
+          classify the root cause.")
+    Term.(const run $ prog_arg $ dump_arg 1 $ depth_arg $ breadcrumbs_arg)
+
+(* --- replay --- *)
+
+let replay_cmd =
+  let times =
+    Arg.(
+      value & opt int 10
+      & info [ "times"; "n" ] ~docv:"N" ~doc:"How many times to replay.")
+  in
+  let run prog_path dump_path depth times =
+    let prog = or_die (load_prog prog_path) in
+    let dump = Res_vm.Coredump_io.load dump_path in
+    let ctx = Res_core.Backstep.make_ctx prog in
+    let result =
+      Res_core.Search.search
+        ~config:{ Res_core.Search.default_config with max_segments = depth }
+        ctx dump
+    in
+    match result.Res_core.Search.suffixes with
+    | [] ->
+        Fmt.pr "no feasible suffix found (try a larger --depth)@.";
+        exit 1
+    | suffix :: _ ->
+        Fmt.pr "%a@." Res_core.Suffix.pp suffix;
+        let ok, verdicts =
+          Res_core.Replay.replay_deterministically ~times ctx suffix dump
+        in
+        let exact =
+          List.length (List.filter (fun v -> v.Res_core.Replay.reproduced) verdicts)
+        in
+        Fmt.pr "replayed %d times: %d exact coredump matches%s@." times exact
+          (if ok then " — deterministic" else "")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Synthesize a suffix and replay it repeatedly, verifying exact \
+             reproduction.")
+    Term.(const run $ prog_arg $ dump_arg 1 $ depth_arg $ times)
+
+(* --- hwdiag --- *)
+
+let hwdiag_cmd =
+  let run prog_path dump_path =
+    let prog = or_die (load_prog prog_path) in
+    let dump = Res_vm.Coredump_io.load dump_path in
+    let verdict = Res_usecases.Hwdiag.diagnose prog dump in
+    Fmt.pr "%a@." Res_usecases.Hwdiag.pp_verdict verdict;
+    match verdict with
+    | Res_usecases.Hwdiag.Software r ->
+        Fmt.pr "reconstructed execution:@.%a@." Res_core.Suffix.pp
+          r.Res_core.Res.suffix
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "hwdiag"
+       ~doc:"Decide whether a coredump stems from a software bug or a likely \
+             hardware error (memory/CPU).")
+    Term.(const run $ prog_arg $ dump_arg 1)
+
+(* --- exploit --- *)
+
+let exploit_cmd =
+  let run prog_path dump_path =
+    let prog = or_die (load_prog prog_path) in
+    let dump = Res_vm.Coredump_io.load dump_path in
+    let e = Res_usecases.Exploit.classify_dump prog dump in
+    let h = Res_baselines.Exploitable_heuristic.rate prog dump in
+    Fmt.pr "RES taint analysis : %s (address tainted: %b, value tainted: %b)@."
+      (Res_usecases.Exploit.rating_name e.Res_usecases.Exploit.rating)
+      e.Res_usecases.Exploit.tainted_addr e.Res_usecases.Exploit.tainted_value;
+    Fmt.pr "!exploitable-style : %s@."
+      (Res_baselines.Exploitable_heuristic.rating_name h)
+  in
+  Cmd.v
+    (Cmd.info "exploit"
+       ~doc:"Rate a failure's exploitability by tracking attacker-controlled \
+             inputs through the synthesized suffix.")
+    Term.(const run $ prog_arg $ dump_arg 1)
+
+(* --- workload --- *)
+
+let workload_cmd =
+  let wname =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Workload name; omit to list available ones.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to save the coredump.")
+  in
+  let prog_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "program" ] ~docv:"FILE" ~doc:"Where to save the program text.")
+  in
+  let run wname out prog_out =
+    match wname with
+    | None ->
+        Fmt.pr "available workloads:@.";
+        List.iter
+          (fun w ->
+            Fmt.pr "  %-26s %s@." w.Res_workloads.Truth.w_name
+              w.Res_workloads.Truth.w_description)
+          Res_workloads.Workloads.all
+    | Some name ->
+        let w = Res_workloads.Workloads.find name in
+        let dump = Res_workloads.Truth.coredump w in
+        Fmt.pr "%a@." Res_vm.Crash.pp dump.Res_vm.Coredump.crash;
+        (match prog_out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Res_ir.Prog.to_string w.Res_workloads.Truth.w_prog);
+            close_out oc;
+            Fmt.pr "program written to %s@." path
+        | None -> ());
+        (match out with
+        | Some path ->
+            Res_vm.Coredump_io.save path dump;
+            Fmt.pr "coredump written to %s@." path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Generate a coredump (and program) from a built-in buggy workload.")
+    Term.(const run $ wname $ out $ prog_out)
+
+(* --- triage demo --- *)
+
+let triage_cmd =
+  let per_bug =
+    Arg.(
+      value & opt int 4
+      & info [ "per-bug" ] ~docv:"N" ~doc:"Reports generated per root cause.")
+  in
+  let run per_bug =
+    let reports = Res_workloads.Corpus.generate ~n_per_bug:per_bug () in
+    let as_triage =
+      List.map
+        (fun (r : Res_workloads.Corpus.report) ->
+          ( {
+              Res_usecases.Triage.t_id = r.r_id;
+              t_prog = r.r_prog;
+              t_dump = r.r_dump;
+            },
+            r.r_bug ))
+        reports
+    in
+    let rs = List.map fst as_triage in
+    let truth r = List.assq r as_triage in
+    let show name key =
+      let buckets = Res_usecases.Triage.bucket ~key rs in
+      let q = Res_usecases.Triage.quality ~truth ~buckets rs in
+      Fmt.pr "%-4s %a@." name Res_usecases.Triage.pp_quality q;
+      List.iter
+        (fun (k, l) -> Fmt.pr "  %-50s %d report(s)@." k (List.length l))
+        buckets
+    in
+    show "WER" (fun (r : Res_usecases.Triage.report) ->
+        Res_usecases.Triage.wer_key r.t_dump);
+    show "RES" Res_usecases.Triage.res_key
+  in
+  Cmd.v
+    (Cmd.info "triage-demo"
+       ~doc:"Compare stack-hash (WER) and root-cause (RES) bucketing on the \
+             built-in bug-report corpus.")
+    Term.(const run $ per_bug)
+
+let main_cmd =
+  let doc = "reverse execution synthesis for MiniIR coredumps" in
+  let info = Cmd.info "res" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      validate_cmd;
+      run_cmd;
+      analyze_cmd;
+      replay_cmd;
+      hwdiag_cmd;
+      exploit_cmd;
+      workload_cmd;
+      triage_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

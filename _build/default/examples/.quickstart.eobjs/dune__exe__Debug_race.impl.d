@@ -1,0 +1,1 @@
+examples/debug_race.ml: Fmt List Res_core Res_ir Res_mem Res_vm Res_workloads

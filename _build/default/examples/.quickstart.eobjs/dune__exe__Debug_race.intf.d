@@ -1,0 +1,1 @@
+examples/debug_race.mli:

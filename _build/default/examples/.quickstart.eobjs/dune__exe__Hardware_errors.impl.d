@@ -1,0 +1,1 @@
+examples/hardware_errors.ml: Fmt List Res_core Res_usecases Res_workloads

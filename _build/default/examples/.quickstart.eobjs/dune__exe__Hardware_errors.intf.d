@@ -1,0 +1,1 @@
+examples/hardware_errors.mli:

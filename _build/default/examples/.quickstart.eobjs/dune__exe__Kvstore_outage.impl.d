@@ -1,0 +1,1 @@
+examples/kvstore_outage.ml: Fmt List Res_core Res_ir Res_mem Res_vm Res_workloads

@@ -1,0 +1,1 @@
+examples/kvstore_outage.mli:

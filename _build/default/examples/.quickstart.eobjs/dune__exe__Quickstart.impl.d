@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Res_core Res_ir Res_usecases Res_vm

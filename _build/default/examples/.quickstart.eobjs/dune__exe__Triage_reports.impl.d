@@ -1,0 +1,1 @@
+examples/triage_reports.ml: Fmt List Res_usecases Res_workloads

@@ -1,0 +1,1 @@
+examples/triage_reports.mli:

@@ -1,0 +1,47 @@
+(* Triaging a stream of bug reports by root cause (paper §3.1).
+
+     dune exec examples/triage_reports.exe
+
+   A synthetic "error reporting service" receives coredumps from many
+   deployments.  Five distinct bugs produce fourteen reports; crash stacks
+   vary within a bug (input-dependent accessors) and collide across bugs
+   (two different defects fail the same assert).  Stack-hash bucketing
+   (Windows Error Reporting style) fragments and merges; RES buckets by
+   synthesized root cause. *)
+
+let () =
+  Fmt.pr "generating the bug-report corpus...@.";
+  let reports = Res_workloads.Corpus.generate ~n_per_bug:4 () in
+  Fmt.pr "received %d reports from the field@.@." (List.length reports);
+
+  let as_triage =
+    List.map
+      (fun (r : Res_workloads.Corpus.report) ->
+        ( { Res_usecases.Triage.t_id = r.r_id; t_prog = r.r_prog; t_dump = r.r_dump },
+          r.r_bug ))
+      reports
+  in
+  let rs = List.map fst as_triage in
+  let truth r = List.assq r as_triage in
+
+  let show name key =
+    let buckets = Res_usecases.Triage.bucket ~key rs in
+    Fmt.pr "== %s bucketing ==@." name;
+    List.iter
+      (fun (k, l) ->
+        Fmt.pr "  %-52s %d report(s): %a@." k (List.length l)
+          Fmt.(list ~sep:comma string)
+          (List.sort_uniq compare (List.map truth l)))
+      buckets;
+    let q = Res_usecases.Triage.quality ~truth ~buckets rs in
+    Fmt.pr "  -> %a@.@." Res_usecases.Triage.pp_quality q
+  in
+  show "WER (crash-stack hash)" (fun (r : Res_usecases.Triage.report) ->
+      Res_usecases.Triage.wer_key r.t_dump);
+  show "RES (root-cause signature)" Res_usecases.Triage.res_key;
+
+  Fmt.pr
+    "the paper's §3.1 claim: naive stack bucketing both fragments one bug \
+     into many buckets (the use-after-free) and merges distinct bugs into \
+     one (the race and the sign bug share a stack); root-cause bucketing \
+     does neither.@."

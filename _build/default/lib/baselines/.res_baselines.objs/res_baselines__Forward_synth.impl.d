@@ -1,0 +1,1 @@
+lib/baselines/forward_synth.ml: Expr Int List Map Model Option Res_core Res_ir Res_mem Res_solver Res_symex Res_vm Simplify Solver String

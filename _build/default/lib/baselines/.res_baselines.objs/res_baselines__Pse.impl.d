@@ -1,0 +1,1 @@
+lib/baselines/pse.ml: Array Fmt Hashtbl List Res_ir Set String

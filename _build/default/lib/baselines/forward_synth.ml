@@ -1,0 +1,273 @@
+(** Forward execution synthesis — the ESD-style baseline (paper §1).
+
+    Symbolically executes the whole program from [main]'s entry, searching
+    over thread interleavings and input values for an execution that ends
+    in the coredump's failure state.  This is what RES inverts: the cost of
+    the forward search grows with the length of the execution (every
+    segment before the failure must be traversed), whereas RES's backward
+    suffix synthesis does not — experiment E3 measures exactly that.
+
+    The search is block-granular DFS: each step picks a runnable thread and
+    symbolically executes one root-block segment (calls inlined), forking
+    on branches.  The goal test runs the crashing thread's partial segment
+    against the coredump's stack and checks full memory/frame agreement. *)
+
+module IMap = Map.Make (Int)
+open Res_solver
+
+type config = {
+  max_segments_total : int;  (** global budget: segments executed *)
+  max_depth : int;  (** longest execution considered, in segments *)
+  sym_config : Res_symex.Symexec.config;
+  solver_config : Solver.config;
+}
+
+let default_config =
+  {
+    max_segments_total = 100_000;
+    max_depth = 10_000;
+    sym_config = Res_symex.Symexec.default_config;
+    solver_config = Solver.default_config;
+  }
+
+type stats = {
+  mutable segments_executed : int;  (** total segments symbolically run *)
+  mutable states_explored : int;
+  mutable solver_checks : int;
+}
+
+type result = {
+  found : bool;
+  model : Model.t option;  (** input assignment reproducing the coredump *)
+  depth : int;  (** segments in the found execution *)
+  stats : stats;
+}
+
+(* One search state: thread positions, statuses, symbolic memory overlay
+   (below it everything is the zero-initialized start state), heap, path. *)
+type state = {
+  frames : Res_symex.Symframe.t IMap.t;
+  halted : IMap.key list;
+  mem : Expr.t IMap.t;
+  heap : Res_mem.Heap.t;
+  path : Expr.t list;
+  next_tid : int;
+  depth : int;
+}
+
+let initial_state prog =
+  let main = Res_ir.Prog.main prog in
+  {
+    frames =
+      IMap.singleton 0
+        {
+          Res_symex.Symframe.func = Res_ir.Prog.main_name;
+          block = main.Res_ir.Func.entry;
+          idx = 0;
+          regs = IMap.empty;
+          ret_reg = None;
+          lazy_pre = false;
+        };
+    halted = [];
+    mem = IMap.empty;
+    heap = Res_mem.Heap.empty;
+    path = [];
+    next_tid = 1;
+    depth = 0;
+  }
+
+let read_mem state addr =
+  match IMap.find_opt addr state.mem with
+  | Some e -> e
+  | None -> Expr.zero (* program start: memory is zero-initialized *)
+
+(** Run one segment of thread [tid] in [state]; return successor states. *)
+let run_segment cfg (ctx : Res_core.Backstep.ctx) stats state tid ~mode =
+  match IMap.find_opt tid state.frames with
+  | None -> []
+  | Some frame ->
+      stats.segments_executed <- stats.segments_executed + 1;
+      let rq =
+        {
+          Res_symex.Symexec.prog = ctx.Res_core.Backstep.prog;
+          layout = ctx.Res_core.Backstep.layout;
+          tid;
+          frame;
+          heap = state.heap;
+          post_mem = read_mem state;
+          havoc_reads = Res_symex.Symexec.ISet.empty;
+          ambient = state.path;
+          addr_pool = [];
+          alloc_plan = [];
+          spawn_plan =
+            (* forward spawns take consecutive fresh tids *)
+            List.init 4 (fun i -> state.next_tid + i);
+          dynamic_alloc = true;
+          mode;
+        }
+      in
+      let outs, _ = Res_symex.Symexec.run ~config:cfg.sym_config rq in
+      List.filter_map
+        (fun (o : Res_symex.Symexec.outcome) ->
+          (* joins must target already-halted threads in this serialization *)
+          if
+            not
+              (List.for_all
+                 (fun jt -> List.mem jt state.halted)
+                 o.Res_symex.Symexec.joins)
+          then None
+          else
+            let mem =
+              List.fold_left
+                (fun m (a, e) -> IMap.add a e m)
+                state.mem
+                (Res_symex.Symmem.final_writes o.Res_symex.Symexec.mem)
+            in
+            let frames, halted, next_tid =
+              let frames = state.frames and halted = state.halted in
+              let frames, halted =
+                match
+                  (o.Res_symex.Symexec.stop, List.rev o.Res_symex.Symexec.frames)
+                with
+                | Res_symex.Symexec.Fell_to _, bottom :: _ ->
+                    (IMap.add tid bottom frames, halted)
+                | (Res_symex.Symexec.Returned _ | Res_symex.Symexec.Halted), _ ->
+                    (IMap.remove tid frames, tid :: halted)
+                | Res_symex.Symexec.Crashed_here, _ -> (frames, halted)
+                | Res_symex.Symexec.Fell_to _, [] -> (frames, halted)
+              in
+              let frames, next_tid =
+                List.fold_left
+                  (fun (frames, next_tid) (tid', fname, args) ->
+                    let f = Res_ir.Prog.func ctx.Res_core.Backstep.prog fname in
+                    ( IMap.add tid'
+                        (Res_symex.Symframe.enter f ~args ~ret_reg:None)
+                        frames,
+                      max next_tid (tid' + 1) ))
+                  (frames, state.next_tid)
+                  o.Res_symex.Symexec.spawns
+              in
+              (frames, halted, next_tid)
+            in
+            Some
+              ( {
+                  frames;
+                  halted;
+                  mem;
+                  heap = o.Res_symex.Symexec.heap;
+                  path = o.Res_symex.Symexec.path @ state.path;
+                  next_tid;
+                  depth = state.depth + 1;
+                },
+                o ))
+        outs
+
+(** Goal test: from [state], can the crashing thread run its final partial
+    segment and land exactly on the coredump? *)
+let goal_check cfg ctx stats state (dump : Res_vm.Coredump.t) =
+  let crash = dump.Res_vm.Coredump.crash in
+  let tid = crash.Res_vm.Crash.tid in
+  let crash_thread = Res_vm.Coredump.crashing_thread dump in
+  let stack =
+    List.rev_map
+      (fun (fr : Res_vm.Frame.t) -> (fr.func, fr.block, fr.idx))
+      crash_thread.Res_vm.Thread.frames
+  in
+  (* the thread must already sit at the start of the crash root block *)
+  let at_crash_block =
+    match (IMap.find_opt tid state.frames, stack) with
+    | Some fr, (f0, b0, _) :: _ ->
+        String.equal fr.Res_symex.Symframe.func f0
+        && String.equal fr.Res_symex.Symframe.block b0
+        && fr.Res_symex.Symframe.idx = 0
+    | _ -> false
+  in
+  if not at_crash_block then None
+  else
+    let candidates =
+      run_segment cfg ctx stats state tid
+        ~mode:
+          (Res_symex.Symexec.Partial { stack; crash = Some crash.Res_vm.Crash.kind })
+    in
+    List.find_map
+      (fun (state', (o : Res_symex.Symexec.outcome)) ->
+        (* full agreement with the coredump *)
+        let mem_cs =
+          Res_mem.Memory.bindings dump.Res_vm.Coredump.mem
+          |> List.map (fun (a, v) ->
+                 Simplify.norm (Expr.eq (read_mem state' a) (Expr.const v)))
+        in
+        (* every overlay cell not in the dump must be 0 there *)
+        let extra_cs =
+          IMap.fold
+            (fun a e acc ->
+              if List.mem_assoc a (Res_mem.Memory.bindings dump.Res_vm.Coredump.mem)
+              then acc
+              else
+                Simplify.norm
+                  (Expr.eq e (Expr.const (Res_mem.Memory.read dump.Res_vm.Coredump.mem a)))
+                :: acc)
+            state'.mem []
+        in
+        let frame_cs =
+          (* crashed frames must match the dump's *)
+          let dump_frames = crash_thread.Res_vm.Thread.frames in
+          let out_frames = List.rev o.Res_symex.Symexec.frames in
+          let dump_frames = List.rev dump_frames in
+          if List.length dump_frames <> List.length out_frames then [ Expr.zero ]
+          else
+            List.concat_map
+              (fun ((d : Res_vm.Frame.t), (s : Res_symex.Symframe.t)) ->
+                List.map
+                  (fun (r, v) ->
+                    Simplify.norm
+                      (Expr.eq
+                         (Option.value ~default:Expr.zero
+                            (Res_symex.Symframe.read_opt s r))
+                         (Expr.const v)))
+                  (Res_vm.Frame.reg_bindings d))
+              (List.combine dump_frames out_frames)
+        in
+        if not (Res_mem.Heap.similar state'.heap dump.Res_vm.Coredump.heap) then
+          None
+        else begin
+          stats.solver_checks <- stats.solver_checks + 1;
+          match
+            Solver.solve ~config:cfg.solver_config
+              (mem_cs @ extra_cs @ frame_cs @ state'.path)
+          with
+          | Solver.Sat m -> Some (m, state'.depth)
+          | Solver.Unsat | Solver.Unknown -> None
+        end)
+      candidates
+
+(** Search for an execution reproducing [dump], from the very start. *)
+let synthesize ?(config = default_config) prog (dump : Res_vm.Coredump.t) :
+    result =
+  let ctx = Res_core.Backstep.make_ctx prog in
+  let stats = { segments_executed = 0; states_explored = 0; solver_checks = 0 } in
+  let exception Found of Model.t * int in
+  let rec dfs state =
+    if
+      stats.segments_executed > config.max_segments_total
+      || state.depth > config.max_depth
+    then ()
+    else begin
+      stats.states_explored <- stats.states_explored + 1;
+      (match goal_check config ctx stats state dump with
+      | Some (m, depth) -> raise (Found (m, depth))
+      | None -> ());
+      (* expand: run one more segment of each live thread *)
+      IMap.iter
+        (fun tid _ ->
+          List.iter
+            (fun (state', _) -> dfs state')
+            (run_segment config ctx stats state tid
+               ~mode:(Res_symex.Symexec.Full { require_target = None })))
+        state.frames
+    end
+  in
+  match dfs (initial_state prog) with
+  | () -> { found = false; model = None; depth = 0; stats }
+  | exception Found (m, depth) ->
+      { found = true; model = Some m; depth; stats }

@@ -1,0 +1,1 @@
+lib/core/backstep.ml: Array Expr Fmt Hashtbl Int List Map Res_ir Res_mem Res_solver Res_symex Res_vm Set Simplify Snapshot Solver String Suffix

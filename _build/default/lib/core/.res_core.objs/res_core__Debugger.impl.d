@@ -1,0 +1,1 @@
+lib/core/debugger.ml: Array Backstep Fmt Int List Map Replay Res_ir Res_mem Res_vm Suffix

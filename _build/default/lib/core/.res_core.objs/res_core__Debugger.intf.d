@@ -1,0 +1,1 @@
+lib/core/debugger.mli: Backstep Format Res_ir Res_vm Suffix

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Backstep Fmt Int List Map Res_mem Res_vm Snapshot Suffix

@@ -1,0 +1,1 @@
+lib/core/report.ml: Backstep Fmt List Replay Res Res_mem Res_vm Rootcause Suffix

@@ -1,0 +1,1 @@
+lib/core/res.ml: Backstep List Replay Res_vm Rootcause Search Suffix Sys

@@ -1,0 +1,1 @@
+lib/core/rootcause.ml: Array Fmt Hashtbl Int List Map Option Res_ir Res_mem Res_vm

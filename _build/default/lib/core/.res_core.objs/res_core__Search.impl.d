@@ -1,0 +1,1 @@
+lib/core/search.ml: Backstep Expr Int List Map Res_ir Res_mem Res_solver Res_symex Res_vm Snapshot Solver String Suffix

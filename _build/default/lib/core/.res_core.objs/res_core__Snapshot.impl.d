@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Expr Fmt Int List Map Model Res_mem Res_solver Res_symex Res_vm

@@ -1,0 +1,1 @@
+lib/core/suffix.ml: Expr Fmt List Model Res_ir Res_solver Res_vm Snapshot

@@ -1,0 +1,151 @@
+(** Post-mortem debugging aids on top of a synthesized suffix (paper §3.3).
+
+    "RES enables several debugging aids on top of traditional debuggers
+    like gdb: synthesizing the execution suffix, reconstructing past state,
+    and the ability to do reverse debugging without the need to record the
+    execution."
+
+    A session wraps one verified suffix.  Because replay is deterministic,
+    any point in the suffix can be reconstructed exactly by re-running the
+    replay for a bounded number of steps — reverse-stepping is just
+    re-running one step less.  The hypothesis helpers answer the paper's
+    example queries: "what was the program state when the program was
+    executing at program counter X?" and "was a thread T preempted before
+    updating shared memory location M?". *)
+
+type t = {
+  ctx : Backstep.ctx;
+  suffix : Suffix.t;
+  dump : Res_vm.Coredump.t;
+  trace : Res_vm.Event.t array;  (** instruction-level suffix trace *)
+}
+
+(** Open a debugging session for a suffix.  Returns [Error] if the suffix
+    does not reproduce the coredump (nothing trustworthy to debug). *)
+let start ctx suffix dump =
+  let verdict = Replay.replay ctx suffix dump in
+  if not verdict.Replay.reproduced then Error "suffix does not reproduce the coredump"
+  else Ok { ctx; suffix; dump; trace = Array.of_list verdict.Replay.trace }
+
+(** Number of instruction steps in the suffix. *)
+let length t = Array.length t.trace
+
+(** The event at step [i] (0-based, oldest first). *)
+let event_at t i =
+  if i < 0 || i >= Array.length t.trace then
+    invalid_arg (Fmt.str "Debugger.event_at: step %d out of range" i)
+  else t.trace.(i)
+
+(** Reconstruct the exact machine state after executing the first [steps]
+    instructions of the suffix: deterministic partial replay. *)
+let state_at t steps =
+  let state = Replay.initial_state t.ctx t.suffix in
+  let config =
+    {
+      (Res_vm.Exec.default_config ()) with
+      sched =
+        Res_vm.Sched.create (Res_vm.Sched.Fixed (Suffix.schedule t.suffix));
+      oracle = Res_vm.Oracle.scripted (Suffix.input_script t.suffix);
+      max_steps = steps;
+      record_trace = false;
+    }
+  in
+  (Res_vm.Exec.run_state ~config state).Res_vm.Exec.final
+
+(** Memory word [addr] just after step [i]. *)
+let mem_at t i addr = Res_mem.Memory.read (state_at t (i + 1)).Res_vm.Exec.mem addr
+
+module IMap = Map.Make (Int)
+
+(** Register [r] of thread [tid] just after step [i] (innermost frame). *)
+let reg_at t i ~tid ~reg =
+  let st = state_at t (i + 1) in
+  match IMap.find_opt tid st.Res_vm.Exec.threads with
+  | Some th -> (
+      match Res_vm.Thread.top_opt th with
+      | Some fr -> Some (Res_vm.Frame.read_reg fr reg)
+      | None -> None)
+  | None -> None
+
+(** First step whose program counter matches [pc] — a breakpoint.  Answers
+    "what was the program state when the program was executing at X":
+    combine with {!state_at}. *)
+let break_at t (pc : Res_ir.Pc.t) =
+  let n = Array.length t.trace in
+  let rec go i =
+    if i >= n then None
+    else if Res_ir.Pc.equal t.trace.(i).Res_vm.Event.pc pc then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(** All steps executed by thread [tid]. *)
+let steps_of_thread t tid =
+  Array.to_list t.trace
+  |> List.filteri (fun _ (e : Res_vm.Event.t) -> e.Res_vm.Event.tid = tid)
+  |> List.map (fun (e : Res_vm.Event.t) -> e.Res_vm.Event.step)
+
+(** Steps that wrote memory word [addr], oldest first — the write history
+    of a location within the suffix. *)
+let writes_to t addr =
+  let out = ref [] in
+  Array.iteri
+    (fun i (e : Res_vm.Event.t) ->
+      match e.Res_vm.Event.action with
+      | Res_vm.Event.A_write { addr = a; _ } when a = addr -> out := i :: !out
+      | _ -> ())
+    t.trace;
+  List.rev !out
+
+(** Hypothesis (paper §3.3): "was thread T preempted before updating shared
+    memory location M?" — true when another thread executed between T's
+    previous access to M (typically the read of a read-modify-write) and
+    T's write to M.  [None] when T never writes M in this suffix. *)
+let preempted_before_update t ~tid ~addr =
+  let n = Array.length t.trace in
+  (* find T's first write to addr *)
+  let rec find_write i =
+    if i >= n then None
+    else
+      let e = t.trace.(i) in
+      match e.Res_vm.Event.action with
+      | Res_vm.Event.A_write { addr = a; _ }
+        when a = addr && e.Res_vm.Event.tid = tid ->
+          Some i
+      | _ -> find_write (i + 1)
+  in
+  match find_write 0 with
+  | None -> None (* T never updates M in this suffix *)
+  | Some w ->
+      (* T's previous access to M before the write *)
+      let rec prev_access i =
+        if i < 0 then None
+        else
+          let e = t.trace.(i) in
+          if
+            e.Res_vm.Event.tid = tid
+            && Res_vm.Event.touched_addr e = Some addr
+          then Some i
+          else prev_access (i - 1)
+      in
+      let preempted =
+        match prev_access (w - 1) with
+        | None -> false (* no earlier access: nothing to be stale against *)
+        | Some p ->
+            let rec foreign i =
+              i < w
+              && (t.trace.(i).Res_vm.Event.tid <> tid || foreign (i + 1))
+            in
+            foreign (p + 1)
+      in
+      Some preempted
+
+(** Render the suffix as a navigable listing. *)
+let pp_listing ppf t =
+  Array.iteri
+    (fun i (e : Res_vm.Event.t) -> Fmt.pf ppf "%4d  %a@," i Res_vm.Event.pp e)
+    t.trace
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>debugging session: %d steps, crash %a@,%a@]" (length t)
+    Res_vm.Crash.pp t.dump.Res_vm.Coredump.crash pp_listing t

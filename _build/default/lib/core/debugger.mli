@@ -1,0 +1,56 @@
+(** Post-mortem debugging aids on top of a synthesized suffix (paper §3.3).
+
+    A session wraps one verified suffix.  Because replay is deterministic,
+    any point in the suffix can be reconstructed exactly by re-running the
+    replay for a bounded number of steps — reverse-stepping is just
+    re-running one step less, with no recording anywhere.  The hypothesis
+    helpers answer the paper's example queries. *)
+
+type t
+
+(** Open a debugging session for a suffix.  [Error] if the suffix does not
+    reproduce the coredump (nothing trustworthy to debug). *)
+val start :
+  Backstep.ctx -> Suffix.t -> Res_vm.Coredump.t -> (t, string) result
+
+(** Number of instruction steps in the suffix. *)
+val length : t -> int
+
+(** The event at step [i] (0-based, oldest first).
+    @raise Invalid_argument when out of range. *)
+val event_at : t -> int -> Res_vm.Event.t
+
+(** Reconstruct the exact machine state after the first [steps]
+    instructions of the suffix (deterministic partial replay). *)
+val state_at : t -> int -> Res_vm.Exec.state
+
+(** Memory word [addr] just after step [i]. *)
+val mem_at : t -> int -> int -> int
+
+(** Register [reg] of thread [tid] just after step [i] (innermost frame);
+    [None] if the thread has no frame there. *)
+val reg_at : t -> int -> tid:int -> reg:Res_ir.Instr.reg -> int option
+
+(** First step whose program counter matches — a breakpoint.  Answers
+    "what was the program state when the program was executing at X?"
+    (combine with {!state_at}).  The faulting instruction itself never
+    completes and so has no step. *)
+val break_at : t -> Res_ir.Pc.t -> int option
+
+(** All step numbers executed by a thread. *)
+val steps_of_thread : t -> int -> int list
+
+(** Steps that wrote the memory word, oldest first — a location's write
+    history within the suffix. *)
+val writes_to : t -> int -> int list
+
+(** Hypothesis (paper §3.3): "was thread T preempted before updating shared
+    memory location M?" — [Some true] when another thread executed between
+    T's previous access to M and T's write to M; [None] when T never
+    writes M in this suffix. *)
+val preempted_before_update : t -> tid:int -> addr:int -> bool option
+
+(** The suffix as a navigable instruction listing. *)
+val pp_listing : Format.formatter -> t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,111 @@
+(** Deterministic suffix replay (paper §2.1).
+
+    "A special environment is slipped underneath the debugger to
+    instantiate [Mi] and replay [Ti]": the suffix's snapshot is concretized
+    through the model into a runnable memory image, threads are placed at
+    their suffix-start positions, the schedule is forced, input values are
+    scripted, and MiniVM runs — the program deterministically runs into the
+    same failure, which is verified byte-for-byte against the original
+    coredump. *)
+
+module IMap = Map.Make (Int)
+
+type verdict = {
+  reproduced : bool;  (** the failure state matches the coredump exactly *)
+  replay_crash : Res_vm.Crash.t option;  (** what the replay produced *)
+  replay_dump : Res_vm.Coredump.t option;
+  trace : Res_vm.Event.t list;  (** instruction-level trace of the suffix *)
+  divergence : string option;  (** why reproduction failed, if it did *)
+}
+
+(** Build the initial VM state [Mi] for a suffix. *)
+let initial_state ctx (suffix : Suffix.t) =
+  let snapshot = suffix.Suffix.snapshot in
+  let model = suffix.Suffix.model in
+  let mem = Snapshot.concrete_mem snapshot model in
+  let threads =
+    IMap.map
+      (fun (ts : Snapshot.thread_state) ->
+        {
+          Res_vm.Thread.tid = ts.Snapshot.ts_tid;
+          frames = Snapshot.concrete_frames ts model;
+          status = ts.Snapshot.ts_status;
+        })
+      snapshot.Snapshot.threads
+  in
+  Res_vm.Exec.make_state ctx.Backstep.prog ~mem ~heap:snapshot.Snapshot.heap
+    ~threads
+
+(** Replay [suffix] and compare the resulting failure state with [dump]. *)
+let replay ?(max_steps = 100_000) ctx (suffix : Suffix.t)
+    (dump : Res_vm.Coredump.t) : verdict =
+  let state = initial_state ctx suffix in
+  let config =
+    {
+      (Res_vm.Exec.default_config ()) with
+      sched = Res_vm.Sched.create (Res_vm.Sched.Fixed (Suffix.schedule suffix));
+      oracle = Res_vm.Oracle.scripted (Suffix.input_script suffix);
+      max_steps;
+      record_trace = true;
+      lbr_depth = dump.Res_vm.Coredump.tracer.Res_vm.Tracer.lbr_depth;
+    }
+  in
+  let result = Res_vm.Exec.run_state ~config state in
+  match result.Res_vm.Exec.outcome with
+  | Res_vm.Exec.Crashed crash ->
+      let replay_dump =
+        {
+          Res_vm.Coredump.crash;
+          mem = result.Res_vm.Exec.final.Res_vm.Exec.mem;
+          heap = result.Res_vm.Exec.final.Res_vm.Exec.heap;
+          threads = result.Res_vm.Exec.final.Res_vm.Exec.threads;
+          tracer = result.Res_vm.Exec.final.Res_vm.Exec.tracer;
+          steps = result.Res_vm.Exec.final.Res_vm.Exec.steps;
+        }
+      in
+      let reproduced = Res_vm.Coredump.same_failure_state replay_dump dump in
+      let divergence =
+        if reproduced then None
+        else
+          Some
+            (if crash.Res_vm.Crash.kind <> dump.Res_vm.Coredump.crash.Res_vm.Crash.kind
+             then
+               Fmt.str "crash kind differs: %a vs %a" Res_vm.Crash.pp_kind
+                 crash.Res_vm.Crash.kind Res_vm.Crash.pp_kind
+                 dump.Res_vm.Coredump.crash.Res_vm.Crash.kind
+             else
+               let diffs =
+                 Res_mem.Memory.diff replay_dump.Res_vm.Coredump.mem
+                   dump.Res_vm.Coredump.mem
+               in
+               Fmt.str "state differs (%d memory cells)" (List.length diffs))
+      in
+      {
+        reproduced;
+        replay_crash = Some crash;
+        replay_dump = Some replay_dump;
+        trace = result.Res_vm.Exec.trace;
+        divergence;
+      }
+  | Res_vm.Exec.Exited ->
+      {
+        reproduced = false;
+        replay_crash = None;
+        replay_dump = None;
+        trace = result.Res_vm.Exec.trace;
+        divergence = Some "replay exited without crashing";
+      }
+  | Res_vm.Exec.Out_of_fuel ->
+      {
+        reproduced = false;
+        replay_crash = None;
+        replay_dump = None;
+        trace = result.Res_vm.Exec.trace;
+        divergence = Some "replay ran out of fuel";
+      }
+
+(** Replay [n] times and check every run reproduces the same failure —
+    the determinism requirement (5) of paper §2. *)
+let replay_deterministically ?(times = 3) ctx suffix dump =
+  let verdicts = List.init times (fun _ -> replay ctx suffix dump) in
+  (List.for_all (fun v -> v.reproduced) verdicts, verdicts)

@@ -1,0 +1,46 @@
+(** Human-readable debugging reports (paper §3.3).
+
+    Renders an analysis the way a developer would consume it in a
+    debugger: the failure, the deterministic execution suffix, the thread
+    schedule, the recently read/written state (which RES "automatically
+    focuses developers' attention on"), and the classified root cause. *)
+
+let pp_addr_list layout ppf addrs =
+  let pp_one ppf a = Fmt.string ppf (Res_mem.Layout.describe layout a) in
+  Fmt.(list ~sep:comma pp_one) ppf addrs
+
+let pp_report ctx ppf (r : Res.report) =
+  let layout = ctx.Backstep.layout in
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "failure: %a@," Res_vm.Crash.pp r.suffix.Suffix.crash;
+  Fmt.pf ppf "%a@," Suffix.pp r.suffix;
+  Fmt.pf ppf "schedule: %a@,"
+    Fmt.(list ~sep:sp int)
+    (Suffix.schedule r.suffix);
+  (match Suffix.input_script r.suffix with
+  | [] -> ()
+  | inputs -> Fmt.pf ppf "inputs: %a@," Fmt.(list ~sep:comma int) inputs);
+  Fmt.pf ppf "write set: %a@," (pp_addr_list layout) (Suffix.write_set r.suffix);
+  Fmt.pf ppf "read set: %a@," (pp_addr_list layout) (Suffix.read_set r.suffix);
+  Fmt.pf ppf "replayed: %s%s@,"
+    (if r.verdict.Replay.reproduced then "yes, exact coredump match" else "NO")
+    (if r.deterministic then " (deterministic)" else "");
+  (match r.root_cause with
+  | Some cause -> Fmt.pf ppf "root cause: %a@," Rootcause.pp cause
+  | None -> Fmt.pf ppf "root cause: (not reproduced)@,");
+  Fmt.pf ppf "@]"
+
+let pp_analysis ctx ppf (a : Res.analysis) =
+  Fmt.pf ppf
+    "@[<v>=== RES analysis ===@,\
+     suffix depth reached: %d@,\
+     search nodes: %d, candidates: %d, suffixes synthesized: %d@,\
+     cpu time: %.3fs@,\
+     reproduced suffixes: %d@,@,%a@]"
+    a.Res.depth_reached a.Res.nodes_expanded a.Res.candidates_tried
+    a.Res.suffixes_synthesized a.Res.cpu_seconds
+    (List.length a.Res.reports)
+    Fmt.(list ~sep:(cut ++ cut) (pp_report ctx))
+    a.Res.reports
+
+let analysis_to_string ctx a = Fmt.str "%a@." (pp_analysis ctx) a

@@ -1,0 +1,130 @@
+(** The top-level RES pipeline: coredump in, replayable root-caused
+    execution suffix out.
+
+    [analyze] runs iterative deepening over the suffix length: synthesize
+    suffixes of length 1, 2, ... (paper: "RES continues building up
+    suffixes by moving backward through the execution"), replay each
+    candidate to verify it deterministically reproduces the coredump, and
+    classify the root cause from the replayed trace.  It stops as soon as a
+    reproduced suffix exhibits a definite root cause, or when the depth
+    budget is exhausted. *)
+
+type report = {
+  suffix : Suffix.t;
+  verdict : Replay.verdict;
+  root_cause : Rootcause.t option;  (** None when replay failed *)
+  deterministic : bool;  (** replayed [determinism_runs] times identically *)
+}
+
+type analysis = {
+  reports : report list;  (** reproduced suffixes, best (deepest-cause) first *)
+  depth_reached : int;
+  nodes_expanded : int;
+  candidates_tried : int;
+  suffixes_synthesized : int;
+  cpu_seconds : float;
+}
+
+type config = {
+  search : Search.config;
+  determinism_runs : int;
+  stop_at_first_cause : bool;
+      (** stop deepening once a reproduced suffix has a concurrency or
+          memory-safety root cause (not merely the crash site) *)
+}
+
+let default_config =
+  { search = Search.default_config; determinism_runs = 3; stop_at_first_cause = true }
+
+(** Whether a cause is a definite defect (vs just the crash location). *)
+let definite_cause = function
+  | Rootcause.Data_race _ | Rootcause.Atomicity_violation _
+  | Rootcause.Use_after_free_cause _ | Rootcause.Buffer_overflow_cause _
+  | Rootcause.Double_free_cause _ | Rootcause.Deadlock_cause _ ->
+      true
+  | Rootcause.Division_by_zero_cause _ | Rootcause.Assertion_cause _
+  | Rootcause.Abort_cause _ | Rootcause.Unclassified _ ->
+      false
+
+let report_of ctx config (dump : Res_vm.Coredump.t) suffix =
+  let verdict = Replay.replay ctx suffix dump in
+  if not verdict.Replay.reproduced then
+    { suffix; verdict; root_cause = None; deterministic = false }
+  else
+    let root_cause =
+      Some
+        (Rootcause.classify
+           ~threads:(Res_vm.Coredump.threads dump)
+           ~crash:dump.Res_vm.Coredump.crash ~heap:dump.Res_vm.Coredump.heap
+           ~layout:ctx.Backstep.layout verdict.Replay.trace)
+    in
+    let deterministic, _ =
+      Replay.replay_deterministically ~times:config.determinism_runs ctx suffix
+        dump
+    in
+    { suffix; verdict; root_cause; deterministic }
+
+(** Analyze a coredump: synthesize, replay, classify. *)
+let analyze ?(config = default_config) ctx (dump : Res_vm.Coredump.t) : analysis =
+  let t0 = Sys.time () in
+  let nodes = ref 0 and cands = ref 0 and synth = ref 0 in
+  let rec deepen depth acc =
+    if depth > config.search.Search.max_segments then (acc, depth - 1)
+    else
+      let result =
+        Search.search
+          ~config:{ config.search with Search.max_segments = depth }
+          ctx dump
+      in
+      nodes := !nodes + result.Search.stats.Search.nodes;
+      cands := !cands + result.Search.stats.Search.candidates;
+      synth := !synth + List.length result.Search.suffixes;
+      let reports =
+        List.map (report_of ctx config dump) result.Search.suffixes
+        |> List.filter (fun r -> r.verdict.Replay.reproduced)
+      in
+      let acc = acc @ reports in
+      let found_definite =
+        List.exists
+          (fun r ->
+            match r.root_cause with
+            | Some c -> definite_cause c && r.deterministic
+            | None -> false)
+          acc
+      in
+      if config.stop_at_first_cause && found_definite then (acc, depth)
+      else deepen (depth + 1) acc
+  in
+  let reports, depth = deepen 1 [] in
+  (* Definite causes first, then longer suffixes first. *)
+  let score r =
+    match r.root_cause with
+    | Some c when definite_cause c -> 2
+    | Some _ -> 1
+    | None -> 0
+  in
+  let reports =
+    List.stable_sort
+      (fun a b ->
+        match compare (score b) (score a) with
+        | 0 -> compare (Suffix.length b.suffix) (Suffix.length a.suffix)
+        | c -> c)
+      reports
+  in
+  {
+    reports;
+    depth_reached = depth;
+    nodes_expanded = !nodes;
+    candidates_tried = !cands;
+    suffixes_synthesized = !synth;
+    cpu_seconds = Sys.time () -. t0;
+  }
+
+(** The best root cause of an analysis, if any. *)
+let best_cause analysis =
+  List.find_map (fun r -> r.root_cause) analysis.reports
+
+(** Convenience: build a context and analyze in one call. *)
+let analyze_program ?config ?sym_config ?solver_config prog dump =
+  let ctx = Backstep.make_ctx ?sym_config ?solver_config prog in
+  analyze ?config ctx dump

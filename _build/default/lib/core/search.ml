@@ -1,0 +1,359 @@
+(** Backward search for execution suffixes.
+
+    Starting from the coredump, the search repeatedly chooses a thread and
+    applies one backward step ({!Backstep}), building the suffix one
+    segment at a time.  Snapshot compatibility (the solver) prunes
+    infeasible candidates; optional LBR breadcrumbs prune harder (paper
+    §2.4).  The search yields every feasible suffix of the requested
+    length, crashing thread prioritized. *)
+
+module IMap = Map.Make (Int)
+open Res_solver
+
+type config = {
+  max_segments : int;  (** how far back to synthesize *)
+  max_suffixes : int;  (** stop after this many feasible suffixes *)
+  max_nodes : int;  (** search budget *)
+  use_breadcrumbs : bool;  (** prune candidate predecessors with the LBR *)
+}
+
+let default_config =
+  { max_segments = 6; max_suffixes = 4; max_nodes = 4000; use_breadcrumbs = false }
+
+type stats = {
+  mutable nodes : int;  (** search nodes expanded *)
+  mutable candidates : int;  (** backward-step candidates attempted *)
+  mutable feasible : int;  (** candidates that survived the solver *)
+  mutable emitted : int;  (** suffixes produced *)
+}
+
+let new_stats () = { nodes = 0; candidates = 0; feasible = 0; emitted = 0 }
+
+(** Per-thread LBR breadcrumbs: branches of the thread's root function,
+    most recent first — exactly the segment-end branches, in reverse
+    chronological order. *)
+type crumbs = Res_vm.Tracer.branch list IMap.t
+
+let crumbs_of_dump ctx (dump : Res_vm.Coredump.t) : crumbs =
+  let root_func_of tid =
+    match IMap.find_opt tid dump.Res_vm.Coredump.threads with
+    | Some (th : Res_vm.Thread.t) -> (
+        match List.rev th.frames with
+        | (root : Res_vm.Frame.t) :: _ -> Some root.func
+        | [] -> None)
+    | None -> None
+  in
+  ignore ctx;
+  List.fold_left
+    (fun m (b : Res_vm.Tracer.branch) ->
+      match root_func_of b.br_tid with
+      | Some root when String.equal root b.br_func ->
+          IMap.update b.br_tid
+            (function Some l -> Some (l @ [ b ]) | None -> Some [ b ])
+            m
+      | _ -> m)
+    IMap.empty
+    (Res_vm.Tracer.branches dump.Res_vm.Coredump.tracer)
+
+type node = {
+  n_snapshot : Snapshot.t;
+  n_segments : Suffix.segment list;  (** oldest first *)
+  n_crumbs : crumbs;
+  n_logs : Res_vm.Tracer.log_entry list;
+      (** dump error-log entries not yet attributed to a segment, most
+          recent first — the paper's second breadcrumb source *)
+  n_last_tid : int;  (** thread of the most recently prepended segment *)
+  n_touched : int list;  (** addresses the suffix reads/writes, for pointer hints *)
+}
+
+(** Match a segment's [log] emissions against the unconsumed tail of the
+    coredump's error log.  The segment's emissions, newest first, must be
+    the next unconsumed entries (the error log records everything, so a
+    mismatch is a contradiction).  Returns the value-equality constraints
+    and the remaining log, or [None] to prune. *)
+let consume_logs ~tid ap_logs remaining =
+  let rec go acc remaining = function
+    | [] -> Some (acc, remaining)
+    | (tag, e) :: rest -> (
+        match remaining with
+        | (entry : Res_vm.Tracer.log_entry) :: remaining'
+          when entry.log_tid = tid && String.equal entry.log_tag tag ->
+            go
+              (Expr.eq e (Expr.const entry.log_value) :: acc)
+              remaining' rest
+        | _ -> None)
+  in
+  go [] remaining (List.rev ap_logs)
+
+(** Candidate moves from a node: [(tid, kind, crumbs-after)] in priority
+    order. *)
+let candidate_moves ctx config (node : node) =
+  let snapshot = node.n_snapshot in
+  let moves_for (ts : Snapshot.thread_state) =
+    let tid = ts.Snapshot.ts_tid in
+    match ts.Snapshot.ts_status with
+    | Res_vm.Thread.Halted ->
+        (* Terminal segment: any ret/halt block of the thread's possible
+           root functions.  The coredump records no frames for halted
+           threads, but tid 0 always runs [main] and spawned threads run a
+           function some spawn site names. *)
+        let funcs =
+          if tid = 0 then [ Res_ir.Prog.main_name ]
+          else
+            List.filter_map
+              (fun (f : Res_ir.Func.t) ->
+                if Res_ir.Cfg.spawn_sites_of ctx.Backstep.cfg f.name <> [] then
+                  Some f.name
+                else None)
+              ctx.Backstep.prog.Res_ir.Prog.funcs
+            |> List.sort_uniq compare
+        in
+        List.concat_map
+          (fun fname ->
+            let f = Res_ir.Prog.func ctx.Backstep.prog fname in
+            List.filter_map
+              (fun (b : Res_ir.Block.t) ->
+                match b.term with
+                | Res_ir.Instr.Ret _ | Res_ir.Instr.Halt ->
+                    Some
+                      ( tid,
+                        Backstep.K_final { func = fname; block = b.label },
+                        node.n_crumbs )
+                | _ -> None)
+              f.blocks)
+          funcs
+    | Res_vm.Thread.Blocked_on_lock _ | Res_vm.Thread.Blocked_on_join _
+      when not ts.Snapshot.ts_stepped ->
+        let crash =
+          match ts.Snapshot.ts_status with
+          | Res_vm.Thread.Blocked_on_lock _ ->
+              Some (Res_vm.Crash.Deadlock [])
+          | _ -> None
+        in
+        [ (tid, Backstep.K_partial crash, node.n_crumbs) ]
+    | _ -> (
+        (* Runnable (or blocked-but-stepped, which cannot happen): the
+           thread sits at a segment boundary. *)
+        match ts.Snapshot.ts_frames with
+        | [ fr ] when fr.Res_symex.Symframe.idx = 0 ->
+            let func = fr.Res_symex.Symframe.func in
+            let label = fr.Res_symex.Symframe.block in
+            let preds = Res_ir.Cfg.predecessors ctx.Backstep.cfg ~func ~label in
+            let preds, crumbs' =
+              if not config.use_breadcrumbs then (preds, node.n_crumbs)
+              else
+                match IMap.find_opt tid node.n_crumbs with
+                | Some (b :: rest) ->
+                    if String.equal b.Res_vm.Tracer.br_to label then
+                      ( List.filter
+                          (String.equal b.Res_vm.Tracer.br_from)
+                          preds,
+                        IMap.add tid rest node.n_crumbs )
+                    else ([], node.n_crumbs) (* contradicts the LBR *)
+                | Some [] | None -> (preds, node.n_crumbs)
+            in
+            List.map
+              (fun p -> (tid, Backstep.K_full { block = p }, crumbs'))
+              preds
+        | _ ->
+            (* mid-segment with frames but not stepped: in-progress *)
+            if ts.Snapshot.ts_stepped then []
+            else [ (tid, Backstep.K_partial None, node.n_crumbs) ])
+  in
+  (* Prioritize: the thread that ran the following segment first (temporal
+     locality), then ascending tid. *)
+  let threads =
+    Snapshot.threads snapshot
+    |> List.sort (fun a b ->
+           let w (ts : Snapshot.thread_state) =
+             if ts.Snapshot.ts_tid = node.n_last_tid then 0 else 1
+           in
+           match compare (w a) (w b) with
+           | 0 -> compare a.Snapshot.ts_tid b.Snapshot.ts_tid
+           | c -> c)
+  in
+  List.concat_map moves_for threads
+
+(** Whether the node has reconstructed the whole execution: only the main
+    thread remains, sitting at the program entry. *)
+let at_program_start ctx (node : node) =
+  let threads = Snapshot.threads node.n_snapshot in
+  match threads with
+  | [ ts ] when ts.Snapshot.ts_tid = 0 -> (
+      match ts.Snapshot.ts_frames with
+      | [ fr ] ->
+          let m = Res_ir.Prog.main ctx.Backstep.prog in
+          String.equal fr.Res_symex.Symframe.func Res_ir.Prog.main_name
+          && String.equal fr.Res_symex.Symframe.block m.Res_ir.Func.entry
+          && fr.Res_symex.Symframe.idx = 0
+      | _ -> false)
+  | _ -> false
+
+type result = {
+  suffixes : Suffix.t list;
+  stats : stats;
+  complete : bool;  (** false when the node budget was exhausted *)
+}
+
+(** Synthesize suffixes of up to [max_segments] segments for [dump].
+    [snapshot0] overrides the base snapshot — e.g.
+    {!Snapshot.of_minidump} for the minidump ablation; the default is the
+    full coredump. *)
+let search ?(config = default_config) ?snapshot0 ctx
+    (dump : Res_vm.Coredump.t) : result =
+  let stats = new_stats () in
+  let out = ref [] in
+  let budget_hit = ref false in
+  let crash = dump.Res_vm.Coredump.crash in
+  let emit ?(at_start = false) node =
+    if stats.emitted < config.max_suffixes then
+      (* A suffix that reaches the program start must satisfy the initial
+         conditions: zero-initialized globals, empty heap. *)
+      let start_constraints =
+        if not at_start then Some []
+        else if Res_mem.Heap.blocks node.n_snapshot.Snapshot.heap <> [] then None
+        else
+          Some
+            (List.map
+               (fun a -> Expr.eq (Snapshot.read_mem node.n_snapshot a) Expr.zero)
+               (Snapshot.symbolic_addrs node.n_snapshot))
+      in
+      match start_constraints with
+      | None -> ()
+      | Some start_cs -> (
+          match
+            Solver.solve ~config:ctx.Backstep.solver_config
+              (start_cs @ node.n_snapshot.Snapshot.constraints)
+          with
+          | Solver.Sat model ->
+              stats.emitted <- stats.emitted + 1;
+              out :=
+                {
+                  Suffix.segments = node.n_segments;
+                  snapshot = Snapshot.add_constraints node.n_snapshot start_cs;
+                  model;
+                  crash;
+                  complete = at_start;
+                }
+                :: !out
+          | Solver.Unsat | Solver.Unknown -> ())
+  in
+  let rec go depth node =
+    if stats.emitted >= config.max_suffixes then ()
+    else if stats.nodes >= config.max_nodes then budget_hit := true
+    else begin
+      stats.nodes <- stats.nodes + 1;
+      if at_program_start ctx node then emit ~at_start:true node
+      else if depth >= config.max_segments then emit node
+      else begin
+        let moves = candidate_moves ctx config node in
+        let progressed = ref false in
+        List.iter
+          (fun (tid, kind, crumbs') ->
+            if stats.nodes >= config.max_nodes then budget_hit := true
+            else if stats.emitted < config.max_suffixes then begin
+              stats.candidates <- stats.candidates + 1;
+              let { Backstep.applied; rejects = _ } =
+                Backstep.step_back ~addr_hint:node.n_touched ctx node.n_snapshot
+                  ~tid ~kind
+              in
+              List.iter
+                (fun (ap : Backstep.applied) ->
+                  let log_match =
+                    if not config.use_breadcrumbs then
+                      Some ([], node.n_logs)
+                    else consume_logs ~tid ap.Backstep.ap_logs node.n_logs
+                  in
+                  match log_match with
+                  | None -> () (* contradicts the error log: prune *)
+                  | Some (log_cs, n_logs) ->
+                      let snapshot' =
+                        Snapshot.add_constraints ap.Backstep.ap_snapshot log_cs
+                      in
+                      let feasible =
+                        log_cs = []
+                        || Solver.solve ~config:ctx.Backstep.solver_config
+                             snapshot'.Snapshot.constraints
+                           <> Solver.Unsat
+                      in
+                      if feasible then begin
+                        stats.feasible <- stats.feasible + 1;
+                        progressed := true;
+                        let seg = ap.Backstep.ap_segment in
+                        go (depth + 1)
+                          {
+                            n_snapshot = snapshot';
+                            n_segments = seg :: node.n_segments;
+                            n_crumbs = crumbs';
+                            n_logs;
+                            n_last_tid = tid;
+                            n_touched =
+                              seg.Suffix.seg_writes @ seg.Suffix.seg_reads
+                              @ node.n_touched;
+                          }
+                      end)
+                applied
+            end)
+          moves;
+        (* Dead end earlier than the target depth: emit what we have, as
+           long as the suffix is non-empty. *)
+        if (not !progressed) && node.n_segments <> [] then emit node
+      end
+    end
+  in
+  let snapshot0 =
+    match snapshot0 with Some s -> s | None -> Snapshot.of_coredump dump
+  in
+  let crumbs0 =
+    if config.use_breadcrumbs then crumbs_of_dump ctx dump else IMap.empty
+  in
+  let logs0 =
+    if config.use_breadcrumbs then
+      Res_vm.Tracer.logs dump.Res_vm.Coredump.tracer
+    else []
+  in
+  (match crash.Res_vm.Crash.kind with
+  | Res_vm.Crash.Deadlock _ ->
+      (* A deadlock's "crash event" is the collective blocked state; the
+         blocked threads' in-progress segments are ordinary moves (the
+         crashing tid's segment is typically the oldest, not the newest). *)
+      go 0
+        {
+          n_snapshot = snapshot0;
+          n_segments = [];
+          n_crumbs = crumbs0;
+          n_logs = logs0;
+          n_last_tid = crash.Res_vm.Crash.tid;
+          n_touched = [];
+        }
+  | _ ->
+      (* Otherwise the first backward step is always the crashing thread's
+         in-progress segment. *)
+      stats.candidates <- stats.candidates + 1;
+      let { Backstep.applied; rejects = _ } =
+        Backstep.step_back ctx snapshot0 ~tid:crash.Res_vm.Crash.tid
+          ~kind:(Backstep.K_partial (Some crash.Res_vm.Crash.kind))
+      in
+      List.iter
+        (fun (ap : Backstep.applied) ->
+          let log_match =
+            if not config.use_breadcrumbs then Some ([], logs0)
+            else consume_logs ~tid:crash.Res_vm.Crash.tid ap.Backstep.ap_logs logs0
+          in
+          match log_match with
+          | None -> ()
+          | Some (log_cs, n_logs) ->
+              stats.feasible <- stats.feasible + 1;
+              let seg = ap.Backstep.ap_segment in
+              go 1
+                {
+                  n_snapshot =
+                    Snapshot.add_constraints ap.Backstep.ap_snapshot log_cs;
+                  n_segments = [ seg ];
+                  n_crumbs = crumbs0;
+                  n_logs;
+                  n_last_tid = crash.Res_vm.Crash.tid;
+                  n_touched = seg.Suffix.seg_writes @ seg.Suffix.seg_reads;
+                })
+        applied);
+  { suffixes = List.rev !out; stats; complete = not !budget_hit }

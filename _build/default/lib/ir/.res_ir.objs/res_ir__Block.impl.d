@@ -1,0 +1,1 @@
+lib/ir/block.ml: Array Fmt Hashtbl Instr List String

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Block Fmt Fun Func Instr List Prog

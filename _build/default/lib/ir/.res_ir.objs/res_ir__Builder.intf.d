@@ -1,0 +1,1 @@
+lib/ir/builder.mli: Instr Prog

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Array Block Fmt Func Hashtbl Instr List Map Option Prog Queue String

@@ -1,0 +1,1 @@
+lib/ir/cfg.mli: Func Instr Prog

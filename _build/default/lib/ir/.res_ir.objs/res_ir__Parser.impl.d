@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Block Buffer Fmt Func Instr List Prog String

@@ -1,0 +1,1 @@
+lib/ir/pc.ml: Block Fmt Func Instr Int Prog String

@@ -1,0 +1,1 @@
+lib/ir/pc.mli: Format Func Instr Prog

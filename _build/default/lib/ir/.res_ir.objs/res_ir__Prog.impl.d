@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Block Fmt Func List Map String

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Block Fmt Fun Func Instr List Prog

@@ -1,0 +1,1 @@
+lib/ir/validate.mli: Format Prog

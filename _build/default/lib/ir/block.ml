@@ -1,0 +1,67 @@
+(** Basic blocks: a label, straight-line instructions, and one terminator. *)
+
+type t = {
+  label : Instr.label;
+  instrs : Instr.instr array;
+  term : Instr.terminator;
+}
+
+let v label instrs term = { label; instrs = Array.of_list instrs; term }
+
+(** Number of straight-line instructions (terminator excluded). *)
+let length b = Array.length b.instrs
+
+(** [instr b i] is the [i]-th instruction.  @raise Invalid_argument if out
+    of range. *)
+let instr b i =
+  if i < 0 || i >= Array.length b.instrs then
+    invalid_arg
+      (Fmt.str "Block.instr: index %d out of range for block %s" i b.label)
+  else b.instrs.(i)
+
+(** Registers written anywhere in the block (terminators never write). *)
+let defined_regs b =
+  Array.to_list b.instrs
+  |> List.filter_map Instr.defs
+  |> List.sort_uniq compare
+
+(** Registers read anywhere in the block, including by the terminator. *)
+let used_regs b =
+  let from_instrs = Array.to_list b.instrs |> List.concat_map Instr.uses in
+  List.sort_uniq compare (from_instrs @ Instr.term_uses b.term)
+
+(** Registers whose value at block entry is observable: read at some point
+    before being (re)defined within the block.  These are the registers the
+    backward analysis must constrain against the pre-state. *)
+let live_in_regs b =
+  let defined = Hashtbl.create 8 in
+  let live = ref [] in
+  let see r = if not (Hashtbl.mem defined r) then live := r :: !live in
+  Array.iter
+    (fun i ->
+      List.iter see (Instr.uses i);
+      match Instr.defs i with
+      | Some r -> Hashtbl.replace defined r ()
+      | None -> ())
+    b.instrs;
+  List.iter see (Instr.term_uses b.term);
+  List.sort_uniq compare !live
+
+(** Intra-function successor labels. *)
+let successors b = Instr.term_targets b.term
+
+(** Whether the block contains any instruction satisfying [p]. *)
+let exists p b = Array.exists p b.instrs
+
+let pp ppf b =
+  let pp_body ppf b =
+    Array.iter (fun i -> Fmt.pf ppf "%a@," Instr.pp i) b.instrs;
+    Instr.pp_terminator ppf b.term
+  in
+  Fmt.pf ppf "@[<v>%s:@;<0 2>@[<v>%a@]@]" b.label pp_body b
+
+let equal a b =
+  String.equal a.label b.label
+  && Array.length a.instrs = Array.length b.instrs
+  && Array.for_all2 Instr.equal_instr a.instrs b.instrs
+  && Instr.equal_terminator a.term b.term

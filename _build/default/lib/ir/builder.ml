@@ -1,0 +1,156 @@
+(** Imperative builder DSL for constructing MiniIR programs in OCaml.
+
+    Workload generators and tests use this instead of writing assembly text.
+    Typical usage:
+
+    {[
+      let open Res_ir.Builder in
+      let b = create () in
+      let f = func b "main" ~params:[] in
+      let entry = block f "entry" in
+      let r1 = fresh f in
+      const entry r1 42;
+      ret entry (Some r1);
+      let prog = finish b
+    ]} *)
+
+type block_builder = {
+  bb_label : Instr.label;
+  mutable bb_instrs : Instr.instr list;  (** reverse order *)
+  mutable bb_term : Instr.terminator option;
+}
+
+type func_builder = {
+  fb_name : string;
+  fb_params : Instr.reg list;
+  mutable fb_blocks : block_builder list;  (** reverse order *)
+  mutable fb_next_reg : int;
+  mutable fb_entry : Instr.label option;
+}
+
+type t = {
+  mutable globals : Prog.global list;  (** reverse order *)
+  mutable funcs : func_builder list;  (** reverse order *)
+}
+
+let create () = { globals = []; funcs = [] }
+
+(** Declare a global of [size] words. *)
+let global t name size = t.globals <- { Prog.gname = name; gsize = size } :: t.globals
+
+(** Open a new function.  Parameters occupy registers [0..n-1]. *)
+let func t name ~params:nparams =
+  let fb =
+    {
+      fb_name = name;
+      fb_params = List.init nparams Fun.id;
+      fb_blocks = [];
+      fb_next_reg = nparams;
+      fb_entry = None;
+    }
+  in
+  t.funcs <- fb :: t.funcs;
+  fb
+
+(** Parameter register [i] of [f]. *)
+let param (f : func_builder) i =
+  if i < 0 || i >= List.length f.fb_params then
+    invalid_arg (Fmt.str "Builder.param: %s has no param %d" f.fb_name i)
+  else i
+
+(** Allocate a fresh virtual register. *)
+let fresh f =
+  let r = f.fb_next_reg in
+  f.fb_next_reg <- r + 1;
+  r
+
+(** Open a new block.  The first block opened becomes the entry. *)
+let block f label =
+  let bb = { bb_label = label; bb_instrs = []; bb_term = None } in
+  f.fb_blocks <- bb :: f.fb_blocks;
+  if f.fb_entry = None then f.fb_entry <- Some label;
+  bb
+
+let push bb i =
+  (match bb.bb_term with
+  | Some _ ->
+      invalid_arg
+        (Fmt.str "Builder: instruction after terminator in %s" bb.bb_label)
+  | None -> ());
+  bb.bb_instrs <- i :: bb.bb_instrs
+
+let set_term bb t =
+  match bb.bb_term with
+  | Some _ -> invalid_arg (Fmt.str "Builder: two terminators in %s" bb.bb_label)
+  | None -> bb.bb_term <- Some t
+
+(* Instruction emitters — one tiny function per opcode keeps generators
+   readable. *)
+let const bb r n = push bb (Instr.Const (r, n))
+let mov bb dst src = push bb (Instr.Mov (dst, src))
+let binop bb op dst a b = push bb (Instr.Binop (op, dst, a, b))
+let add bb dst a b = binop bb Instr.Add dst a b
+let sub bb dst a b = binop bb Instr.Sub dst a b
+let mul bb dst a b = binop bb Instr.Mul dst a b
+let div bb dst a b = binop bb Instr.Div dst a b
+let rem bb dst a b = binop bb Instr.Rem dst a b
+let eq bb dst a b = binop bb Instr.Eq dst a b
+let ne bb dst a b = binop bb Instr.Ne dst a b
+let lt bb dst a b = binop bb Instr.Lt dst a b
+let le bb dst a b = binop bb Instr.Le dst a b
+let gt bb dst a b = binop bb Instr.Gt dst a b
+let ge bb dst a b = binop bb Instr.Ge dst a b
+let band bb dst a b = binop bb Instr.And dst a b
+let bor bb dst a b = binop bb Instr.Or dst a b
+let bxor bb dst a b = binop bb Instr.Xor dst a b
+let shl bb dst a b = binop bb Instr.Shl dst a b
+let shr bb dst a b = binop bb Instr.Shr dst a b
+let unop bb op dst a = push bb (Instr.Unop (op, dst, a))
+let not_ bb dst a = unop bb Instr.Not dst a
+let neg bb dst a = unop bb Instr.Neg dst a
+let load bb dst addr off = push bb (Instr.Load (dst, addr, off))
+let store bb addr off src = push bb (Instr.Store (addr, off, src))
+let global_addr bb dst name = push bb (Instr.Global_addr (dst, name))
+let alloc bb dst size = push bb (Instr.Alloc (dst, size))
+let free bb addr = push bb (Instr.Free addr)
+let input bb dst kind = push bb (Instr.Input (dst, kind))
+let lock bb addr = push bb (Instr.Lock addr)
+let unlock bb addr = push bb (Instr.Unlock addr)
+let spawn bb dst fname args = push bb (Instr.Spawn (dst, fname, args))
+let join bb tid = push bb (Instr.Join tid)
+let call bb dst fname args = push bb (Instr.Call (dst, fname, args))
+let assert_ bb r msg = push bb (Instr.Assert (r, msg))
+let log bb tag r = push bb (Instr.Log (tag, r))
+let nop bb = push bb Instr.Nop
+
+(* Terminators. *)
+let jmp bb l = set_term bb (Instr.Jmp l)
+let br bb r l1 l2 = set_term bb (Instr.Br (r, l1, l2))
+let ret bb r = set_term bb (Instr.Ret r)
+let halt bb = set_term bb Instr.Halt
+let abort bb msg = set_term bb (Instr.Abort msg)
+
+(** Convenience: load an immediate into a fresh register. *)
+let imm f bb n =
+  let r = fresh f in
+  const bb r n;
+  r
+
+let finish_block bb =
+  match bb.bb_term with
+  | None ->
+      invalid_arg (Fmt.str "Builder.finish: block %s lacks a terminator" bb.bb_label)
+  | Some term -> Block.v bb.bb_label (List.rev bb.bb_instrs) term
+
+let finish_func fb =
+  match fb.fb_entry with
+  | None -> invalid_arg (Fmt.str "Builder.finish: function %s is empty" fb.fb_name)
+  | Some entry ->
+      Func.v ~name:fb.fb_name ~params:fb.fb_params ~entry
+        (List.rev_map finish_block fb.fb_blocks)
+
+(** Close the builder and produce the program.
+    @raise Invalid_argument if any block lacks a terminator or any function
+    lacks blocks. *)
+let finish t =
+  Prog.v ~globals:(List.rev t.globals) (List.rev_map finish_func t.funcs)

@@ -1,0 +1,103 @@
+(** Imperative builder DSL for constructing MiniIR programs in OCaml.
+
+    Workload generators and tests use this instead of writing assembly
+    text:
+
+    {[
+      let open Res_ir.Builder in
+      let b = create () in
+      let f = func b "main" ~params:0 in
+      let entry = block f "entry" in
+      let r = fresh f in
+      const entry r 42;
+      ret entry (Some r);
+      let prog = finish b
+    ]} *)
+
+type block_builder
+type func_builder
+type t
+
+val create : unit -> t
+
+(** Declare a global of [size] words. *)
+val global : t -> string -> int -> unit
+
+(** Open a new function with [params] parameters (registers [r0..rn-1]). *)
+val func : t -> string -> params:int -> func_builder
+
+(** Parameter register [i].
+    @raise Invalid_argument when out of range. *)
+val param : func_builder -> int -> Instr.reg
+
+(** Allocate a fresh virtual register. *)
+val fresh : func_builder -> Instr.reg
+
+(** Open a new block.  The first block opened becomes the entry. *)
+val block : func_builder -> Instr.label -> block_builder
+
+(** {2 Instruction emitters}
+
+    Each appends one instruction to the block.
+    @raise Invalid_argument after the block's terminator is set. *)
+
+val const : block_builder -> Instr.reg -> int -> unit
+val mov : block_builder -> Instr.reg -> Instr.reg -> unit
+
+val binop :
+  block_builder -> Instr.binop -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+
+val add : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val sub : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val mul : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val div : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val rem : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val eq : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val ne : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val lt : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val le : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val gt : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val ge : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val band : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val bor : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val bxor : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val shl : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val shr : block_builder -> Instr.reg -> Instr.reg -> Instr.reg -> unit
+val unop : block_builder -> Instr.unop -> Instr.reg -> Instr.reg -> unit
+val not_ : block_builder -> Instr.reg -> Instr.reg -> unit
+val neg : block_builder -> Instr.reg -> Instr.reg -> unit
+val load : block_builder -> Instr.reg -> Instr.reg -> int -> unit
+val store : block_builder -> Instr.reg -> int -> Instr.reg -> unit
+val global_addr : block_builder -> Instr.reg -> string -> unit
+val alloc : block_builder -> Instr.reg -> Instr.reg -> unit
+val free : block_builder -> Instr.reg -> unit
+val input : block_builder -> Instr.reg -> Instr.input_kind -> unit
+val lock : block_builder -> Instr.reg -> unit
+val unlock : block_builder -> Instr.reg -> unit
+val spawn : block_builder -> Instr.reg -> string -> Instr.reg list -> unit
+val join : block_builder -> Instr.reg -> unit
+
+val call :
+  block_builder -> Instr.reg option -> string -> Instr.reg list -> unit
+
+val assert_ : block_builder -> Instr.reg -> string -> unit
+val log : block_builder -> string -> Instr.reg -> unit
+val nop : block_builder -> unit
+
+(** {2 Terminators}
+
+    @raise Invalid_argument on a second terminator. *)
+
+val jmp : block_builder -> Instr.label -> unit
+val br : block_builder -> Instr.reg -> Instr.label -> Instr.label -> unit
+val ret : block_builder -> Instr.reg option -> unit
+val halt : block_builder -> unit
+val abort : block_builder -> string -> unit
+
+(** Load an immediate into a fresh register. *)
+val imm : func_builder -> block_builder -> int -> Instr.reg
+
+(** Close the builder and produce the program.
+    @raise Invalid_argument if any block lacks a terminator or any function
+    lacks blocks. *)
+val finish : t -> Prog.t

@@ -1,0 +1,36 @@
+(** Control-flow graphs and whole-program call/spawn indexes.
+
+    RES navigates the CFG {e backward}; the predecessor map is the
+    load-bearing structure.  The call-site and spawn-site indexes let the
+    backward walk continue past a function entry (to the exact caller
+    block) and past a thread entry (to the spawning thread's block). *)
+
+(** A call or spawn site: function, block, and instruction index. *)
+type site = { in_func : string; in_block : Instr.label; at_idx : int }
+
+type t
+
+(** Build the CFG and site indexes for a whole program. *)
+val of_prog : Prog.t -> t
+
+(** Intra-function successors of a block.
+    @raise Invalid_argument on unknown function or block. *)
+val successors : t -> func:string -> label:Instr.label -> Instr.label list
+
+(** Intra-function predecessors of a block — the candidate set RES
+    enumerates at each backward step (Fig. 1's [Pred1]/[Pred2]).
+    @raise Invalid_argument on unknown function or block. *)
+val predecessors : t -> func:string -> label:Instr.label -> Instr.label list
+
+(** Sites that call the function, empty if never called. *)
+val call_sites_of : t -> string -> site list
+
+(** Sites that spawn a thread running the function, empty if never
+    spawned. *)
+val spawn_sites_of : t -> string -> site list
+
+(** Labels reachable from the function's entry, in BFS order. *)
+val reachable_labels : t -> Func.t -> Instr.label list
+
+(** Blocks never reachable from the function's entry. *)
+val unreachable_labels : t -> Func.t -> Instr.label list

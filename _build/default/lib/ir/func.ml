@@ -1,0 +1,58 @@
+(** Functions: named parameter registers, an entry label, and basic blocks. *)
+
+module SMap = Map.Make (String)
+
+type t = {
+  name : string;
+  params : Instr.reg list;
+  entry : Instr.label;
+  blocks : Block.t list;  (** in source order, entry first by convention *)
+  by_label : Block.t SMap.t;
+}
+
+(** [v ~name ~params ~entry blocks] builds a function.
+    @raise Invalid_argument on duplicate labels or a missing entry block. *)
+let v ~name ~params ~entry blocks =
+  let by_label =
+    List.fold_left
+      (fun m (b : Block.t) ->
+        if SMap.mem b.label m then
+          invalid_arg (Fmt.str "Func.v: duplicate label %s in %s" b.label name)
+        else SMap.add b.label b m)
+      SMap.empty blocks
+  in
+  if not (SMap.mem entry by_label) then
+    invalid_arg (Fmt.str "Func.v: entry %s missing in %s" entry name);
+  { name; params; entry; blocks; by_label }
+
+(** [block f l] is the block labelled [l].  @raise Not_found if absent. *)
+let block f l =
+  match SMap.find_opt l f.by_label with
+  | Some b -> b
+  | None -> raise Not_found
+
+let block_opt f l = SMap.find_opt l f.by_label
+let mem_block f l = SMap.mem l f.by_label
+let entry_block f = block f f.entry
+
+(** All registers mentioned anywhere in the function. *)
+let all_regs f =
+  let of_block b = Block.defined_regs b @ Block.used_regs b in
+  List.concat_map of_block f.blocks @ f.params |> List.sort_uniq compare
+
+(** Largest register index used, or -1 for a register-free function. *)
+let max_reg f = List.fold_left max (-1) (all_regs f)
+
+let pp ppf f =
+  Fmt.pf ppf "@[<v>func %s(%a) {@;<0 0>%a@;<0 0>}@]" f.name
+    Fmt.(list ~sep:(any ", ") Instr.pp_reg)
+    f.params
+    Fmt.(list ~sep:cut Block.pp)
+    f.blocks
+
+let equal a b =
+  String.equal a.name b.name
+  && a.params = b.params
+  && String.equal a.entry b.entry
+  && List.length a.blocks = List.length b.blocks
+  && List.for_all2 Block.equal a.blocks b.blocks

@@ -1,0 +1,54 @@
+(** Textual assembler for MiniIR.
+
+    The concrete syntax is the one produced by the pretty-printers, so
+    [parse (Prog.to_string p)] round-trips (property-tested).  [#] starts a
+    line comment.  Sketch:
+
+    {v
+    global counter 1
+
+    func main() {
+    entry:
+      r0 = const 5
+      r1 = add r0, r0
+      r2 = global counter
+      store r2[0] = r1
+      br r1, big, small
+    big:
+      halt
+    small:
+      abort "impossible"
+    }
+    v} *)
+
+exception Parse_error of { line : int; msg : string }
+
+(** Lexer tokens — exposed so other textual formats (e.g. coredumps) can
+    reuse the tokenizer. *)
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LBRACK
+  | RBRACK
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQUALS
+  | COLON
+
+val pp_token : Format.formatter -> token -> unit
+
+(** Tokenize source text into [(token, line)] pairs.
+    @raise Parse_error on lexical errors. *)
+val tokenize : string -> (token * int) list
+
+(** Parse a whole program.
+    @raise Parse_error with a line number on malformed input.
+    @raise Invalid_argument on structural duplicates (via {!Prog.v}). *)
+val parse : string -> Prog.t
+
+(** Parse, turning failures into a [result] with a rendered message. *)
+val parse_result : string -> (Prog.t, string) result

@@ -1,0 +1,30 @@
+(** Program counters.
+
+    A PC designates a function, a block, and an instruction index within the
+    block.  Index [Block.length b] designates the terminator — the paper's
+    "program counter found in the coredump" maps to this triple. *)
+
+type t = { func : string; block : Instr.label; idx : int }
+
+val v : func:string -> block:Instr.label -> idx:int -> t
+
+(** The PC of a function's first instruction. *)
+val entry_of : Func.t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Whether the PC points at the block's terminator. *)
+val at_terminator : Prog.t -> t -> bool
+
+(** Current instruction, or [None] when the PC is at the terminator. *)
+val instr : Prog.t -> t -> Instr.instr option
+
+(** Advance past one instruction. *)
+val next : t -> t
+
+(** The same block at index 0. *)
+val block_start : t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,81 @@
+(** Whole programs: named globals (sized in words) plus functions.
+
+    Execution starts at the function named ["main"] unless overridden. *)
+
+module SMap = Map.Make (String)
+
+type global = { gname : string; gsize : int }
+
+type t = {
+  globals : global list;
+  funcs : Func.t list;
+  by_name : Func.t SMap.t;
+  globals_by_name : global SMap.t;
+}
+
+(** Conventional entry-point name. *)
+let main_name = "main"
+
+(** [v ~globals funcs] builds a program.
+    @raise Invalid_argument on duplicate function or global names, or on a
+    non-positive global size. *)
+let v ~globals funcs =
+  let by_name =
+    List.fold_left
+      (fun m (f : Func.t) ->
+        if SMap.mem f.name m then
+          invalid_arg (Fmt.str "Prog.v: duplicate function %s" f.name)
+        else SMap.add f.name f m)
+      SMap.empty funcs
+  in
+  let globals_by_name =
+    List.fold_left
+      (fun m g ->
+        if g.gsize <= 0 then
+          invalid_arg (Fmt.str "Prog.v: global %s has size %d" g.gname g.gsize)
+        else if SMap.mem g.gname m then
+          invalid_arg (Fmt.str "Prog.v: duplicate global %s" g.gname)
+        else SMap.add g.gname g m)
+      SMap.empty globals
+  in
+  { globals; funcs; by_name; globals_by_name }
+
+(** [func p name] looks up a function.  @raise Not_found if absent. *)
+let func p name =
+  match SMap.find_opt name p.by_name with
+  | Some f -> f
+  | None -> raise Not_found
+
+let func_opt p name = SMap.find_opt name p.by_name
+let mem_func p name = SMap.mem name p.by_name
+let global_opt p name = SMap.find_opt name p.globals_by_name
+
+(** The program entry function.  @raise Not_found if there is no [main]. *)
+let main p = func p main_name
+
+(** [block p ~func ~label] resolves a block by function and label. *)
+let block p ~func:fname ~label = Func.block (func p fname) label
+
+(** Total static instruction count (terminators included). *)
+let size p =
+  List.fold_left
+    (fun acc (f : Func.t) ->
+      List.fold_left (fun acc b -> acc + Block.length b + 1) acc f.blocks)
+    0 p.funcs
+
+let pp ppf p =
+  let pp_global ppf g = Fmt.pf ppf "global %s %d" g.gname g.gsize in
+  Fmt.pf ppf "@[<v>%a%a%a@]"
+    Fmt.(list ~sep:cut pp_global)
+    p.globals
+    Fmt.(if p.globals = [] then nop else cut)
+    ()
+    Fmt.(list ~sep:(cut ++ cut) Func.pp)
+    p.funcs
+
+let to_string p = Fmt.str "%a@." pp p
+
+let equal a b =
+  a.globals = b.globals
+  && List.length a.funcs = List.length b.funcs
+  && List.for_all2 Func.equal a.funcs b.funcs

@@ -1,0 +1,76 @@
+(** Static well-formedness checks for MiniIR programs.
+
+    RES requires an accurate CFG (paper §6); the validator enforces the
+    structural properties the rest of the system assumes, so that analyses
+    never have to re-check them. *)
+
+type error = { where : string; what : string }
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" e.where e.what
+
+let err errs where fmt = Fmt.kstr (fun what -> errs := { where; what } :: !errs) fmt
+
+let check_func (p : Prog.t) (errs : error list ref) (f : Func.t) =
+  let where_block (b : Block.t) = Fmt.str "%s:%s" f.name b.label in
+  (* Parameter registers must be 0..n-1: the VM binds arguments there. *)
+  let expected_params = List.init (List.length f.params) Fun.id in
+  if f.params <> expected_params then
+    err errs f.name "parameters must be registers r0..r%d"
+      (List.length f.params - 1);
+  List.iter
+    (fun (b : Block.t) ->
+      let where = where_block b in
+      (* Branch targets must exist. *)
+      List.iter
+        (fun l ->
+          if not (Func.mem_block f l) then
+            err errs where "branch target %s does not exist" l)
+        (Block.successors b);
+      (* Register sanity and symbol resolution. *)
+      Array.iter
+        (fun i ->
+          (match Instr.defs i with
+          | Some r when r < 0 -> err errs where "negative register r%d" r
+          | _ -> ());
+          List.iter
+            (fun r -> if r < 0 then err errs where "negative register r%d" r)
+            (Instr.uses i);
+          match i with
+          | Instr.Global_addr (_, g) ->
+              if Prog.global_opt p g = None then
+                err errs where "unknown global %s" g
+          | Instr.Call (_, callee, args) | Instr.Spawn (_, callee, args) -> (
+              match Prog.func_opt p callee with
+              | None -> err errs where "unknown function %s" callee
+              | Some fn ->
+                  if List.length args <> List.length fn.params then
+                    err errs where
+                      "%s expects %d argument(s), given %d" callee
+                      (List.length fn.params) (List.length args))
+          | Instr.Const (_, n) ->
+              (* Immediates must fit comfortably in the 63-bit word. *)
+              if abs n > max_int / 2 then
+                err errs where "immediate %d too large" n
+          | _ -> ())
+        b.instrs)
+    f.blocks
+
+(** [check p] returns all well-formedness violations, empty when valid. *)
+let check (p : Prog.t) =
+  let errs = ref [] in
+  if not (Prog.mem_func p Prog.main_name) then
+    err errs "program" "no %s function" Prog.main_name;
+  (match Prog.func_opt p Prog.main_name with
+  | Some m when m.params <> [] -> err errs "main" "main must take no parameters"
+  | _ -> ());
+  List.iter (check_func p errs) p.funcs;
+  List.rev !errs
+
+(** [check_exn p] returns [p] or raises with all violations rendered.
+    @raise Invalid_argument when [p] is ill-formed. *)
+let check_exn p =
+  match check p with
+  | [] -> p
+  | errs ->
+      invalid_arg
+        (Fmt.str "invalid program:@;%a" Fmt.(list ~sep:cut pp_error) errs)

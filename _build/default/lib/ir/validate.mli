@@ -1,0 +1,18 @@
+(** Static well-formedness checks for MiniIR programs.
+
+    RES requires an accurate CFG (paper §6); the validator enforces the
+    structural properties the rest of the system assumes: branch targets
+    and called/spawned functions exist, arities match, parameters occupy
+    registers [r0..rn-1], [main] exists and takes no parameters, globals
+    are declared, and immediates fit the word. *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** All well-formedness violations, empty when the program is valid. *)
+val check : Prog.t -> error list
+
+(** Identity on valid programs.
+    @raise Invalid_argument with all violations rendered otherwise. *)
+val check_exn : Prog.t -> Prog.t

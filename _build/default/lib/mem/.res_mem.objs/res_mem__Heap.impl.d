@@ -1,0 +1,1 @@
+lib/mem/heap.ml: Fmt Int Layout List Map Res_ir

@@ -1,0 +1,1 @@
+lib/mem/heap.mli: Format Res_ir

@@ -1,0 +1,1 @@
+lib/mem/layout.ml: Fmt List Map Res_ir String

@@ -1,0 +1,1 @@
+lib/mem/layout.mli: Map Res_ir String

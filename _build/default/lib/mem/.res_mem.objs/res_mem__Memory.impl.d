@@ -1,0 +1,1 @@
+lib/mem/memory.ml: Fmt Int List Map

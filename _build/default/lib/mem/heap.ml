@@ -1,0 +1,143 @@
+(** Heap allocator with full allocation metadata.
+
+    A bump allocator with one-word guard gaps between allocations.  Freed
+    blocks are never reused and their metadata is retained, so the VM and
+    the root-cause detectors can distinguish out-of-bounds accesses,
+    use-after-free, double free, and wild accesses precisely.  Persistent,
+    like {!Memory}, so it snapshots into coredumps for free. *)
+
+module IMap = Map.Make (Int)
+
+type block_state = Live | Freed
+
+type block = {
+  base : int;
+  size : int;  (** words *)
+  state : block_state;
+  alloc_site : Res_ir.Pc.t option;  (** where it was allocated, if known *)
+  free_site : Res_ir.Pc.t option;  (** where it was freed, for UAF reports *)
+}
+
+type t = {
+  next : int;  (** bump pointer *)
+  blocks : block IMap.t;  (** base -> block *)
+}
+
+let empty = { next = Layout.heap_base; blocks = IMap.empty }
+
+(** [alloc t ~size ~site] returns the new heap and the base address.
+    @raise Invalid_argument on a non-positive size (the VM turns a
+    non-positive runtime size into a crash before calling this). *)
+let alloc t ~size ~site =
+  if size <= 0 then invalid_arg "Heap.alloc: non-positive size";
+  let base = t.next in
+  let block = { base; size; state = Live; alloc_site = site; free_site = None } in
+  ({ next = base + size + 1; blocks = IMap.add base block t.blocks }, base)
+
+(** Result of classifying an access or a free. *)
+type access_result =
+  | Ok_access of block
+  | Out_of_bounds of block * int  (** nearest block, word offset past it *)
+  | Use_after_free of block
+  | Unmapped
+
+(** The allocation block whose [base] is the greatest one <= [addr]. *)
+let find_below t addr =
+  match IMap.find_last_opt (fun base -> base <= addr) t.blocks with
+  | Some (_, b) -> Some b
+  | None -> None
+
+(** Classify a heap access at [addr]. *)
+let check_access t addr =
+  match find_below t addr with
+  | None -> Unmapped
+  | Some b ->
+      if addr < b.base + b.size then
+        match b.state with
+        | Live -> Ok_access b
+        | Freed -> Use_after_free b
+      else if addr = b.base + b.size then
+        (* Guard word right past the block: the classic off-by-one. *)
+        Out_of_bounds (b, addr - (b.base + b.size - 1))
+      else Unmapped
+
+type free_result =
+  | Freed_ok of t * block
+  | Double_free of block
+  | Invalid_free  (** not the base of any allocation *)
+
+(** [free t addr ~site] frees the block based exactly at [addr]. *)
+let free t addr ~site =
+  match IMap.find_opt addr t.blocks with
+  | None -> Invalid_free
+  | Some b -> (
+      match b.state with
+      | Freed -> Double_free b
+      | Live ->
+          let b' = { b with state = Freed; free_site = Some site } in
+          Freed_ok ({ t with blocks = IMap.add addr b' t.blocks }, b'))
+
+(** Inverse surgery for backward analysis: remove the record of an
+    allocation entirely (the block had not yet been allocated at the
+    earlier point in time) and rewind the bump pointer to its base. *)
+let unalloc t base =
+  match IMap.find_opt base t.blocks with
+  | None -> invalid_arg (Fmt.str "Heap.unalloc: no block at 0x%x" base)
+  | Some _ -> { next = base; blocks = IMap.remove base t.blocks }
+
+(** Inverse surgery: mark a freed block live again (the free had not yet
+    happened at the earlier point in time). *)
+let unfree t base =
+  match IMap.find_opt base t.blocks with
+  | Some ({ state = Freed; _ } as b) ->
+      { t with blocks = IMap.add base { b with state = Live; free_site = None } t.blocks }
+  | Some { state = Live; _ } ->
+      invalid_arg (Fmt.str "Heap.unfree: block at 0x%x is live" base)
+  | None -> invalid_arg (Fmt.str "Heap.unfree: no block at 0x%x" base)
+
+(** Allocation order: since the allocator is a bump allocator, ascending
+    base address is exactly allocation order. *)
+let alloc_order t = IMap.bindings t.blocks |> List.map snd
+
+(** Current bump pointer. *)
+let next_addr t = t.next
+
+(** Rebuild a heap from raw block records (deserialization). *)
+let of_blocks ~next blocks =
+  {
+    next;
+    blocks =
+      List.fold_left (fun m (b : block) -> IMap.add b.base b m) IMap.empty blocks;
+  }
+
+(** All blocks, ascending by base address. *)
+let blocks t = IMap.bindings t.blocks |> List.map snd
+
+(** Live blocks only. *)
+let live_blocks t = List.filter (fun b -> b.state = Live) (blocks t)
+
+(** Block exactly based at [addr], if any. *)
+let block_at t addr = IMap.find_opt addr t.blocks
+
+let equal (a : t) (b : t) =
+  a.next = b.next && IMap.equal (fun (x : block) y -> x = y) a.blocks b.blocks
+
+(** Structural equality ignoring allocation/free sites — used to compare a
+    symbolically re-executed heap (whose sites are synthetic) against a
+    recorded one. *)
+let similar (a : t) (b : t) =
+  a.next = b.next
+  && IMap.equal
+       (fun (x : block) y ->
+         x.base = y.base && x.size = y.size && x.state = y.state)
+       a.blocks b.blocks
+
+let pp_block ppf b =
+  Fmt.pf ppf "0x%x..0x%x %s" b.base
+    (b.base + b.size - 1)
+    (match b.state with Live -> "live" | Freed -> "freed")
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>heap next=0x%x@,%a@]" t.next
+    Fmt.(list ~sep:cut pp_block)
+    (blocks t)

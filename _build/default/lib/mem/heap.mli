@@ -1,0 +1,89 @@
+(** Heap allocator with full allocation metadata.
+
+    A bump allocator with one-word guard gaps between allocations.  Freed
+    blocks are never reused and their metadata is retained, so the VM and
+    the root-cause detectors can distinguish out-of-bounds accesses,
+    use-after-free, double free, and wild accesses precisely.  Persistent,
+    like {!Memory}, so it snapshots into coredumps for free. *)
+
+type block_state = Live | Freed
+
+type block = {
+  base : int;  (** first word address *)
+  size : int;  (** words *)
+  state : block_state;
+  alloc_site : Res_ir.Pc.t option;  (** where it was allocated, if known *)
+  free_site : Res_ir.Pc.t option;  (** where it was freed, for UAF reports *)
+}
+
+type t
+
+(** The empty heap, bump pointer at {!Layout.heap_base}. *)
+val empty : t
+
+(** Current bump pointer: the base the next allocation will receive. *)
+val next_addr : t -> int
+
+(** [alloc t ~size ~site] returns the new heap and the base address.
+    @raise Invalid_argument on a non-positive size (the VM turns a
+    non-positive runtime size into a crash before calling this). *)
+val alloc : t -> size:int -> site:Res_ir.Pc.t option -> t * int
+
+(** Result of classifying an access. *)
+type access_result =
+  | Ok_access of block
+  | Out_of_bounds of block * int  (** nearest block, word offset past it *)
+  | Use_after_free of block
+  | Unmapped
+
+(** Classify a heap access at an address. *)
+val check_access : t -> int -> access_result
+
+(** The allocation block whose [base] is the greatest one <= the address. *)
+val find_below : t -> int -> block option
+
+type free_result =
+  | Freed_ok of t * block
+  | Double_free of block
+  | Invalid_free  (** not the base of any allocation *)
+
+(** [free t addr ~site] frees the block based exactly at [addr]. *)
+val free : t -> int -> site:Res_ir.Pc.t -> free_result
+
+(** Inverse surgery for backward analysis: remove the record of an
+    allocation entirely (the block had not yet been allocated at the
+    earlier point in time) and rewind the bump pointer to its base.
+    @raise Invalid_argument if no block is based at the address. *)
+val unalloc : t -> int -> t
+
+(** Inverse surgery: mark a freed block live again (the free had not yet
+    happened at the earlier point in time).
+    @raise Invalid_argument if the block is absent or already live. *)
+val unfree : t -> int -> t
+
+(** Blocks in allocation order (= ascending base, since the allocator is a
+    bump allocator). *)
+val alloc_order : t -> block list
+
+(** Rebuild a heap from raw block records (deserialization). *)
+val of_blocks : next:int -> block list -> t
+
+(** All blocks, ascending by base address. *)
+val blocks : t -> block list
+
+(** Live blocks only. *)
+val live_blocks : t -> block list
+
+(** Block exactly based at the address, if any. *)
+val block_at : t -> int -> block option
+
+(** Full structural equality, allocation/free sites included. *)
+val equal : t -> t -> bool
+
+(** Structural equality ignoring allocation/free sites — used to compare a
+    symbolically re-executed heap (whose sites are synthetic) against a
+    recorded one. *)
+val similar : t -> t -> bool
+
+val pp_block : Format.formatter -> block -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+(** Address-space layout.
+
+    The MiniVM address space is word-addressed and split into two mapped
+    regions: globals (placed once, from the program's [global] declarations)
+    and the heap (managed by {!Heap}).  Address 0 is never mapped, so null
+    dereferences fault.  Frames hold registers only — MiniIR has no
+    addressable stack slots; address-taken locals use the heap. *)
+
+module SMap = Map.Make (String)
+
+(** First address of the globals region. *)
+let globals_base = 0x1000
+
+(** First address of the heap region; everything at or above is heap. *)
+let heap_base = 0x100_0000
+
+type t = {
+  bases : int SMap.t;  (** global name -> first word address *)
+  names : (int * int * string) list;  (** (base, size, name), sorted *)
+  globals_end : int;  (** one past the last global word *)
+}
+
+(** Place the program's globals sequentially from {!globals_base}, with a
+    one-word unmapped guard between consecutive globals so that an
+    off-by-one overflow faults rather than silently hitting a neighbour. *)
+let of_prog (p : Res_ir.Prog.t) =
+  let bases, names, next =
+    List.fold_left
+      (fun (bases, names, next) (g : Res_ir.Prog.global) ->
+        ( SMap.add g.gname next bases,
+          (next, g.gsize, g.gname) :: names,
+          next + g.gsize + 1 ))
+      (SMap.empty, [], globals_base)
+      p.globals
+  in
+  { bases; names = List.rev names; globals_end = next }
+
+(** Address of global [name].  @raise Not_found if undeclared. *)
+let global_base t name =
+  match SMap.find_opt name t.bases with
+  | Some a -> a
+  | None -> raise Not_found
+
+(** [find_global t addr] is the global containing [addr], with its base and
+    size, if [addr] falls inside one. *)
+let find_global t addr =
+  List.find_opt (fun (base, size, _) -> addr >= base && addr < base + size) t.names
+
+(** Whether [addr] lies in the globals region (mapped or guard word). *)
+let in_globals_region t addr = addr >= globals_base && addr < t.globals_end
+
+(** Whether [addr] lies in the heap region. *)
+let in_heap_region addr = addr >= heap_base
+
+(** Human-readable description of an address for crash reports. *)
+let describe t addr =
+  if addr = 0 then "null"
+  else
+    match find_global t addr with
+    | Some (base, _, name) ->
+        if addr = base then name else Fmt.str "%s+%d" name (addr - base)
+    | None ->
+        if in_globals_region t addr then "globals guard word"
+        else if in_heap_region addr then Fmt.str "heap:0x%x" addr
+        else Fmt.str "unmapped:0x%x" addr

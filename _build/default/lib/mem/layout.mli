@@ -1,0 +1,41 @@
+(** Address-space layout.
+
+    The MiniVM address space is word-addressed and split into two mapped
+    regions: globals (placed once, from the program's [global] declarations)
+    and the heap (managed by {!Heap}).  Address 0 is never mapped, so null
+    dereferences fault.  Frames hold registers only — MiniIR has no
+    addressable stack slots; address-taken locals use the heap. *)
+
+type t = {
+  bases : int Map.Make(String).t;  (** global name -> first word address *)
+  names : (int * int * string) list;  (** (base, size, name), in layout order *)
+  globals_end : int;  (** one past the last global word *)
+}
+
+(** First address of the globals region. *)
+val globals_base : int
+
+(** First address of the heap region; everything at or above is heap. *)
+val heap_base : int
+
+(** Place the program's globals sequentially from {!globals_base}, with a
+    one-word unmapped guard between consecutive globals so that an
+    off-by-one overflow faults rather than silently hitting a neighbour. *)
+val of_prog : Res_ir.Prog.t -> t
+
+(** Address of a global by name.  @raise Not_found if undeclared. *)
+val global_base : t -> string -> int
+
+(** [find_global t addr] is the [(base, size, name)] of the global
+    containing [addr], if any. *)
+val find_global : t -> int -> (int * int * string) option
+
+(** Whether an address lies in the globals region (mapped or guard word). *)
+val in_globals_region : t -> int -> bool
+
+(** Whether an address lies in the heap region. *)
+val in_heap_region : int -> bool
+
+(** Human-readable description of an address for crash reports:
+    ["name"], ["name+3"], ["heap:0x...."], ["null"], ... *)
+val describe : t -> int -> string

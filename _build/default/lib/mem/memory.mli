@@ -1,0 +1,41 @@
+(** Sparse word-addressed memory.
+
+    Persistent (applicative), so snapshots — coredumps, symbolic snapshots,
+    search states — are O(1) to take and cheap to diff.  Reads of unwritten
+    words return 0 (zero-initialized globals and heap).  Address validity is
+    {e not} checked here; the VM consults {!Layout} and {!Heap} first. *)
+
+type t
+
+(** The all-zero memory. *)
+val empty : t
+
+(** [read m a] is the word at [a] (0 if never written). *)
+val read : t -> int -> int
+
+(** [write m a v] sets the word at [a].  Writing 0 still records the cell,
+    so diffs and coredump comparisons see explicitly-zeroed cells. *)
+val write : t -> int -> int -> t
+
+(** Cells ever written, ascending by address. *)
+val bindings : t -> (int * int) list
+
+(** Number of recorded cells. *)
+val cardinal : t -> int
+
+(** Fold over recorded cells. *)
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [diff a b] lists [(addr, value_in_a, value_in_b)] wherever the two
+    memories disagree (missing cells read as 0). *)
+val diff : t -> t -> (int * int * int) list
+
+(** Content equality under read semantics. *)
+val equal : t -> t -> bool
+
+(** [flip_bit m a bit] flips one bit of the word at [a] — the hardware
+    memory-error injection primitive (paper §3.2).
+    @raise Invalid_argument if [bit] is outside [0..61]. *)
+val flip_bit : t -> int -> int -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/solver/expr.ml: Fmt Int Res_ir Set

@@ -1,0 +1,1 @@
+lib/solver/expr.mli: Format Res_ir Set

@@ -1,0 +1,1 @@
+lib/solver/interval.ml: Fmt List Res_ir

@@ -1,0 +1,1 @@
+lib/solver/interval.mli: Format Res_ir

@@ -1,0 +1,1 @@
+lib/solver/model.ml: Expr Fmt Int Map

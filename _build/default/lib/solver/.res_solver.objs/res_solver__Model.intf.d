@@ -1,0 +1,1 @@
+lib/solver/model.mli: Expr Format

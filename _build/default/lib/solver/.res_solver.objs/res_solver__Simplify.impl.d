@@ -1,0 +1,1 @@
+lib/solver/simplify.ml: Expr Res_ir

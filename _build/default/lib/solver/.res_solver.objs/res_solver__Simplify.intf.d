@@ -1,0 +1,1 @@
+lib/solver/simplify.mli: Expr Res_ir

@@ -1,0 +1,1 @@
+lib/solver/solver.ml: Expr Fmt Int Interval List Map Model Option Res_ir Simplify

@@ -1,0 +1,1 @@
+lib/solver/solver.mli: Expr Format Model Stdlib

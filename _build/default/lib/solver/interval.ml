@@ -1,0 +1,120 @@
+(** Integer intervals with saturating arithmetic.
+
+    The abstract domain behind the solver's propagation phase.  [min_int/4]
+    and [max_int/4] act as -inf/+inf sentinels; all arithmetic saturates at
+    those bounds, so overflow never wraps. *)
+
+let inf_pos = max_int / 4
+let inf_neg = min_int / 4
+
+type t = { lo : int; hi : int }
+
+let top = { lo = inf_neg; hi = inf_pos }
+let of_const n = { lo = n; hi = n }
+let v lo hi = { lo; hi }
+let is_empty t = t.lo > t.hi
+let is_const t = t.lo = t.hi
+(* Sentinel bounds mean "unbounded on that side": a word produced by e.g. a
+   large shift may exceed the sentinel magnitude and must still be inside
+   top. *)
+let contains t n =
+  (t.lo <= inf_neg || n >= t.lo) && (t.hi >= inf_pos || n <= t.hi)
+
+(** Number of integers in the interval; [None] when effectively unbounded. *)
+let size t =
+  if is_empty t then Some 0
+  else if t.lo <= inf_neg || t.hi >= inf_pos then None
+  else Some (t.hi - t.lo + 1)
+
+let clamp n = if n > inf_pos then inf_pos else if n < inf_neg then inf_neg else n
+
+let sat_add a b = clamp (a + b)
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let sign = if (a > 0) = (b > 0) then 1 else -1 in
+    let abs_a = abs a and abs_b = abs b in
+    if abs_a > inf_pos / abs_b then if sign > 0 then inf_pos else inf_neg
+    else clamp (a * b)
+
+let add a b = { lo = sat_add a.lo b.lo; hi = sat_add a.hi b.hi }
+let sub a b = { lo = sat_add a.lo (-b.hi); hi = sat_add a.hi (-b.lo) }
+let neg a = { lo = clamp (-a.hi); hi = clamp (-a.lo) }
+
+let mul a b =
+  let products =
+    [ sat_mul a.lo b.lo; sat_mul a.lo b.hi; sat_mul a.hi b.lo; sat_mul a.hi b.hi ]
+  in
+  {
+    lo = List.fold_left min inf_pos products;
+    hi = List.fold_left max inf_neg products;
+  }
+
+let inter a b = { lo = max a.lo b.lo; hi = min a.hi b.hi }
+let union a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+(** Interval of a comparison result — always within [0,1]. *)
+let bool_range = { lo = 0; hi = 1 }
+
+(** Abstract transfer for each MiniIR binop.  Conservative (over-
+    approximating): bitwise operators and shifts mostly go to top. *)
+let of_binop (op : Res_ir.Instr.binop) a b =
+  let open Res_ir.Instr in
+  let certainly p = if p then of_const 1 else of_const 0 in
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div | Rem ->
+      (* Magnitude of a quotient/remainder never exceeds the dividend's. *)
+      let m = max (abs a.lo) (abs a.hi) in
+      { lo = clamp (-m); hi = clamp m }
+  | And ->
+      if a.lo >= 0 && b.lo >= 0 then { lo = 0; hi = min a.hi b.hi } else top
+  | Or | Xor -> if a.lo >= 0 && b.lo >= 0 then { lo = 0; hi = inf_pos } else top
+  | Shl | Shr -> top
+  | Eq ->
+      if is_const a && is_const b then certainly (a.lo = b.lo)
+      else if is_empty (inter a b) then of_const 0
+      else bool_range
+  | Ne ->
+      if is_const a && is_const b then certainly (a.lo <> b.lo)
+      else if is_empty (inter a b) then of_const 1
+      else bool_range
+  | Lt ->
+      if a.hi < b.lo then of_const 1
+      else if a.lo >= b.hi then of_const 0
+      else bool_range
+  | Le ->
+      if a.hi <= b.lo then of_const 1
+      else if a.lo > b.hi then of_const 0
+      else bool_range
+  | Gt ->
+      if a.lo > b.hi then of_const 1
+      else if a.hi <= b.lo then of_const 0
+      else bool_range
+  | Ge ->
+      if a.lo >= b.hi then of_const 1
+      else if a.hi < b.lo then of_const 0
+      else bool_range
+
+let of_unop (op : Res_ir.Instr.unop) a =
+  match op with
+  | Res_ir.Instr.Neg -> neg a
+  | Res_ir.Instr.Not ->
+      if is_const a then of_const (if a.lo = 0 then 1 else 0)
+      else if not (contains a 0) then of_const 0
+      else bool_range
+
+let equal a b = (is_empty a && is_empty b) || (a.lo = b.lo && a.hi = b.hi)
+
+let pp ppf t =
+  if is_empty t then Fmt.string ppf "[empty]"
+  else
+    let pp_bound ppf n =
+      if n >= inf_pos then Fmt.string ppf "+inf"
+      else if n <= inf_neg then Fmt.string ppf "-inf"
+      else Fmt.int ppf n
+    in
+    Fmt.pf ppf "[%a,%a]" pp_bound t.lo pp_bound t.hi

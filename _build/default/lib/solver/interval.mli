@@ -1,0 +1,50 @@
+(** Integer intervals with saturating arithmetic.
+
+    The abstract domain behind the solver's propagation phase.  Bounds at
+    or beyond the sentinels {!inf_pos}/{!inf_neg} mean "unbounded on that
+    side"; all arithmetic saturates there, so overflow never wraps. *)
+
+(** The +infinity sentinel. *)
+val inf_pos : int
+
+(** The -infinity sentinel. *)
+val inf_neg : int
+
+type t = { lo : int; hi : int }
+
+(** The unbounded interval. *)
+val top : t
+
+val of_const : int -> t
+val v : int -> int -> t
+
+(** Empty when [lo > hi]. *)
+val is_empty : t -> bool
+
+(** Exactly one value. *)
+val is_const : t -> bool
+
+(** Membership; sentinel bounds behave as infinities. *)
+val contains : t -> int -> bool
+
+(** Number of integers in the interval; [None] when unbounded. *)
+val size : t -> int option
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val inter : t -> t -> t
+val union : t -> t -> t
+
+(** The interval of any comparison result: [0..1]. *)
+val bool_range : t
+
+(** Sound abstract transfer for each MiniIR binary operator. *)
+val of_binop : Res_ir.Instr.binop -> t -> t -> t
+
+(** Sound abstract transfer for each MiniIR unary operator. *)
+val of_unop : Res_ir.Instr.unop -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(** Satisfying assignments.
+
+    A model maps symbolic variables to concrete words; variables absent
+    from the map are unconstrained and read as 0.  RES turns models into
+    replayable artifacts: the values of [input] variables become the
+    scripted oracle, and the values of havocked pre-state variables fill in
+    the initial memory image [Mi]. *)
+
+module IMap = Map.Make (Int)
+
+type t = int IMap.t
+
+let empty : t = IMap.empty
+
+let add (s : Expr.sym) v (m : t) : t = IMap.add s.id v m
+
+(** Value of [s] in the model (0 when unconstrained). *)
+let value (m : t) (s : Expr.sym) =
+  match IMap.find_opt s.id m with Some v -> v | None -> 0
+
+let mem (m : t) (s : Expr.sym) = IMap.mem s.id m
+
+let bindings (m : t) = IMap.bindings m
+
+(** Evaluate [e] under the model (unconstrained variables read as 0).
+    @raise Division_by_zero if the model divides by zero. *)
+let eval (m : t) e = Expr.eval (fun s -> value m s) e
+
+(** Whether [e] evaluates to nonzero (constraint satisfaction); a division
+    by zero counts as unsatisfied. *)
+let satisfies (m : t) e =
+  match eval m e with v -> v <> 0 | exception Division_by_zero -> false
+
+let pp ppf (m : t) =
+  let pp_binding ppf (id, v) = Fmt.pf ppf "#%d=%d" id v in
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:sp pp_binding) (bindings m)

@@ -1,0 +1,32 @@
+(** Satisfying assignments.
+
+    A model maps symbolic variables to concrete words; variables absent
+    from the map are unconstrained and read as 0.  RES turns models into
+    replayable artifacts: the values of input variables become the scripted
+    oracle, and the values of havocked pre-state variables fill in the
+    initial memory image [Mi]. *)
+
+type t
+
+(** The empty model (everything reads 0). *)
+val empty : t
+
+val add : Expr.sym -> int -> t -> t
+
+(** Value of a variable (0 when unconstrained). *)
+val value : t -> Expr.sym -> int
+
+val mem : t -> Expr.sym -> bool
+
+(** Bindings as [(sym id, value)], ascending by id. *)
+val bindings : t -> (int * int) list
+
+(** Evaluate an expression under the model.
+    @raise Division_by_zero if the model divides by zero. *)
+val eval : t -> Expr.t -> int
+
+(** Whether the expression evaluates to nonzero (constraint satisfaction);
+    a division by zero counts as unsatisfied. *)
+val satisfies : t -> Expr.t -> bool
+
+val pp : Format.formatter -> t -> unit

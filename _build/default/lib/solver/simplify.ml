@@ -1,0 +1,95 @@
+(** Expression simplification: bottom-up constant folding and algebraic
+    rewriting.  [norm] is idempotent and preserves the concrete semantics of
+    the expression on every assignment (property-tested). *)
+
+open Expr
+
+let is_cmp (op : Res_ir.Instr.binop) =
+  match op with
+  | Res_ir.Instr.Eq | Ne | Lt | Le | Gt | Ge -> true
+  | _ -> false
+
+(** Whether [e] is known to evaluate to 0 or 1 (comparisons and [Not]). *)
+let rec is_boolean = function
+  | Const (0 | 1) -> true
+  | Binop (op, _, _) -> is_cmp op
+  | Unop (Res_ir.Instr.Not, _) -> true
+  | Ite (_, a, b) -> is_boolean a && is_boolean b
+  | Const _ | Sym _ | Unop _ -> false
+
+let rec norm e =
+  match e with
+  | Const _ | Sym _ -> e
+  | Unop (op, a) -> norm_unop op (norm a)
+  | Binop (op, a, b) -> norm_binop op (norm a) (norm b)
+  | Ite (c, a, b) -> (
+      match norm c with
+      | Const 0 -> norm b
+      | Const _ -> norm a
+      | c' ->
+          let a' = norm a and b' = norm b in
+          if equal a' b' then a' else Ite (c', a', b'))
+
+and norm_unop op a =
+  match (op, a) with
+  | _, Const n -> Const (Res_ir.Instr.eval_unop op n)
+  | Res_ir.Instr.Neg, Unop (Res_ir.Instr.Neg, x) -> x
+  | Res_ir.Instr.Not, x when is_boolean x -> (
+      (* not(not(b)) = b only for 0/1-valued b *)
+      match x with
+      | Unop (Res_ir.Instr.Not, y) when is_boolean y -> y
+      | _ -> Unop (op, x))
+  | _ -> Unop (op, a)
+
+and norm_binop op a b =
+  let open Res_ir.Instr in
+  match (op, a, b) with
+  (* Division by a constant zero is a trap, never folded. *)
+  | (Div | Rem), _, Const 0 -> Binop (op, a, b)
+  | _, Const x, Const y -> Const (eval_binop op x y)
+  (* Commutative operators: constant to the right. *)
+  | (Add | Mul | And | Or | Xor), Const _, _ -> norm_binop op b a
+  (* Additive identities. *)
+  | Add, x, Const 0 -> x
+  | Sub, x, Const 0 -> x
+  | Sub, Const 0, x -> norm_unop Neg x
+  | Sub, x, y when equal x y -> Const 0
+  (* Multiplicative identities and absorbers. *)
+  | Mul, x, Const 1 -> x
+  | Mul, _, Const 0 -> Const 0
+  | Div, x, Const 1 -> x
+  (* Bitwise identities. *)
+  | And, _, Const 0 -> Const 0
+  | (Or | Xor), x, Const 0 -> x
+  | And, x, y when equal x y -> x
+  | Or, x, y when equal x y -> x
+  | Xor, x, y when equal x y -> Const 0
+  (* Shifts by zero. *)
+  | (Shl | Shr), x, Const 0 -> x
+  (* Reflexive comparisons (deterministic subexpressions). *)
+  | Eq, x, y when equal x y -> Const 1
+  | (Ne | Lt | Gt), x, y when equal x y -> Const 0
+  | (Le | Ge), x, y when equal x y -> Const 1
+  (* Constant drift: ((x + c1) + c2) -> x + (c1+c2), same for Sub mixes. *)
+  | Add, Binop (Add, x, Const c1), Const c2 -> norm_binop Add x (Const (c1 + c2))
+  | Add, Binop (Sub, x, Const c1), Const c2 -> norm_binop Sub x (Const (c1 - c2))
+  | Sub, Binop (Add, x, Const c1), Const c2 -> norm_binop Add x (Const (c1 - c2))
+  | Sub, Binop (Sub, x, Const c1), Const c2 -> norm_binop Sub x (Const (c1 + c2))
+  (* Comparison with shifted operand: (x + c1) `cmp` c2 -> x `cmp` c2-c1. *)
+  | cmp, Binop (Add, x, Const c1), Const c2 when is_cmp cmp ->
+      norm_binop cmp x (Const (c2 - c1))
+  | cmp, Binop (Sub, x, Const c1), Const c2 when is_cmp cmp ->
+      norm_binop cmp x (Const (c2 + c1))
+  | _ -> Binop (op, a, b)
+
+(** Normalize a constraint (an expression asserted nonzero):
+    [Ne (x, 0)] and [Not (Not x)]-style wrappers collapse to [x]. *)
+let rec norm_constraint e =
+  match norm e with
+  | Binop (Res_ir.Instr.Ne, x, Const 0) -> norm_constraint x
+  | Binop (Res_ir.Instr.Eq, Const 0, x) when is_boolean x ->
+      (* (0 = b) asserted nonzero means b is false *)
+      norm (logical_not x)
+  | Binop (Res_ir.Instr.Eq, x, Const 0) when is_boolean x ->
+      norm (logical_not x)
+  | e' -> e'

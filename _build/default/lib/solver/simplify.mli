@@ -1,0 +1,19 @@
+(** Expression simplification.
+
+    [norm] performs bottom-up constant folding and algebraic rewriting; it
+    is idempotent and preserves the concrete semantics of the expression on
+    every assignment (property-tested).  Division by a constant zero is a
+    trap and is never folded. *)
+
+(** Whether the operator yields only 0/1. *)
+val is_cmp : Res_ir.Instr.binop -> bool
+
+(** Whether the expression is known to evaluate to 0 or 1. *)
+val is_boolean : Expr.t -> bool
+
+(** Normalize an expression. *)
+val norm : Expr.t -> Expr.t
+
+(** Normalize an expression used as a constraint (asserted nonzero):
+    wrappers like [x <> 0] collapse to [x]. *)
+val norm_constraint : Expr.t -> Expr.t

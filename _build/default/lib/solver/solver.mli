@@ -1,0 +1,45 @@
+(** An SMT-lite constraint solver over MiniIR's integer expressions.
+
+    Stands in for the STP/Z3 back end of a real symbolic-execution engine
+    (DESIGN.md §1).  The pipeline is: normalization → affine (Gaussian)
+    elimination of multi-variable linear equalities → equality propagation →
+    interval propagation → bounded backtracking search over candidate
+    values, with model verification at the leaves.
+
+    Answers are trustworthy: a [Sat] model always satisfies the original
+    constraints and [Unsat] is proven on the explored fragment; [Unknown]
+    means a budget or fragment limit was hit, never a wrong answer. *)
+
+type result = Sat of Model.t | Unsat | Unknown
+
+type config = {
+  max_nodes : int;  (** search-tree node budget *)
+  max_enum : int;  (** intervals at most this wide are enumerated fully *)
+}
+
+val default_config : config
+
+(** Solve a constraint set: every expression in the list is asserted
+    nonzero. *)
+val solve : ?config:config -> Expr.t list -> result
+
+(** [is_sat cs] — convenience wrapper ([Unknown] counts as unsatisfiable,
+    which is the conservative reading for feasibility checks). *)
+val is_sat : ?config:config -> Expr.t list -> bool
+
+(** Feasible concrete values of an expression under the constraints, at
+    most [max_candidates] of them, found by iteratively excluding each
+    model value.  [Error `Unknown] when the solver cannot decide; the [Ok]
+    list is complete when shorter than [max_candidates]. *)
+val concretize :
+  ?config:config ->
+  constraints:Expr.t list ->
+  max_candidates:int ->
+  Expr.t ->
+  (int list, [ `Unknown ]) Stdlib.result
+
+(** The single feasible value of an expression, if unique. *)
+val unique_value :
+  ?config:config -> constraints:Expr.t list -> Expr.t -> int option
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/symex/symexec.ml: Expr Fmt Int List Map Res_ir Res_mem Res_solver Res_vm Set Simplify Solver String Symframe Symmem

@@ -1,0 +1,1 @@
+lib/symex/symframe.ml: Int List Map Res_ir Res_solver

@@ -1,0 +1,1 @@
+lib/symex/symmem.ml: Fmt Int List Map Res_solver

@@ -1,0 +1,1 @@
+lib/symex/symmem.mli: Res_solver

@@ -1,0 +1,44 @@
+(** Symbolic activation frames: like {!Res_vm.Frame} but registers hold
+    expressions.  The [lazy_pre] flag marks the frame whose unknown
+    registers stand for the pre-block state being reconstructed (paper
+    §2.4): reading an unset register there mints a fresh "pre" symbol
+    instead of the zero a freshly-entered concrete frame would have. *)
+
+module IMap = Map.Make (Int)
+
+type t = {
+  func : string;
+  block : Res_ir.Instr.label;
+  idx : int;
+  regs : Res_solver.Expr.t IMap.t;
+  ret_reg : Res_ir.Instr.reg option;
+  lazy_pre : bool;
+}
+
+(** Frame for a freshly-entered callee: arguments bound, other registers
+    zero-initialized (concrete semantics). *)
+let enter (f : Res_ir.Func.t) ~args ~ret_reg =
+  let regs =
+    List.fold_left2 (fun m p a -> IMap.add p a m) IMap.empty f.params args
+  in
+  { func = f.name; block = f.entry; idx = 0; regs; ret_reg; lazy_pre = false }
+
+(** Frame representing the top of the unknown pre-state: positioned at the
+    start of [block] in [func]; [seed] provides the optimistic/known values
+    for registers untouched by the block. *)
+let pre_frame ~func ~block ~seed =
+  {
+    func;
+    block;
+    idx = 0;
+    regs = seed;
+    ret_reg = None;
+    lazy_pre = true;
+  }
+
+let read_opt fr r = IMap.find_opt r fr.regs
+let write fr r e = { fr with regs = IMap.add r e fr.regs }
+let advance fr = { fr with idx = fr.idx + 1 }
+let goto fr label = { fr with block = label; idx = 0 }
+let pc fr = Res_ir.Pc.v ~func:fr.func ~block:fr.block ~idx:fr.idx
+let reg_bindings fr = IMap.bindings fr.regs

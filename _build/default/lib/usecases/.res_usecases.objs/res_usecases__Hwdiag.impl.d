@@ -1,0 +1,1 @@
+lib/usecases/hwdiag.ml: Fmt Int List Map Res_core Res_ir Res_mem Res_vm Set

@@ -1,0 +1,1 @@
+lib/usecases/triage.ml: Fmt Hashtbl List Map Res_core Res_ir Res_vm String

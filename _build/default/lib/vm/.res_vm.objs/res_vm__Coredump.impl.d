@@ -1,0 +1,1 @@
+lib/vm/coredump.ml: Crash Fmt Frame Int List Map Res_ir Res_mem Thread Tracer

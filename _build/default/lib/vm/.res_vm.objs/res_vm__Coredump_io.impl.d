@@ -1,0 +1,1 @@
+lib/vm/coredump_io.ml: Buffer Coredump Crash Fmt Frame Int List Map Res_ir Res_mem Thread Tracer

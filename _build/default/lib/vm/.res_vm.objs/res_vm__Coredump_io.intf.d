@@ -1,0 +1,1 @@
+lib/vm/coredump_io.mli: Coredump

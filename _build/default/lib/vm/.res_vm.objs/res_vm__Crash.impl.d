@@ -1,0 +1,1 @@
+lib/vm/crash.ml: Fmt Res_ir

@@ -1,0 +1,1 @@
+lib/vm/event.ml: Fmt Res_ir

@@ -1,0 +1,1 @@
+lib/vm/exec.ml: Coredump Crash Event Fault Fmt Frame Heap Int Layout List Map Option Oracle Res_ir Res_mem Sched Thread Tracer

@@ -1,0 +1,1 @@
+lib/vm/fault.ml: List Res_mem

@@ -1,0 +1,1 @@
+lib/vm/fault.mli: Res_mem

@@ -1,0 +1,1 @@
+lib/vm/frame.ml: Fmt Int List Map Res_ir String

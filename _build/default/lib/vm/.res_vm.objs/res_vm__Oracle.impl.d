@@ -1,0 +1,1 @@
+lib/vm/oracle.ml: Res_ir

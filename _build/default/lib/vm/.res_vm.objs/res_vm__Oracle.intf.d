@@ -1,0 +1,1 @@
+lib/vm/oracle.mli: Res_ir

@@ -1,0 +1,1 @@
+lib/vm/thread.ml: Fmt Frame List Res_ir

@@ -1,0 +1,1 @@
+lib/vm/tracer.ml: Fmt List Res_ir

@@ -1,0 +1,1 @@
+lib/vm/tracer.mli: Format Res_ir

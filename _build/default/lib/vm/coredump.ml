@@ -1,0 +1,59 @@
+(** Coredumps: the snapshot of a failed program's state.
+
+    This is the sole input RES receives from the failed execution — memory,
+    heap metadata, every thread's stack and registers, the crash record,
+    and the cheap post-crash breadcrumbs (LBR ring + error log).  It is "a
+    free by-product of a failed execution" (paper §2.1). *)
+
+module IMap = Map.Make (Int)
+
+type t = {
+  crash : Crash.t;
+  mem : Res_mem.Memory.t;
+  heap : Res_mem.Heap.t;
+  threads : Thread.t IMap.t;
+  tracer : Tracer.t;  (** breadcrumbs only; never a full trace *)
+  steps : int;  (** total steps executed — used by benchmarks, not by RES *)
+}
+
+let thread t tid =
+  match IMap.find_opt tid t.threads with
+  | Some th -> th
+  | None -> invalid_arg (Fmt.str "Coredump.thread: no thread %d" tid)
+
+let threads t = IMap.bindings t.threads |> List.map snd
+
+(** The thread that crashed. *)
+let crashing_thread t = thread t t.crash.tid
+
+(** Program counter at the crash. *)
+let crash_pc t = t.crash.pc
+
+(** Call-stack summary of the crashing thread: innermost first, as
+    [(func, block, idx)] — what a naive (WER-style) triager hashes. *)
+let crash_stack t =
+  List.map
+    (fun (fr : Frame.t) -> (fr.func, fr.block, fr.idx))
+    (crashing_thread t).frames
+
+(** [read t addr] is the memory word at [addr] in the dump. *)
+let read t addr = Res_mem.Memory.read t.mem addr
+
+(** Structural equality of the failure-relevant state: crash record, memory
+    and heap contents, and all thread stacks.  Breadcrumbs and the step
+    count are excluded — two executions that fail identically may differ in
+    length (that is the whole point of suffix synthesis). *)
+let same_failure_state a b =
+  a.crash.kind = b.crash.kind
+  && Res_ir.Pc.equal a.crash.pc b.crash.pc
+  && Res_mem.Memory.equal a.mem b.mem
+  && Res_mem.Heap.equal a.heap b.heap
+  && IMap.equal Thread.equal a.threads b.threads
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>=== coredump ===@,crash: %a@,steps: %d@,%a@,%a@,%a@]"
+    Crash.pp t.crash t.steps
+    Fmt.(list ~sep:cut Thread.pp)
+    (threads t) Res_mem.Heap.pp t.heap Tracer.pp t.tracer
+
+let to_string t = Fmt.str "%a@." pp t

@@ -1,0 +1,312 @@
+(** Textual (de)serialization of coredumps.
+
+    Production systems ship coredumps as files; this module gives MiniVM
+    dumps a stable, human-readable on-disk format so the CLI can separate
+    "run and capture" from "analyze".  The format is line-oriented; string
+    payloads (assert/abort messages, log tags) are quoted with OCaml
+    escapes.  [of_string (to_string d)] round-trips exactly. *)
+
+module IMap = Map.Make (Int)
+
+let pp_pc ppf (pc : Res_ir.Pc.t) =
+  Fmt.pf ppf "%s %s %d" pc.func pc.block pc.idx
+
+let pp_kind ppf (k : Crash.kind) =
+  match k with
+  | Crash.Seg_fault a -> Fmt.pf ppf "seg_fault %d" a
+  | Crash.Out_of_bounds { addr; base; size } ->
+      Fmt.pf ppf "out_of_bounds %d %d %d" addr base size
+  | Crash.Use_after_free { addr; base } -> Fmt.pf ppf "use_after_free %d %d" addr base
+  | Crash.Double_free a -> Fmt.pf ppf "double_free %d" a
+  | Crash.Invalid_free a -> Fmt.pf ppf "invalid_free %d" a
+  | Crash.Global_overflow { addr; global } ->
+      Fmt.pf ppf "global_overflow %d %s" addr global
+  | Crash.Div_by_zero -> Fmt.string ppf "div_by_zero"
+  | Crash.Assert_fail m -> Fmt.pf ppf "assert_fail %S" m
+  | Crash.Abort_called m -> Fmt.pf ppf "abort_called %S" m
+  | Crash.Unlock_error a -> Fmt.pf ppf "unlock_error %d" a
+  | Crash.Deadlock tids -> Fmt.pf ppf "deadlock %a" Fmt.(list ~sep:sp int) tids
+  | Crash.Alloc_error n -> Fmt.pf ppf "alloc_error %d" n
+
+let pp_status ppf = function
+  | Thread.Runnable -> Fmt.string ppf "runnable"
+  | Thread.Blocked_on_lock a -> Fmt.pf ppf "blocked_on_lock %d" a
+  | Thread.Blocked_on_join t -> Fmt.pf ppf "blocked_on_join %d" t
+  | Thread.Halted -> Fmt.string ppf "halted"
+
+let pp_site ppf = function
+  | None -> Fmt.string ppf "none"
+  | Some pc -> pp_pc ppf pc
+
+(** Serialize a coredump to its textual format. *)
+let to_string (d : Coredump.t) =
+  let buf = Buffer.create 4096 in
+  let ppf = Fmt.with_buffer buf in
+  Fmt.pf ppf "coredump v1@\n";
+  Fmt.pf ppf "steps %d@\n" d.Coredump.steps;
+  Fmt.pf ppf "crash %d %a %a@\n" d.Coredump.crash.Crash.tid pp_pc
+    d.Coredump.crash.Crash.pc pp_kind d.Coredump.crash.Crash.kind;
+  List.iter
+    (fun (a, v) -> Fmt.pf ppf "mem %d %d@\n" a v)
+    (Res_mem.Memory.bindings d.Coredump.mem);
+  Fmt.pf ppf "heap_next %d@\n" (Res_mem.Heap.next_addr d.Coredump.heap);
+  List.iter
+    (fun (b : Res_mem.Heap.block) ->
+      Fmt.pf ppf "heap_block %d %d %s %a %a@\n" b.base b.size
+        (match b.state with Res_mem.Heap.Live -> "live" | Res_mem.Heap.Freed -> "freed")
+        pp_site b.alloc_site pp_site b.free_site)
+    (Res_mem.Heap.blocks d.Coredump.heap);
+  List.iter
+    (fun (th : Thread.t) ->
+      Fmt.pf ppf "thread %d %a@\n" th.tid pp_status th.status;
+      List.iter
+        (fun (fr : Frame.t) ->
+          Fmt.pf ppf "frame %s %s %d %s@\n" fr.func fr.block fr.idx
+            (match fr.ret_reg with Some r -> string_of_int r | None -> "none");
+          List.iter
+            (fun (r, v) -> Fmt.pf ppf "reg %d %d@\n" r v)
+            (Frame.reg_bindings fr))
+        th.frames)
+    (Coredump.threads d);
+  Fmt.pf ppf "lbr_depth %d@\n" d.Coredump.tracer.Tracer.lbr_depth;
+  List.iter
+    (fun (b : Tracer.branch) ->
+      Fmt.pf ppf "branch %d %s %s %s@\n" b.br_tid b.br_func b.br_from b.br_to)
+    (Tracer.branches d.Coredump.tracer);
+  List.iter
+    (fun (e : Tracer.log_entry) ->
+      Fmt.pf ppf "log %d %S %d@\n" e.log_tid e.log_tag e.log_value)
+    (Tracer.logs d.Coredump.tracer);
+  Fmt.flush ppf ();
+  Buffer.contents buf
+
+exception Bad_format of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Bad_format m)) fmt
+
+(* Token-level reader built on the MiniIR tokenizer (it already handles
+   ints, identifiers, and quoted strings). *)
+type reader = { mutable toks : (Res_ir.Parser.token * int) list }
+
+let next rd =
+  match rd.toks with
+  | [] -> fail "unexpected end of coredump"
+  | (t, _) :: rest ->
+      rd.toks <- rest;
+      t
+
+let peek rd = match rd.toks with [] -> None | (t, _) :: _ -> Some t
+
+let int_tok rd =
+  match next rd with
+  | Res_ir.Parser.INT n -> n
+  | _ -> fail "expected integer"
+
+let ident rd =
+  match next rd with
+  | Res_ir.Parser.IDENT s -> s
+  | _ -> fail "expected identifier"
+
+let string_tok rd =
+  match next rd with
+  | Res_ir.Parser.STRING s -> s
+  | _ -> fail "expected string"
+
+let pc_of rd =
+  let func = ident rd in
+  let block = ident rd in
+  let idx = int_tok rd in
+  Res_ir.Pc.v ~func ~block ~idx
+
+let site_of rd =
+  match peek rd with
+  | Some (Res_ir.Parser.IDENT "none") ->
+      ignore (next rd);
+      None
+  | _ -> Some (pc_of rd)
+
+let kind_of rd : Crash.kind =
+  match ident rd with
+  | "seg_fault" -> Crash.Seg_fault (int_tok rd)
+  | "out_of_bounds" ->
+      let addr = int_tok rd in
+      let base = int_tok rd in
+      let size = int_tok rd in
+      Crash.Out_of_bounds { addr; base; size }
+  | "use_after_free" ->
+      let addr = int_tok rd in
+      let base = int_tok rd in
+      Crash.Use_after_free { addr; base }
+  | "double_free" -> Crash.Double_free (int_tok rd)
+  | "invalid_free" -> Crash.Invalid_free (int_tok rd)
+  | "global_overflow" ->
+      let addr = int_tok rd in
+      let global = ident rd in
+      Crash.Global_overflow { addr; global }
+  | "div_by_zero" -> Crash.Div_by_zero
+  | "assert_fail" -> Crash.Assert_fail (string_tok rd)
+  | "abort_called" -> Crash.Abort_called (string_tok rd)
+  | "unlock_error" -> Crash.Unlock_error (int_tok rd)
+  | "deadlock" ->
+      let rec ints acc =
+        match peek rd with
+        | Some (Res_ir.Parser.INT _) -> ints (int_tok rd :: acc)
+        | _ -> List.rev acc
+      in
+      Crash.Deadlock (ints [])
+  | "alloc_error" -> Crash.Alloc_error (int_tok rd)
+  | s -> fail "unknown crash kind %s" s
+
+let status_of rd =
+  match ident rd with
+  | "runnable" -> Thread.Runnable
+  | "blocked_on_lock" -> Thread.Blocked_on_lock (int_tok rd)
+  | "blocked_on_join" -> Thread.Blocked_on_join (int_tok rd)
+  | "halted" -> Thread.Halted
+  | s -> fail "unknown thread status %s" s
+
+(** Parse a coredump from its textual format.
+    @raise Bad_format on malformed input. *)
+let of_string src : Coredump.t =
+  let rd = { toks = Res_ir.Parser.tokenize src } in
+  (match (ident rd, ident rd) with
+  | "coredump", "v1" -> ()
+  | _ -> fail "missing coredump v1 header");
+  let steps = ref 0 in
+  let crash = ref None in
+  let mem = ref Res_mem.Memory.empty in
+  let heap_next = ref Res_mem.Layout.heap_base in
+  let heap_blocks = ref [] in
+  let threads = ref [] in
+  (* accumulate the thread being parsed *)
+  let cur_thread : (int * Thread.status) option ref = ref None in
+  let cur_frames = ref [] in
+  let cur_frame = ref None in
+  let close_frame () =
+    match !cur_frame with
+    | Some fr ->
+        cur_frames := (fr : Frame.t) :: !cur_frames;
+        cur_frame := None
+    | None -> ()
+  in
+  let close_thread () =
+    close_frame ();
+    match !cur_thread with
+    | Some (tid, status) ->
+        threads :=
+          { Thread.tid; frames = List.rev !cur_frames; status } :: !threads;
+        cur_thread := None;
+        cur_frames := []
+    | None -> ()
+  in
+  let lbr_depth = ref 16 in
+  let branches = ref [] in
+  let logs = ref [] in
+  let rec loop () =
+    match peek rd with
+    | None -> ()
+    | Some _ ->
+        (match ident rd with
+        | "steps" -> steps := int_tok rd
+        | "crash" ->
+            let tid = int_tok rd in
+            let pc = pc_of rd in
+            let kind = kind_of rd in
+            crash := Some { Crash.tid; pc; kind }
+        | "mem" ->
+            let a = int_tok rd in
+            let v = int_tok rd in
+            mem := Res_mem.Memory.write !mem a v
+        | "heap_next" -> heap_next := int_tok rd
+        | "heap_block" ->
+            let base = int_tok rd in
+            let size = int_tok rd in
+            let state =
+              match ident rd with
+              | "live" -> Res_mem.Heap.Live
+              | "freed" -> Res_mem.Heap.Freed
+              | s -> fail "unknown heap state %s" s
+            in
+            let alloc_site = site_of rd in
+            let free_site = site_of rd in
+            heap_blocks :=
+              { Res_mem.Heap.base; size; state; alloc_site; free_site }
+              :: !heap_blocks
+        | "thread" ->
+            close_thread ();
+            let tid = int_tok rd in
+            let status = status_of rd in
+            cur_thread := Some (tid, status)
+        | "frame" ->
+            close_frame ();
+            let func = ident rd in
+            let block = ident rd in
+            let idx = int_tok rd in
+            let ret_reg =
+              match next rd with
+              | Res_ir.Parser.IDENT "none" -> None
+              | Res_ir.Parser.INT r -> Some r
+              | _ -> fail "expected return register or none"
+            in
+            cur_frame :=
+              Some { Frame.func; block; idx; regs = IMap.empty; ret_reg }
+        | "reg" -> (
+            let r = int_tok rd in
+            let v = int_tok rd in
+            match !cur_frame with
+            | Some fr -> cur_frame := Some (Frame.write_reg fr r v)
+            | None -> fail "reg outside a frame")
+        | "lbr_depth" -> lbr_depth := int_tok rd
+        | "branch" ->
+            let br_tid = int_tok rd in
+            let br_func = ident rd in
+            let br_from = ident rd in
+            let br_to = ident rd in
+            branches := { Tracer.br_tid; br_func; br_from; br_to } :: !branches
+        | "log" ->
+            let log_tid = int_tok rd in
+            let log_tag = string_tok rd in
+            let log_value = int_tok rd in
+            logs := { Tracer.log_tid; log_tag; log_value } :: !logs
+        | s -> fail "unknown record %s" s);
+        loop ()
+  in
+  loop ();
+  close_thread ();
+  let crash = match !crash with Some c -> c | None -> fail "no crash record" in
+  let heap = Res_mem.Heap.of_blocks ~next:!heap_next !heap_blocks in
+  let tracer =
+    {
+      Tracer.lbr_depth = !lbr_depth;
+      (* branches/logs were serialized most-recent-first and accumulated in
+         reverse, so the accumulators are already oldest-first: reverse back *)
+      lbr = List.rev !branches;
+      logs = List.rev !logs;
+    }
+  in
+  {
+    Coredump.crash;
+    mem = !mem;
+    heap;
+    threads =
+      List.fold_left
+        (fun m (th : Thread.t) -> IMap.add th.Thread.tid th m)
+        IMap.empty !threads;
+    tracer;
+    steps = !steps;
+  }
+
+(** Write a coredump to [path]. *)
+let save path d =
+  let oc = open_out path in
+  output_string oc (to_string d);
+  close_out oc
+
+(** Load a coredump from [path].
+    @raise Bad_format or [Sys_error] on failure. *)
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

@@ -1,0 +1,25 @@
+(** Textual (de)serialization of coredumps.
+
+    Production systems ship coredumps as files; this module gives MiniVM
+    dumps a stable, human-readable on-disk format so the CLI can separate
+    "run and capture" from "analyze".  The format is line-oriented; string
+    payloads (assert/abort messages, log tags) are quoted with OCaml
+    escapes.  [of_string (to_string d)] round-trips exactly
+    (property-tested). *)
+
+exception Bad_format of string
+
+(** Serialize a coredump to its textual format. *)
+val to_string : Coredump.t -> string
+
+(** Parse a coredump from its textual format.
+    @raise Bad_format on malformed input (a lexical error inside a record
+    surfaces as {!Res_ir.Parser.Parse_error}). *)
+val of_string : string -> Coredump.t
+
+(** Write a coredump to a file. *)
+val save : string -> Coredump.t -> unit
+
+(** Load a coredump from a file.
+    @raise Bad_format or [Sys_error] on failure. *)
+val load : string -> Coredump.t

@@ -1,0 +1,42 @@
+(** Hardware fault injection (paper §3.2).
+
+    Faults are scheduled against the global step counter, so a given
+    program + seed + fault plan is fully deterministic.  Three families
+    mirror the paper's examples: DRAM bit flips, CPU miscomputation of an
+    ALU result, and DMA writes from a faulty device. *)
+
+type t = {
+  bit_flips : (int * int * int) list;
+      (** (step, addr, bit): flip one memory bit just before this step *)
+  alu_errors : (int * int) list;
+      (** (step, delta): the binop executed at this step yields result+delta *)
+  dma_writes : (int * int * int) list;
+      (** (step, addr, value): overwrite a word just before this step *)
+}
+
+let none = { bit_flips = []; alu_errors = []; dma_writes = [] }
+
+let bit_flip ~step ~addr ~bit = { none with bit_flips = [ (step, addr, bit) ] }
+let alu_error ~step ~delta = { none with alu_errors = [ (step, delta) ] }
+let dma_write ~step ~addr ~value = { none with dma_writes = [ (step, addr, value) ] }
+
+let is_none t = t.bit_flips = [] && t.alu_errors = [] && t.dma_writes = []
+
+(** Memory mutations due at [step]: list of [addr -> new value] builders. *)
+let memory_mutations_at t ~step mem =
+  let mem =
+    List.fold_left
+      (fun m (s, addr, bit) ->
+        if s = step then Res_mem.Memory.flip_bit m addr bit else m)
+      mem t.bit_flips
+  in
+  List.fold_left
+    (fun m (s, addr, value) ->
+      if s = step then Res_mem.Memory.write m addr value else m)
+    mem t.dma_writes
+
+(** ALU corruption for the binop executed at [step], if scheduled. *)
+let alu_delta_at t ~step =
+  List.fold_left
+    (fun acc (s, delta) -> if s = step then acc + delta else acc)
+    0 t.alu_errors

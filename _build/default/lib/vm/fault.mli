@@ -1,0 +1,29 @@
+(** Hardware fault injection (paper §3.2).
+
+    Faults are scheduled against the global step counter, so a given
+    program + seed + fault plan is fully deterministic.  Three families
+    mirror the paper's examples: DRAM bit flips, CPU miscomputation of an
+    ALU result, and DMA writes from a faulty device. *)
+
+type t = {
+  bit_flips : (int * int * int) list;
+      (** (step, addr, bit): flip one memory bit just before this step *)
+  alu_errors : (int * int) list;
+      (** (step, delta): the binop executed at this step yields result+delta *)
+  dma_writes : (int * int * int) list;
+      (** (step, addr, value): overwrite a word just before this step *)
+}
+
+(** No faults. *)
+val none : t
+
+val bit_flip : step:int -> addr:int -> bit:int -> t
+val alu_error : step:int -> delta:int -> t
+val dma_write : step:int -> addr:int -> value:int -> t
+val is_none : t -> bool
+
+(** Apply the memory mutations (bit flips, DMA writes) due at [step]. *)
+val memory_mutations_at : t -> step:int -> Res_mem.Memory.t -> Res_mem.Memory.t
+
+(** ALU corruption for the binop executed at [step] (0 if none). *)
+val alu_delta_at : t -> step:int -> int

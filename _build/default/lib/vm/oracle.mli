@@ -1,0 +1,21 @@
+(** Input oracles: where [input] instructions get their values.
+
+    Production runs use a seeded pseudo-random oracle (deterministic per
+    seed, so tests can regenerate the same crash); replay runs use a
+    scripted oracle carrying the exact values the RES solver chose. *)
+
+type t = {
+  next : Res_ir.Instr.input_kind -> int;
+      (** called once per executed [input], in program order *)
+}
+
+(** Deterministic pseudo-random oracle (a splitmix-style generator, stable
+    across OCaml versions).  Values are in [0, 0xffff]. *)
+val seeded : seed:int -> t
+
+(** Oracle that replays a fixed list of values and then yields [default]
+    (0 unless overridden). *)
+val scripted : ?default:int -> int list -> t
+
+(** Oracle returning a constant. *)
+val constant : int -> t

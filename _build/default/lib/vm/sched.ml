@@ -1,0 +1,60 @@
+(** Schedulers.
+
+    MiniVM context-switches only at basic-block boundaries (and when a
+    thread blocks), so a schedule is fully described by the sequence of
+    tids chosen at those points — which is exactly the granularity at which
+    RES reconstructs thread schedules (DESIGN.md §1). *)
+
+type policy =
+  | Round_robin
+  | Seeded of int  (** pseudo-random pick at each boundary, per seed *)
+  | Fixed of int list
+      (** scripted: pick exactly these tids at successive boundaries; when
+          exhausted or the scripted tid is not runnable, fall back to
+          round-robin (used by the replayer, which scripts the full suffix) *)
+
+type t = {
+  policy : policy;
+  mutable rr_last : int;
+  mutable rng : int;
+  mutable script : int list;
+}
+
+let create policy =
+  let rng = match policy with Seeded s -> s lxor 0x1851f42d4c957f2d | _ -> 0 in
+  let script = match policy with Fixed l -> l | _ -> [] in
+  { policy; rr_last = -1; rng; script }
+
+let next_rand t =
+  let z = t.rng + 0x1e3779b97f4a7c15 in
+  t.rng <- z;
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 in
+  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb in
+  (z lxor (z lsr 31)) land max_int
+
+let round_robin t runnable =
+  let above = List.filter (fun tid -> tid > t.rr_last) runnable in
+  let chosen = match above with tid :: _ -> tid | [] -> List.hd runnable in
+  t.rr_last <- chosen;
+  chosen
+
+(** [pick t runnable] chooses the next thread among [runnable] (sorted
+    ascending, non-empty). *)
+let pick t ~runnable =
+  match runnable with
+  | [] -> invalid_arg "Sched.pick: no runnable threads"
+  | _ -> (
+      match t.policy with
+      | Round_robin -> round_robin t runnable
+      | Seeded _ -> List.nth runnable (next_rand t mod List.length runnable)
+      | Fixed _ -> (
+          match t.script with
+          | tid :: rest when List.mem tid runnable ->
+              t.script <- rest;
+              tid
+          | _ :: rest ->
+              (* Scripted thread not runnable here: skip the entry.  The
+                 replayer treats this as a determinism failure upstream. *)
+              t.script <- rest;
+              round_robin t runnable
+          | [] -> round_robin t runnable))

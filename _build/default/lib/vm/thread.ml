@@ -1,0 +1,75 @@
+(** Threads: a call stack plus a run status. *)
+
+type status =
+  | Runnable
+  | Blocked_on_lock of int  (** waiting for the mutex at this address *)
+  | Blocked_on_join of int  (** waiting for this thread to halt *)
+  | Halted
+
+type t = {
+  tid : int;
+  frames : Frame.t list;  (** top (innermost) frame first; empty iff halted *)
+  status : status;
+}
+
+let v ~tid ~frames ~status = { tid; frames; status }
+
+(** Spawn-time constructor: single frame at the entry of [f]. *)
+let start ~tid (f : Res_ir.Func.t) ~args =
+  { tid; frames = [ Frame.enter f ~args ~ret_reg:None ]; status = Runnable }
+
+(** Innermost frame.  @raise Invalid_argument on a halted (frameless) thread. *)
+let top t =
+  match t.frames with
+  | f :: _ -> f
+  | [] -> invalid_arg (Fmt.str "Thread.top: thread %d has no frames" t.tid)
+
+let top_opt t = match t.frames with f :: _ -> Some f | [] -> None
+
+let with_top t fr =
+  match t.frames with
+  | _ :: rest -> { t with frames = fr :: rest }
+  | [] -> invalid_arg "Thread.with_top: no frames"
+
+let push_frame t fr = { t with frames = fr :: t.frames }
+
+let pop_frame t =
+  match t.frames with
+  | _ :: rest -> { t with frames = rest }
+  | [] -> invalid_arg "Thread.pop_frame: no frames"
+
+let is_runnable t = t.status = Runnable
+let is_halted t = t.status = Halted
+let is_blocked t =
+  match t.status with
+  | Blocked_on_lock _ | Blocked_on_join _ -> true
+  | Runnable | Halted -> false
+
+(** Program counter of the innermost frame. *)
+let pc t = Frame.pc (top t)
+
+(** Whether the thread sits at a scheduling boundary: the start of a basic
+    block of its {e root} frame.  A block together with every call it makes
+    is one atomic scheduling unit (DESIGN.md §1) — callee-entry positions
+    are not boundaries, so the scheduler can never preempt inside a call. *)
+let at_block_boundary t =
+  match t.frames with
+  | [] -> true
+  | [ fr ] -> fr.Frame.idx = 0
+  | _ :: _ :: _ -> false
+
+let pp_status ppf = function
+  | Runnable -> Fmt.string ppf "runnable"
+  | Blocked_on_lock a -> Fmt.pf ppf "blocked on lock 0x%x" a
+  | Blocked_on_join tid -> Fmt.pf ppf "blocked on join %d" tid
+  | Halted -> Fmt.string ppf "halted"
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>thread %d (%a)@,%a@]" t.tid pp_status t.status
+    Fmt.(list ~sep:cut Frame.pp)
+    t.frames
+
+let equal (a : t) (b : t) =
+  a.tid = b.tid && a.status = b.status
+  && List.length a.frames = List.length b.frames
+  && List.for_all2 Frame.equal a.frames b.frames

@@ -1,0 +1,1 @@
+lib/workloads/corpus.ml: Div_zero Fmt Fun Heap_overflow List Res_ir Res_vm Truth Uaf

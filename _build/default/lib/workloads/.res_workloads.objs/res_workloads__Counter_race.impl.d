@@ -1,0 +1,1 @@
+lib/workloads/counter_race.ml: Res_ir Res_vm Truth

@@ -1,0 +1,1 @@
+lib/workloads/deadlock.ml: Res_ir Res_vm Truth

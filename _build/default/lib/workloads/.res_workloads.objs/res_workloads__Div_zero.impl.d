@@ -1,0 +1,1 @@
+lib/workloads/div_zero.ml: Res_ir Res_vm Truth

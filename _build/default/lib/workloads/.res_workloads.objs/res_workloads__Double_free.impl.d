@@ -1,0 +1,1 @@
+lib/workloads/double_free.ml: Res_ir Res_vm Truth

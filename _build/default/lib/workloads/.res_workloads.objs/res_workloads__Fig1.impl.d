@@ -1,0 +1,1 @@
+lib/workloads/fig1.ml: Res_ir Res_vm Truth

@@ -1,0 +1,1 @@
+lib/workloads/hash_construct.ml: Fun List Res_ir Res_vm Truth

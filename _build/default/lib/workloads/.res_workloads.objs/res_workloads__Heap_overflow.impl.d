@@ -1,0 +1,1 @@
+lib/workloads/heap_overflow.ml: Res_ir Res_vm Truth

@@ -1,0 +1,1 @@
+lib/workloads/hw_fault.ml: Fmt Res_ir Res_mem Res_vm

@@ -1,0 +1,1 @@
+lib/workloads/kvstore.ml: Fmt Res_ir Res_vm Truth

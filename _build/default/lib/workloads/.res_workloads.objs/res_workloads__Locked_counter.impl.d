@@ -1,0 +1,1 @@
+lib/workloads/locked_counter.ml: Res_ir

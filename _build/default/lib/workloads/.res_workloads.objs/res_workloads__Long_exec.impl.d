@@ -1,0 +1,1 @@
+lib/workloads/long_exec.ml: Fmt Res_ir Res_vm Truth

@@ -1,0 +1,1 @@
+lib/workloads/semantic.ml: Res_ir Res_vm Truth

@@ -1,0 +1,1 @@
+lib/workloads/truth.ml: Fmt Res_core Res_ir Res_vm

@@ -1,0 +1,1 @@
+lib/workloads/uaf.ml: Char Fmt Res_ir Res_vm Truth

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Counter_race Deadlock Div_zero Double_free Fig1 Fmt Hash_construct Heap_overflow Kvstore List Long_exec Semantic String Truth Uaf

@@ -1,0 +1,61 @@
+(** Classic lost-update data race (paper §4's "synthetic concurrency
+    bugs").
+
+    Two worker threads perform read / (reschedule point) / increment-write
+    on a shared counter without holding the lock.  Under racy interleaving
+    one update is lost and [main]'s assertion fails.  The root cause — the
+    unsynchronized read-modify-write — is what RES must reconstruct. *)
+
+let src =
+  {|
+global counter 1
+
+func main() {
+entry:
+  r0 = spawn worker()
+  r1 = spawn worker()
+  join r0
+  join r1
+  jmp check
+check:
+  r2 = global counter
+  r3 = load r2[0]
+  r4 = const 2
+  r5 = eq r3, r4
+  assert r5, "both increments applied"
+  halt
+}
+
+func worker() {
+entry:
+  r0 = global counter
+  r1 = load r0[0]
+  jmp upd
+upd:
+  r2 = const 1
+  r3 = add r1, r2
+  store r0[0] = r3
+  ret
+}
+|}
+
+let prog = Res_ir.Validate.check_exn (Res_ir.Parser.parse src)
+
+(** A fixed schedule that interleaves the two workers' read and write
+    segments: t1 reads, t2 reads, t1 writes, t2 writes — one update lost. *)
+let crash_config () =
+  {
+    (Res_vm.Exec.default_config ()) with
+    sched = Res_vm.Sched.create (Res_vm.Sched.Fixed [ 0; 1; 2; 1; 2; 0; 0 ]);
+  }
+
+let workload =
+  {
+    Truth.w_name = "counter-race";
+    w_prog = prog;
+    w_bug = Truth.B_atomicity;
+    w_crash_config = crash_config;
+    w_description =
+      "lost-update race on a shared counter; assertion in main observes the \
+       corrupted value";
+  }

@@ -1,0 +1,73 @@
+(** Lock-order-inversion deadlock: two threads acquire two mutexes in
+    opposite orders; the forced schedule interleaves the first
+    acquisitions, so both block and the program deadlocks (all live
+    threads blocked, including [main] on its join). *)
+
+let src =
+  {|
+global m1 1
+global m2 1
+global work 1
+
+func main() {
+entry:
+  r0 = spawn left()
+  r1 = spawn right()
+  join r0
+  join r1
+  halt
+}
+
+func left() {
+entry:
+  r0 = global m1
+  lock r0
+  jmp second
+second:
+  r1 = global m2
+  lock r1
+  jmp critical
+critical:
+  r2 = global work
+  r3 = const 1
+  store r2[0] = r3
+  unlock r1
+  unlock r0
+  ret
+}
+
+func right() {
+entry:
+  r0 = global m2
+  lock r0
+  jmp second
+second:
+  r1 = global m1
+  lock r1
+  jmp critical
+critical:
+  r2 = global work
+  r3 = const 2
+  store r2[0] = r3
+  unlock r1
+  unlock r0
+  ret
+}
+|}
+
+let prog = Res_ir.Validate.check_exn (Res_ir.Parser.parse src)
+
+let crash_config () =
+  {
+    (Res_vm.Exec.default_config ()) with
+    sched = Res_vm.Sched.create (Res_vm.Sched.Fixed [ 0; 1; 2; 1; 2 ]);
+  }
+
+let workload =
+  {
+    Truth.w_name = "lock-order-deadlock";
+    w_prog = prog;
+    w_bug = Truth.B_deadlock;
+    w_crash_config = crash_config;
+    w_description = "two threads acquire m1/m2 in opposite orders and deadlock";
+  }

@@ -1,0 +1,41 @@
+(** Input-dependent division by zero inside a callee: the crash pc sits in
+    [scale], one call deep, so the suffix's first backward step must match
+    a two-frame stack. *)
+
+let src =
+  {|
+global total 1
+
+func main() {
+entry:
+  r0 = const 100
+  r1 = input net
+  r2 = call scale(r0, r1)
+  r3 = global total
+  store r3[0] = r2
+  halt
+}
+
+func scale(r0, r1) {
+entry:
+  r2 = div r0, r1
+  ret r2
+}
+|}
+
+let prog = Res_ir.Validate.check_exn (Res_ir.Parser.parse src)
+
+let crash_config () =
+  {
+    (Res_vm.Exec.default_config ()) with
+    oracle = Res_vm.Oracle.scripted [ 0 ];
+  }
+
+let workload =
+  {
+    Truth.w_name = "div-by-zero";
+    w_prog = prog;
+    w_bug = Truth.B_div_by_zero;
+    w_crash_config = crash_config;
+    w_description = "division by a zero network input, one call deep";
+  }

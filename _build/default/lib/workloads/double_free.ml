@@ -1,0 +1,41 @@
+(** Double free: a block freed once through a cleanup helper and again by
+    [main]'s own error path. *)
+
+let src =
+  {|
+global p 1
+
+func main() {
+entry:
+  r0 = const 2
+  r1 = alloc r0
+  r2 = global p
+  store r2[0] = r1
+  call cleanup()
+  jmp finish
+finish:
+  r3 = global p
+  r4 = load r3[0]
+  free r4
+  halt
+}
+
+func cleanup() {
+entry:
+  r0 = global p
+  r1 = load r0[0]
+  free r1
+  ret
+}
+|}
+
+let prog = Res_ir.Validate.check_exn (Res_ir.Parser.parse src)
+
+let workload =
+  {
+    Truth.w_name = "double-free";
+    w_prog = prog;
+    w_bug = Truth.B_double_free;
+    w_crash_config = (fun () -> Res_vm.Exec.default_config ());
+    w_description = "block freed by cleanup() and again by main's exit path";
+  }

@@ -1,0 +1,65 @@
+(** The paper's Figure 1 program: a buffer overflow whose crash block has
+    two CFG predecessors, only one of which is consistent with the
+    coredump.
+
+    [Pred1] sets [x = 1], [Pred2] sets [x = 2]; the coredump records
+    [x = 1], so RES must keep the suffix through [Pred1] and discard the
+    one through [Pred2].  The overflow itself writes one word past the end
+    of [buffer] — index 4 of a 4-word global — landing on the guard word. *)
+
+let src =
+  {|
+global buffer 4
+global x 1
+global y 1
+
+func main() {
+entry:
+  r0 = input net
+  r1 = const 2
+  r2 = rem r0, r1
+  r3 = global y
+  r4 = input net
+  store r3[0] = r4
+  br r2, pred1, pred2
+pred1:
+  r5 = global x
+  r6 = const 1
+  store r5[0] = r6
+  jmp merge
+pred2:
+  r5 = global x
+  r6 = const 2
+  store r5[0] = r6
+  jmp merge
+merge:
+  r7 = global y
+  r8 = load r7[0]
+  r9 = global buffer
+  r10 = add r9, r8
+  r11 = const 1
+  store r10[0] = r11
+  halt
+}
+|}
+
+let prog = Res_ir.Validate.check_exn (Res_ir.Parser.parse src)
+
+(** Inputs: first picks the branch (odd -> pred1), second is the store
+    index.  [y = 4] is exactly one past the buffer: the overflow. *)
+let crash_config () =
+  {
+    (Res_vm.Exec.default_config ()) with
+    oracle = Res_vm.Oracle.scripted [ 1; 4 ];
+  }
+
+let workload =
+  {
+    Truth.w_name = "fig1-overflow";
+    w_prog = prog;
+    w_bug = Truth.B_buffer_overflow;
+    w_crash_config = crash_config;
+    w_description =
+      "Figure 1: global buffer overflow with an ambiguous predecessor; the \
+       coredump value of x disambiguates";
+  }

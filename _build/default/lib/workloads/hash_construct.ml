@@ -1,0 +1,86 @@
+(** Hard-to-invert construct (paper §6): the suffix crosses a hash
+    computation.
+
+    [mix] is a multiply/xor avalanche — reverse-analyzing it is hopeless,
+    but its {e input} is still in memory (global [seed]), so RES can
+    re-execute it forward (mid-block call inlining) instead of inverting
+    it.  With inlining disabled (the E7 ablation) the backward walk cannot
+    get past the [compute] block. *)
+
+let src =
+  {|
+global seed 1
+global digest 1
+
+func main() {
+entry:
+  r0 = input net
+  r1 = global seed
+  store r1[0] = r0
+  jmp compute
+compute:
+  r2 = global seed
+  r3 = load r2[0]
+  r4 = call mix(r3)
+  r5 = global digest
+  store r5[0] = r4
+  jmp check
+check:
+  r6 = global digest
+  r7 = load r6[0]
+  r8 = const 0
+  r9 = ge r7, r8
+  assert r9, "digest in range"
+  halt
+}
+
+func mix(r0) {
+entry:
+  r1 = const 2654435761
+  r2 = mul r0, r1
+  r3 = const 16
+  r4 = shr r2, r3
+  r5 = xor r2, r4
+  r6 = const 127
+  r7 = and r5, r6
+  r8 = const 64
+  r9 = sub r7, r8
+  ret r9
+}
+|}
+
+let prog = Res_ir.Validate.check_exn (Res_ir.Parser.parse src)
+
+(** Input 3 hashes to a negative digest, failing the range assert. *)
+let crash_config () =
+  let crashes v =
+    let config =
+      {
+        (Res_vm.Exec.default_config ()) with
+        oracle = Res_vm.Oracle.scripted [ v ];
+      }
+    in
+    match (Res_vm.Exec.run ~config prog).Res_vm.Exec.outcome with
+    | Res_vm.Exec.Crashed _ -> true
+    | _ -> false
+  in
+  let v =
+    match List.find_opt crashes (List.init 64 Fun.id) with
+    | Some v -> v
+    | None -> failwith "hash workload: no crashing input below 64"
+  in
+  {
+    (Res_vm.Exec.default_config ()) with
+    oracle = Res_vm.Oracle.scripted [ v ];
+  }
+
+let workload =
+  {
+    Truth.w_name = "hash-construct";
+    w_prog = prog;
+    w_bug = Truth.B_semantic;
+    w_crash_config = crash_config;
+    w_description =
+      "assert on a hash output; the suffix must cross the hash by forward \
+       re-execution";
+  }

@@ -1,0 +1,82 @@
+(** Heap buffer overflow through a shared store helper.
+
+    The store index comes either from the network ([tainted] — the
+    remotely-exploitable case of paper §3.1) or from an internal
+    computation that can also go out of bounds (a plain bug).  Both
+    variants crash at the same pc inside [write_cell] with different
+    callers, exercising both the exploitability classifier and
+    stack-vs-root-cause bucketing. *)
+
+let src =
+  {|
+global buf_ptr 1
+
+func main() {
+entry:
+  r0 = const 4
+  r1 = alloc r0
+  r2 = global buf_ptr
+  store r2[0] = r1
+  r3 = input net
+  r4 = const 2
+  r5 = rem r3, r4
+  br r5, from_net, from_calc
+from_net:
+  r6 = input net
+  r7 = call write_cell(r6)
+  halt
+from_calc:
+  r8 = const 3
+  r9 = const 2
+  r10 = mul r8, r9
+  r11 = call write_cell(r10)
+  halt
+}
+
+func write_cell(r0) {
+entry:
+  r1 = global buf_ptr
+  r2 = load r1[0]
+  r3 = add r2, r0
+  r4 = const 7
+  store r3[0] = r4
+  ret r4
+}
+|}
+
+let prog = Res_ir.Validate.check_exn (Res_ir.Parser.parse src)
+
+(** Tainted variant: branch to [from_net], then an out-of-bounds index
+    straight from the network. *)
+let crash_config_tainted () =
+  {
+    (Res_vm.Exec.default_config ()) with
+    oracle = Res_vm.Oracle.scripted [ 1; 4 ];
+  }
+
+(** Internal variant: the locally-computed index 6 is out of bounds too. *)
+let crash_config_internal () =
+  {
+    (Res_vm.Exec.default_config ()) with
+    oracle = Res_vm.Oracle.scripted [ 0 ];
+  }
+
+let workload_tainted =
+  {
+    Truth.w_name = "heap-overflow-tainted";
+    w_prog = prog;
+    w_bug = Truth.B_buffer_overflow;
+    w_crash_config = crash_config_tainted;
+    w_description = "heap overflow with an attacker-controlled index";
+  }
+
+let workload_internal =
+  {
+    Truth.w_name = "heap-overflow-internal";
+    w_prog = prog;
+    w_bug = Truth.B_buffer_overflow;
+    w_crash_config = crash_config_internal;
+    w_description = "heap overflow with an internally-computed index";
+  }
+
+let workload = workload_tainted

@@ -1,0 +1,184 @@
+(** Hardware-error workloads (paper §3.2, experiment E5).
+
+    Each case is a {e correct} program whose coredump was corrupted by an
+    injected hardware fault: a DRAM bit flip in a global, or a CPU ALU
+    miscomputation.  No execution of the program can produce these dumps,
+    which is exactly what RES detects — no suffix extends to the program
+    start.  The software twins crash with superficially identical failures
+    (same assert) caused by real bugs, and must {e not} be flagged. *)
+
+(** A correct program: writes 4 to [flag], later asserts it is still 4.
+    Crashes only if the dump is corrupted. *)
+let mem_victim_src =
+  {|
+global flag 1
+
+func main() {
+entry:
+  r0 = global flag
+  r1 = const 4
+  store r0[0] = r1
+  jmp spin
+spin:
+  r2 = const 0
+  jmp check
+check:
+  r3 = global flag
+  r4 = load r3[0]
+  r5 = const 4
+  r6 = eq r4, r5
+  assert r6, "flag intact"
+  halt
+}
+|}
+
+let mem_victim = Res_ir.Validate.check_exn (Res_ir.Parser.parse mem_victim_src)
+
+(** DRAM fault: flip bit [bit] of [flag] between the write and the check. *)
+let mem_fault_config ~bit () =
+  let layout = Res_mem.Layout.of_prog mem_victim in
+  let addr = Res_mem.Layout.global_base layout "flag" in
+  {
+    (Res_vm.Exec.default_config ()) with
+    fault = Res_vm.Fault.bit_flip ~step:5 ~addr ~bit;
+  }
+
+(** The software twin: [flag] legitimately gets an input value, so a dump
+    with a wrong flag value has a perfectly feasible software explanation. *)
+let mem_twin_src =
+  {|
+global flag 1
+
+func main() {
+entry:
+  r0 = global flag
+  r1 = input net
+  store r0[0] = r1
+  jmp spin
+spin:
+  r2 = const 0
+  jmp check
+check:
+  r3 = global flag
+  r4 = load r3[0]
+  r5 = const 4
+  r6 = eq r4, r5
+  assert r6, "flag intact"
+  halt
+}
+|}
+
+let mem_twin = Res_ir.Validate.check_exn (Res_ir.Parser.parse mem_twin_src)
+
+let mem_twin_config () =
+  {
+    (Res_vm.Exec.default_config ()) with
+    oracle = Res_vm.Oracle.scripted [ 5 ];
+  }
+
+(** CPU-fault victim: computes 2+2 and asserts on the register directly —
+    the paper's own example ("RES retrieves the result and the operands
+    from the coredump, and on all possible suffixes it obtains a different
+    result for the addition").  The ALU fault makes the addition yield 5. *)
+let cpu_victim_src =
+  {|
+func main() {
+entry:
+  r0 = const 2
+  r1 = const 2
+  r2 = add r0, r1
+  jmp check
+check:
+  r6 = const 4
+  r7 = eq r2, r6
+  assert r7, "addition is correct"
+  halt
+}
+|}
+
+let cpu_victim = Res_ir.Validate.check_exn (Res_ir.Parser.parse cpu_victim_src)
+
+let cpu_fault_config () =
+  {
+    (Res_vm.Exec.default_config ()) with
+    fault = Res_vm.Fault.alu_error ~step:2 ~delta:1;
+  }
+
+(** Software twin of the CPU case: the summand comes from an input, so a
+    wrong sum is a feasible software outcome. *)
+let cpu_twin_src =
+  {|
+func main() {
+entry:
+  r0 = const 2
+  r1 = input net
+  r2 = add r0, r1
+  jmp check
+check:
+  r6 = const 4
+  r7 = eq r2, r6
+  assert r7, "addition is correct"
+  halt
+}
+|}
+
+let cpu_twin = Res_ir.Validate.check_exn (Res_ir.Parser.parse cpu_twin_src)
+
+let cpu_twin_config () =
+  {
+    (Res_vm.Exec.default_config ()) with
+    oracle = Res_vm.Oracle.scripted [ 3 ];
+  }
+
+(** One E5 case: a program + crash config + whether hardware is to blame. *)
+type case = {
+  c_name : string;
+  c_prog : Res_ir.Prog.t;
+  c_config : unit -> Res_vm.Exec.config;
+  c_hardware : bool;
+}
+
+let cases =
+  [
+    {
+      c_name = "dram-bit-flip-b0";
+      c_prog = mem_victim;
+      c_config = mem_fault_config ~bit:0;
+      c_hardware = true;
+    };
+    {
+      c_name = "dram-bit-flip-b1";
+      c_prog = mem_victim;
+      c_config = mem_fault_config ~bit:1;
+      c_hardware = true;
+    };
+    {
+      c_name = "dram-bit-flip-b3";
+      c_prog = mem_victim;
+      c_config = mem_fault_config ~bit:3;
+      c_hardware = true;
+    };
+    {
+      c_name = "cpu-alu-miscompute";
+      c_prog = cpu_victim;
+      c_config = cpu_fault_config;
+      c_hardware = true;
+    };
+    {
+      c_name = "software-bad-input-flag";
+      c_prog = mem_twin;
+      c_config = mem_twin_config;
+      c_hardware = false;
+    };
+    {
+      c_name = "software-bad-input-sum";
+      c_prog = cpu_twin;
+      c_config = cpu_twin_config;
+      c_hardware = false;
+    };
+  ]
+
+let coredump_of_case c =
+  match Res_vm.Exec.run_to_coredump ~config:(c.c_config ()) c.c_prog with
+  | Some dump, _ -> dump
+  | None, _ -> failwith (Fmt.str "hw case %s did not crash" c.c_name)

@@ -1,0 +1,109 @@
+(** A miniature key-value store node — the "datacenter application" setting
+    the paper's introduction motivates (debugging such systems with
+    always-on recording is impractical; RES needs only the coredump).
+
+    [n_workers] request handlers each apply [ops_per_worker] PUT requests
+    from the network: key and value arrive as inputs, the table slot update
+    is properly protected by the store lock — but the statistics counter
+    [size] is bumped {e outside} the critical section, the classic
+    "statistics are not worth a lock" mistake.  A supervisor assertion
+    cross-checks the counter after the workers drain, and under an unlucky
+    schedule the lost update fires it.
+
+    The table update in [body] writes through an input-derived address
+    ([table + 2*(key mod slots)]), exercising RES's pointer concretization
+    against the coredump. *)
+
+let slots = 8
+
+let src ~ops_per_worker =
+  Fmt.str
+    {|
+global table %d
+global size 1
+global m 1
+
+func main() {
+entry:
+  r0 = spawn handler()
+  r1 = spawn handler()
+  join r0
+  join r1
+  jmp audit
+audit:
+  r2 = global size
+  r3 = load r2[0]
+  r4 = const %d
+  r5 = eq r3, r4
+  assert r5, "size matches applied operations"
+  halt
+}
+
+func handler() {
+entry:
+  r0 = const %d
+  jmp loop
+loop:
+  br r0, body, done
+body:
+  # receive PUT(key, value) from the network
+  r1 = input net
+  r2 = const %d
+  r3 = rem r1, r2
+  r4 = input net
+  # slot address: table + 2*(key mod slots)
+  r5 = global table
+  r6 = const 2
+  r7 = mul r3, r6
+  r8 = add r5, r7
+  # the table itself is properly locked...
+  r9 = global m
+  lock r9
+  store r8[0] = r1
+  store r8[1] = r4
+  unlock r9
+  jmp bump
+bump:
+  # ...but the statistics counter is updated outside the lock (the bug)
+  r10 = global size
+  r11 = load r10[0]
+  jmp bump2
+bump2:
+  r12 = const 1
+  r13 = add r11, r12
+  store r10[0] = r13
+  r0 = sub r0, r12
+  jmp loop
+done:
+  ret
+}
+|}
+    (2 * slots) (2 * ops_per_worker) ops_per_worker slots
+
+let make ~ops_per_worker =
+  Res_ir.Validate.check_exn (Res_ir.Parser.parse (src ~ops_per_worker))
+
+let prog = make ~ops_per_worker:1
+
+(** A schedule interleaving the two handlers' counter reads and writes:
+    both read [size] before either writes it back — one PUT vanishes from
+    the statistics. *)
+let crash_config () =
+  {
+    (Res_vm.Exec.default_config ()) with
+    sched =
+      Res_vm.Sched.create
+        (Res_vm.Sched.Fixed [ 0; 1; 2; 1; 2; 1; 2; 1; 2; 1; 2; 0; 0 ]);
+    oracle = Res_vm.Oracle.scripted [ 3; 41; 5; 77 ];
+  }
+
+let workload =
+  {
+    Truth.w_name = "kvstore-stats-race";
+    w_prog = prog;
+    w_bug = Truth.B_atomicity;
+    w_crash_config = crash_config;
+    w_description =
+      "key-value store node: table updates locked, statistics counter \
+       updated outside the lock; supervisor audit fails";
+  }

@@ -1,0 +1,43 @@
+(** The correctly-synchronized sibling of {!Counter_race}: both workers
+    hold the mutex across the read-modify-write, so the counter always
+    reaches 2 and the program exits cleanly under every schedule.  Used as
+    a control in tests and the triage corpus. *)
+
+let src =
+  {|
+global counter 1
+global m 1
+
+func main() {
+entry:
+  r0 = spawn worker()
+  r1 = spawn worker()
+  join r0
+  join r1
+  jmp check
+check:
+  r2 = global counter
+  r3 = load r2[0]
+  r4 = const 2
+  r5 = eq r3, r4
+  assert r5, "both increments applied"
+  halt
+}
+
+func worker() {
+entry:
+  r4 = global m
+  lock r4
+  r0 = global counter
+  r1 = load r0[0]
+  jmp upd
+upd:
+  r2 = const 1
+  r3 = add r1, r2
+  store r0[0] = r3
+  unlock r4
+  ret
+}
+|}
+
+let prog = Res_ir.Validate.check_exn (Res_ir.Parser.parse src)

@@ -1,0 +1,60 @@
+(** Parameterized long executions (the paper's title claim, experiment E3).
+
+    The program busy-loops for [n] iterations — each iteration writing a
+    scratch global — and only then performs a division by a network input,
+    which the crash config scripts to zero.  The root cause sits a couple
+    of blocks from the failure regardless of [n], so RES's suffix work is
+    constant in [n], while whole-execution (forward) synthesis must drag
+    itself through all [n] iterations. *)
+
+let make n =
+  let src =
+    Fmt.str
+      {|
+global scratch 1
+global total 1
+
+func main() {
+entry:
+  r0 = const %d
+  jmp loop
+loop:
+  r1 = global scratch
+  r2 = load r1[0]
+  r3 = const 1
+  r4 = add r2, r3
+  store r1[0] = r4
+  r5 = sub r0, r3
+  r0 = mov r5
+  br r0, loop, work
+work:
+  r6 = input net
+  r7 = const 1000
+  r8 = div r7, r6
+  r9 = global total
+  store r9[0] = r8
+  halt
+}
+|}
+      n
+  in
+  Res_ir.Validate.check_exn (Res_ir.Parser.parse src)
+
+let crash_config () =
+  {
+    (Res_vm.Exec.default_config ()) with
+    oracle = Res_vm.Oracle.scripted [ 0 ];
+    max_steps = 100_000_000;
+  }
+
+let workload_n n =
+  {
+    Truth.w_name = Fmt.str "long-exec-%d" n;
+    w_prog = make n;
+    w_bug = Truth.B_div_by_zero;
+    w_crash_config = crash_config;
+    w_description =
+      Fmt.str "division by zero after %d busy-loop iterations" n;
+  }
+
+let workload = workload_n 100

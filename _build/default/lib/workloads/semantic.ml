@@ -1,0 +1,37 @@
+(** A purely semantic bug (paper §3.3: "even semantic bugs can be
+    reproduced"): the discount computation subtracts the wrong operand, so
+    an internal consistency assertion fails with no memory or concurrency
+    error anywhere. *)
+
+let src =
+  {|
+global price 1
+
+func main() {
+entry:
+  r0 = const 100
+  r1 = const 15
+  r2 = sub r1, r0
+  r3 = global price
+  store r3[0] = r2
+  jmp check
+check:
+  r4 = global price
+  r5 = load r4[0]
+  r6 = const 0
+  r7 = gt r5, r6
+  assert r7, "price stays positive"
+  halt
+}
+|}
+
+let prog = Res_ir.Validate.check_exn (Res_ir.Parser.parse src)
+
+let workload =
+  {
+    Truth.w_name = "semantic-discount";
+    w_prog = prog;
+    w_bug = Truth.B_semantic;
+    w_crash_config = (fun () -> Res_vm.Exec.default_config ());
+    w_description = "operand-order bug makes a price negative; assert fails";
+  }

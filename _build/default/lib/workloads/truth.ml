@@ -1,0 +1,63 @@
+(** Ground truth for workloads: what bug a generated program contains.
+
+    Benchmarks compare RES's classification against this; the generator
+    knows the answer, RES only sees program + coredump. *)
+
+type bug_class =
+  | B_data_race
+  | B_atomicity
+  | B_use_after_free
+  | B_buffer_overflow
+  | B_double_free
+  | B_deadlock
+  | B_div_by_zero
+  | B_semantic  (** assertion/logic bug with no memory or concurrency error *)
+  | B_hardware  (** no software bug: the coredump was corrupted by hardware *)
+
+let bug_class_name = function
+  | B_data_race -> "data-race"
+  | B_atomicity -> "atomicity-violation"
+  | B_use_after_free -> "use-after-free"
+  | B_buffer_overflow -> "buffer-overflow"
+  | B_double_free -> "double-free"
+  | B_deadlock -> "deadlock"
+  | B_div_by_zero -> "div-by-zero"
+  | B_semantic -> "semantic"
+  | B_hardware -> "hardware"
+
+(** Whether a RES classification matches the ground truth.  Data races and
+    atomicity violations overlap deliberately: an atomicity violation {e is}
+    reported when the interleaving also constitutes the injected race, and
+    either is a correct concurrency diagnosis for the other class. *)
+let matches bug (cause : Res_core.Rootcause.t) =
+  match (bug, cause) with
+  | B_data_race, (Res_core.Rootcause.Data_race _ | Res_core.Rootcause.Atomicity_violation _)
+  | B_atomicity, (Res_core.Rootcause.Atomicity_violation _ | Res_core.Rootcause.Data_race _)
+    ->
+      true
+  | B_use_after_free, Res_core.Rootcause.Use_after_free_cause _ -> true
+  | B_buffer_overflow, Res_core.Rootcause.Buffer_overflow_cause _ -> true
+  | B_double_free, Res_core.Rootcause.Double_free_cause _ -> true
+  | B_deadlock, Res_core.Rootcause.Deadlock_cause _ -> true
+  | B_div_by_zero, Res_core.Rootcause.Division_by_zero_cause _ -> true
+  | B_semantic, (Res_core.Rootcause.Assertion_cause _ | Res_core.Rootcause.Abort_cause _)
+    ->
+      true
+  | _, _ -> false
+
+(** A workload: a program, how to crash it, and what the answer is. *)
+type t = {
+  w_name : string;
+  w_prog : Res_ir.Prog.t;
+  w_bug : bug_class;
+  w_crash_config : unit -> Res_vm.Exec.config;
+      (** a configuration under which the program deterministically crashes *)
+  w_description : string;
+}
+
+(** Run the workload to its coredump.
+    @raise Failure if the program does not crash under its crash config. *)
+let coredump w =
+  match Res_vm.Exec.run_to_coredump ~config:(w.w_crash_config ()) w.w_prog with
+  | Some dump, _ -> dump
+  | None, _ -> failwith (Fmt.str "workload %s did not crash" w.w_name)

@@ -1,0 +1,95 @@
+(** Use-after-free with input-dependent crash stacks (paper §3.1).
+
+    [main] allocates a block, frees it through a helper, then reads it
+    back through one of three accessor functions chosen by an input.  The
+    root cause (the premature [free] in [drop]) is identical across the
+    three variants, but the crash stack differs — the case where naive
+    stack-hash triaging fragments one bug into several buckets. *)
+
+let src =
+  {|
+global p 1
+
+func main() {
+entry:
+  r0 = const 4
+  r1 = alloc r0
+  r2 = global p
+  store r2[0] = r1
+  call drop()
+  jmp pick
+pick:
+  r3 = input net
+  r4 = const 3
+  r5 = rem r3, r4
+  r6 = const 0
+  r7 = eq r5, r6
+  br r7, use_a, pick2
+pick2:
+  r8 = const 1
+  r9 = eq r5, r8
+  br r9, use_b, use_c
+use_a:
+  r10 = call accessor_a()
+  halt
+use_b:
+  r10 = call accessor_b()
+  halt
+use_c:
+  r10 = call accessor_c()
+  halt
+}
+
+func drop() {
+entry:
+  r0 = global p
+  r1 = load r0[0]
+  free r1
+  ret
+}
+
+func accessor_a() {
+entry:
+  r0 = global p
+  r1 = load r0[0]
+  r2 = load r1[0]
+  ret r2
+}
+
+func accessor_b() {
+entry:
+  r0 = global p
+  r1 = load r0[0]
+  r2 = load r1[1]
+  ret r2
+}
+
+func accessor_c() {
+entry:
+  r0 = global p
+  r1 = load r0[0]
+  r2 = load r1[2]
+  ret r2
+}
+|}
+
+let prog = Res_ir.Validate.check_exn (Res_ir.Parser.parse src)
+
+(** [variant] in 0..2 selects the accessor and hence the crash stack. *)
+let crash_config_variant variant () =
+  {
+    (Res_vm.Exec.default_config ()) with
+    oracle = Res_vm.Oracle.scripted [ variant ];
+  }
+
+let workload_variant variant =
+  {
+    Truth.w_name = Fmt.str "use-after-free-%c" (Char.chr (Char.code 'a' + variant));
+    w_prog = prog;
+    w_bug = Truth.B_use_after_free;
+    w_crash_config = crash_config_variant variant;
+    w_description =
+      "read of a freed heap block through an input-selected accessor";
+  }
+
+let workload = workload_variant 0

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Fmt List Res_baselines Res_core Res_ir Res_vm Res_workloads

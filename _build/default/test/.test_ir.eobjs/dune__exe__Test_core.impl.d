@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Backstep Debugger Fmt List Replay Res Res_core Res_ir Res_mem Res_solver Res_vm Res_workloads Rootcause Search Snapshot Suffix

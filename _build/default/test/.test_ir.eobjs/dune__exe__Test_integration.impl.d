@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Fmt List QCheck2 QCheck_alcotest Res_baselines Res_core Res_ir Res_mem Res_symex Res_vm Res_workloads

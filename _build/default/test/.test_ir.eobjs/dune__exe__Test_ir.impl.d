@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Block Builder Cfg Func Instr List Parser Prog QCheck2 QCheck_alcotest Res_ir String Validate

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Fun Heap Layout List Memory QCheck2 QCheck_alcotest Res_ir Res_mem

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Expr Fmt Interval List Model QCheck2 QCheck_alcotest Res_ir Res_solver Simplify Solver

@@ -1,0 +1,1 @@
+test/test_symex.ml: Alcotest Fmt Int List Map QCheck2 QCheck_alcotest Res_ir Res_mem Res_solver Res_symex Res_vm Set Symexec Symframe Symmem

@@ -1,0 +1,1 @@
+test/test_usecases.ml: Alcotest Fmt Lazy List Res_baselines Res_mem Res_usecases Res_workloads String

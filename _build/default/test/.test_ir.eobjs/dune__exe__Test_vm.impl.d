@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Coredump Coredump_io Crash Exec Fault Fmt Frame Fun Int List Map Oracle QCheck2 QCheck_alcotest Res_ir Res_mem Res_vm Sched String Tracer

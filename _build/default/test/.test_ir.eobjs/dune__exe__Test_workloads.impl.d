@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Fmt Fun List Res_ir Res_vm Res_workloads String

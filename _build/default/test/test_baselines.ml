@@ -1,0 +1,153 @@
+(* Tests for the baseline implementations: forward execution synthesis,
+   PSE-style slicing, and the !exploitable heuristic. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+(* --- forward synthesis --- *)
+
+let test_forward_finds_short () =
+  let w = Res_workloads.Long_exec.workload_n 5 in
+  let dump = Res_workloads.Truth.coredump w in
+  let r = Res_baselines.Forward_synth.synthesize w.Res_workloads.Truth.w_prog dump in
+  check bool_t "found" true r.Res_baselines.Forward_synth.found;
+  (match r.Res_baselines.Forward_synth.model with
+  | Some _ -> ()
+  | None -> Alcotest.fail "model expected");
+  check bool_t "depth covers the loop" true
+    (r.Res_baselines.Forward_synth.depth >= 5)
+
+let test_forward_cost_scales_with_length () =
+  let cost n =
+    let w = Res_workloads.Long_exec.workload_n n in
+    let dump = Res_workloads.Truth.coredump w in
+    let r =
+      Res_baselines.Forward_synth.synthesize w.Res_workloads.Truth.w_prog dump
+    in
+    check bool_t (Fmt.str "found at n=%d" n) true
+      r.Res_baselines.Forward_synth.found;
+    r.Res_baselines.Forward_synth.stats
+      .Res_baselines.Forward_synth.segments_executed
+  in
+  let c5 = cost 5 and c50 = cost 50 in
+  check bool_t
+    (Fmt.str "segments grow with execution length (%d -> %d)" c5 c50)
+    true
+    (c50 > c5 * 5)
+
+let test_forward_finds_fig1 () =
+  let w = Res_workloads.Fig1.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let r = Res_baselines.Forward_synth.synthesize w.Res_workloads.Truth.w_prog dump in
+  check bool_t "found" true r.Res_baselines.Forward_synth.found
+
+let test_forward_budget_respected () =
+  let w = Res_workloads.Long_exec.workload_n 100 in
+  let dump = Res_workloads.Truth.coredump w in
+  let config =
+    { Res_baselines.Forward_synth.default_config with max_segments_total = 10 }
+  in
+  let r =
+    Res_baselines.Forward_synth.synthesize ~config w.Res_workloads.Truth.w_prog dump
+  in
+  check bool_t "budget exceeded, not found" false r.Res_baselines.Forward_synth.found
+
+(* --- PSE slicing --- *)
+
+let test_pse_slice_contains_defs () =
+  let w = Res_workloads.Fig1.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let s =
+    Res_baselines.Pse.slice w.Res_workloads.Truth.w_prog
+      (Res_vm.Coredump.crash_pc dump)
+  in
+  check bool_t "slice non-empty" true (Res_baselines.Pse.size s > 0);
+  (* the crash reads memory, so conservatively every store is included:
+     both pred1's and pred2's stores of x appear (the imprecision) *)
+  let blocks =
+    List.map (fun (pc, _) -> pc.Res_ir.Pc.block) s.Res_baselines.Pse.instructions
+  in
+  check bool_t "pred1 store in slice" true (List.mem "pred1" blocks);
+  check bool_t "pred2 store in slice (imprecise)" true (List.mem "pred2" blocks)
+
+let test_pse_less_precise_than_res () =
+  (* the slice cannot rule pred2 out, RES can: compare candidate sets *)
+  let w = Res_workloads.Fig1.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let prog = w.Res_workloads.Truth.w_prog in
+  let s = Res_baselines.Pse.slice prog (Res_vm.Coredump.crash_pc dump) in
+  let pse_store_blocks =
+    List.map (fun pc -> pc.Res_ir.Pc.block) s.Res_baselines.Pse.store_sites
+    |> List.sort_uniq compare
+  in
+  let ctx = Res_core.Backstep.make_ctx prog in
+  let result =
+    Res_core.Search.search
+      ~config:{ Res_core.Search.default_config with max_segments = 6 }
+      ctx dump
+  in
+  let suffix =
+    List.find (fun s -> s.Res_core.Suffix.complete) result.Res_core.Search.suffixes
+  in
+  let res_blocks =
+    List.map (fun seg -> seg.Res_core.Suffix.seg_block) suffix.Res_core.Suffix.segments
+    |> List.sort_uniq compare
+  in
+  check bool_t "PSE keeps both predecessors" true
+    (List.mem "pred1" pse_store_blocks && List.mem "pred2" pse_store_blocks);
+  check bool_t "RES keeps only the true one" true
+    (List.mem "pred1" res_blocks && not (List.mem "pred2" res_blocks))
+
+let test_pse_interprocedural () =
+  let w = Res_workloads.Div_zero.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let s =
+    Res_baselines.Pse.slice w.Res_workloads.Truth.w_prog
+      (Res_vm.Coredump.crash_pc dump)
+  in
+  (* the divisor comes from main via the call: both functions touched *)
+  check bool_t "crosses into the caller" true
+    (List.mem "main" s.Res_baselines.Pse.functions_touched)
+
+(* --- !exploitable heuristic --- *)
+
+let rate w =
+  let dump = Res_workloads.Truth.coredump w in
+  Res_baselines.Exploitable_heuristic.rate w.Res_workloads.Truth.w_prog dump
+
+let test_heuristic_ratings () =
+  check Alcotest.string "write overflow rated exploitable" "EXPLOITABLE"
+    (Res_baselines.Exploitable_heuristic.rating_name
+       (rate Res_workloads.Heap_overflow.workload_tainted));
+  (* the heuristic's characteristic false positive *)
+  check Alcotest.string "internal overflow also rated exploitable" "EXPLOITABLE"
+    (Res_baselines.Exploitable_heuristic.rating_name
+       (rate Res_workloads.Heap_overflow.workload_internal));
+  check Alcotest.string "div0 not likely" "PROBABLY_NOT_EXPLOITABLE"
+    (Res_baselines.Exploitable_heuristic.rating_name
+       (rate Res_workloads.Div_zero.workload));
+  check Alcotest.string "deadlock not likely" "PROBABLY_NOT_EXPLOITABLE"
+    (Res_baselines.Exploitable_heuristic.rating_name
+       (rate Res_workloads.Deadlock.workload))
+
+let () =
+  Alcotest.run "res_baselines"
+    [
+      ( "forward synthesis",
+        [
+          Alcotest.test_case "finds short executions" `Quick test_forward_finds_short;
+          Alcotest.test_case "cost scales with length" `Quick
+            test_forward_cost_scales_with_length;
+          Alcotest.test_case "finds Fig.1" `Quick test_forward_finds_fig1;
+          Alcotest.test_case "budget respected" `Quick test_forward_budget_respected;
+        ] );
+      ( "pse slicing",
+        [
+          Alcotest.test_case "slice contains defs" `Quick test_pse_slice_contains_defs;
+          Alcotest.test_case "less precise than RES" `Quick
+            test_pse_less_precise_than_res;
+          Alcotest.test_case "interprocedural" `Quick test_pse_interprocedural;
+        ] );
+      ( "exploitable heuristic",
+        [ Alcotest.test_case "ratings" `Quick test_heuristic_ratings ] );
+    ]

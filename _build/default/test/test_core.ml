@@ -1,0 +1,580 @@
+(* Unit tests for the RES core: symbolic snapshots, the backward step
+   (including Figure 1's predecessor disambiguation), suffix search,
+   deterministic replay, and the root-cause detectors. *)
+
+open Res_core
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+let fig1 = Res_workloads.Fig1.workload
+let fig1_dump () = Res_workloads.Truth.coredump fig1
+let fig1_ctx () = Backstep.make_ctx fig1.Res_workloads.Truth.w_prog
+
+(* --- snapshots --- *)
+
+let test_snapshot_of_coredump () =
+  let dump = fig1_dump () in
+  let snap = Snapshot.of_coredump dump in
+  check int_t "no symbolic cells initially" 0 (Snapshot.symbolic_cells snap);
+  check int_t "one thread" 1 (List.length (Snapshot.threads snap));
+  let layout = Res_mem.Layout.of_prog fig1.Res_workloads.Truth.w_prog in
+  let x_addr = Res_mem.Layout.global_base layout "x" in
+  (match Snapshot.read_mem snap x_addr with
+  | Res_solver.Expr.Const v -> check int_t "x=1 in dump snapshot" 1 v
+  | _ -> Alcotest.fail "expected concrete value");
+  (* overriding makes the cell symbolic *)
+  let s = Res_solver.Expr.fresh "probe" in
+  let snap = Snapshot.write_mem_over snap x_addr s in
+  check int_t "one symbolic cell" 1 (Snapshot.symbolic_cells snap);
+  check bool_t "override visible" true
+    (Res_solver.Expr.equal (Snapshot.read_mem snap x_addr) s)
+
+let test_snapshot_concretize () =
+  let dump = fig1_dump () in
+  let snap = Snapshot.of_coredump dump in
+  let layout = Res_mem.Layout.of_prog fig1.Res_workloads.Truth.w_prog in
+  let x_addr = Res_mem.Layout.global_base layout "x" in
+  let sym = Res_solver.Expr.fresh_sym "v" in
+  let snap = Snapshot.write_mem_over snap x_addr (Res_solver.Expr.Sym sym) in
+  let model = Res_solver.Model.add sym 42 Res_solver.Model.empty in
+  let mem = Snapshot.concrete_mem snap model in
+  check int_t "model value materialized" 42 (Res_mem.Memory.read mem x_addr)
+
+(* --- the Figure 1 backward step: predecessor disambiguation --- *)
+
+let test_fig1_pred_disambiguation () =
+  let dump = fig1_dump () in
+  let ctx = fig1_ctx () in
+  let snap0 = Snapshot.of_coredump dump in
+  (* consume the crash segment (merge block) *)
+  let r1 =
+    Backstep.step_back ctx snap0 ~tid:0
+      ~kind:
+        (Backstep.K_partial (Some dump.Res_vm.Coredump.crash.Res_vm.Crash.kind))
+  in
+  check int_t "crash segment applies" 1 (List.length r1.Backstep.applied);
+  let snap1 = (List.hd r1.Backstep.applied).Backstep.ap_snapshot in
+  (* Pred1 stores x=1 (matches the dump), Pred2 stores x=2 (contradicts) *)
+  let pred1 =
+    Backstep.step_back ctx snap1 ~tid:0 ~kind:(Backstep.K_full { block = "pred1" })
+  in
+  let pred2 =
+    Backstep.step_back ctx snap1 ~tid:0 ~kind:(Backstep.K_full { block = "pred2" })
+  in
+  check bool_t "pred1 feasible" true (pred1.Backstep.applied <> []);
+  check bool_t "pred2 discarded" true (pred2.Backstep.applied = [])
+
+let test_backstep_rejects_mid_segment_full () =
+  let dump = fig1_dump () in
+  let ctx = fig1_ctx () in
+  let snap0 = Snapshot.of_coredump dump in
+  (* the crashing thread is mid-segment: a full step must be refused *)
+  let r =
+    Backstep.step_back ctx snap0 ~tid:0 ~kind:(Backstep.K_full { block = "pred1" })
+  in
+  check bool_t "refused" true (r.Backstep.applied = []);
+  check bool_t "with a reason" true (r.Backstep.rejects <> [])
+
+(* --- search --- *)
+
+let test_fig1_complete_search () =
+  let dump = fig1_dump () in
+  let ctx = fig1_ctx () in
+  let result =
+    Search.search
+      ~config:
+        { Search.default_config with max_segments = 6; max_suffixes = 4 }
+      ctx dump
+  in
+  check bool_t "suffixes found" true (result.Search.suffixes <> []);
+  check bool_t "a complete suffix exists" true
+    (List.exists (fun s -> s.Suffix.complete) result.Search.suffixes);
+  (* every complete suffix goes through pred1, never pred2 *)
+  List.iter
+    (fun s ->
+      if s.Suffix.complete then begin
+        let blocks = List.map (fun seg -> seg.Suffix.seg_block) s.Suffix.segments in
+        check bool_t "pred1 in suffix" true (List.mem "pred1" blocks);
+        check bool_t "pred2 absent" false (List.mem "pred2" blocks)
+      end)
+    result.Search.suffixes
+
+let test_search_stats_accounting () =
+  let dump = fig1_dump () in
+  let ctx = fig1_ctx () in
+  let result =
+    Search.search
+      ~config:{ Search.default_config with max_segments = 3 }
+      ctx dump
+  in
+  let s = result.Search.stats in
+  check bool_t "nodes counted" true (s.Search.nodes > 0);
+  check bool_t "candidates >= feasible" true (s.Search.candidates >= s.Search.feasible);
+  check bool_t "emitted = suffixes" true
+    (s.Search.emitted = List.length result.Search.suffixes)
+
+let test_search_budget () =
+  let dump = fig1_dump () in
+  let ctx = fig1_ctx () in
+  let result =
+    Search.search
+      ~config:{ Search.default_config with max_segments = 6; max_nodes = 1 }
+      ctx dump
+  in
+  check bool_t "budget flag set" false result.Search.complete
+
+(* --- address-pool ablation --- *)
+
+let test_addr_pool_ablation () =
+  let w = Res_workloads.Counter_race.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let max_len use_addr_pool =
+    let ctx = Backstep.make_ctx ~use_addr_pool w.Res_workloads.Truth.w_prog in
+    let result =
+      Search.search
+        ~config:{ Search.default_config with max_segments = 8; max_suffixes = 8 }
+        ctx dump
+    in
+    List.fold_left (fun acc s -> max acc (Suffix.length s)) 0
+      result.Search.suffixes
+  in
+  let with_pool = max_len true and without = max_len false in
+  check bool_t
+    (Fmt.str "pool unlocks deeper suffixes (%d > %d)" with_pool without)
+    true (with_pool > without)
+
+(* --- minidump ablation --- *)
+
+let test_minidump_keeps_both_predecessors () =
+  let dump = fig1_dump () in
+  let ctx = fig1_ctx () in
+  let preds_kept snapshot0 =
+    let result =
+      Search.search
+        ~config:{ Search.default_config with max_segments = 6; max_suffixes = 8 }
+        ?snapshot0 ctx dump
+    in
+    List.concat_map
+      (fun s ->
+        if not s.Suffix.complete then []
+        else
+          List.filter
+            (fun b -> b = "pred1" || b = "pred2")
+            (List.map (fun seg -> seg.Suffix.seg_block) s.Suffix.segments))
+      result.Search.suffixes
+    |> List.sort_uniq compare
+  in
+  check (Alcotest.list Alcotest.string) "full dump disambiguates" [ "pred1" ]
+    (preds_kept None);
+  check (Alcotest.list Alcotest.string) "minidump cannot refute pred2"
+    [ "pred1"; "pred2" ]
+    (preds_kept
+       (Some (Snapshot.of_minidump dump ~layout:ctx.Backstep.layout)))
+
+(* --- breadcrumbs (LBR pruning) --- *)
+
+let test_lbr_prunes_candidates () =
+  let w = Res_workloads.Long_exec.workload_n 8 in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  let run ~crumbs =
+    let result =
+      Search.search
+        ~config:
+          {
+            Search.default_config with
+            max_segments = 5;
+            max_suffixes = 16;
+            use_breadcrumbs = crumbs;
+          }
+        ctx dump
+    in
+    result.Search.stats.Search.candidates
+  in
+  let without = run ~crumbs:false and with_lbr = run ~crumbs:true in
+  check bool_t
+    (Fmt.str "LBR prunes candidates (%d -> %d)" without with_lbr)
+    true (with_lbr <= without)
+
+(* --- replay --- *)
+
+let test_replay_exact_and_deterministic () =
+  let dump = fig1_dump () in
+  let ctx = fig1_ctx () in
+  let result =
+    Search.search
+      ~config:{ Search.default_config with max_segments = 6 }
+      ctx dump
+  in
+  let suffix =
+    match List.find_opt (fun s -> s.Suffix.complete) result.Search.suffixes with
+    | Some s -> s
+    | None -> List.hd result.Search.suffixes
+  in
+  let ok, verdicts = Replay.replay_deterministically ~times:5 ctx suffix dump in
+  check bool_t "5/5 deterministic reproductions" true ok;
+  check int_t "five verdicts" 5 (List.length verdicts);
+  List.iter
+    (fun (v : Replay.verdict) ->
+      check bool_t "trace non-empty" true (v.Replay.trace <> []))
+    verdicts
+
+let test_replay_detects_tampered_suffix () =
+  (* corrupting the model must break exact reproduction *)
+  let dump = fig1_dump () in
+  let ctx = fig1_ctx () in
+  let result =
+    Search.search
+      ~config:{ Search.default_config with max_segments = 6 }
+      ctx dump
+  in
+  let suffix =
+    List.find (fun s -> s.Suffix.complete) result.Search.suffixes
+  in
+  (* smash every model binding *)
+  let bad_model =
+    List.fold_left
+      (fun m (id, _) -> Res_solver.Model.add { Res_solver.Expr.id; name = "" } 99991 m)
+      suffix.Suffix.model
+      (Res_solver.Model.bindings suffix.Suffix.model)
+  in
+  let bad = { suffix with Suffix.model = bad_model } in
+  let v = Replay.replay ctx bad dump in
+  check bool_t "tampered replay rejected" false v.Replay.reproduced
+
+(* --- suffix accessors --- *)
+
+let test_suffix_accessors () =
+  let dump = fig1_dump () in
+  let ctx = fig1_ctx () in
+  let result =
+    Search.search
+      ~config:{ Search.default_config with max_segments = 6 }
+      ctx dump
+  in
+  let s = List.find (fun s -> s.Suffix.complete) result.Search.suffixes in
+  check int_t "schedule length = segments" (Suffix.length s)
+    (List.length (Suffix.schedule s));
+  check int_t "two inputs consumed" 2 (List.length (Suffix.input_script s));
+  check bool_t "write set non-empty" true (Suffix.write_set s <> []);
+  check bool_t "steps counted" true (Suffix.length_steps s > 0)
+
+(* --- root-cause detectors on hand-built traces --- *)
+
+let mk_event step tid func block idx action =
+  {
+    Res_vm.Event.step;
+    tid;
+    pc = Res_ir.Pc.v ~func ~block ~idx;
+    action;
+  }
+
+let test_find_races_positive () =
+  (* two unsynchronized writes to the same address by different threads *)
+  let trace =
+    [
+      mk_event 0 1 "w" "b" 0 (Res_vm.Event.A_write { addr = 100; value = 1; old = 0 });
+      mk_event 1 2 "w" "b" 0 (Res_vm.Event.A_write { addr = 100; value = 2; old = 1 });
+    ]
+  in
+  check bool_t "race found" true (Rootcause.find_races trace <> [])
+
+let test_find_races_lock_ordered () =
+  (* same accesses, but ordered by unlock -> lock: no race *)
+  let trace =
+    [
+      mk_event 0 1 "w" "b" 0 (Res_vm.Event.A_lock { addr = 5 });
+      mk_event 1 1 "w" "b" 1 (Res_vm.Event.A_write { addr = 100; value = 1; old = 0 });
+      mk_event 2 1 "w" "b" 2 (Res_vm.Event.A_unlock { addr = 5 });
+      mk_event 3 2 "w" "b" 0 (Res_vm.Event.A_lock { addr = 5 });
+      mk_event 4 2 "w" "b" 1 (Res_vm.Event.A_write { addr = 100; value = 2; old = 1 });
+      mk_event 5 2 "w" "b" 2 (Res_vm.Event.A_unlock { addr = 5 });
+    ]
+  in
+  check bool_t "no race under lock ordering" true (Rootcause.find_races trace = [])
+
+let test_find_races_join_ordered () =
+  let trace =
+    [
+      mk_event 0 1 "w" "b" 0 (Res_vm.Event.A_write { addr = 100; value = 1; old = 0 });
+      mk_event 1 1 "w" "b" 1 Res_vm.Event.A_halt;
+      mk_event 2 0 "m" "b" 0 (Res_vm.Event.A_join { joined = 1 });
+      mk_event 3 0 "m" "b" 1 (Res_vm.Event.A_read { addr = 100; value = 1 });
+    ]
+  in
+  check bool_t "no race across join" true (Rootcause.find_races trace = [])
+
+let test_find_atomicity_violation () =
+  (* t1 reads, t2 writes, t1 writes: the lost update *)
+  let trace =
+    [
+      mk_event 0 1 "w" "a" 0 (Res_vm.Event.A_read { addr = 7; value = 0 });
+      mk_event 1 2 "w" "a" 0 (Res_vm.Event.A_write { addr = 7; value = 5; old = 0 });
+      mk_event 2 1 "w" "b" 0 (Res_vm.Event.A_write { addr = 7; value = 1; old = 5 });
+    ]
+  in
+  check bool_t "violation found" true (Rootcause.find_atomicity_violations trace <> []);
+  (* without the intervening write there is none *)
+  let clean =
+    [
+      mk_event 0 1 "w" "a" 0 (Res_vm.Event.A_read { addr = 7; value = 0 });
+      mk_event 2 1 "w" "b" 0 (Res_vm.Event.A_write { addr = 7; value = 1; old = 0 });
+    ]
+  in
+  check bool_t "no violation" true (Rootcause.find_atomicity_violations clean = [])
+
+let test_signature_stability () =
+  (* the same defect reported via race or atomicity keys identically *)
+  let pc = Res_ir.Pc.v ~func:"w" ~block:"b" ~idx:0 in
+  let race =
+    Rootcause.Data_race
+      { addr = 100; access1 = (pc, 1, true); access2 = (pc, 2, false) }
+  in
+  let atomicity =
+    Rootcause.Atomicity_violation
+      { addr = 100; read_pc = pc; intervening_pc = pc; write_pc = pc; tids = (1, 2) }
+  in
+  check Alcotest.string "keys agree" (Rootcause.signature race)
+    (Rootcause.signature atomicity)
+
+(* --- debugger --- *)
+
+let race_session () =
+  (* use a *complete* suffix so the workers' reads are inside the window *)
+  let w = Res_workloads.Counter_race.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  let result =
+    Search.search
+      ~config:
+        { Search.default_config with max_segments = 8; max_suffixes = 8 }
+      ctx dump
+  in
+  let suffix =
+    match List.find_opt (fun s -> s.Suffix.complete) result.Search.suffixes with
+    | Some s -> s
+    | None -> List.hd result.Search.suffixes
+  in
+  match Debugger.start ctx suffix dump with
+  | Ok dbg -> (w, dump, dbg)
+  | Error msg -> Alcotest.fail msg
+
+let test_debugger_basics () =
+  let w, dump, dbg = race_session () in
+  ignore dump;
+  check bool_t "non-empty listing" true (Debugger.length dbg > 0);
+  let layout = Res_mem.Layout.of_prog w.Res_workloads.Truth.w_prog in
+  let counter = Res_mem.Layout.global_base layout "counter" in
+  (* final memory state seen by the debugger equals the coredump *)
+  let last = Debugger.length dbg - 1 in
+  check int_t "counter at crash" 1 (Debugger.mem_at dbg last counter);
+  (* the instruction loading the counter for the failing assert is a
+     breakpoint (the faulting assert itself never completes, so it has no
+     trace event — same as a real debugger stopping *at* the fault) *)
+  let load_pc = Res_ir.Pc.v ~func:"main" ~block:"check" ~idx:1 in
+  (match Debugger.break_at dbg load_pc with
+  | Some i ->
+      check int_t "counter already corrupted at the load" 1
+        (Debugger.mem_at dbg i counter)
+  | None -> Alcotest.fail "load pc not found");
+  (* write history of the counter is non-empty *)
+  check bool_t "counter written in suffix" true
+    (Debugger.writes_to dbg counter <> [])
+
+let test_debugger_hypothesis () =
+  let w, _dump, dbg = race_session () in
+  let layout = Res_mem.Layout.of_prog w.Res_workloads.Truth.w_prog in
+  let counter = Res_mem.Layout.global_base layout "counter" in
+  (* in every reproduced racy suffix, some updating worker was preempted
+     between its read and its write *)
+  let preempted tid =
+    match Debugger.preempted_before_update dbg ~tid ~addr:counter with
+    | Some b -> b
+    | None -> false
+  in
+  check bool_t "a worker was preempted mid-update" true
+    (preempted 1 || preempted 2)
+
+let test_debugger_rejects_bad_suffix () =
+  let w = Res_workloads.Counter_race.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  let result =
+    Search.search ~config:{ Search.default_config with max_segments = 2 } ctx dump
+  in
+  let suffix = List.hd result.Search.suffixes in
+  let bad_model =
+    List.fold_left
+      (fun m (id, _) ->
+        Res_solver.Model.add { Res_solver.Expr.id; name = "" } 77777 m)
+      suffix.Suffix.model
+      (Res_solver.Model.bindings suffix.Suffix.model)
+  in
+  match Debugger.start ctx { suffix with Suffix.model = bad_model } dump with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "session opened on a non-reproducing suffix"
+
+(* --- error-log breadcrumbs --- *)
+
+let logged_src =
+  {|
+global x 1
+func main() {
+entry:
+  r0 = input net
+  r1 = global x
+  store r1[0] = r0
+  log "x", r0
+  jmp check
+check:
+  r2 = global x
+  r3 = load r2[0]
+  r4 = const 7
+  r5 = eq r3, r4
+  assert r5, "x is lucky"
+  halt
+}
+|}
+
+let test_log_breadcrumbs_bind_values () =
+  (* the input value 9 is only recoverable from the log entry *)
+  let prog = Res_ir.Validate.check_exn (Res_ir.Parser.parse logged_src) in
+  let config =
+    {
+      (Res_vm.Exec.default_config ()) with
+      oracle = Res_vm.Oracle.scripted [ 9 ];
+    }
+  in
+  let dump =
+    match Res_vm.Exec.run_to_coredump ~config prog with
+    | Some d, _ -> d
+    | None, _ -> Alcotest.fail "expected crash"
+  in
+  let ctx = Backstep.make_ctx prog in
+  let search crumbs =
+    Search.search
+      ~config:
+        { Search.default_config with max_segments = 4; use_breadcrumbs = crumbs }
+      ctx dump
+  in
+  let with_crumbs = search true in
+  check bool_t "suffix found with log crumbs" true
+    (with_crumbs.Search.suffixes <> []);
+  (* the input in the replayed suffix must be the logged 9 *)
+  let s =
+    List.find (fun s -> s.Suffix.complete) with_crumbs.Search.suffixes
+  in
+  check (Alcotest.list int_t) "input pinned by the log" [ 9 ]
+    (Suffix.input_script s)
+
+let test_log_breadcrumbs_prune_contradictions () =
+  (* consume_logs rejects a segment whose emission contradicts the log *)
+  let entry v = { Res_vm.Tracer.log_tid = 0; log_tag = "t"; log_value = v } in
+  let e = Res_solver.Expr.fresh "v" in
+  (match Search.consume_logs ~tid:0 [ ("t", e) ] [ entry 5 ] with
+  | Some ([ c ], []) -> (
+      match Res_solver.Solver.solve [ c ] with
+      | Res_solver.Solver.Sat m ->
+          check int_t "value bound to 5" 5 (Res_solver.Model.eval m e)
+      | _ -> Alcotest.fail "expected sat")
+  | _ -> Alcotest.fail "expected one constraint");
+  (* wrong tag: pruned *)
+  (match Search.consume_logs ~tid:0 [ ("other", e) ] [ entry 5 ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "tag mismatch not pruned");
+  (* wrong tid: pruned *)
+  (match Search.consume_logs ~tid:1 [ ("t", e) ] [ entry 5 ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "tid mismatch not pruned");
+  (* segment logs with an exhausted dump log: pruned *)
+  match Search.consume_logs ~tid:0 [ ("t", e) ] [] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "exhausted log not pruned"
+
+(* --- analyze (end-to-end driver) --- *)
+
+let test_analyze_counter_race () =
+  let w = Res_workloads.Counter_race.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  let analysis = Res.analyze ctx dump in
+  check bool_t "reports exist" true (analysis.Res.reports <> []);
+  match Res.best_cause analysis with
+  | Some (Rootcause.Data_race _ | Rootcause.Atomicity_violation _) -> ()
+  | Some c -> Alcotest.failf "wrong cause: %s" (Rootcause.signature c)
+  | None -> Alcotest.fail "no cause"
+
+let test_analyze_cpu_time_bounded () =
+  (* §4: root cause in under a minute — ours are milliseconds, assert < 10s *)
+  let w = Res_workloads.Counter_race.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  let analysis = Res.analyze ctx dump in
+  check bool_t "well under a minute" true (analysis.Res.cpu_seconds < 10.0)
+
+let () =
+  Alcotest.run "res_core"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "of_coredump" `Quick test_snapshot_of_coredump;
+          Alcotest.test_case "concretize" `Quick test_snapshot_concretize;
+        ] );
+      ( "backstep",
+        [
+          Alcotest.test_case "Fig.1 disambiguation" `Quick
+            test_fig1_pred_disambiguation;
+          Alcotest.test_case "mid-segment full refused" `Quick
+            test_backstep_rejects_mid_segment_full;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "Fig.1 complete suffix" `Quick
+            test_fig1_complete_search;
+          Alcotest.test_case "stats accounting" `Quick test_search_stats_accounting;
+          Alcotest.test_case "node budget" `Quick test_search_budget;
+          Alcotest.test_case "LBR pruning" `Quick test_lbr_prunes_candidates;
+          Alcotest.test_case "minidump ablation" `Quick
+            test_minidump_keeps_both_predecessors;
+          Alcotest.test_case "address-pool ablation" `Quick
+            test_addr_pool_ablation;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "exact + deterministic" `Quick
+            test_replay_exact_and_deterministic;
+          Alcotest.test_case "tampered model rejected" `Quick
+            test_replay_detects_tampered_suffix;
+          Alcotest.test_case "suffix accessors" `Quick test_suffix_accessors;
+        ] );
+      ( "rootcause",
+        [
+          Alcotest.test_case "race positive" `Quick test_find_races_positive;
+          Alcotest.test_case "lock ordering" `Quick test_find_races_lock_ordered;
+          Alcotest.test_case "join ordering" `Quick test_find_races_join_ordered;
+          Alcotest.test_case "atomicity violation" `Quick
+            test_find_atomicity_violation;
+          Alcotest.test_case "signature stability" `Quick test_signature_stability;
+        ] );
+      ( "debugger",
+        [
+          Alcotest.test_case "basics" `Quick test_debugger_basics;
+          Alcotest.test_case "hypothesis query" `Quick test_debugger_hypothesis;
+          Alcotest.test_case "rejects bad suffix" `Quick
+            test_debugger_rejects_bad_suffix;
+        ] );
+      ( "log breadcrumbs",
+        [
+          Alcotest.test_case "bind values" `Quick test_log_breadcrumbs_bind_values;
+          Alcotest.test_case "prune contradictions" `Quick
+            test_log_breadcrumbs_prune_contradictions;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "counter race end-to-end" `Quick
+            test_analyze_counter_race;
+          Alcotest.test_case "cpu time" `Quick test_analyze_cpu_time_bounded;
+        ] );
+    ]

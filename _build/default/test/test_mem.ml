@@ -1,0 +1,232 @@
+(* Unit and property tests for the memory substrate: sparse memory, the
+   address-space layout, and the heap allocator's access classification. *)
+
+open Res_mem
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+(* --- memory --- *)
+
+let test_memory_basics () =
+  let m = Memory.empty in
+  check int_t "unwritten reads 0" 0 (Memory.read m 42);
+  let m = Memory.write m 42 7 in
+  check int_t "read back" 7 (Memory.read m 42);
+  let m = Memory.write m 42 0 in
+  check int_t "explicit zero" 0 (Memory.read m 42);
+  check bool_t "explicit zero recorded" true
+    (List.mem_assoc 42 (Memory.bindings m))
+
+let test_memory_diff () =
+  let a = Memory.write (Memory.write Memory.empty 1 10) 2 20 in
+  let b = Memory.write (Memory.write Memory.empty 1 10) 3 30 in
+  check
+    (Alcotest.list (Alcotest.triple int_t int_t int_t))
+    "diff" [ (2, 20, 0); (3, 0, 30) ] (Memory.diff a b);
+  check bool_t "equal to self" true (Memory.equal a a);
+  check bool_t "not equal" false (Memory.equal a b)
+
+let test_memory_flip_bit () =
+  let m = Memory.write Memory.empty 5 0b1010 in
+  let m' = Memory.flip_bit m 5 1 in
+  check int_t "bit cleared" 0b1000 (Memory.read m' 5);
+  let m'' = Memory.flip_bit m' 5 1 in
+  check int_t "double flip restores" 0b1010 (Memory.read m'' 5)
+
+let prop_write_read =
+  QCheck2.Test.make ~name:"write then read" ~count:300
+    QCheck2.Gen.(triple (int_range 0 100000) int (int_range 0 100000))
+    (fun (a, v, b) ->
+      let m = Memory.write Memory.empty a v in
+      Memory.read m a = v && (a = b || Memory.read m b = 0))
+
+let prop_flip_involutive =
+  QCheck2.Test.make ~name:"flip_bit is involutive" ~count:300
+    QCheck2.Gen.(triple (int_range 0 1000) int (int_range 0 61))
+    (fun (a, v, bit) ->
+      let m = Memory.write Memory.empty a v in
+      Memory.equal m (Memory.flip_bit (Memory.flip_bit m a bit) a bit))
+
+let prop_diff_empty_iff_equal =
+  QCheck2.Test.make ~name:"diff empty iff equal" ~count:200
+    QCheck2.Gen.(
+      pair
+        (small_list (pair (int_range 0 50) (int_range 0 5)))
+        (small_list (pair (int_range 0 50) (int_range 0 5))))
+    (fun (ws_a, ws_b) ->
+      let build ws =
+        List.fold_left (fun m (a, v) -> Memory.write m a v) Memory.empty ws
+      in
+      let a = build ws_a and b = build ws_b in
+      Memory.equal a b = (Memory.diff a b = []))
+
+(* --- layout --- *)
+
+let prog_with_globals =
+  Res_ir.Parser.parse
+    {|
+global a 2
+global b 3
+func main() { e: halt }
+|}
+
+let test_layout_placement () =
+  let l = Layout.of_prog prog_with_globals in
+  let base_a = Layout.global_base l "a" in
+  let base_b = Layout.global_base l "b" in
+  check int_t "a placed at base" Layout.globals_base base_a;
+  check int_t "guard gap between globals" (base_a + 2 + 1) base_b;
+  check bool_t "a's words found" true
+    (Layout.find_global l (base_a + 1) <> None);
+  check bool_t "guard word not in any global" true
+    (Layout.find_global l (base_a + 2) = None);
+  check bool_t "guard word in region" true
+    (Layout.in_globals_region l (base_a + 2));
+  check bool_t "heap region disjoint" false (Layout.in_heap_region base_b);
+  check bool_t "heap base in heap region" true
+    (Layout.in_heap_region Layout.heap_base)
+
+let test_layout_describe () =
+  let l = Layout.of_prog prog_with_globals in
+  let base_a = Layout.global_base l "a" in
+  check Alcotest.string "describe base" "a" (Layout.describe l base_a);
+  check Alcotest.string "describe offset" "a+1" (Layout.describe l (base_a + 1));
+  check Alcotest.string "describe null" "null" (Layout.describe l 0)
+
+let test_layout_unknown_global () =
+  let l = Layout.of_prog prog_with_globals in
+  Alcotest.check_raises "unknown global" Not_found (fun () ->
+      ignore (Layout.global_base l "zzz"))
+
+(* --- heap --- *)
+
+let test_heap_alloc_free () =
+  let h = Heap.empty in
+  let h, p1 = Heap.alloc h ~size:4 ~site:None in
+  let h, p2 = Heap.alloc h ~size:2 ~site:None in
+  check bool_t "blocks disjoint with guard" true (p2 >= p1 + 4 + 1);
+  (match Heap.check_access h (p1 + 3) with
+  | Heap.Ok_access b -> check int_t "found block" p1 b.Heap.base
+  | _ -> Alcotest.fail "expected Ok_access");
+  (match Heap.check_access h (p1 + 4) with
+  | Heap.Out_of_bounds (b, _) -> check int_t "oob block" p1 b.Heap.base
+  | _ -> Alcotest.fail "expected Out_of_bounds");
+  let site = Res_ir.Pc.v ~func:"f" ~block:"b" ~idx:0 in
+  (match Heap.free h p1 ~site with
+  | Heap.Freed_ok (h, _) -> (
+      (match Heap.check_access h (p1 + 1) with
+      | Heap.Use_after_free b -> check int_t "uaf block" p1 b.Heap.base
+      | _ -> Alcotest.fail "expected Use_after_free");
+      match Heap.free h p1 ~site with
+      | Heap.Double_free _ -> ()
+      | _ -> Alcotest.fail "expected Double_free")
+  | _ -> Alcotest.fail "expected Freed_ok");
+  match Heap.free h (p1 + 1) ~site with
+  | Heap.Invalid_free -> ()
+  | _ -> Alcotest.fail "expected Invalid_free"
+
+let test_heap_unmapped () =
+  let h = Heap.empty in
+  (match Heap.check_access h Layout.heap_base with
+  | Heap.Unmapped -> ()
+  | _ -> Alcotest.fail "expected Unmapped on empty heap");
+  let h, p1 = Heap.alloc h ~size:2 ~site:None in
+  match Heap.check_access h (p1 + 100) with
+  | Heap.Unmapped -> ()
+  | _ -> Alcotest.fail "expected Unmapped far past block"
+
+let test_heap_zero_alloc () =
+  Alcotest.check_raises "size 0 rejected"
+    (Invalid_argument "Heap.alloc: non-positive size") (fun () ->
+      ignore (Heap.alloc Heap.empty ~size:0 ~site:None))
+
+let prop_heap_access_classification =
+  (* after a sequence of allocs, every in-bounds word of a live block is
+     Ok_access and its guard word is Out_of_bounds *)
+  QCheck2.Test.make ~name:"heap classification" ~count:100
+    QCheck2.Gen.(small_list (int_range 1 8))
+    (fun sizes ->
+      let h, bases =
+        List.fold_left
+          (fun (h, acc) size ->
+            let h, p = Heap.alloc h ~size ~site:None in
+            (h, (p, size) :: acc))
+          (Heap.empty, []) sizes
+      in
+      List.for_all
+        (fun (base, size) ->
+          let in_bounds =
+            List.init size (fun i ->
+                match Heap.check_access h (base + i) with
+                | Heap.Ok_access b -> b.Heap.base = base
+                | _ -> false)
+          in
+          let guard =
+            match Heap.check_access h (base + size) with
+            | Heap.Out_of_bounds (b, _) -> b.Heap.base = base
+            | _ -> false
+          in
+          List.for_all Fun.id in_bounds && guard)
+        bases)
+
+let prop_heap_live_blocks =
+  QCheck2.Test.make ~name:"free removes from live set" ~count:100
+    QCheck2.Gen.(int_range 1 10)
+    (fun n ->
+      let site = Res_ir.Pc.v ~func:"f" ~block:"b" ~idx:0 in
+      let h, bases =
+        List.fold_left
+          (fun (h, acc) _ ->
+            let h, p = Heap.alloc h ~size:1 ~site:None in
+            (h, p :: acc))
+          (Heap.empty, [])
+          (List.init n Fun.id)
+      in
+      let to_free = List.filteri (fun i _ -> i mod 2 = 0) bases in
+      let h =
+        List.fold_left
+          (fun h p ->
+            match Heap.free h p ~site with
+            | Heap.Freed_ok (h, _) -> h
+            | _ -> h)
+          h to_free
+      in
+      let live = List.map (fun (b : Heap.block) -> b.base) (Heap.live_blocks h) in
+      List.for_all (fun p -> not (List.mem p live)) to_free
+      && List.length live = n - List.length to_free)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_write_read;
+      prop_flip_involutive;
+      prop_diff_empty_iff_equal;
+      prop_heap_access_classification;
+      prop_heap_live_blocks;
+    ]
+
+let () =
+  Alcotest.run "res_mem"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "basics" `Quick test_memory_basics;
+          Alcotest.test_case "diff" `Quick test_memory_diff;
+          Alcotest.test_case "flip_bit" `Quick test_memory_flip_bit;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "placement" `Quick test_layout_placement;
+          Alcotest.test_case "describe" `Quick test_layout_describe;
+          Alcotest.test_case "unknown global" `Quick test_layout_unknown_global;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "alloc/free lifecycle" `Quick test_heap_alloc_free;
+          Alcotest.test_case "unmapped" `Quick test_heap_unmapped;
+          Alcotest.test_case "zero alloc" `Quick test_heap_zero_alloc;
+        ] );
+      ("properties", qcheck_cases);
+    ]

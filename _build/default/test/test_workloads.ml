@@ -1,0 +1,144 @@
+(* Tests for the workload generators: every workload must validate, crash
+   deterministically under its crash config with the expected failure
+   family, and the controls must NOT crash. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let family_of_bug = function
+  | Res_workloads.Truth.B_data_race | Res_workloads.Truth.B_atomicity
+  | Res_workloads.Truth.B_semantic ->
+      [ "assert" ]
+  | Res_workloads.Truth.B_use_after_free -> [ "use-after-free" ]
+  | Res_workloads.Truth.B_buffer_overflow ->
+      [ "heap-overflow"; "global-overflow"; "segfault" ]
+  | Res_workloads.Truth.B_double_free -> [ "double-free" ]
+  | Res_workloads.Truth.B_deadlock -> [ "deadlock" ]
+  | Res_workloads.Truth.B_div_by_zero -> [ "div-by-zero" ]
+  | Res_workloads.Truth.B_hardware -> [ "assert" ]
+
+let workload_cases =
+  List.map
+    (fun w ->
+      Alcotest.test_case w.Res_workloads.Truth.w_name `Quick (fun () ->
+          (* validates *)
+          check (Alcotest.list Alcotest.string) "well-formed" []
+            (List.map
+               (fun (e : Res_ir.Validate.error) -> e.what)
+               (Res_ir.Validate.check w.Res_workloads.Truth.w_prog));
+          (* crashes with the right family *)
+          let dump = Res_workloads.Truth.coredump w in
+          let family =
+            Res_vm.Crash.kind_family
+              dump.Res_vm.Coredump.crash.Res_vm.Crash.kind
+          in
+          check bool_t
+            (Fmt.str "family %s expected for %s" family
+               (Res_workloads.Truth.bug_class_name w.Res_workloads.Truth.w_bug))
+            true
+            (List.mem family (family_of_bug w.Res_workloads.Truth.w_bug));
+          (* crash config is deterministic *)
+          let dump2 = Res_workloads.Truth.coredump w in
+          check bool_t "deterministic crash" true
+            (Res_vm.Coredump.same_failure_state dump dump2)))
+    Res_workloads.Workloads.all
+
+let test_locked_counter_never_crashes () =
+  List.iter
+    (fun seed ->
+      let config =
+        {
+          (Res_vm.Exec.default_config ()) with
+          sched = Res_vm.Sched.create (Res_vm.Sched.Seeded seed);
+        }
+      in
+      match (Res_vm.Exec.run ~config Res_workloads.Locked_counter.prog).outcome with
+      | Res_vm.Exec.Exited -> ()
+      | Res_vm.Exec.Crashed c ->
+          Alcotest.failf "locked counter crashed: %a" Res_vm.Crash.pp c
+      | Res_vm.Exec.Out_of_fuel -> Alcotest.fail "out of fuel")
+    (List.init 25 Fun.id)
+
+let test_uaf_variants_have_distinct_stacks () =
+  let stack v =
+    Res_vm.Coredump.crash_stack
+      (Res_workloads.Truth.coredump (Res_workloads.Uaf.workload_variant v))
+  in
+  let s0 = stack 0 and s1 = stack 1 and s2 = stack 2 in
+  check bool_t "0 <> 1" true (s0 <> s1);
+  check bool_t "1 <> 2" true (s1 <> s2);
+  check bool_t "0 <> 2" true (s0 <> s2)
+
+let test_long_exec_steps_scale () =
+  let steps n =
+    let w = Res_workloads.Long_exec.workload_n n in
+    (Res_workloads.Truth.coredump w).Res_vm.Coredump.steps
+  in
+  let s10 = steps 10 and s100 = steps 100 in
+  check bool_t "longer prefix, more steps" true (s100 > s10 * 5)
+
+let test_corpus_generation () =
+  let reports = Res_workloads.Corpus.generate ~n_per_bug:3 () in
+  check bool_t "non-empty" true (List.length reports >= 8);
+  let bugs =
+    List.sort_uniq compare
+      (List.map (fun (r : Res_workloads.Corpus.report) -> r.r_bug) reports)
+  in
+  check int_t "five distinct bugs" 5 (List.length bugs);
+  (* the same-stack pair really has identical stacks *)
+  let stack_of bug =
+    List.find (fun (r : Res_workloads.Corpus.report) -> String.equal r.r_bug bug) reports
+    |> fun r -> Res_vm.Coredump.crash_stack r.Res_workloads.Corpus.r_dump
+  in
+  check bool_t "race and sign bug share a crash stack" true
+    (stack_of "balance-race" = stack_of "balance-sign");
+  (* the UAF reports have at least two distinct stacks *)
+  let uaf_stacks =
+    List.filter
+      (fun (r : Res_workloads.Corpus.report) -> String.equal r.r_bug "uaf-early-free")
+      reports
+    |> List.map (fun (r : Res_workloads.Corpus.report) ->
+           Res_vm.Coredump.crash_stack r.Res_workloads.Corpus.r_dump)
+    |> List.sort_uniq compare
+  in
+  check bool_t "uaf stacks diverse" true (List.length uaf_stacks >= 2)
+
+let test_hw_cases_crash () =
+  List.iter
+    (fun (c : Res_workloads.Hw_fault.case) ->
+      let dump = Res_workloads.Hw_fault.coredump_of_case c in
+      match dump.Res_vm.Coredump.crash.Res_vm.Crash.kind with
+      | Res_vm.Crash.Assert_fail _ -> ()
+      | k -> Alcotest.failf "unexpected crash kind %a" Res_vm.Crash.pp_kind k)
+    Res_workloads.Hw_fault.cases
+
+let test_hw_victims_clean_without_fault () =
+  (* the "victim" programs are correct: no fault, no crash *)
+  List.iter
+    (fun prog ->
+      match (Res_vm.Exec.run prog).outcome with
+      | Res_vm.Exec.Exited -> ()
+      | _ -> Alcotest.fail "victim program should exit cleanly")
+    [ Res_workloads.Hw_fault.mem_victim; Res_workloads.Hw_fault.cpu_victim ]
+
+let () =
+  Alcotest.run "res_workloads"
+    [
+      ("each workload", workload_cases);
+      ( "controls",
+        [
+          Alcotest.test_case "locked counter clean" `Quick
+            test_locked_counter_never_crashes;
+          Alcotest.test_case "hw victims clean" `Quick
+            test_hw_victims_clean_without_fault;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "uaf stack diversity" `Quick
+            test_uaf_variants_have_distinct_stacks;
+          Alcotest.test_case "long-exec scaling" `Quick test_long_exec_steps_scale;
+          Alcotest.test_case "corpus shape" `Quick test_corpus_generation;
+          Alcotest.test_case "hw cases crash" `Quick test_hw_cases_crash;
+        ] );
+    ]
