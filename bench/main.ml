@@ -22,7 +22,7 @@ let analyze ?(max_segments = 8) w =
         { Res_core.Search.default_config with max_segments; max_nodes = 30_000 };
     }
   in
-  (dump, ctx, Res_core.Res.analyze ~config ctx dump)
+  (dump, ctx, Res_core.Res.analysis (Res_core.Res.analyze ~config ctx dump))
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Figure 1: predecessor disambiguation on the buffer overflow.   *)

@@ -8,9 +8,26 @@
      res hwdiag prog.res core.txt     software bug or hardware error?
      res exploit prog.res core.txt    exploitability rating
      res workload NAME -o core.txt    generate a built-in buggy workload
-     res triage-demo                  run the triaging comparison corpus *)
+     res triage-demo                  run the triaging comparison corpus
+     res selftest                     fault-injection self-test of the pipeline
+
+   Exit codes: 0 analysis complete, 1 internal error or invalid usage,
+   2 partial analysis (search truncated), 3 bad coredump, 4 budget or
+   deadline exhausted. *)
 
 open Cmdliner
+
+(* Distinct exit codes so orchestrators can triage failures without
+   parsing output. *)
+let exit_ok = 0
+let exit_internal = 1
+let exit_partial = 2
+let exit_bad_dump = 3
+let exit_exhausted = 4
+
+(** Abort the command with a code; caught at the top level (never a raw
+    OCaml backtrace). *)
+exception Die of int * string
 
 let read_file path =
   let ic = open_in path in
@@ -33,9 +50,20 @@ let load_prog path =
 
 let or_die = function
   | Ok v -> v
-  | Error msg ->
-      Fmt.epr "error: %s@." msg;
-      exit 1
+  | Error msg -> raise (Die (exit_internal, msg))
+
+(** Load a coredump through the hardened loader: classified dump damage
+    exits with {!exit_bad_dump}; a salvaged dump analyzes with a warning. *)
+let load_dump ?(salvage = false) path =
+  match Res_vm.Coredump_io.load_result ~salvage path with
+  | Ok { Res_vm.Coredump_io.dump; salvaged = None } -> dump
+  | Ok { Res_vm.Coredump_io.dump; salvaged = Some damage } ->
+      Fmt.epr "warning: coredump damaged (%a); salvaged the intact prefix@."
+        Res_vm.Coredump_io.pp_dump_error damage;
+      dump
+  | Error err ->
+      raise
+        (Die (exit_bad_dump, Res_vm.Coredump_io.dump_error_to_string err))
 
 (* --- common arguments --- *)
 
@@ -119,11 +147,16 @@ let run_cmd =
         | Some path ->
             Res_vm.Coredump_io.save path dump;
             Fmt.pr "coredump written to %s@." path
-        | None -> Fmt.pr "%s@." (Res_vm.Coredump.to_string dump))
+        | None -> Fmt.pr "%s@." (Res_vm.Coredump.to_string dump));
+        exit_ok
     | None, r -> (
         match r.Res_vm.Exec.outcome with
-        | Res_vm.Exec.Exited -> Fmt.pr "program exited normally (no coredump)@."
-        | Res_vm.Exec.Out_of_fuel -> Fmt.pr "instruction budget exhausted@."
+        | Res_vm.Exec.Exited ->
+            Fmt.pr "program exited normally (no coredump)@.";
+            exit_ok
+        | Res_vm.Exec.Out_of_fuel ->
+            Fmt.pr "instruction budget exhausted@.";
+            exit_exhausted
         | Res_vm.Exec.Crashed _ -> assert false)
   in
   Cmd.v
@@ -139,7 +172,8 @@ let validate_cmd =
       prog_path
       (List.length prog.Res_ir.Prog.funcs)
       (List.length prog.Res_ir.Prog.globals)
-      (Res_ir.Prog.size prog)
+      (Res_ir.Prog.size prog);
+    exit_ok
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Parse and validate a MiniIR program.")
@@ -147,10 +181,54 @@ let validate_cmd =
 
 (* --- analyze --- *)
 
+let salvage_arg =
+  Arg.(
+    value & flag
+    & info [ "salvage" ]
+        ~doc:
+          "If the coredump is damaged, analyze the intact prefix instead of \
+           refusing it.")
+
+(** Map an analysis outcome to the documented exit code. *)
+let outcome_code = function
+  | Res_core.Res.Complete _ -> exit_ok
+  | Res_core.Res.Partial
+      ((Res_core.Res.Deadline_exceeded | Res_core.Res.Fuel_exhausted), _) ->
+      exit_exhausted
+  | Res_core.Res.Partial (Res_core.Res.Search_truncated, _) -> exit_partial
+  | Res_core.Res.Failed (Res_core.Res.Bad_dump _) -> exit_bad_dump
+  | Res_core.Res.Failed (Res_core.Res.Internal _) -> exit_internal
+
 let analyze_cmd =
-  let run prog_path dump_path depth breadcrumbs =
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock deadline for the whole analysis; past it the best \
+             partial result so far is reported (exit code 4).")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Search-node budget for the whole analysis (exit code 4 when \
+                exhausted).")
+  in
+  let attempts =
+    Arg.(
+      value & opt int 3
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:
+            "Retry-with-escalation attempts: each retry doubles the search \
+             node budget before settling for a partial result.")
+  in
+  let run prog_path dump_path depth breadcrumbs deadline fuel attempts salvage
+      =
     let prog = or_die (load_prog prog_path) in
-    let dump = Res_vm.Coredump_io.load dump_path in
+    let dump = load_dump ~salvage dump_path in
     let ctx = Res_core.Backstep.make_ctx prog in
     let config =
       {
@@ -162,17 +240,26 @@ let analyze_cmd =
             max_nodes = 30_000;
             use_breadcrumbs = breadcrumbs;
           };
+        max_attempts = max 1 attempts;
       }
     in
-    let analysis = Res_core.Res.analyze ~config ctx dump in
-    Fmt.pr "%s@." (Res_core.Report.analysis_to_string ctx analysis)
+    let budget =
+      match (deadline, fuel) with
+      | None, None -> None
+      | _ -> Some (Res_core.Budget.create ?wall_seconds:deadline ?fuel ())
+    in
+    let outcome = Res_core.Res.analyze ~config ?budget ctx dump in
+    Fmt.pr "%s@." (Res_core.Report.outcome_to_string ctx outcome);
+    outcome_code outcome
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Synthesize execution suffixes for a coredump, replay them, and \
           classify the root cause.")
-    Term.(const run $ prog_arg $ dump_arg 1 $ depth_arg $ breadcrumbs_arg)
+    Term.(
+      const run $ prog_arg $ dump_arg 1 $ depth_arg $ breadcrumbs_arg
+      $ deadline $ fuel $ attempts $ salvage_arg)
 
 (* --- replay --- *)
 
@@ -184,7 +271,7 @@ let replay_cmd =
   in
   let run prog_path dump_path depth times =
     let prog = or_die (load_prog prog_path) in
-    let dump = Res_vm.Coredump_io.load dump_path in
+    let dump = load_dump dump_path in
     let ctx = Res_core.Backstep.make_ctx prog in
     let result =
       Res_core.Search.search
@@ -194,7 +281,7 @@ let replay_cmd =
     match result.Res_core.Search.suffixes with
     | [] ->
         Fmt.pr "no feasible suffix found (try a larger --depth)@.";
-        exit 1
+        exit_partial
     | suffix :: _ ->
         Fmt.pr "%a@." Res_core.Suffix.pp suffix;
         let ok, verdicts =
@@ -204,7 +291,8 @@ let replay_cmd =
           List.length (List.filter (fun v -> v.Res_core.Replay.reproduced) verdicts)
         in
         Fmt.pr "replayed %d times: %d exact coredump matches%s@." times exact
-          (if ok then " — deterministic" else "")
+          (if ok then " — deterministic" else "");
+        exit_ok
   in
   Cmd.v
     (Cmd.info "replay"
@@ -217,14 +305,15 @@ let replay_cmd =
 let hwdiag_cmd =
   let run prog_path dump_path =
     let prog = or_die (load_prog prog_path) in
-    let dump = Res_vm.Coredump_io.load dump_path in
+    let dump = load_dump dump_path in
     let verdict = Res_usecases.Hwdiag.diagnose prog dump in
     Fmt.pr "%a@." Res_usecases.Hwdiag.pp_verdict verdict;
-    match verdict with
+    (match verdict with
     | Res_usecases.Hwdiag.Software r ->
         Fmt.pr "reconstructed execution:@.%a@." Res_core.Suffix.pp
           r.Res_core.Res.suffix
-    | _ -> ()
+    | _ -> ());
+    exit_ok
   in
   Cmd.v
     (Cmd.info "hwdiag"
@@ -237,14 +326,15 @@ let hwdiag_cmd =
 let exploit_cmd =
   let run prog_path dump_path =
     let prog = or_die (load_prog prog_path) in
-    let dump = Res_vm.Coredump_io.load dump_path in
+    let dump = load_dump dump_path in
     let e = Res_usecases.Exploit.classify_dump prog dump in
     let h = Res_baselines.Exploitable_heuristic.rate prog dump in
     Fmt.pr "RES taint analysis : %s (address tainted: %b, value tainted: %b)@."
       (Res_usecases.Exploit.rating_name e.Res_usecases.Exploit.rating)
       e.Res_usecases.Exploit.tainted_addr e.Res_usecases.Exploit.tainted_value;
     Fmt.pr "!exploitable-style : %s@."
-      (Res_baselines.Exploitable_heuristic.rating_name h)
+      (Res_baselines.Exploitable_heuristic.rating_name h);
+    exit_ok
   in
   Cmd.v
     (Cmd.info "exploit"
@@ -281,7 +371,8 @@ let workload_cmd =
           (fun w ->
             Fmt.pr "  %-26s %s@." w.Res_workloads.Truth.w_name
               w.Res_workloads.Truth.w_description)
-          Res_workloads.Workloads.all
+          Res_workloads.Workloads.all;
+        exit_ok
     | Some name ->
         let w = Res_workloads.Workloads.find name in
         let dump = Res_workloads.Truth.coredump w in
@@ -297,7 +388,8 @@ let workload_cmd =
         | Some path ->
             Res_vm.Coredump_io.save path dump;
             Fmt.pr "coredump written to %s@." path
-        | None -> ())
+        | None -> ());
+        exit_ok
   in
   Cmd.v
     (Cmd.info "workload"
@@ -337,13 +429,60 @@ let triage_cmd =
     in
     show "WER" (fun (r : Res_usecases.Triage.report) ->
         Res_usecases.Triage.wer_key r.t_dump);
-    show "RES" Res_usecases.Triage.res_key
+    show "RES" Res_usecases.Triage.res_key;
+    exit_ok
   in
   Cmd.v
     (Cmd.info "triage-demo"
        ~doc:"Compare stack-hash (WER) and root-cause (RES) bucketing on the \
              built-in bug-report corpus.")
     Term.(const run $ per_bug)
+
+(* --- selftest --- *)
+
+let selftest_cmd =
+  let runs =
+    Arg.(
+      value & opt int 60
+      & info [ "runs" ] ~docv:"N" ~doc:"How many perturbed analyses to run.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (fully deterministic).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every run.")
+  in
+  let skip_deadline =
+    Arg.(
+      value & flag
+      & info [ "no-deadline-check" ]
+          ~doc:"Skip the wall-clock deadline compliance measurement.")
+  in
+  let run runs seed verbose skip_deadline =
+    let open Res_faultinject.Faultinject in
+    let s = campaign ~seed ~runs () in
+    if verbose then List.iter (fun r -> Fmt.pr "%a@." pp_run r) s.runs;
+    Fmt.pr "%a@." pp_summary s;
+    List.iter (fun r -> Fmt.epr "ESCAPED: %a@." pp_run r) s.escaped;
+    let deadline_ok =
+      if skip_deadline then true
+      else begin
+        let d = deadline_compliance () in
+        Fmt.pr "%a@." pp_deadline_check d;
+        d.d_within
+      end
+    in
+    if s.escaped = [] && deadline_ok then exit_ok else exit_internal
+  in
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:
+         "Fault-inject the analysis pipeline itself (corrupt dumps, starved \
+          budgets, tight deadlines) and assert it always degrades to a typed \
+          outcome.")
+    Term.(const run $ runs $ seed $ verbose $ skip_deadline)
 
 let main_cmd =
   let doc = "reverse execution synthesis for MiniIR coredumps" in
@@ -358,6 +497,17 @@ let main_cmd =
       exploit_cmd;
       workload_cmd;
       triage_cmd;
+      selftest_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Never let a raw OCaml exception (or backtrace) reach the user: every
+   failure maps to a documented exit code and a one-line message. *)
+let () =
+  exit
+    (try Cmd.eval' ~catch:false main_cmd with
+    | Die (code, msg) ->
+        Fmt.epr "res: error: %s@." msg;
+        code
+    | exn ->
+        Fmt.epr "res: internal error: %s@." (Printexc.to_string exn);
+        exit_internal)

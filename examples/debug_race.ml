@@ -26,7 +26,7 @@ let () =
       search = { Res_core.Search.default_config with max_segments = 8 };
     }
   in
-  let analysis = Res_core.Res.analyze ~config ctx dump in
+  let analysis = Res_core.Res.analysis (Res_core.Res.analyze ~config ctx dump) in
   let report = List.hd analysis.Res_core.Res.reports in
   Fmt.pr "== synthesized suffix ==@.%a@." Res_core.Suffix.pp
     report.Res_core.Res.suffix;

@@ -38,7 +38,7 @@ let () =
         };
     }
   in
-  let analysis = Res_core.Res.analyze ~config ctx dump in
+  let analysis = Res_core.Res.analysis (Res_core.Res.analyze ~config ctx dump) in
   let report = List.hd analysis.Res_core.Res.reports in
   Fmt.pr "== RES verdict (%.3fs of cpu) ==@." analysis.Res_core.Res.cpu_seconds;
   Fmt.pr "%a@." Res_core.Suffix.pp report.Res_core.Res.suffix;

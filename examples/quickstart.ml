@@ -61,7 +61,7 @@ let () =
 
   Fmt.pr "== 2. RES analyzes the coredump (no recording, no inputs kept) ==@.";
   let ctx = Res_core.Backstep.make_ctx program in
-  let analysis = Res_core.Res.analyze ctx dump in
+  let analysis = Res_core.Res.analysis (Res_core.Res.analyze ctx dump) in
   Fmt.pr "%s@." (Res_core.Report.analysis_to_string ctx analysis);
 
   Fmt.pr "== 3. the suffix replays deterministically ==@.";

@@ -49,6 +49,21 @@ let make_ctx ?(sym_config = Res_symex.Symexec.default_config)
     use_addr_pool;
   }
 
+(** Thread a cooperative interrupt into every engine the context drives:
+    the solver, the symbolic executor, and the executor's inner solver.
+    How {!Budget} deadlines reach mid-flight solves and block executions. *)
+let with_interrupt ctx interrupt =
+  {
+    ctx with
+    solver_config = { ctx.solver_config with Solver.interrupt };
+    sym_config =
+      {
+        ctx.sym_config with
+        Res_symex.Symexec.interrupt;
+        solver = { ctx.sym_config.Res_symex.Symexec.solver with Solver.interrupt };
+      };
+  }
+
 (** Candidate backward moves for one thread. *)
 type kind =
   | K_partial of Res_vm.Crash.kind option

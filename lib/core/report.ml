@@ -44,3 +44,14 @@ let pp_analysis ctx ppf (a : Res.analysis) =
     a.Res.reports
 
 let analysis_to_string ctx a = Fmt.str "%a@." (pp_analysis ctx) a
+
+let pp_outcome ctx ppf (o : Res.outcome) =
+  match o with
+  | Res.Complete a ->
+      Fmt.pf ppf "@[<v>outcome: complete@,%a@]" (pp_analysis ctx) a
+  | Res.Partial (reason, a) ->
+      Fmt.pf ppf "@[<v>outcome: PARTIAL — %a@,best partial results follow@,%a@]"
+        Res.pp_partial_reason reason (pp_analysis ctx) a
+  | Res.Failed e -> Fmt.pf ppf "outcome: FAILED — %a" Res.pp_error e
+
+let outcome_to_string ctx o = Fmt.str "%a@." (pp_outcome ctx) o

@@ -31,10 +31,42 @@ type config = {
   stop_at_first_cause : bool;
       (** stop deepening once a reproduced suffix has a concurrency or
           memory-safety root cause (not merely the crash site) *)
+  max_attempts : int;
+      (** retry-with-escalation: when the search exhausts its node budget
+          without a definite cause, restart with doubled budgets up to this
+          many attempts (wall-clock deadline permitting) *)
 }
 
 let default_config =
-  { search = Search.default_config; determinism_runs = 3; stop_at_first_cause = true }
+  {
+    search = Search.default_config;
+    determinism_runs = 3;
+    stop_at_first_cause = true;
+    max_attempts = 3;
+  }
+
+(** How an analysis ended.  [Complete] ran to a deliberate stop (definite
+    cause found, or the full depth explored within budget); [Partial]
+    carries the best reports found before a budget tripped; [Failed] could
+    not analyze at all. *)
+type partial_reason =
+  | Deadline_exceeded  (** the wall-clock deadline tripped mid-search *)
+  | Fuel_exhausted  (** the cooperative fuel budget tripped *)
+  | Search_truncated
+      (** the search node budget was exhausted on every attempt *)
+
+type error =
+  | Bad_dump of string  (** the coredump does not match the program *)
+  | Internal of string  (** an unexpected failure inside the pipeline *)
+
+let pp_partial_reason ppf = function
+  | Deadline_exceeded -> Fmt.string ppf "wall-clock deadline exceeded"
+  | Fuel_exhausted -> Fmt.string ppf "fuel budget exhausted"
+  | Search_truncated -> Fmt.string ppf "search node budget exhausted"
+
+let pp_error ppf = function
+  | Bad_dump msg -> Fmt.pf ppf "bad coredump: %s" msg
+  | Internal msg -> Fmt.pf ppf "internal error: %s" msg
 
 (** Whether a cause is a definite defect (vs just the crash location). *)
 let definite_cause = function
@@ -64,21 +96,91 @@ let report_of ctx config (dump : Res_vm.Coredump.t) suffix =
     in
     { suffix; verdict; root_cause; deterministic }
 
-(** Analyze a coredump: synthesize, replay, classify. *)
-let analyze ?(config = default_config) ctx (dump : Res_vm.Coredump.t) : analysis =
-  let t0 = Sys.time () in
-  let nodes = ref 0 and cands = ref 0 and synth = ref 0 in
+type outcome =
+  | Complete of analysis
+  | Partial of partial_reason * analysis
+  | Failed of error
+
+let empty_analysis =
+  {
+    reports = [];
+    depth_reached = 0;
+    nodes_expanded = 0;
+    candidates_tried = 0;
+    suffixes_synthesized = 0;
+    cpu_seconds = 0.;
+  }
+
+(** The analysis carried by an outcome ([Failed] carries an empty one). *)
+let analysis = function Complete a | Partial (_, a) -> a | Failed _ -> empty_analysis
+
+let outcome_name = function
+  | Complete _ -> "complete"
+  | Partial _ -> "partial"
+  | Failed _ -> "failed"
+
+let pp_outcome ppf = function
+  | Complete _ -> Fmt.string ppf "complete"
+  | Partial (r, a) ->
+      Fmt.pf ppf "partial (%a; %d report(s) salvaged)" pp_partial_reason r
+        (List.length a.reports)
+  | Failed e -> Fmt.pf ppf "failed: %a" pp_error e
+
+(** Cheap structural validation of a dump against the program under
+    analysis: every program location the dump mentions must resolve.  A
+    truncated or bit-corrupted dump that survived parsing is usually caught
+    here, before the search builds on nonsense. *)
+let check_dump ctx (dump : Res_vm.Coredump.t) =
+  let check_pc what (pc : Res_ir.Pc.t) =
+    match Res_ir.Prog.func_opt ctx.Backstep.prog pc.Res_ir.Pc.func with
+    | None -> Error (Fmt.str "%s references unknown function %s" what pc.func)
+    | Some f -> (
+        match Res_ir.Func.block_opt f pc.Res_ir.Pc.block with
+        | None ->
+            Error (Fmt.str "%s references unknown block %s:%s" what pc.func pc.block)
+        | Some b ->
+            if pc.Res_ir.Pc.idx < 0 || pc.idx > Res_ir.Block.length b then
+              Error
+                (Fmt.str "%s index %d out of range for %s:%s" what pc.idx pc.func
+                   pc.block)
+            else Ok ())
+  in
+  let ( let* ) = Result.bind in
+  let* () = check_pc "crash site" dump.Res_vm.Coredump.crash.Res_vm.Crash.pc in
+  let* () =
+    List.fold_left
+      (fun acc (th : Res_vm.Thread.t) ->
+        List.fold_left
+          (fun acc (fr : Res_vm.Frame.t) ->
+            let* () = acc in
+            check_pc
+              (Fmt.str "thread %d frame" th.Res_vm.Thread.tid)
+              (Res_ir.Pc.v ~func:fr.Res_vm.Frame.func ~block:fr.Res_vm.Frame.block
+                 ~idx:fr.Res_vm.Frame.idx))
+          acc th.Res_vm.Thread.frames)
+      (Ok ())
+      (Res_vm.Coredump.threads dump)
+  in
+  if dump.Res_vm.Coredump.steps < 0 then Error "negative step count" else Ok ()
+
+(** One full iterative-deepening pass under [search_config].  Returns the
+    sorted reports, the depth reached, whether a definite deterministic
+    cause was found, and whether any per-depth search was truncated. *)
+let deepen_pass ctx config search_config budget dump ~nodes ~cands ~synth =
+  let truncated = ref false in
   let rec deepen depth acc =
-    if depth > config.search.Search.max_segments then (acc, depth - 1)
+    if depth > search_config.Search.max_segments then (acc, depth - 1)
+    else if not (Budget.ok budget) then (acc, depth - 1)
     else
       let result =
         Search.search
-          ~config:{ config.search with Search.max_segments = depth }
-          ctx dump
+          ~config:{ search_config with Search.max_segments = depth }
+          ~budget ctx dump
       in
       nodes := !nodes + result.Search.stats.Search.nodes;
       cands := !cands + result.Search.stats.Search.candidates;
       synth := !synth + List.length result.Search.suffixes;
+      if not result.Search.complete then truncated := true;
       let reports =
         List.map (report_of ctx config dump) result.Search.suffixes
         |> List.filter (fun r -> r.verdict.Replay.reproduced)
@@ -96,35 +198,88 @@ let analyze ?(config = default_config) ctx (dump : Res_vm.Coredump.t) : analysis
       else deepen (depth + 1) acc
   in
   let reports, depth = deepen 1 [] in
-  (* Definite causes first, then longer suffixes first. *)
-  let score r =
-    match r.root_cause with
-    | Some c when definite_cause c -> 2
-    | Some _ -> 1
-    | None -> 0
-  in
-  let reports =
-    List.stable_sort
-      (fun a b ->
-        match compare (score b) (score a) with
-        | 0 -> compare (Suffix.length b.suffix) (Suffix.length a.suffix)
-        | c -> c)
+  let found_definite =
+    List.exists
+      (fun r ->
+        match r.root_cause with
+        | Some c -> definite_cause c && r.deterministic
+        | None -> false)
       reports
   in
-  {
-    reports;
-    depth_reached = depth;
-    nodes_expanded = !nodes;
-    candidates_tried = !cands;
-    suffixes_synthesized = !synth;
-    cpu_seconds = Sys.time () -. t0;
-  }
+  (reports, depth, found_definite, !truncated)
+
+(** Analyze a coredump: synthesize, replay, classify — always returning a
+    typed outcome.  [budget] bounds the whole analysis (wall-clock deadline
+    and/or cooperative fuel); when it trips, the best reports found so far
+    come back as [Partial].  A search that merely exhausts its node budget
+    without a definite cause is retried with doubled budgets, up to
+    [config.max_attempts] attempts (graceful degradation instead of silent
+    truncation). *)
+let analyze ?(config = default_config) ?budget ctx (dump : Res_vm.Coredump.t) :
+    outcome =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let t0 = Sys.time () in
+  let nodes = ref 0 and cands = ref 0 and synth = ref 0 in
+  let finish_analysis reports depth =
+    (* Definite causes first, then longer suffixes first. *)
+    let score r =
+      match r.root_cause with
+      | Some c when definite_cause c -> 2
+      | Some _ -> 1
+      | None -> 0
+    in
+    let reports =
+      List.stable_sort
+        (fun a b ->
+          match compare (score b) (score a) with
+          | 0 -> compare (Suffix.length b.suffix) (Suffix.length a.suffix)
+          | c -> c)
+        reports
+    in
+    {
+      reports;
+      depth_reached = depth;
+      nodes_expanded = !nodes;
+      candidates_tried = !cands;
+      suffixes_synthesized = !synth;
+      cpu_seconds = Sys.time () -. t0;
+    }
+  in
+  match check_dump ctx dump with
+  | Error msg -> Failed (Bad_dump msg)
+  | Ok () -> (
+      try
+        let rec attempt i search_config =
+          let reports, depth, found_definite, truncated =
+            deepen_pass ctx config search_config budget dump ~nodes ~cands ~synth
+          in
+          match Budget.exhausted budget with
+          | Some Budget.Deadline ->
+              Partial (Deadline_exceeded, finish_analysis reports depth)
+          | Some Budget.Fuel ->
+              Partial (Fuel_exhausted, finish_analysis reports depth)
+          | None ->
+              if found_definite || not truncated then
+                Complete (finish_analysis reports depth)
+              else if i + 1 < config.max_attempts then
+                (* Escalate: double the search budget and go again. *)
+                attempt (i + 1)
+                  {
+                    search_config with
+                    Search.max_nodes = search_config.Search.max_nodes * 2;
+                  }
+              else Partial (Search_truncated, finish_analysis reports depth)
+        in
+        attempt 0 config.search
+      with
+      | Stack_overflow -> Failed (Internal "stack overflow during analysis")
+      | exn -> Failed (Internal (Printexc.to_string exn)))
 
 (** The best root cause of an analysis, if any. *)
 let best_cause analysis =
   List.find_map (fun r -> r.root_cause) analysis.reports
 
 (** Convenience: build a context and analyze in one call. *)
-let analyze_program ?config ?sym_config ?solver_config prog dump =
+let analyze_program ?config ?sym_config ?solver_config ?budget prog dump =
   let ctx = Backstep.make_ctx ?sym_config ?solver_config prog in
-  analyze ?config ctx dump
+  analyze ?config ?budget ctx dump

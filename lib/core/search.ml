@@ -192,18 +192,31 @@ let at_program_start ctx (node : node) =
 type result = {
   suffixes : Suffix.t list;
   stats : stats;
-  complete : bool;  (** false when the node budget was exhausted *)
+  complete : bool;  (** false when a node budget or deadline was exhausted *)
+  exhausted : Budget.exhaustion option;
+      (** why the shared {!Budget} stopped the search, when it did *)
 }
 
 (** Synthesize suffixes of up to [max_segments] segments for [dump].
     [snapshot0] overrides the base snapshot — e.g.
     {!Snapshot.of_minidump} for the minidump ablation; the default is the
-    full coredump. *)
-let search ?(config = default_config) ?snapshot0 ctx
+    full coredump.  [budget] bounds the whole search cooperatively
+    (wall-clock deadline and node fuel); when it trips, the suffixes found
+    so far are returned with [complete = false]. *)
+let search ?(config = default_config) ?snapshot0 ?budget ctx
     (dump : Res_vm.Coredump.t) : result =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let ctx = Backstep.with_interrupt ctx (Budget.interrupt budget) in
   let stats = new_stats () in
   let out = ref [] in
   let budget_hit = ref false in
+  let budget_ok () =
+    if Budget.tick budget then true
+    else begin
+      budget_hit := true;
+      false
+    end
+  in
   let crash = dump.Res_vm.Coredump.crash in
   let emit ?(at_start = false) node =
     if stats.emitted < config.max_suffixes then
@@ -241,6 +254,7 @@ let search ?(config = default_config) ?snapshot0 ctx
   let rec go depth node =
     if stats.emitted >= config.max_suffixes then ()
     else if stats.nodes >= config.max_nodes then budget_hit := true
+    else if not (budget_ok ()) then ()
     else begin
       stats.nodes <- stats.nodes + 1;
       if at_program_start ctx node then emit ~at_start:true node
@@ -251,6 +265,7 @@ let search ?(config = default_config) ?snapshot0 ctx
         List.iter
           (fun (tid, kind, crumbs') ->
             if stats.nodes >= config.max_nodes then budget_hit := true
+            else if not (Budget.ok budget) then budget_hit := true
             else if stats.emitted < config.max_suffixes then begin
               stats.candidates <- stats.candidates + 1;
               let { Backstep.applied; rejects = _ } =
@@ -356,4 +371,9 @@ let search ?(config = default_config) ?snapshot0 ctx
                   n_touched = seg.Suffix.seg_writes @ seg.Suffix.seg_reads;
                 })
         applied);
-  { suffixes = List.rev !out; stats; complete = not !budget_hit }
+  {
+    suffixes = List.rev !out;
+    stats;
+    complete = not !budget_hit;
+    exhausted = Budget.exhausted budget;
+  }

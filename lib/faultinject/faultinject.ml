@@ -1,0 +1,304 @@
+(** Fault-injection self-tests for the analysis pipeline itself.
+
+    RES's value proposition is working from whatever evidence survives a
+    crash — so the pipeline must survive hostile evidence and starved
+    resources.  This harness perturbs the {e analysis substrate}:
+
+    - corrupting the coredump bytes (truncation, bit flips, garbage
+      headers, empty files) before loading,
+    - starving the search, solver, and symbolic-execution budgets,
+    - imposing tight wall-clock deadlines and tiny fuel budgets,
+
+    and asserts the invariant that matters: every perturbed analysis
+    terminates with a {e typed} outcome — [Complete], [Partial], [Failed],
+    or a classified [dump_error] — and never an uncaught exception.  The
+    campaign is fully deterministic for a given seed. *)
+
+type perturbation =
+  | Truncate_dump of int  (** keep this percentage (0–99) of the dump bytes *)
+  | Flip_dump_byte of int * int  (** (byte offset seed, bit): flip one bit *)
+  | Empty_dump
+  | Garbage_header
+  | Search_starvation of int  (** search max_nodes this small *)
+  | Solver_starvation of int  (** solver max_nodes this small *)
+  | Symex_starvation of int  (** symexec max_steps this small *)
+  | Fuel_starvation of int  (** pipeline budget of this many fuel ticks *)
+  | Tight_deadline of float  (** wall-clock deadline in seconds *)
+
+let pp_perturbation ppf = function
+  | Truncate_dump pct -> Fmt.pf ppf "truncate dump to %d%%" pct
+  | Flip_dump_byte (off, bit) -> Fmt.pf ppf "flip bit %d of dump byte ~%d" bit off
+  | Empty_dump -> Fmt.string ppf "empty dump file"
+  | Garbage_header -> Fmt.string ppf "garbage dump header"
+  | Search_starvation n -> Fmt.pf ppf "search starved to %d nodes" n
+  | Solver_starvation n -> Fmt.pf ppf "solver starved to %d nodes" n
+  | Symex_starvation n -> Fmt.pf ppf "symexec starved to %d steps" n
+  | Fuel_starvation n -> Fmt.pf ppf "budget starved to %d fuel" n
+  | Tight_deadline s -> Fmt.pf ppf "%.3fs wall-clock deadline" s
+
+(** What a perturbed analysis terminated with.  [R_dump_error] means the
+    hardened loader classified the damage before analysis (which is the
+    correct typed answer for an unsalvageable dump). *)
+type result_kind =
+  | R_complete
+  | R_partial
+  | R_failed
+  | R_dump_error
+  | R_escaped of string  (** an exception escaped: the invariant violated *)
+
+let result_kind_name = function
+  | R_complete -> "complete"
+  | R_partial -> "partial"
+  | R_failed -> "failed"
+  | R_dump_error -> "dump-error"
+  | R_escaped _ -> "ESCAPED-EXCEPTION"
+
+type run = {
+  r_workload : string;
+  r_perturbation : perturbation;
+  r_kind : result_kind;
+  r_salvaged : bool;  (** the dump was damaged but salvage-loaded *)
+  r_detail : string;
+  r_elapsed : float;  (** wall-clock seconds for the whole perturbed run *)
+}
+
+type summary = {
+  runs : run list;
+  total : int;
+  complete : int;
+  partial : int;
+  failed : int;
+  dump_errors : int;
+  salvaged : int;
+  escaped : run list;  (** empty iff the pipeline held its invariant *)
+}
+
+(* --- deterministic PRNG (the campaign must not depend on global state) --- *)
+
+type rng = { mutable s : int }
+
+let rng_next r =
+  (* 48-bit LCG; constants fit OCaml's 63-bit int on 64-bit platforms *)
+  r.s <- ((r.s * 0x5DEECE66D) + 0xB) land 0xFFFFFFFFFFFF;
+  r.s lsr 17
+
+let rng_below r n = if n <= 0 then 0 else rng_next r mod n
+
+(* --- the perturbed pipeline --- *)
+
+let small_config =
+  {
+    Res_core.Res.default_config with
+    search =
+      { Res_core.Search.default_config with max_segments = 4; max_nodes = 2_000 };
+    determinism_runs = 1;
+    max_attempts = 2;
+  }
+
+let outcome_kind = function
+  | Res_core.Res.Complete _ -> R_complete
+  | Res_core.Res.Partial _ -> R_partial
+  | Res_core.Res.Failed _ -> R_failed
+
+let perturb_dump_text text = function
+  | Truncate_dump pct -> String.sub text 0 (String.length text * pct / 100)
+  | Flip_dump_byte (off, bit) ->
+      let b = Bytes.of_string text in
+      let i =
+        (* land on a payload byte, deterministically from [off] *)
+        if Bytes.length b = 0 then 0 else (off * 2654435761) land max_int mod Bytes.length b
+      in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit) land 0xFF));
+      Bytes.to_string b
+  | Empty_dump -> ""
+  | Garbage_header -> "notacoredump v9\n" ^ text
+  | _ -> text
+
+let is_dump_perturbation = function
+  | Truncate_dump _ | Flip_dump_byte _ | Empty_dump | Garbage_header -> true
+  | _ -> false
+
+(** Run one perturbed analysis.  Catches {e everything}: an exception that
+    reaches this frame is recorded as [R_escaped], which the self-test
+    asserts never happens. *)
+let run_one (w : Res_workloads.Truth.t) perturbation : run =
+  let t0 = Unix.gettimeofday () in
+  let finish kind ?(salvaged = false) detail =
+    {
+      r_workload = w.Res_workloads.Truth.w_name;
+      r_perturbation = perturbation;
+      r_kind = kind;
+      r_salvaged = salvaged;
+      r_detail = detail;
+      r_elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  try
+    let dump = Res_workloads.Truth.coredump w in
+    let analyze_with ?budget ctx dump =
+      let outcome = Res_core.Res.analyze ~config:small_config ?budget ctx dump in
+      finish (outcome_kind outcome) (Fmt.str "%a" Res_core.Res.pp_outcome outcome)
+    in
+    if is_dump_perturbation perturbation then
+      let text = perturb_dump_text (Res_vm.Coredump_io.to_string dump) perturbation in
+      match Res_vm.Coredump_io.of_string_result ~salvage:true text with
+      | Error e ->
+          finish R_dump_error (Res_vm.Coredump_io.dump_error_to_string e)
+      | Ok { dump = loaded; salvaged } ->
+          let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+          let r = analyze_with ctx loaded in
+          { r with r_salvaged = salvaged <> None }
+    else
+      let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+      match perturbation with
+      | Search_starvation n ->
+          let config =
+            {
+              small_config with
+              Res_core.Res.search =
+                { small_config.Res_core.Res.search with Res_core.Search.max_nodes = n };
+            }
+          in
+          let outcome = Res_core.Res.analyze ~config ctx dump in
+          finish (outcome_kind outcome) (Fmt.str "%a" Res_core.Res.pp_outcome outcome)
+      | Solver_starvation n ->
+          let ctx =
+            {
+              ctx with
+              Res_core.Backstep.solver_config =
+                { ctx.Res_core.Backstep.solver_config with Res_solver.Solver.max_nodes = n };
+            }
+          in
+          analyze_with ctx dump
+      | Symex_starvation n ->
+          let ctx =
+            {
+              ctx with
+              Res_core.Backstep.sym_config =
+                { ctx.Res_core.Backstep.sym_config with Res_symex.Symexec.max_steps = n };
+            }
+          in
+          analyze_with ctx dump
+      | Fuel_starvation n ->
+          analyze_with ~budget:(Res_core.Budget.create ~fuel:n ()) ctx dump
+      | Tight_deadline s ->
+          analyze_with ~budget:(Res_core.Budget.create ~wall_seconds:s ()) ctx dump
+      | Truncate_dump _ | Flip_dump_byte _ | Empty_dump | Garbage_header ->
+          assert false
+  with exn -> finish (R_escaped (Printexc.to_string exn)) (Printexc.to_string exn)
+
+(* --- the campaign --- *)
+
+let default_workloads () : Res_workloads.Truth.t list =
+  [
+    Res_workloads.Div_zero.workload;
+    Res_workloads.Uaf.workload_variant 0;
+    Res_workloads.Double_free.workload;
+    Res_workloads.Semantic.workload;
+    Res_workloads.Long_exec.workload_n 20;
+  ]
+
+let perturbation_of rng i =
+  match i mod 9 with
+  | 0 -> Truncate_dump (rng_below rng 100)
+  | 1 -> Flip_dump_byte (rng_next rng, rng_below rng 8)
+  | 2 -> Empty_dump
+  | 3 -> Garbage_header
+  | 4 -> Search_starvation (1 + rng_below rng 20)
+  | 5 -> Solver_starvation (1 + rng_below rng 10)
+  | 6 -> Symex_starvation (1 + rng_below rng 30)
+  | 7 -> Fuel_starvation (1 + rng_below rng 10)
+  | _ -> Tight_deadline (0.001 +. (float_of_int (rng_below rng 50) /. 1000.))
+
+(** Run [runs] perturbed analyses (deterministic in [seed]), cycling
+    workloads and perturbation families. *)
+let campaign ?(seed = 1) ?(runs = 60) () : summary =
+  let rng = { s = (seed * 2) + 1 } in
+  let workloads = default_workloads () in
+  let nw = List.length workloads in
+  let results =
+    List.init runs (fun i ->
+        let w = List.nth workloads (i mod nw) in
+        run_one w (perturbation_of rng i))
+  in
+  let count p = List.length (List.filter p results) in
+  {
+    runs = results;
+    total = List.length results;
+    complete = count (fun r -> r.r_kind = R_complete);
+    partial = count (fun r -> r.r_kind = R_partial);
+    failed = count (fun r -> r.r_kind = R_failed);
+    dump_errors = count (fun r -> r.r_kind = R_dump_error);
+    salvaged = count (fun r -> r.r_salvaged);
+    escaped =
+      List.filter (fun r -> match r.r_kind with R_escaped _ -> true | _ -> false)
+        results;
+  }
+
+(* --- deadline compliance (acceptance: 1s honored within 10%) --- *)
+
+type deadline_check = {
+  d_deadline : float;
+  d_elapsed : float;
+  d_outcome : string;
+  d_hit_deadline : bool;  (** the analysis was actually cut off by the clock *)
+  d_within : bool;  (** elapsed <= deadline * (1 + tolerance) *)
+}
+
+(** Run the [long_exec] workload under a configuration that would search
+    far past [deadline] seconds, and measure how promptly the cooperative
+    deadline cuts the analysis off. *)
+let deadline_compliance ?(deadline = 1.0) ?(tolerance = 0.10) () : deadline_check =
+  let w = Res_workloads.Long_exec.workload_n 300 in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  let config =
+    {
+      Res_core.Res.default_config with
+      search =
+        {
+          Res_core.Search.default_config with
+          max_segments = 10_000;
+          max_suffixes = 1_000;
+          max_nodes = max_int;
+        };
+      stop_at_first_cause = false;
+      max_attempts = 1;
+    }
+  in
+  let budget = Res_core.Budget.create ~wall_seconds:deadline () in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Res_core.Res.analyze ~config ~budget ctx dump in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  {
+    d_deadline = deadline;
+    d_elapsed = elapsed;
+    d_outcome = Fmt.str "%a" Res_core.Res.pp_outcome outcome;
+    d_hit_deadline =
+      (match outcome with
+      | Res_core.Res.Partial (Res_core.Res.Deadline_exceeded, _) -> true
+      | _ -> false);
+    d_within = elapsed <= deadline *. (1. +. tolerance);
+  }
+
+(* --- reporting --- *)
+
+let pp_run ppf r =
+  Fmt.pf ppf "%-18s %-32s -> %-10s%s (%.3fs)" r.r_workload
+    (Fmt.str "%a" pp_perturbation r.r_perturbation)
+    (result_kind_name r.r_kind)
+    (if r.r_salvaged then " [salvaged]" else "")
+    r.r_elapsed
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>fault-injection self-test: %d perturbed analyses@,\
+     complete %d | partial %d | failed %d | dump-error %d (salvaged %d)@,\
+     escaped exceptions: %d@]"
+    s.total s.complete s.partial s.failed s.dump_errors s.salvaged
+    (List.length s.escaped)
+
+let pp_deadline_check ppf d =
+  Fmt.pf ppf
+    "deadline %.2fs: elapsed %.3fs, cut off by clock: %b, within tolerance: %b (%s)"
+    d.d_deadline d.d_elapsed d.d_hit_deadline d.d_within d.d_outcome

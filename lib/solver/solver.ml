@@ -15,9 +15,14 @@ type result = Sat of Model.t | Unsat | Unknown
 type config = {
   max_nodes : int;  (** search-tree node budget *)
   max_enum : int;  (** intervals at most this wide are enumerated fully *)
+  interrupt : unit -> bool;
+      (** cooperative interrupt, polled once per search node: when it
+          returns [true] the solve stops and reports [Unknown] — how a
+          pipeline-wide deadline reaches into a running solve *)
 }
 
-let default_config = { max_nodes = 50_000; max_enum = 256 }
+let default_config =
+  { max_nodes = 50_000; max_enum = 256; interrupt = (fun () -> false) }
 
 (* --- linear extraction: e == a * s + b for a single variable s --- *)
 
@@ -422,7 +427,7 @@ let solve_core config constraints =
   in
   let rec go bindings env constraints =
     incr nodes;
-    if !nodes > config.max_nodes then raise Budget;
+    if !nodes > config.max_nodes || config.interrupt () then raise Budget;
     match propagate_equalities bindings constraints with
     | exception Contradiction -> `Unsat
     | bindings, constraints -> (

@@ -15,6 +15,10 @@ type result = Sat of Model.t | Unsat | Unknown
 type config = {
   max_nodes : int;  (** search-tree node budget *)
   max_enum : int;  (** intervals at most this wide are enumerated fully *)
+  interrupt : unit -> bool;
+      (** cooperative interrupt, polled once per search node: when it
+          returns [true] the solve stops and reports [Unknown] — how a
+          pipeline-wide deadline reaches into a running solve *)
 }
 
 val default_config : config

@@ -22,6 +22,10 @@ type config = {
   inline_calls : bool;
       (** forward re-execution of mid-block calls (paper §6); disabling it
           models a reverse-only analyzer that cannot cross hard constructs *)
+  interrupt : unit -> bool;
+      (** cooperative interrupt, polled once per interpreted instruction:
+          when it returns [true] the remaining forks are abandoned and the
+          request finishes with whatever outcomes it already has *)
   solver : Solver.config;
 }
 
@@ -31,6 +35,7 @@ let default_config =
     max_outcomes = 8;
     max_addr_candidates = 4;
     inline_calls = true;
+    interrupt = (fun () -> false);
     solver = Solver.default_config;
   }
 
@@ -370,6 +375,7 @@ let exec (cfg : config) (rq : request) : outcome list * string list =
     | [] -> ()
     | st :: rest ->
         if List.length !outcomes >= cfg.max_outcomes then ()
+        else if cfg.interrupt () then push_reject "interrupted: budget exhausted"
         else if !total_steps > cfg.max_steps then push_reject "fuel exhausted"
         else begin
           match step st with

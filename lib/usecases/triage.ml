@@ -54,7 +54,7 @@ let annotate_signature_prefix ~bucket ~prefix =
 let res_key ?(config = Res_core.Res.default_config) ?(annotations = [])
     (r : report) =
   let ctx = Res_core.Backstep.make_ctx r.t_prog in
-  let analysis = Res_core.Res.analyze ~config ctx r.t_dump in
+  let analysis = Res_core.Res.analysis (Res_core.Res.analyze ~config ctx r.t_dump) in
   match Res_core.Res.best_cause analysis with
   | Some cause -> (
       match

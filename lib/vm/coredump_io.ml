@@ -1,10 +1,19 @@
-(** Textual (de)serialization of coredumps.
+(** Textual (de)serialization of coredumps, hardened for hostile inputs.
 
     Production systems ship coredumps as files; this module gives MiniVM
     dumps a stable, human-readable on-disk format so the CLI can separate
     "run and capture" from "analyze".  The format is line-oriented; string
     payloads (assert/abort messages, log tags) are quoted with OCaml
-    escapes.  [of_string (to_string d)] round-trips exactly. *)
+    escapes.  [of_string (to_string d)] round-trips exactly.
+
+    Because the dump is the {e evidence} RES works from — and may itself be
+    truncated, bit-flipped, or half-written (paper §3.2 treats corrupted
+    state as a first-class input) — v2 of the format wraps the records in a
+    validating envelope: a version header plus an [end <lines> <checksum>]
+    footer (FNV-1a over the payload).  {!of_string_result} classifies bad
+    inputs into a structured {!dump_error} instead of throwing, and its
+    salvage mode recovers the intact prefix of a damaged dump so triage can
+    still run on partial evidence.  v1 dumps (no footer) remain readable. *)
 
 module IMap = Map.Make (Int)
 
@@ -38,11 +47,25 @@ let pp_site ppf = function
   | None -> Fmt.string ppf "none"
   | Some pc -> pp_pc ppf pc
 
-(** Serialize a coredump to its textual format. *)
+(* --- envelope: header, line count, checksum --- *)
+
+(** 32-bit FNV-1a over a string — cheap, deterministic, and plenty to catch
+    the single-bit and truncation corruption we defend against. *)
+let fnv1a32 s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
+
+let count_lines s =
+  String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+
+(** Serialize a coredump to its textual format (v2: checksummed). *)
 let to_string (d : Coredump.t) =
   let buf = Buffer.create 4096 in
   let ppf = Fmt.with_buffer buf in
-  Fmt.pf ppf "coredump v1@\n";
+  Fmt.pf ppf "coredump v2@\n";
   Fmt.pf ppf "steps %d@\n" d.Coredump.steps;
   Fmt.pf ppf "crash %d %a %a@\n" d.Coredump.crash.Crash.tid pp_pc
     d.Coredump.crash.Crash.pc pp_kind d.Coredump.crash.Crash.kind;
@@ -78,9 +101,30 @@ let to_string (d : Coredump.t) =
       Fmt.pf ppf "log %d %S %d@\n" e.log_tid e.log_tag e.log_value)
     (Tracer.logs d.Coredump.tracer);
   Fmt.flush ppf ();
-  Buffer.contents buf
+  let payload = Buffer.contents buf in
+  Fmt.str "%send %d %d\n" payload (count_lines payload) (fnv1a32 payload)
 
 exception Bad_format of string
+
+(** Why a dump could not be loaded (or had to be salvaged). *)
+type dump_error =
+  | Empty_dump
+  | Bad_header of string  (** first line is not a coredump header *)
+  | Truncated of string  (** records or envelope footer missing *)
+  | Corrupted of { expected : int; actual : int }  (** checksum mismatch *)
+  | Malformed of string  (** a record failed to parse *)
+  | Unreadable of string  (** the file could not be read at all *)
+
+let pp_dump_error ppf = function
+  | Empty_dump -> Fmt.string ppf "empty coredump"
+  | Bad_header l -> Fmt.pf ppf "not a coredump (header %S)" l
+  | Truncated what -> Fmt.pf ppf "truncated coredump: %s" what
+  | Corrupted { expected; actual } ->
+      Fmt.pf ppf "corrupted coredump: checksum %#x, expected %#x" actual expected
+  | Malformed msg -> Fmt.pf ppf "malformed coredump: %s" msg
+  | Unreadable msg -> Fmt.pf ppf "unreadable coredump: %s" msg
+
+let dump_error_to_string e = Fmt.str "%a" pp_dump_error e
 
 let fail fmt = Fmt.kstr (fun m -> raise (Bad_format m)) fmt
 
@@ -165,136 +209,278 @@ let status_of rd =
   | "halted" -> Thread.Halted
   | s -> fail "unknown thread status %s" s
 
-(** Parse a coredump from its textual format.
-    @raise Bad_format on malformed input. *)
-let of_string src : Coredump.t =
-  let rd = { toks = Res_ir.Parser.tokenize src } in
-  (match (ident rd, ident rd) with
-  | "coredump", "v1" -> ()
-  | _ -> fail "missing coredump v1 header");
-  let steps = ref 0 in
-  let crash = ref None in
-  let mem = ref Res_mem.Memory.empty in
-  let heap_next = ref Res_mem.Layout.heap_base in
-  let heap_blocks = ref [] in
-  let threads = ref [] in
-  (* accumulate the thread being parsed *)
-  let cur_thread : (int * Thread.status) option ref = ref None in
-  let cur_frames = ref [] in
-  let cur_frame = ref None in
-  let close_frame () =
-    match !cur_frame with
-    | Some fr ->
-        cur_frames := (fr : Frame.t) :: !cur_frames;
-        cur_frame := None
-    | None -> ()
+(* --- record-level parser state (shared by strict and salvage paths) --- *)
+
+type pstate = {
+  mutable p_steps : int;
+  mutable p_crash : Crash.t option;
+  mutable p_mem : Res_mem.Memory.t;
+  mutable p_heap_next : int;
+  mutable p_heap_blocks : Res_mem.Heap.block list;
+  mutable p_threads : Thread.t list;
+  mutable p_cur_thread : (int * Thread.status) option;
+  mutable p_cur_frames : Frame.t list;
+  mutable p_cur_frame : Frame.t option;
+  mutable p_lbr_depth : int;
+  mutable p_branches : Tracer.branch list;
+  mutable p_logs : Tracer.log_entry list;
+}
+
+let new_pstate () =
+  {
+    p_steps = 0;
+    p_crash = None;
+    p_mem = Res_mem.Memory.empty;
+    p_heap_next = Res_mem.Layout.heap_base;
+    p_heap_blocks = [];
+    p_threads = [];
+    p_cur_thread = None;
+    p_cur_frames = [];
+    p_cur_frame = None;
+    p_lbr_depth = 16;
+    p_branches = [];
+    p_logs = [];
+  }
+
+let close_frame st =
+  match st.p_cur_frame with
+  | Some fr ->
+      st.p_cur_frames <- (fr : Frame.t) :: st.p_cur_frames;
+      st.p_cur_frame <- None
+  | None -> ()
+
+let close_thread st =
+  close_frame st;
+  match st.p_cur_thread with
+  | Some (tid, status) ->
+      st.p_threads <-
+        { Thread.tid; frames = List.rev st.p_cur_frames; status } :: st.p_threads;
+      st.p_cur_thread <- None;
+      st.p_cur_frames <- []
+  | None -> ()
+
+(** Parse exactly one record (the reader is positioned at its keyword). *)
+let parse_record st rd =
+  match ident rd with
+  | "steps" -> st.p_steps <- int_tok rd
+  | "crash" ->
+      let tid = int_tok rd in
+      let pc = pc_of rd in
+      let kind = kind_of rd in
+      st.p_crash <- Some { Crash.tid; pc; kind }
+  | "mem" ->
+      let a = int_tok rd in
+      let v = int_tok rd in
+      st.p_mem <- Res_mem.Memory.write st.p_mem a v
+  | "heap_next" -> st.p_heap_next <- int_tok rd
+  | "heap_block" ->
+      let base = int_tok rd in
+      let size = int_tok rd in
+      let state =
+        match ident rd with
+        | "live" -> Res_mem.Heap.Live
+        | "freed" -> Res_mem.Heap.Freed
+        | s -> fail "unknown heap state %s" s
+      in
+      let alloc_site = site_of rd in
+      let free_site = site_of rd in
+      st.p_heap_blocks <-
+        { Res_mem.Heap.base; size; state; alloc_site; free_site }
+        :: st.p_heap_blocks
+  | "thread" ->
+      close_thread st;
+      let tid = int_tok rd in
+      let status = status_of rd in
+      st.p_cur_thread <- Some (tid, status)
+  | "frame" ->
+      close_frame st;
+      let func = ident rd in
+      let block = ident rd in
+      let idx = int_tok rd in
+      let ret_reg =
+        match next rd with
+        | Res_ir.Parser.IDENT "none" -> None
+        | Res_ir.Parser.INT r -> Some r
+        | _ -> fail "expected return register or none"
+      in
+      st.p_cur_frame <-
+        Some { Frame.func; block; idx; regs = IMap.empty; ret_reg }
+  | "reg" -> (
+      let r = int_tok rd in
+      let v = int_tok rd in
+      match st.p_cur_frame with
+      | Some fr -> st.p_cur_frame <- Some (Frame.write_reg fr r v)
+      | None -> fail "reg outside a frame")
+  | "lbr_depth" -> st.p_lbr_depth <- int_tok rd
+  | "branch" ->
+      let br_tid = int_tok rd in
+      let br_func = ident rd in
+      let br_from = ident rd in
+      let br_to = ident rd in
+      st.p_branches <- { Tracer.br_tid; br_func; br_from; br_to } :: st.p_branches
+  | "log" ->
+      let log_tid = int_tok rd in
+      let log_tag = string_tok rd in
+      let log_value = int_tok rd in
+      st.p_logs <- { Tracer.log_tid; log_tag; log_value } :: st.p_logs
+  | "end" ->
+      (* envelope footer; validated separately, skipped here *)
+      ignore (int_tok rd);
+      ignore (int_tok rd)
+  | s -> fail "unknown record %s" s
+
+(** Assemble the final dump.  @raise Bad_format when no crash record was
+    recovered (there is nothing to analyze without one). *)
+let finalize st : Coredump.t =
+  close_thread st;
+  let crash =
+    match st.p_crash with Some c -> c | None -> fail "no crash record"
   in
-  let close_thread () =
-    close_frame ();
-    match !cur_thread with
-    | Some (tid, status) ->
-        threads :=
-          { Thread.tid; frames = List.rev !cur_frames; status } :: !threads;
-        cur_thread := None;
-        cur_frames := []
-    | None -> ()
-  in
-  let lbr_depth = ref 16 in
-  let branches = ref [] in
-  let logs = ref [] in
-  let rec loop () =
-    match peek rd with
-    | None -> ()
-    | Some _ ->
-        (match ident rd with
-        | "steps" -> steps := int_tok rd
-        | "crash" ->
-            let tid = int_tok rd in
-            let pc = pc_of rd in
-            let kind = kind_of rd in
-            crash := Some { Crash.tid; pc; kind }
-        | "mem" ->
-            let a = int_tok rd in
-            let v = int_tok rd in
-            mem := Res_mem.Memory.write !mem a v
-        | "heap_next" -> heap_next := int_tok rd
-        | "heap_block" ->
-            let base = int_tok rd in
-            let size = int_tok rd in
-            let state =
-              match ident rd with
-              | "live" -> Res_mem.Heap.Live
-              | "freed" -> Res_mem.Heap.Freed
-              | s -> fail "unknown heap state %s" s
-            in
-            let alloc_site = site_of rd in
-            let free_site = site_of rd in
-            heap_blocks :=
-              { Res_mem.Heap.base; size; state; alloc_site; free_site }
-              :: !heap_blocks
-        | "thread" ->
-            close_thread ();
-            let tid = int_tok rd in
-            let status = status_of rd in
-            cur_thread := Some (tid, status)
-        | "frame" ->
-            close_frame ();
-            let func = ident rd in
-            let block = ident rd in
-            let idx = int_tok rd in
-            let ret_reg =
-              match next rd with
-              | Res_ir.Parser.IDENT "none" -> None
-              | Res_ir.Parser.INT r -> Some r
-              | _ -> fail "expected return register or none"
-            in
-            cur_frame :=
-              Some { Frame.func; block; idx; regs = IMap.empty; ret_reg }
-        | "reg" -> (
-            let r = int_tok rd in
-            let v = int_tok rd in
-            match !cur_frame with
-            | Some fr -> cur_frame := Some (Frame.write_reg fr r v)
-            | None -> fail "reg outside a frame")
-        | "lbr_depth" -> lbr_depth := int_tok rd
-        | "branch" ->
-            let br_tid = int_tok rd in
-            let br_func = ident rd in
-            let br_from = ident rd in
-            let br_to = ident rd in
-            branches := { Tracer.br_tid; br_func; br_from; br_to } :: !branches
-        | "log" ->
-            let log_tid = int_tok rd in
-            let log_tag = string_tok rd in
-            let log_value = int_tok rd in
-            logs := { Tracer.log_tid; log_tag; log_value } :: !logs
-        | s -> fail "unknown record %s" s);
-        loop ()
-  in
-  loop ();
-  close_thread ();
-  let crash = match !crash with Some c -> c | None -> fail "no crash record" in
-  let heap = Res_mem.Heap.of_blocks ~next:!heap_next !heap_blocks in
+  let heap = Res_mem.Heap.of_blocks ~next:st.p_heap_next st.p_heap_blocks in
   let tracer =
     {
-      Tracer.lbr_depth = !lbr_depth;
+      Tracer.lbr_depth = st.p_lbr_depth;
       (* branches/logs were serialized most-recent-first and accumulated in
          reverse, so the accumulators are already oldest-first: reverse back *)
-      lbr = List.rev !branches;
-      logs = List.rev !logs;
+      lbr = List.rev st.p_branches;
+      logs = List.rev st.p_logs;
     }
   in
   {
     Coredump.crash;
-    mem = !mem;
+    mem = st.p_mem;
     heap;
     threads =
       List.fold_left
         (fun m (th : Thread.t) -> IMap.add th.Thread.tid th m)
-        IMap.empty !threads;
+        IMap.empty st.p_threads;
     tracer;
-    steps = !steps;
+    steps = st.p_steps;
   }
+
+(* --- envelope validation --- *)
+
+let first_line src =
+  match String.index_opt src '\n' with
+  | Some i -> String.sub src 0 i
+  | None -> src
+
+(** Split off the final [end ...] footer line, returning (payload, footer). *)
+let split_footer src =
+  let len = String.length src in
+  let end_ = if len > 0 && src.[len - 1] = '\n' then len - 1 else len in
+  if end_ <= 0 then None
+  else
+    match String.rindex_from_opt src (end_ - 1) '\n' with
+    | None -> None
+    | Some i -> Some (String.sub src 0 (i + 1), String.sub src (i + 1) (end_ - i - 1))
+
+(** Check header/footer/checksum; returns the record payload to parse. *)
+let validate_envelope src : (string, dump_error) result =
+  if String.trim src = "" then Error Empty_dump
+  else
+    match first_line src with
+    | "coredump v1" -> Ok src (* legacy: no envelope to check *)
+    | "coredump v2" -> (
+        match split_footer src with
+        | Some (payload, footer) when String.length footer >= 4
+                                      && String.sub footer 0 4 = "end " -> (
+            match Scanf.sscanf_opt footer "end %d %d" (fun a b -> (a, b)) with
+            | None -> Error (Truncated "unparsable end-of-dump footer")
+            | Some (lines, checksum) ->
+                let actual_lines = count_lines payload in
+                if actual_lines <> lines then
+                  Error
+                    (Truncated
+                       (Fmt.str "%d of %d record lines present" actual_lines lines))
+                else
+                  let actual = fnv1a32 payload in
+                  if actual <> checksum then
+                    Error (Corrupted { expected = checksum; actual })
+                  else Ok payload)
+        | _ -> Error (Truncated "missing end-of-dump footer"))
+    | l -> Error (Bad_header l)
+
+let classify_exn = function
+  | Bad_format m -> Malformed m
+  | Res_ir.Parser.Parse_error { line; msg } ->
+      Malformed (Fmt.str "lexical error at line %d: %s" line msg)
+  | exn -> Malformed (Printexc.to_string exn)
+
+(** Strict parse of a validated payload. *)
+let parse_strict payload : (Coredump.t, dump_error) result =
+  match
+    let rd = { toks = Res_ir.Parser.tokenize payload } in
+    (match (ident rd, ident rd) with
+    | "coredump", ("v1" | "v2") -> ()
+    | _ -> fail "missing coredump header");
+    let st = new_pstate () in
+    let rec loop () =
+      match peek rd with
+      | None -> ()
+      | Some _ ->
+          parse_record st rd;
+          loop ()
+    in
+    loop ();
+    finalize st
+  with
+  | dump -> Ok dump
+  | exception exn -> Error (classify_exn exn)
+
+(** Best-effort parse: go line by line, keep everything up to the first
+    damaged record, and require only that a crash record survived.  This is
+    the salvage path for truncated or bit-corrupted dumps — triage can
+    still run on the intact prefix. *)
+let parse_salvage src : Coredump.t option =
+  match first_line src with
+  | "coredump v1" | "coredump v2" -> (
+      let st = new_pstate () in
+      let lines = String.split_on_char '\n' src in
+      let lines = match lines with _header :: rest -> rest | [] -> [] in
+      (try
+         List.iter
+           (fun line ->
+             if String.trim line <> "" then
+               let rd = { toks = Res_ir.Parser.tokenize line } in
+               match peek rd with
+               | None -> ()
+               | Some _ -> parse_record st rd)
+           lines
+       with _ -> () (* damaged record: keep the prefix parsed so far *));
+      match finalize st with
+      | dump -> Some dump
+      | exception _ -> None)
+  | _ -> None
+
+(** What a successful load carries: the dump, plus the damage that was
+    worked around when the dump had to be salvaged. *)
+type loaded = { dump : Coredump.t; salvaged : dump_error option }
+
+(** Parse a coredump, classifying damage instead of raising.  With
+    [~salvage:true], a truncated or corrupted dump is recovered best-effort
+    (the error that was overridden is reported in [salvaged]). *)
+let of_string_result ?(salvage = false) src : (loaded, dump_error) result =
+  let salvage_or err =
+    if not salvage then Error err
+    else
+      match parse_salvage src with
+      | Some dump -> Ok { dump; salvaged = Some err }
+      | None -> Error err
+  in
+  match validate_envelope src with
+  | Error err -> salvage_or err
+  | Ok payload -> (
+      match parse_strict payload with
+      | Ok dump -> Ok { dump; salvaged = None }
+      | Error err -> salvage_or err)
+
+(** Parse a coredump from its textual format.
+    @raise Bad_format on malformed input. *)
+let of_string src : Coredump.t =
+  match of_string_result src with
+  | Ok { dump; _ } -> dump
+  | Error err -> raise (Bad_format (dump_error_to_string err))
 
 (** Write a coredump to [path]. *)
 let save path d =
@@ -302,11 +488,26 @@ let save path d =
   output_string oc (to_string d);
   close_out oc
 
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Unreadable msg)
+  | ic ->
+      let finally () = close_in_noerr ic in
+      Fun.protect ~finally (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Ok s
+          | exception End_of_file -> Error (Unreadable "file shrank while reading")
+          | exception Sys_error msg -> Error (Unreadable msg))
+
+(** Load a coredump from [path], classifying damage instead of raising. *)
+let load_result ?salvage path : (loaded, dump_error) result =
+  match read_file path with
+  | Error err -> Error err
+  | Ok s -> of_string_result ?salvage s
+
 (** Load a coredump from [path].
-    @raise Bad_format or [Sys_error] on failure. *)
+    @raise Bad_format on any failure (including unreadable files). *)
 let load path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  of_string s
+  match load_result path with
+  | Ok { dump; _ } -> dump
+  | Error err -> raise (Bad_format (dump_error_to_string err))

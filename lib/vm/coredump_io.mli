@@ -1,25 +1,53 @@
-(** Textual (de)serialization of coredumps.
+(** Textual (de)serialization of coredumps, hardened for hostile inputs.
 
     Production systems ship coredumps as files; this module gives MiniVM
     dumps a stable, human-readable on-disk format so the CLI can separate
-    "run and capture" from "analyze".  The format is line-oriented; string
-    payloads (assert/abort messages, log tags) are quoted with OCaml
-    escapes.  [of_string (to_string d)] round-trips exactly
-    (property-tested). *)
+    "run and capture" from "analyze".  [of_string (to_string d)]
+    round-trips exactly (property-tested).
+
+    v2 of the format wraps the records in a validating envelope (version
+    header + [end <lines> <checksum>] footer, FNV-1a over the payload), so
+    truncation and bit corruption are detected and classified into a
+    structured {!dump_error} rather than surfacing as a stray exception.
+    v1 dumps (no footer) remain readable. *)
 
 exception Bad_format of string
 
-(** Serialize a coredump to its textual format. *)
+(** Why a dump could not be loaded (or had to be salvaged). *)
+type dump_error =
+  | Empty_dump
+  | Bad_header of string  (** first line is not a coredump header *)
+  | Truncated of string  (** records or envelope footer missing *)
+  | Corrupted of { expected : int; actual : int }  (** checksum mismatch *)
+  | Malformed of string  (** a record failed to parse *)
+  | Unreadable of string  (** the file could not be read at all *)
+
+val pp_dump_error : Format.formatter -> dump_error -> unit
+val dump_error_to_string : dump_error -> string
+
+(** What a successful load carries: the dump, plus the damage that was
+    worked around when the dump had to be salvaged. *)
+type loaded = { dump : Coredump.t; salvaged : dump_error option }
+
+(** Serialize a coredump to its textual format (v2, checksummed). *)
 val to_string : Coredump.t -> string
 
+(** Parse a coredump, classifying damage instead of raising.  With
+    [~salvage:true], a truncated or bit-corrupted dump is recovered
+    best-effort from its intact prefix (a crash record must survive); the
+    damage that was overridden is reported in [salvaged]. *)
+val of_string_result : ?salvage:bool -> string -> (loaded, dump_error) result
+
 (** Parse a coredump from its textual format.
-    @raise Bad_format on malformed input (a lexical error inside a record
-    surfaces as {!Res_ir.Parser.Parse_error}). *)
+    @raise Bad_format on malformed input. *)
 val of_string : string -> Coredump.t
 
 (** Write a coredump to a file. *)
 val save : string -> Coredump.t -> unit
 
+(** Load a coredump from a file, classifying damage instead of raising. *)
+val load_result : ?salvage:bool -> string -> (loaded, dump_error) result
+
 (** Load a coredump from a file.
-    @raise Bad_format or [Sys_error] on failure. *)
+    @raise Bad_format on any failure (including unreadable files). *)
 val load : string -> Coredump.t

@@ -3,40 +3,85 @@
     Faults are scheduled against the global step counter, so a given
     program + seed + fault plan is fully deterministic.  Three families
     mirror the paper's examples: DRAM bit flips, CPU miscomputation of an
-    ALU result, and DMA writes from a faulty device. *)
+    ALU result, and DMA writes from a faulty device.
 
-type t = {
-  bit_flips : (int * int * int) list;
-      (** (step, addr, bit): flip one memory bit just before this step *)
-  alu_errors : (int * int) list;
-      (** (step, delta): the binop executed at this step yields result+delta *)
-  dma_writes : (int * int * int) list;
-      (** (step, addr, value): overwrite a word just before this step *)
+    The plan is stored step-indexed: the interpreter queries it once per
+    executed instruction, so lookups must be O(log faults) rather than a
+    scan of the whole plan — long executions with many scheduled faults
+    would otherwise pay O(steps × faults). *)
+
+module IMap = Map.Make (Int)
+
+(** One step's worth of scheduled mutations. *)
+type at_step = {
+  s_bit_flips : (int * int) list;  (** (addr, bit), oldest-scheduled first *)
+  s_alu_delta : int;  (** summed delta for the binop at this step *)
+  s_dma_writes : (int * int) list;  (** (addr, value), oldest-scheduled first *)
 }
 
-let none = { bit_flips = []; alu_errors = []; dma_writes = [] }
+let empty_step = { s_bit_flips = []; s_alu_delta = 0; s_dma_writes = [] }
 
-let bit_flip ~step ~addr ~bit = { none with bit_flips = [ (step, addr, bit) ] }
-let alu_error ~step ~delta = { none with alu_errors = [ (step, delta) ] }
-let dma_write ~step ~addr ~value = { none with dma_writes = [ (step, addr, value) ] }
+type t = at_step IMap.t
 
-let is_none t = t.bit_flips = [] && t.alu_errors = [] && t.dma_writes = []
+let none : t = IMap.empty
 
-(** Memory mutations due at [step]: list of [addr -> new value] builders. *)
+let update_step t step f =
+  IMap.update step
+    (fun prev -> Some (f (Option.value prev ~default:empty_step)))
+    t
+
+let add_bit_flip t ~step ~addr ~bit =
+  update_step t step (fun s ->
+      { s with s_bit_flips = s.s_bit_flips @ [ (addr, bit) ] })
+
+let add_alu_error t ~step ~delta =
+  update_step t step (fun s -> { s with s_alu_delta = s.s_alu_delta + delta })
+
+let add_dma_write t ~step ~addr ~value =
+  update_step t step (fun s ->
+      { s with s_dma_writes = s.s_dma_writes @ [ (addr, value) ] })
+
+let bit_flip ~step ~addr ~bit = add_bit_flip none ~step ~addr ~bit
+let alu_error ~step ~delta = add_alu_error none ~step ~delta
+let dma_write ~step ~addr ~value = add_dma_write none ~step ~addr ~value
+
+let is_none t = IMap.is_empty t
+
+(** The scheduled (step, addr, bit) flips, ascending step. *)
+let bit_flips t =
+  IMap.fold
+    (fun step s acc ->
+      acc @ List.map (fun (addr, bit) -> (step, addr, bit)) s.s_bit_flips)
+    t []
+
+(** The scheduled (step, delta) ALU errors, ascending step. *)
+let alu_errors t =
+  IMap.fold
+    (fun step s acc ->
+      if s.s_alu_delta = 0 then acc else acc @ [ (step, s.s_alu_delta) ])
+    t []
+
+(** The scheduled (step, addr, value) DMA writes, ascending step. *)
+let dma_writes t =
+  IMap.fold
+    (fun step s acc ->
+      acc @ List.map (fun (addr, value) -> (step, addr, value)) s.s_dma_writes)
+    t []
+
+(** Apply the memory mutations (bit flips, DMA writes) due at [step]. *)
 let memory_mutations_at t ~step mem =
-  let mem =
-    List.fold_left
-      (fun m (s, addr, bit) ->
-        if s = step then Res_mem.Memory.flip_bit m addr bit else m)
-      mem t.bit_flips
-  in
-  List.fold_left
-    (fun m (s, addr, value) ->
-      if s = step then Res_mem.Memory.write m addr value else m)
-    mem t.dma_writes
+  match IMap.find_opt step t with
+  | None -> mem
+  | Some s ->
+      let mem =
+        List.fold_left
+          (fun m (addr, bit) -> Res_mem.Memory.flip_bit m addr bit)
+          mem s.s_bit_flips
+      in
+      List.fold_left
+        (fun m (addr, value) -> Res_mem.Memory.write m addr value)
+        mem s.s_dma_writes
 
-(** ALU corruption for the binop executed at [step], if scheduled. *)
+(** ALU corruption for the binop executed at [step] (0 if none). *)
 let alu_delta_at t ~step =
-  List.fold_left
-    (fun acc (s, delta) -> if s = step then acc + delta else acc)
-    0 t.alu_errors
+  match IMap.find_opt step t with None -> 0 | Some s -> s.s_alu_delta

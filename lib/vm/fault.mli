@@ -3,16 +3,13 @@
     Faults are scheduled against the global step counter, so a given
     program + seed + fault plan is fully deterministic.  Three families
     mirror the paper's examples: DRAM bit flips, CPU miscomputation of an
-    ALU result, and DMA writes from a faulty device. *)
+    ALU result, and DMA writes from a faulty device.
 
-type t = {
-  bit_flips : (int * int * int) list;
-      (** (step, addr, bit): flip one memory bit just before this step *)
-  alu_errors : (int * int) list;
-      (** (step, delta): the binop executed at this step yields result+delta *)
-  dma_writes : (int * int * int) list;
-      (** (step, addr, value): overwrite a word just before this step *)
-}
+    The plan is step-indexed internally: per-step queries are
+    O(log faults), so long executions with many scheduled faults do not pay
+    O(steps × faults). *)
+
+type t
 
 (** No faults. *)
 val none : t
@@ -20,7 +17,22 @@ val none : t
 val bit_flip : step:int -> addr:int -> bit:int -> t
 val alu_error : step:int -> delta:int -> t
 val dma_write : step:int -> addr:int -> value:int -> t
+
+(** Add further faults to an existing plan. *)
+val add_bit_flip : t -> step:int -> addr:int -> bit:int -> t
+
+val add_alu_error : t -> step:int -> delta:int -> t
+val add_dma_write : t -> step:int -> addr:int -> value:int -> t
 val is_none : t -> bool
+
+(** The scheduled (step, addr, bit) flips, ascending step. *)
+val bit_flips : t -> (int * int * int) list
+
+(** The scheduled (step, delta) ALU errors, ascending step. *)
+val alu_errors : t -> (int * int) list
+
+(** The scheduled (step, addr, value) DMA writes, ascending step. *)
+val dma_writes : t -> (int * int * int) list
 
 (** Apply the memory mutations (bit flips, DMA writes) due at [step]. *)
 val memory_mutations_at : t -> step:int -> Res_mem.Memory.t -> Res_mem.Memory.t

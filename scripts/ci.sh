@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, then fault-inject the
+# pipeline itself (res selftest exits non-zero if any perturbed analysis
+# escapes with an exception or the 1s deadline is not honored within 10%).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bin/res_cli.exe -- selftest --runs 60

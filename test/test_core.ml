@@ -499,7 +499,7 @@ let test_analyze_counter_race () =
   let w = Res_workloads.Counter_race.workload in
   let dump = Res_workloads.Truth.coredump w in
   let ctx = Backstep.make_ctx w.Res_workloads.Truth.w_prog in
-  let analysis = Res.analyze ctx dump in
+  let analysis = Res.analysis (Res.analyze ctx dump) in
   check bool_t "reports exist" true (analysis.Res.reports <> []);
   match Res.best_cause analysis with
   | Some (Rootcause.Data_race _ | Rootcause.Atomicity_violation _) -> ()
@@ -511,7 +511,7 @@ let test_analyze_cpu_time_bounded () =
   let w = Res_workloads.Counter_race.workload in
   let dump = Res_workloads.Truth.coredump w in
   let ctx = Backstep.make_ctx w.Res_workloads.Truth.w_prog in
-  let analysis = Res.analyze ctx dump in
+  let analysis = Res.analysis (Res.analyze ctx dump) in
   check bool_t "well under a minute" true (analysis.Res.cpu_seconds < 10.0)
 
 let () =

@@ -21,7 +21,7 @@ let analyze w =
         };
     }
   in
-  (dump, ctx, Res_core.Res.analyze ~config ctx dump)
+  (dump, ctx, Res_core.Res.analysis (Res_core.Res.analyze ~config ctx dump))
 
 (* one test per workload: correct root cause, exact deterministic replay *)
 let pipeline_cases =

@@ -1,0 +1,301 @@
+(* Resilience tests: the budget manager, the hardened coredump loader,
+   graceful degradation of Res.analyze, the step-indexed fault plan, and
+   the fault-injection self-test campaign.  The overarching invariant:
+   hostile evidence and starved resources yield typed outcomes, never
+   uncaught exceptions. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* --- Budget --- *)
+
+let test_budget_fuel_trips () =
+  let b = Res_core.Budget.create ~fuel:3 () in
+  check bool_t "tick 1" true (Res_core.Budget.tick b);
+  check bool_t "tick 2" true (Res_core.Budget.tick b);
+  check bool_t "tick 3" true (Res_core.Budget.tick b);
+  check bool_t "tick 4 exhausts" false (Res_core.Budget.tick b);
+  (match Res_core.Budget.exhausted b with
+  | Some Res_core.Budget.Fuel -> ()
+  | Some Res_core.Budget.Deadline -> Alcotest.fail "expected Fuel, got Deadline"
+  | None -> Alcotest.fail "expected exhaustion");
+  (* exhaustion is sticky: once tripped, always tripped *)
+  check bool_t "still exhausted" false (Res_core.Budget.ok b)
+
+let test_budget_deadline_trips () =
+  let b = Res_core.Budget.create ~wall_seconds:0.01 () in
+  check bool_t "fresh budget ok" true (Res_core.Budget.ok b);
+  Unix.sleepf 0.02;
+  check bool_t "past deadline" false (Res_core.Budget.ok b);
+  match Res_core.Budget.exhausted b with
+  | Some Res_core.Budget.Deadline -> ()
+  | _ -> Alcotest.fail "expected Deadline exhaustion"
+
+let test_budget_unlimited () =
+  let b = Res_core.Budget.unlimited () in
+  for _ = 1 to 10_000 do
+    ignore (Res_core.Budget.tick b)
+  done;
+  check bool_t "unlimited never exhausts" true (Res_core.Budget.ok b);
+  check bool_t "no exhaustion recorded" true
+    (Res_core.Budget.exhausted b = None)
+
+let test_budget_cost () =
+  let b = Res_core.Budget.create ~fuel:10 () in
+  check bool_t "big tick spends all fuel" true
+    (Res_core.Budget.tick ~cost:10 b);
+  check bool_t "next tick fails" false (Res_core.Budget.tick b)
+
+(* --- Coredump_io hardening --- *)
+
+let sample_dump () = Res_workloads.Truth.coredump Res_workloads.Div_zero.workload
+
+let classify text =
+  match Res_vm.Coredump_io.of_string_result text with
+  | Ok _ -> "ok"
+  | Error e -> (
+      match e with
+      | Res_vm.Coredump_io.Empty_dump -> "empty"
+      | Res_vm.Coredump_io.Bad_header _ -> "bad-header"
+      | Res_vm.Coredump_io.Truncated _ -> "truncated"
+      | Res_vm.Coredump_io.Corrupted _ -> "corrupted"
+      | Res_vm.Coredump_io.Malformed _ -> "malformed"
+      | Res_vm.Coredump_io.Unreadable _ -> "unreadable")
+
+let test_dump_roundtrip () =
+  let dump = sample_dump () in
+  let text = Res_vm.Coredump_io.to_string dump in
+  match Res_vm.Coredump_io.of_string_result text with
+  | Ok { Res_vm.Coredump_io.dump = d; salvaged } ->
+      check bool_t "no salvage needed" true (salvaged = None);
+      check int_t "steps preserved" dump.Res_vm.Coredump.steps
+        d.Res_vm.Coredump.steps
+  | Error e ->
+      Alcotest.fail (Res_vm.Coredump_io.dump_error_to_string e)
+
+let test_dump_empty_classified () =
+  check Alcotest.string "empty string" "empty" (classify "");
+  check Alcotest.string "whitespace only" "empty" (classify "  \n\n ")
+
+let test_dump_bad_header_classified () =
+  check Alcotest.string "garbage header" "bad-header"
+    (classify "notacoredump v9\nsteps 3\n")
+
+let test_dump_truncation_classified () =
+  let text = Res_vm.Coredump_io.to_string (sample_dump ()) in
+  (* cut the footer off: line-count check fires *)
+  let cut = String.sub text 0 (String.length text * 2 / 3) in
+  check Alcotest.string "truncated dump" "truncated" (classify cut)
+
+let test_dump_bitflip_classified () =
+  let text = Res_vm.Coredump_io.to_string (sample_dump ()) in
+  (* flip a payload byte well inside the dump: checksum check fires *)
+  let b = Bytes.of_string text in
+  let i = Bytes.length b / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  check Alcotest.string "corrupted dump" "corrupted"
+    (classify (Bytes.to_string b))
+
+let test_dump_legacy_v1_accepted () =
+  let text = Res_vm.Coredump_io.to_string (sample_dump ()) in
+  (* strip the v2 footer and downgrade the header: a legacy dump *)
+  let no_footer = String.sub text 0 (String.rindex_from text (String.length text - 2) '\n' + 1) in
+  let v1 =
+    "coredump v1" ^ String.sub no_footer 11 (String.length no_footer - 11)
+  in
+  match Res_vm.Coredump_io.of_string_result v1 with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.fail
+        ("v1 dump rejected: " ^ Res_vm.Coredump_io.dump_error_to_string e)
+
+let test_dump_salvage_recovers_prefix () =
+  let text = Res_vm.Coredump_io.to_string (sample_dump ()) in
+  (* keep 90% of the bytes — crash record sits early, so salvage works *)
+  let cut = String.sub text 0 (String.length text * 9 / 10) in
+  match Res_vm.Coredump_io.of_string_result ~salvage:true cut with
+  | Ok { Res_vm.Coredump_io.salvaged = Some _; _ } -> ()
+  | Ok { Res_vm.Coredump_io.salvaged = None; _ } ->
+      Alcotest.fail "expected salvage to be recorded"
+  | Error e ->
+      Alcotest.fail
+        ("salvage failed: " ^ Res_vm.Coredump_io.dump_error_to_string e)
+
+(* property: of_string_result NEVER raises, whatever we do to the bytes *)
+let test_dump_no_exception_escapes () =
+  let text = Res_vm.Coredump_io.to_string (sample_dump ()) in
+  let n = String.length text in
+  (* truncate at every 7th offset *)
+  for i = 0 to n / 7 do
+    let cut = String.sub text 0 (i * 7) in
+    ignore (Res_vm.Coredump_io.of_string_result cut);
+    ignore (Res_vm.Coredump_io.of_string_result ~salvage:true cut)
+  done;
+  (* flip each bit of every 13th byte *)
+  for i = 0 to (n / 13) - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string text in
+      let off = i * 13 in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl bit)));
+      ignore (Res_vm.Coredump_io.of_string_result (Bytes.to_string b));
+      ignore (Res_vm.Coredump_io.of_string_result ~salvage:true (Bytes.to_string b))
+    done
+  done
+
+(* --- graceful degradation of Res.analyze --- *)
+
+let test_analyze_one_fuel_is_partial () =
+  let w = Res_workloads.Div_zero.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  let budget = Res_core.Budget.create ~fuel:1 () in
+  match Res_core.Res.analyze ~budget ctx dump with
+  | Res_core.Res.Partial (Res_core.Res.Fuel_exhausted, a) ->
+      (* stats must still be valid, reports may be empty *)
+      check bool_t "non-negative nodes" true
+        (a.Res_core.Res.nodes_expanded >= 0);
+      check bool_t "non-negative candidates" true
+        (a.Res_core.Res.candidates_tried >= 0);
+      check bool_t "non-negative depth" true
+        (a.Res_core.Res.depth_reached >= 0)
+  | o ->
+      Alcotest.fail
+        (Fmt.str "expected Partial Fuel_exhausted, got %a"
+           Res_core.Res.pp_outcome o)
+
+let test_analyze_bad_dump_is_failed () =
+  let w = Res_workloads.Div_zero.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  (* a crash pc pointing at a function the program does not have *)
+  let crash =
+    {
+      dump.Res_vm.Coredump.crash with
+      Res_vm.Crash.pc = Res_ir.Pc.v ~func:"no_such_func" ~block:"entry" ~idx:0;
+    }
+  in
+  let bad = { dump with Res_vm.Coredump.crash } in
+  match Res_core.Res.analyze ctx bad with
+  | Res_core.Res.Failed (Res_core.Res.Bad_dump _) -> ()
+  | o ->
+      Alcotest.fail
+        (Fmt.str "expected Failed Bad_dump, got %a" Res_core.Res.pp_outcome o)
+
+let test_analyze_complete_on_healthy_input () =
+  let w = Res_workloads.Div_zero.workload in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  match Res_core.Res.analyze ctx dump with
+  | Res_core.Res.Complete a ->
+      check bool_t "has reports" true (a.Res_core.Res.reports <> [])
+  | o ->
+      Alcotest.fail
+        (Fmt.str "expected Complete, got %a" Res_core.Res.pp_outcome o)
+
+(* --- step-indexed fault plans --- *)
+
+let test_fault_map_queries () =
+  let f =
+    Res_vm.Fault.bit_flip ~step:5 ~addr:100 ~bit:2
+    |> fun f -> Res_vm.Fault.add_alu_error f ~step:7 ~delta:1
+    |> fun f -> Res_vm.Fault.add_dma_write f ~step:5 ~addr:200 ~value:42
+  in
+  check int_t "alu delta at 7" 1 (Res_vm.Fault.alu_delta_at f ~step:7);
+  check int_t "no alu delta at 5" 0 (Res_vm.Fault.alu_delta_at f ~step:5);
+  check bool_t "not none" false (Res_vm.Fault.is_none f);
+  check int_t "one bit flip" 1 (List.length (Res_vm.Fault.bit_flips f));
+  check int_t "one dma write" 1 (List.length (Res_vm.Fault.dma_writes f));
+  check int_t "one alu error" 1 (List.length (Res_vm.Fault.alu_errors f))
+
+let test_fault_accessors_sorted () =
+  let f =
+    Res_vm.Fault.bit_flip ~step:9 ~addr:1 ~bit:0 |> fun f ->
+    Res_vm.Fault.add_bit_flip f ~step:3 ~addr:2 ~bit:1 |> fun f ->
+    Res_vm.Fault.add_bit_flip f ~step:6 ~addr:3 ~bit:2
+  in
+  let steps = List.map (fun (s, _, _) -> s) (Res_vm.Fault.bit_flips f) in
+  check (Alcotest.list int_t) "ascending step order" [ 3; 6; 9 ] steps
+
+(* --- the fault-injection campaign itself --- *)
+
+let test_campaign_no_escapes () =
+  let s = Res_faultinject.Faultinject.campaign ~seed:7 ~runs:54 () in
+  check int_t "54 runs" 54 s.Res_faultinject.Faultinject.total;
+  check int_t "zero escaped exceptions" 0
+    (List.length s.Res_faultinject.Faultinject.escaped);
+  (* every run landed in a typed bucket *)
+  check int_t "buckets account for every run"
+    s.Res_faultinject.Faultinject.total
+    (s.Res_faultinject.Faultinject.complete
+    + s.Res_faultinject.Faultinject.partial
+    + s.Res_faultinject.Faultinject.failed
+    + s.Res_faultinject.Faultinject.dump_errors)
+
+let test_deadline_compliance () =
+  let d =
+    Res_faultinject.Faultinject.deadline_compliance ~deadline:1.0
+      ~tolerance:0.10 ()
+  in
+  check bool_t "cut off by the clock" true
+    d.Res_faultinject.Faultinject.d_hit_deadline;
+  check bool_t
+    (Fmt.str "within 10%% of deadline (elapsed %.3fs)"
+       d.Res_faultinject.Faultinject.d_elapsed)
+    true d.Res_faultinject.Faultinject.d_within
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "fuel exhaustion trips and sticks" `Quick
+            test_budget_fuel_trips;
+          Alcotest.test_case "deadline exhaustion trips" `Quick
+            test_budget_deadline_trips;
+          Alcotest.test_case "unlimited budget never trips" `Quick
+            test_budget_unlimited;
+          Alcotest.test_case "tick cost is honored" `Quick test_budget_cost;
+        ] );
+      ( "coredump hardening",
+        [
+          Alcotest.test_case "v2 round-trip" `Quick test_dump_roundtrip;
+          Alcotest.test_case "empty classified" `Quick
+            test_dump_empty_classified;
+          Alcotest.test_case "bad header classified" `Quick
+            test_dump_bad_header_classified;
+          Alcotest.test_case "truncation classified" `Quick
+            test_dump_truncation_classified;
+          Alcotest.test_case "bit flip classified" `Quick
+            test_dump_bitflip_classified;
+          Alcotest.test_case "legacy v1 accepted" `Quick
+            test_dump_legacy_v1_accepted;
+          Alcotest.test_case "salvage recovers prefix" `Quick
+            test_dump_salvage_recovers_prefix;
+          Alcotest.test_case "no exception escapes the loader" `Quick
+            test_dump_no_exception_escapes;
+        ] );
+      ( "graceful degradation",
+        [
+          Alcotest.test_case "1-fuel budget yields Partial with valid stats"
+            `Quick test_analyze_one_fuel_is_partial;
+          Alcotest.test_case "invalid dump yields Failed Bad_dump" `Quick
+            test_analyze_bad_dump_is_failed;
+          Alcotest.test_case "healthy input yields Complete" `Quick
+            test_analyze_complete_on_healthy_input;
+        ] );
+      ( "fault plan",
+        [
+          Alcotest.test_case "step-indexed queries" `Quick
+            test_fault_map_queries;
+          Alcotest.test_case "accessors ascending" `Quick
+            test_fault_accessors_sorted;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "campaign of 54 perturbed analyses, no escapes"
+            `Slow test_campaign_no_escapes;
+          Alcotest.test_case "1s deadline honored within 10%" `Slow
+            test_deadline_compliance;
+        ] );
+    ]
