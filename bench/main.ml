@@ -558,6 +558,60 @@ let a1 () =
   Fmt.pr "expected shape: without the pool the walk cannot cross the halted \
           workers' segments@."
 
+(* ------------------------------------------------------------------ *)
+(* E13 — crash-safe checkpoint/resume.  The paper's setting is          *)
+(* arbitrarily long executions, so the analyses themselves can run      *)
+(* arbitrarily long: kill the analysis after k expanded nodes (also     *)
+(* mid-checkpoint-write), resume from the persisted frontier, and       *)
+(* compare reports and cost against a never-killed baseline.            *)
+(* ------------------------------------------------------------------ *)
+let e13 () =
+  section "e13" "crash-safe checkpoint/resume — equivalence and overhead";
+  let open Res_faultinject.Faultinject in
+  let tmp = Filename.get_temp_dir_name () in
+  Fmt.pr "%-22s %-18s %-6s %-6s %-7s %-10s %-10s@." "workload" "kill point"
+    "legs" "equal" "clean" "base (s)" "chain (s)";
+  List.iter
+    (fun name ->
+      let w = Res_workloads.Workloads.find name in
+      let baseline, tb = time (fun () -> kr_baseline w) in
+      List.iter
+        (fun kill ->
+          let r, tc =
+            time (fun () -> kill_resume_one ~every:4 ~dir:tmp w kill ~baseline)
+          in
+          Fmt.pr "%-22s %-18s %-6d %-6b %-7b %-10.4f %-10.4f@." name
+            (Fmt.str "%a" pp_kill_point kill)
+            r.kr_legs r.kr_equivalent r.kr_clean_disk tb tc)
+        [ Kill_after_nodes 5; Kill_mid_write 13 ])
+    [ "fig1-overflow"; "counter-race"; "lock-order-deadlock";
+      "use-after-free-a"; "kvstore-stats-race" ];
+  (* Checkpoint footprint: persist a mid-flight state and measure it. *)
+  let w = Res_workloads.Workloads.find "counter-race" in
+  Res_solver.Expr.reset_counter_for_tests ();
+  let dump = Res_workloads.Truth.coredump w in
+  let prog = w.Res_workloads.Truth.w_prog in
+  let ctx = Res_core.Backstep.make_ctx prog in
+  let config = kr_config in
+  let path = Filename.concat tmp "e13-size.ckpt" in
+  let cp = Res_persist.Checkpoint.checkpointer ~every:4 ~path ~config ~prog ~dump () in
+  ignore
+    (Res_core.Res.analyze ~config
+       ~budget:(Res_core.Budget.create ~fuel:9 ())
+       ~checkpointer:cp ctx dump);
+  let size =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  Sys.remove path;
+  Fmt.pr "checkpoint footprint (counter-race, mid-flight frontier): %d bytes@."
+    size;
+  Fmt.pr
+    "expected shape: every chain reconverges to bit-identical reports, \
+     including the mid-write kill (journal recovery), leaving no torn files@."
+
 let experiments =
   [
     ("e1", e1);
@@ -571,6 +625,7 @@ let experiments =
     ("e9", e9);
     ("e10", e10);
     ("e11", e11);
+    ("e13", e13);
     ("a1", a1);
     ("bechamel", bechamel);
   ]

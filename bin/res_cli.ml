@@ -10,6 +10,7 @@
      res workload NAME -o core.txt    generate a built-in buggy workload
      res triage-demo                  run the triaging comparison corpus
      res selftest                     fault-injection self-test of the pipeline
+     res resume ckpt.res              continue an interrupted analysis
 
    Exit codes: 0 analysis complete, 1 internal error or invalid usage,
    2 partial analysis (search truncated), 3 bad coredump, 4 budget or
@@ -199,6 +200,33 @@ let outcome_code = function
   | Res_core.Res.Failed (Res_core.Res.Bad_dump _) -> exit_bad_dump
   | Res_core.Res.Failed (Res_core.Res.Internal _) -> exit_internal
 
+(** Sort reports deterministically before printing, so two runs that
+    found the same causes print identically regardless of emission
+    order. *)
+let sorted_outcome ctx = function
+  | Res_core.Res.Complete a ->
+      Res_core.Res.Complete (Res_core.Report.display_sort ctx a)
+  | Res_core.Res.Partial (r, a) ->
+      Res_core.Res.Partial (r, Res_core.Report.display_sort ctx a)
+  | Res_core.Res.Failed _ as o -> o
+
+(** Print an outcome (sorted) plus, on a partial result, the checkpoint
+    a successor can resume from. *)
+let report_outcome ctx outcome =
+  let outcome = sorted_outcome ctx outcome in
+  Fmt.pr "%s@." (Res_core.Report.outcome_to_string ctx outcome);
+  (match outcome with
+  | Res_core.Res.Partial (_, { Res_core.Res.checkpoint = Some path; _ }) ->
+      Fmt.pr "checkpoint saved: %s (continue with: res resume %s)@." path path
+  | _ -> ());
+  outcome_code outcome
+
+(** Budget flags shared by [analyze] and [resume]. *)
+let mk_budget deadline fuel =
+  match (deadline, fuel) with
+  | None, None -> None
+  | _ -> Some (Res_core.Budget.create ?wall_seconds:deadline ?fuel ())
+
 let analyze_cmd =
   let deadline =
     Arg.(
@@ -225,8 +253,24 @@ let analyze_cmd =
             "Retry-with-escalation attempts: each retry doubles the search \
              node budget before settling for a partial result.")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Periodically checkpoint the search to $(docv) (atomic, \
+             checksummed); an interrupted analysis continues with $(b,res \
+             resume).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 25
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint every $(docv) expanded search nodes.")
+  in
   let run prog_path dump_path depth breadcrumbs deadline fuel attempts salvage
-      =
+      checkpoint checkpoint_every =
     let prog = or_die (load_prog prog_path) in
     let dump = load_dump ~salvage dump_path in
     let ctx = Res_core.Backstep.make_ctx prog in
@@ -243,14 +287,16 @@ let analyze_cmd =
         max_attempts = max 1 attempts;
       }
     in
-    let budget =
-      match (deadline, fuel) with
-      | None, None -> None
-      | _ -> Some (Res_core.Budget.create ?wall_seconds:deadline ?fuel ())
+    let budget = mk_budget deadline fuel in
+    let checkpointer =
+      Option.map
+        (fun path ->
+          Res_persist.Checkpoint.checkpointer ~every:(max 1 checkpoint_every)
+            ~path ~config ~prog ~dump ())
+        checkpoint
     in
-    let outcome = Res_core.Res.analyze ~config ?budget ctx dump in
-    Fmt.pr "%s@." (Res_core.Report.outcome_to_string ctx outcome);
-    outcome_code outcome
+    let outcome = Res_core.Res.analyze ~config ?budget ?checkpointer ctx dump in
+    report_outcome ctx outcome
   in
   Cmd.v
     (Cmd.info "analyze"
@@ -259,7 +305,73 @@ let analyze_cmd =
           classify the root cause.")
     Term.(
       const run $ prog_arg $ dump_arg 1 $ depth_arg $ breadcrumbs_arg
-      $ deadline $ fuel $ attempts $ salvage_arg)
+      $ deadline $ fuel $ attempts $ salvage_arg $ checkpoint
+      $ checkpoint_every)
+
+(* --- resume --- *)
+
+let resume_cmd =
+  let ckpt_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CHECKPOINT"
+          ~doc:"Checkpoint file written by $(b,res analyze --checkpoint).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock deadline for the resumed analysis.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Search-node budget for the resumed analysis.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 25
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Keep checkpointing to the same file every $(docv) expanded \
+             nodes, so the resumed run is itself resumable.")
+  in
+  let run ckpt_path deadline fuel checkpoint_every =
+    let ck =
+      match Res_persist.Checkpoint.load ckpt_path with
+      | Ok ck -> ck
+      | Error err ->
+          raise
+            (Die
+               ( exit_bad_dump,
+                 Fmt.str "checkpoint %s: %s" ckpt_path
+                   (Res_vm.Coredump_io.dump_error_to_string err) ))
+    in
+    let ctx = Res_core.Backstep.make_ctx ck.Res_persist.Checkpoint.prog in
+    let budget = mk_budget deadline fuel in
+    let checkpointer =
+      Res_persist.Checkpoint.checkpointer ~every:(max 1 checkpoint_every)
+        ~path:ckpt_path ~config:ck.Res_persist.Checkpoint.config
+        ~prog:ck.Res_persist.Checkpoint.prog
+        ~dump:ck.Res_persist.Checkpoint.dump ()
+    in
+    let outcome =
+      Res_core.Res.resume ~config:ck.Res_persist.Checkpoint.config ?budget
+        ~checkpointer ctx ck.Res_persist.Checkpoint.dump
+        ck.Res_persist.Checkpoint.state
+    in
+    report_outcome ctx outcome
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Reload a checkpointed analysis (journal-recovering a torn write) \
+          and continue it to the same reports an uninterrupted run produces.")
+    Term.(const run $ ckpt_arg $ deadline $ fuel $ checkpoint_every)
 
 (* --- replay --- *)
 
@@ -460,21 +572,40 @@ let selftest_cmd =
       & info [ "no-deadline-check" ]
           ~doc:"Skip the wall-clock deadline compliance measurement.")
   in
-  let run runs seed verbose skip_deadline =
+  let kill_resume =
+    Arg.(
+      value & flag
+      & info [ "kill-resume" ]
+          ~doc:
+            "Run the kill-and-resume campaign: deterministically kill \
+             analyses after k nodes (including mid-checkpoint-write), resume \
+             from the checkpoint, and assert bit-identical reports.")
+  in
+  let run runs seed verbose skip_deadline kill_resume =
     let open Res_faultinject.Faultinject in
-    let s = campaign ~seed ~runs () in
-    if verbose then List.iter (fun r -> Fmt.pr "%a@." pp_run r) s.runs;
-    Fmt.pr "%a@." pp_summary s;
-    List.iter (fun r -> Fmt.epr "ESCAPED: %a@." pp_run r) s.escaped;
-    let deadline_ok =
-      if skip_deadline then true
-      else begin
-        let d = deadline_compliance () in
-        Fmt.pr "%a@." pp_deadline_check d;
-        d.d_within
-      end
-    in
-    if s.escaped = [] && deadline_ok then exit_ok else exit_internal
+    if kill_resume then begin
+      let s = kill_resume_campaign ~dir:(Filename.get_temp_dir_name ()) () in
+      if verbose then List.iter (fun r -> Fmt.pr "%a@." pp_kr_run r) s.kr_runs;
+      Fmt.pr "%a@." pp_kr_summary s;
+      List.iter (fun r -> Fmt.epr "KILL-RESUME FAILURE: %a@." pp_kr_run r)
+        s.kr_failures;
+      if s.kr_failures = [] then exit_ok else exit_internal
+    end
+    else begin
+      let s = campaign ~seed ~runs () in
+      if verbose then List.iter (fun r -> Fmt.pr "%a@." pp_run r) s.runs;
+      Fmt.pr "%a@." pp_summary s;
+      List.iter (fun r -> Fmt.epr "ESCAPED: %a@." pp_run r) s.escaped;
+      let deadline_ok =
+        if skip_deadline then true
+        else begin
+          let d = deadline_compliance () in
+          Fmt.pr "%a@." pp_deadline_check d;
+          d.d_within
+        end
+      in
+      if s.escaped = [] && deadline_ok then exit_ok else exit_internal
+    end
   in
   Cmd.v
     (Cmd.info "selftest"
@@ -482,7 +613,7 @@ let selftest_cmd =
          "Fault-inject the analysis pipeline itself (corrupt dumps, starved \
           budgets, tight deadlines) and assert it always degrades to a typed \
           outcome.")
-    Term.(const run $ runs $ seed $ verbose $ skip_deadline)
+    Term.(const run $ runs $ seed $ verbose $ skip_deadline $ kill_resume)
 
 let main_cmd =
   let doc = "reverse execution synthesis for MiniIR coredumps" in
@@ -492,6 +623,7 @@ let main_cmd =
       validate_cmd;
       run_cmd;
       analyze_cmd;
+      resume_cmd;
       replay_cmd;
       hwdiag_cmd;
       exploit_cmd;

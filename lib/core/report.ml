@@ -45,6 +45,48 @@ let pp_analysis ctx ppf (a : Res.analysis) =
 
 let analysis_to_string ctx a = Fmt.str "%a@." (pp_analysis ctx) a
 
+(** Deterministic display order: definite causes first, then longer
+    suffixes, ties broken by the rendered report text — so two analyses
+    with the same reports always print identically, whatever order the
+    search emitted them in. *)
+let display_sort ctx (a : Res.analysis) =
+  let score (r : Res.report) =
+    match r.Res.root_cause with
+    | Some c when Res.definite_cause c -> 2
+    | Some _ -> 1
+    | None -> 0
+  in
+  let rendered =
+    List.map (fun r -> (r, Fmt.str "%a" (pp_report ctx) r)) a.Res.reports
+  in
+  let reports =
+    List.stable_sort
+      (fun ((ra : Res.report), ta) ((rb : Res.report), tb) ->
+        match compare (score rb) (score ra) with
+        | 0 -> (
+            match
+              compare (Suffix.length rb.Res.suffix) (Suffix.length ra.Res.suffix)
+            with
+            | 0 -> String.compare ta tb
+            | c -> c)
+        | c -> c)
+      rendered
+    |> List.map fst
+  in
+  { a with Res.reports }
+
+(** The bit-stable projection of an analysis: counters and sorted reports,
+    no timing.  Two runs that did the same work render identically here —
+    this is what kill-and-resume equivalence compares. *)
+let reports_to_string ctx (a : Res.analysis) =
+  let a = display_sort ctx a in
+  Fmt.str
+    "@[<v>depth %d nodes %d candidates %d synthesized %d@,@,%a@]@."
+    a.Res.depth_reached a.Res.nodes_expanded a.Res.candidates_tried
+    a.Res.suffixes_synthesized
+    Fmt.(list ~sep:(cut ++ cut) (pp_report ctx))
+    a.Res.reports
+
 let pp_outcome ctx ppf (o : Res.outcome) =
   match o with
   | Res.Complete a ->

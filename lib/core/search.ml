@@ -189,12 +189,37 @@ let at_program_start ctx (node : node) =
       | _ -> false)
   | _ -> false
 
+(** One pending unit of search work: a node awaiting expansion at the given
+    suffix depth.  The frontier (work stack, next-to-visit first) is the
+    {e entire} mutable state of the search besides its counters and its
+    emitted suffixes — which is what makes the search suspendable: persist
+    the frontier and the search can continue in another process. *)
+type frontier_item = { f_depth : int; f_node : node }
+
+(** A suspended search: everything needed to continue it exactly where it
+    stopped (and nothing else).  [s_frontier] is the work stack,
+    next-to-visit first; [s_out] the suffixes emitted so far, newest first;
+    the counters are a copy of {!stats} at suspension time.  Resuming with
+    this value yields the same remaining visits, in the same order, as the
+    uninterrupted search. *)
+type suspended = {
+  s_frontier : frontier_item list;
+  s_nodes : int;
+  s_candidates : int;
+  s_feasible : int;
+  s_emitted : int;
+  s_out : Suffix.t list;
+}
+
 type result = {
   suffixes : Suffix.t list;
   stats : stats;
   complete : bool;  (** false when a node budget or deadline was exhausted *)
   exhausted : Budget.exhaustion option;
       (** why the shared {!Budget} stopped the search, when it did *)
+  suspended : suspended option;
+      (** the remaining frontier, when a budget stopped the search before
+          it drained — the seed for a later resumed run *)
 }
 
 (** Synthesize suffixes of up to [max_segments] segments for [dump].
@@ -202,13 +227,27 @@ type result = {
     {!Snapshot.of_minidump} for the minidump ablation; the default is the
     full coredump.  [budget] bounds the whole search cooperatively
     (wall-clock deadline and node fuel); when it trips, the suffixes found
-    so far are returned with [complete = false]. *)
-let search ?(config = default_config) ?snapshot0 ?budget ctx
+    so far are returned with [complete = false] and the remaining frontier
+    in [suspended].  [resume] continues a previously suspended search
+    instead of starting from the coredump.  [on_node] is called at every
+    node-entry boundary with the state a resume from that instant would
+    need — the checkpoint hook. *)
+let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node ctx
     (dump : Res_vm.Coredump.t) : result =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let ctx = Backstep.with_interrupt ctx (Budget.interrupt budget) in
-  let stats = new_stats () in
-  let out = ref [] in
+  let stats =
+    match resume with
+    | Some s ->
+        {
+          nodes = s.s_nodes;
+          candidates = s.s_candidates;
+          feasible = s.s_feasible;
+          emitted = s.s_emitted;
+        }
+    | None -> new_stats ()
+  in
+  let out = ref (match resume with Some s -> s.s_out | None -> []) in
   let budget_hit = ref false in
   let budget_ok () =
     if Budget.tick budget then true
@@ -251,129 +290,200 @@ let search ?(config = default_config) ?snapshot0 ?budget ctx
                 :: !out
           | Solver.Unsat | Solver.Unknown -> ())
   in
-  let rec go depth node =
-    if stats.emitted >= config.max_suffixes then ()
-    else if stats.nodes >= config.max_nodes then budget_hit := true
-    else if not (budget_ok ()) then ()
-    else begin
-      stats.nodes <- stats.nodes + 1;
-      if at_program_start ctx node then emit ~at_start:true node
-      else if depth >= config.max_segments then emit node
-      else begin
-        let moves = candidate_moves ctx config node in
-        let progressed = ref false in
-        List.iter
-          (fun (tid, kind, crumbs') ->
-            if stats.nodes >= config.max_nodes then budget_hit := true
-            else if not (Budget.ok budget) then budget_hit := true
-            else if stats.emitted < config.max_suffixes then begin
-              stats.candidates <- stats.candidates + 1;
-              let { Backstep.applied; rejects = _ } =
-                Backstep.step_back ~addr_hint:node.n_touched ctx node.n_snapshot
-                  ~tid ~kind
-              in
-              List.iter
-                (fun (ap : Backstep.applied) ->
-                  let log_match =
-                    if not config.use_breadcrumbs then
-                      Some ([], node.n_logs)
-                    else consume_logs ~tid ap.Backstep.ap_logs node.n_logs
-                  in
-                  match log_match with
-                  | None -> () (* contradicts the error log: prune *)
-                  | Some (log_cs, n_logs) ->
-                      let snapshot' =
-                        Snapshot.add_constraints ap.Backstep.ap_snapshot log_cs
-                      in
-                      let feasible =
-                        log_cs = []
-                        || Solver.solve ~config:ctx.Backstep.solver_config
-                             snapshot'.Snapshot.constraints
-                           <> Solver.Unsat
-                      in
-                      if feasible then begin
-                        stats.feasible <- stats.feasible + 1;
-                        progressed := true;
-                        let seg = ap.Backstep.ap_segment in
-                        go (depth + 1)
-                          {
-                            n_snapshot = snapshot';
-                            n_segments = seg :: node.n_segments;
-                            n_crumbs = crumbs';
-                            n_logs;
-                            n_last_tid = tid;
-                            n_touched =
-                              seg.Suffix.seg_writes @ seg.Suffix.seg_reads
-                              @ node.n_touched;
-                          }
-                      end)
-                applied
-            end)
-          moves;
-        (* Dead end earlier than the target depth: emit what we have, as
-           long as the suffix is non-empty. *)
-        if (not !progressed) && node.n_segments <> [] then emit node
-      end
-    end
+  (* The frontier: an explicit work stack (next-to-visit first), visited
+     depth-first so expansion order — and therefore fresh-symbol
+     allocation, solver queries, and suffix emission — is exactly the
+     in-order traversal a recursive DFS would make.  Children are pushed
+     in reverse so the first candidate is explored (and its whole subtree
+     drained) before the second. *)
+  let stack = ref [] in
+  let stopped = ref None in
+  let snap_state frontier =
+    {
+      s_frontier = frontier;
+      s_nodes = stats.nodes;
+      s_candidates = stats.candidates;
+      s_feasible = stats.feasible;
+      s_emitted = stats.emitted;
+      s_out = !out;
+    }
   in
-  let snapshot0 =
-    match snapshot0 with Some s -> s | None -> Snapshot.of_coredump dump
-  in
-  let crumbs0 =
-    if config.use_breadcrumbs then crumbs_of_dump ctx dump else IMap.empty
-  in
-  let logs0 =
-    if config.use_breadcrumbs then
-      Res_vm.Tracer.logs dump.Res_vm.Coredump.tracer
-    else []
-  in
-  (match crash.Res_vm.Crash.kind with
-  | Res_vm.Crash.Deadlock _ ->
-      (* A deadlock's "crash event" is the collective blocked state; the
-         blocked threads' in-progress segments are ordinary moves (the
-         crashing tid's segment is typically the oldest, not the newest). *)
-      go 0
-        {
-          n_snapshot = snapshot0;
-          n_segments = [];
-          n_crumbs = crumbs0;
-          n_logs = logs0;
-          n_last_tid = crash.Res_vm.Crash.tid;
-          n_touched = [];
-        }
-  | _ ->
-      (* Otherwise the first backward step is always the crashing thread's
-         in-progress segment. *)
-      stats.candidates <- stats.candidates + 1;
-      let { Backstep.applied; rejects = _ } =
-        Backstep.step_back ctx snapshot0 ~tid:crash.Res_vm.Crash.tid
-          ~kind:(Backstep.K_partial (Some crash.Res_vm.Crash.kind))
-      in
-      List.iter
-        (fun (ap : Backstep.applied) ->
-          let log_match =
-            if not config.use_breadcrumbs then Some ([], logs0)
-            else consume_logs ~tid:crash.Res_vm.Crash.tid ap.Backstep.ap_logs logs0
+  (* Expand one node: generate candidate moves, apply each backward step,
+     and return the surviving children in candidate order. *)
+  let expand (node : node) =
+    let moves = candidate_moves ctx config node in
+    let progressed = ref false in
+    let children = ref [] in
+    List.iter
+      (fun (tid, kind, crumbs') ->
+        if stats.nodes >= config.max_nodes then budget_hit := true
+        else if not (Budget.ok budget) then budget_hit := true
+        else if stats.emitted < config.max_suffixes then begin
+          stats.candidates <- stats.candidates + 1;
+          let { Backstep.applied; rejects = _ } =
+            Backstep.step_back ~addr_hint:node.n_touched ctx node.n_snapshot
+              ~tid ~kind
           in
-          match log_match with
-          | None -> ()
-          | Some (log_cs, n_logs) ->
-              stats.feasible <- stats.feasible + 1;
-              let seg = ap.Backstep.ap_segment in
-              go 1
-                {
-                  n_snapshot =
-                    Snapshot.add_constraints ap.Backstep.ap_snapshot log_cs;
-                  n_segments = [ seg ];
-                  n_crumbs = crumbs0;
-                  n_logs;
-                  n_last_tid = crash.Res_vm.Crash.tid;
-                  n_touched = seg.Suffix.seg_writes @ seg.Suffix.seg_reads;
-                })
-        applied);
+          List.iter
+            (fun (ap : Backstep.applied) ->
+              let log_match =
+                if not config.use_breadcrumbs then Some ([], node.n_logs)
+                else consume_logs ~tid ap.Backstep.ap_logs node.n_logs
+              in
+              match log_match with
+              | None -> () (* contradicts the error log: prune *)
+              | Some (log_cs, n_logs) ->
+                  let snapshot' =
+                    Snapshot.add_constraints ap.Backstep.ap_snapshot log_cs
+                  in
+                  let feasible =
+                    log_cs = []
+                    || Solver.solve ~config:ctx.Backstep.solver_config
+                         snapshot'.Snapshot.constraints
+                       <> Solver.Unsat
+                  in
+                  if feasible then begin
+                    stats.feasible <- stats.feasible + 1;
+                    progressed := true;
+                    let seg = ap.Backstep.ap_segment in
+                    children :=
+                      {
+                        n_snapshot = snapshot';
+                        n_segments = seg :: node.n_segments;
+                        n_crumbs = crumbs';
+                        n_logs;
+                        n_last_tid = tid;
+                        n_touched =
+                          seg.Suffix.seg_writes @ seg.Suffix.seg_reads
+                          @ node.n_touched;
+                      }
+                      :: !children
+                  end)
+            applied
+        end)
+      moves;
+    (!progressed, List.rev !children)
+  in
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | item :: rest ->
+        stack := rest;
+        if stats.emitted >= config.max_suffixes then
+          (* Enough suffixes: the remaining frontier would not be expanded
+             by the recursive search either — drop it wholesale. *)
+          stack := []
+        else begin
+          (* A resume from this instant must re-visit [item]: report the
+             pre-visit state (frontier including it, counters unbumped). *)
+          (match on_node with
+          | Some hook -> hook (snap_state (item :: rest))
+          | None -> ());
+          if stats.nodes >= config.max_nodes then begin
+            budget_hit := true;
+            stopped := Some (snap_state (item :: rest))
+          end
+          else if not (budget_ok ()) then
+            stopped := Some (snap_state (item :: rest))
+          else begin
+            stats.nodes <- stats.nodes + 1;
+            let node = item.f_node in
+            if at_program_start ctx node then emit ~at_start:true node
+            else if item.f_depth >= config.max_segments then emit node
+            else begin
+              let progressed, children = expand node in
+              (* Dead end earlier than the target depth: emit what we
+                 have, as long as the suffix is non-empty. *)
+              if (not progressed) && node.n_segments <> [] then emit node;
+              stack :=
+                List.map
+                  (fun n -> { f_depth = item.f_depth + 1; f_node = n })
+                  children
+                @ !stack
+            end;
+            drain ()
+          end
+        end
+  in
+  (match resume with
+  | Some s -> stack := s.s_frontier
+  | None -> (
+      let snapshot0 =
+        match snapshot0 with Some s -> s | None -> Snapshot.of_coredump dump
+      in
+      let crumbs0 =
+        if config.use_breadcrumbs then crumbs_of_dump ctx dump else IMap.empty
+      in
+      let logs0 =
+        if config.use_breadcrumbs then
+          Res_vm.Tracer.logs dump.Res_vm.Coredump.tracer
+        else []
+      in
+      match crash.Res_vm.Crash.kind with
+      | Res_vm.Crash.Deadlock _ ->
+          (* A deadlock's "crash event" is the collective blocked state; the
+             blocked threads' in-progress segments are ordinary moves (the
+             crashing tid's segment is typically the oldest, not the
+             newest). *)
+          stack :=
+            [
+              {
+                f_depth = 0;
+                f_node =
+                  {
+                    n_snapshot = snapshot0;
+                    n_segments = [];
+                    n_crumbs = crumbs0;
+                    n_logs = logs0;
+                    n_last_tid = crash.Res_vm.Crash.tid;
+                    n_touched = [];
+                  };
+              };
+            ]
+      | _ ->
+          (* Otherwise the first backward step is always the crashing
+             thread's in-progress segment. *)
+          stats.candidates <- stats.candidates + 1;
+          let { Backstep.applied; rejects = _ } =
+            Backstep.step_back ctx snapshot0 ~tid:crash.Res_vm.Crash.tid
+              ~kind:(Backstep.K_partial (Some crash.Res_vm.Crash.kind))
+          in
+          stack :=
+            List.filter_map
+              (fun (ap : Backstep.applied) ->
+                let log_match =
+                  if not config.use_breadcrumbs then Some ([], logs0)
+                  else
+                    consume_logs ~tid:crash.Res_vm.Crash.tid
+                      ap.Backstep.ap_logs logs0
+                in
+                match log_match with
+                | None -> None
+                | Some (log_cs, n_logs) ->
+                    stats.feasible <- stats.feasible + 1;
+                    let seg = ap.Backstep.ap_segment in
+                    Some
+                      {
+                        f_depth = 1;
+                        f_node =
+                          {
+                            n_snapshot =
+                              Snapshot.add_constraints ap.Backstep.ap_snapshot
+                                log_cs;
+                            n_segments = [ seg ];
+                            n_crumbs = crumbs0;
+                            n_logs;
+                            n_last_tid = crash.Res_vm.Crash.tid;
+                            n_touched =
+                              seg.Suffix.seg_writes @ seg.Suffix.seg_reads;
+                          };
+                      })
+              applied));
+  drain ();
   {
     suffixes = List.rev !out;
     stats;
     complete = not !budget_hit;
     exhausted = Budget.exhausted budget;
+    suspended = !stopped;
   }

@@ -281,6 +281,237 @@ let deadline_compliance ?(deadline = 1.0) ?(tolerance = 0.10) () : deadline_chec
     d_within = elapsed <= deadline *. (1. +. tolerance);
   }
 
+(* --- kill-and-resume campaign (crash-safe checkpointing) --- *)
+
+(** Where a simulated process death lands. *)
+type kill_point =
+  | Kill_after_nodes of int
+      (** die exactly after this many expanded search nodes (the fuel
+          budget makes the kill deterministic) *)
+  | Kill_mid_write of int
+      (** die after this many nodes {e inside} the exhaustion-time
+          checkpoint write, leaving a torn [.tmp] journal to recover *)
+
+let pp_kill_point ppf = function
+  | Kill_after_nodes k -> Fmt.pf ppf "kill after %d nodes" k
+  | Kill_mid_write k -> Fmt.pf ppf "kill after %d nodes, mid-checkpoint-write" k
+
+type kr_run = {
+  kr_workload : string;
+  kr_kill : kill_point;
+  kr_legs : int;  (** process lifetimes the analysis took (1 = never killed again) *)
+  kr_equivalent : bool;  (** resumed reports bit-identical to the baseline's *)
+  kr_clean_disk : bool;  (** no torn [.tmp] left; final checkpoint validates *)
+  kr_detail : string;  (** diagnosis when not equivalent/clean *)
+}
+
+type kr_summary = {
+  kr_runs : kr_run list;
+  kr_total : int;
+  kr_ok : int;
+  kr_failures : kr_run list;  (** empty iff every chain reconverged cleanly *)
+}
+
+(* Exhaustive deepening (no early stop) so every workload's search is
+   deep enough for kill points to land mid-analysis. *)
+let kr_config =
+  {
+    Res_core.Res.search =
+      {
+        Res_core.Search.default_config with
+        max_segments = 6;
+        max_nodes = 2_000;
+        max_suffixes = 8;
+      };
+    determinism_runs = 1;
+    stop_at_first_cause = false;
+    max_attempts = 2;
+  }
+
+(** One kill-and-resume chain: run the analysis under a fuel budget that
+    dies at the kill point, then keep reloading the checkpoint and
+    resuming — each resumed leg under the {e same} lethal fuel budget, so
+    long analyses die and resume many times — until the analysis
+    completes.  The chain must reconverge to the never-killed baseline's
+    reports, bit for bit. *)
+let kill_resume_one ?(every = 4) ?(dir = Filename.current_dir_name)
+    (w : Res_workloads.Truth.t) (kill : kill_point) ~(baseline : string) :
+    kr_run =
+  let k, torn =
+    match kill with Kill_after_nodes k -> (k, false) | Kill_mid_write k -> (k, true)
+  in
+  let path =
+    Filename.concat dir (Fmt.str "kr-%s-%d%s.ckpt" w.Res_workloads.Truth.w_name k
+                           (if torn then "-torn" else ""))
+  in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ path; path ^ ".tmp" ]
+  in
+  let finish ~legs ~equivalent ~detail =
+    (* Acceptance: the chain never leaves a torn journal behind, and
+       whatever checkpoint remains on disk validates. *)
+    let tmp_left = Sys.file_exists (path ^ ".tmp") in
+    let final_valid =
+      (not (Sys.file_exists path))
+      || (match Res_persist.Checkpoint.load path with Ok _ -> true | Error _ -> false)
+    in
+    cleanup ();
+    {
+      kr_workload = w.Res_workloads.Truth.w_name;
+      kr_kill = kill;
+      kr_legs = legs;
+      kr_equivalent = equivalent;
+      kr_clean_disk = (not tmp_left) && final_valid;
+      kr_detail =
+        (if tmp_left then "torn .tmp journal left on disk; " else "")
+        ^ (if final_valid then "" else "final checkpoint does not validate; ")
+        ^ detail;
+    }
+  in
+  try
+    cleanup ();
+    Res_solver.Expr.reset_counter_for_tests ();
+    let dump = Res_workloads.Truth.coredump w in
+    let prog = w.Res_workloads.Truth.w_prog in
+    let ctx = Res_core.Backstep.make_ctx prog in
+    let lethal_budget () = Res_core.Budget.create ~fuel:k () in
+    let ckpt ~config ~prog ~dump ~budget =
+      let base =
+        Res_persist.Checkpoint.checkpointer ~every ~path ~config ~prog ~dump ()
+      in
+      if not torn then base
+      else
+        {
+          base with
+          Res_core.Res.ck_write =
+            (fun st ->
+              if Res_core.Budget.exhausted budget = None then
+                base.Res_core.Res.ck_write st
+              else begin
+                (* The exhaustion-time write: simulate the process dying
+                   halfway through it.  The atomic writer's intermediate
+                   state is the [.tmp] journal, so a mid-write death is a
+                   torn [.tmp] — and no update of [path]. *)
+                let full =
+                  Res_persist.Checkpoint.to_string
+                    { Res_persist.Checkpoint.config; prog; dump; state = st }
+                in
+                let oc = open_out_bin (path ^ ".tmp") in
+                output_string oc (String.sub full 0 (String.length full / 2));
+                close_out oc;
+                Error "simulated death mid-checkpoint-write"
+              end);
+        }
+    in
+    let budget0 = lethal_budget () in
+    let first =
+      Res_core.Res.analyze ~config:kr_config ~budget:budget0
+        ~checkpointer:(ckpt ~config:kr_config ~prog ~dump ~budget:budget0)
+        ctx dump
+    in
+    let rec chase legs outcome =
+      match outcome with
+      | Res_core.Res.Partial
+          ((Res_core.Res.Fuel_exhausted | Res_core.Res.Deadline_exceeded), _)
+        when legs < 500 -> (
+          (* The process died.  A new one reloads the checkpoint (running
+             journal recovery) and resumes — under the same lethal fuel. *)
+          match Res_persist.Checkpoint.load path with
+          | Error e ->
+              `Load_error
+                (legs, Res_vm.Coredump_io.dump_error_to_string e)
+          | Ok ck ->
+              let ctx' =
+                Res_core.Backstep.make_ctx ck.Res_persist.Checkpoint.prog
+              in
+              let budget = lethal_budget () in
+              let cp =
+                (* Only the first leg dies mid-write: later legs check
+                   that recovery converges, not that it loops forever. *)
+                Res_persist.Checkpoint.checkpointer ~every ~path
+                  ~config:ck.Res_persist.Checkpoint.config
+                  ~prog:ck.Res_persist.Checkpoint.prog
+                  ~dump:ck.Res_persist.Checkpoint.dump ()
+              in
+              chase (legs + 1)
+                (Res_core.Res.resume ~config:ck.Res_persist.Checkpoint.config
+                   ~budget ~checkpointer:cp ctx'
+                   ck.Res_persist.Checkpoint.dump
+                   ck.Res_persist.Checkpoint.state))
+      | o -> `Done (legs, o)
+    in
+    match chase 1 first with
+    | `Load_error (legs, msg) ->
+        finish ~legs ~equivalent:false
+          ~detail:(Fmt.str "checkpoint load failed: %s" msg)
+    | `Done (legs, outcome) ->
+        let rendered =
+          Res_core.Report.reports_to_string ctx
+            (Res_core.Res.analysis outcome)
+        in
+        if String.equal rendered baseline then
+          finish ~legs ~equivalent:true ~detail:""
+        else
+          finish ~legs ~equivalent:false
+            ~detail:
+              (Fmt.str "reports diverged from baseline (%s after %d legs)"
+                 (Res_core.Res.outcome_name outcome) legs)
+  with exn ->
+    finish ~legs:0 ~equivalent:false
+      ~detail:(Fmt.str "escaped exception: %s" (Printexc.to_string exn))
+
+(** The never-killed reference run for a workload, rendered bit-stably. *)
+let kr_baseline (w : Res_workloads.Truth.t) =
+  Res_solver.Expr.reset_counter_for_tests ();
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  let outcome = Res_core.Res.analyze ~config:kr_config ctx dump in
+  Res_core.Report.reports_to_string ctx (Res_core.Res.analysis outcome)
+
+(** Kill-and-resume equivalence campaign: for every workload, kill the
+    analysis after [kills] nodes (plus once mid-checkpoint-write), resume
+    each chain to completion, and compare its reports bit-for-bit against
+    the never-killed baseline. *)
+let kill_resume_campaign ?(every = 4) ?dir ?(kills = [ 1; 5; 17 ])
+    ?(torn_kill = 13) ?workloads () : kr_summary =
+  let workloads =
+    match workloads with Some ws -> ws | None -> default_workloads ()
+  in
+  let runs =
+    List.concat_map
+      (fun w ->
+        let baseline = kr_baseline w in
+        List.map
+          (fun kill -> kill_resume_one ~every ?dir w kill ~baseline)
+          (List.map (fun k -> Kill_after_nodes k) kills
+          @ [ Kill_mid_write torn_kill ]))
+      workloads
+  in
+  let ok r = r.kr_equivalent && r.kr_clean_disk in
+  {
+    kr_runs = runs;
+    kr_total = List.length runs;
+    kr_ok = List.length (List.filter ok runs);
+    kr_failures = List.filter (fun r -> not (ok r)) runs;
+  }
+
+let pp_kr_run ppf r =
+  Fmt.pf ppf "%-18s %-36s -> %s in %d leg(s)%s%s" r.kr_workload
+    (Fmt.str "%a" pp_kill_point r.kr_kill)
+    (if r.kr_equivalent then "bit-identical" else "DIVERGED")
+    r.kr_legs
+    (if r.kr_clean_disk then "" else " [DIRTY DISK]")
+    (if r.kr_detail = "" then "" else Fmt.str " (%s)" r.kr_detail)
+
+let pp_kr_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>kill-and-resume self-test: %d chains (kill, resume, compare)@,\
+     bit-identical and clean: %d/%d@,\
+     failures: %d@]"
+    s.kr_total s.kr_ok s.kr_total (List.length s.kr_failures)
+
 (* --- reporting --- *)
 
 let pp_run ppf r =

@@ -50,7 +50,8 @@ let pp_site ppf = function
 (* --- envelope: header, line count, checksum --- *)
 
 (** 32-bit FNV-1a over a string — cheap, deterministic, and plenty to catch
-    the single-bit and truncation corruption we defend against. *)
+    the single-bit and truncation corruption we defend against.  Shared by
+    every checksummed on-disk format (coredumps, search checkpoints). *)
 let fnv1a32 s =
   let h = ref 0x811c9dc5 in
   String.iter
@@ -60,6 +61,11 @@ let fnv1a32 s =
 
 let count_lines s =
   String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 s
+
+(** Append the validating [end <lines> <checksum>] footer to a payload
+    (which must end in a newline). *)
+let seal payload =
+  Fmt.str "%send %d %d\n" payload (count_lines payload) (fnv1a32 payload)
 
 (** Serialize a coredump to its textual format (v2: checksummed). *)
 let to_string (d : Coredump.t) =
@@ -101,8 +107,7 @@ let to_string (d : Coredump.t) =
       Fmt.pf ppf "log %d %S %d@\n" e.log_tid e.log_tag e.log_value)
     (Tracer.logs d.Coredump.tracer);
   Fmt.flush ppf ();
-  let payload = Buffer.contents buf in
-  Fmt.str "%send %d %d\n" payload (count_lines payload) (fnv1a32 payload)
+  seal (Buffer.contents buf)
 
 exception Bad_format of string
 
@@ -375,30 +380,38 @@ let split_footer src =
     | None -> None
     | Some i -> Some (String.sub src 0 (i + 1), String.sub src (i + 1) (end_ - i - 1))
 
+(** Validate a sealed envelope whose first line must satisfy [header]:
+    check the [end <lines> <checksum>] footer and return the record payload
+    to parse.  Shared by every sealed format ({!seal} is the writer). *)
+let validate_sealed ~header src : (string, dump_error) result =
+  if String.trim src = "" then Error Empty_dump
+  else if not (header (first_line src)) then Error (Bad_header (first_line src))
+  else
+    match split_footer src with
+    | Some (payload, footer) when String.length footer >= 4
+                                  && String.sub footer 0 4 = "end " -> (
+        match Scanf.sscanf_opt footer "end %d %d" (fun a b -> (a, b)) with
+        | None -> Error (Truncated "unparsable end-of-record footer")
+        | Some (lines, checksum) ->
+            let actual_lines = count_lines payload in
+            if actual_lines <> lines then
+              Error
+                (Truncated
+                   (Fmt.str "%d of %d record lines present" actual_lines lines))
+            else
+              let actual = fnv1a32 payload in
+              if actual <> checksum then
+                Error (Corrupted { expected = checksum; actual })
+              else Ok payload)
+    | _ -> Error (Truncated "missing end-of-record footer")
+
 (** Check header/footer/checksum; returns the record payload to parse. *)
 let validate_envelope src : (string, dump_error) result =
   if String.trim src = "" then Error Empty_dump
   else
     match first_line src with
     | "coredump v1" -> Ok src (* legacy: no envelope to check *)
-    | "coredump v2" -> (
-        match split_footer src with
-        | Some (payload, footer) when String.length footer >= 4
-                                      && String.sub footer 0 4 = "end " -> (
-            match Scanf.sscanf_opt footer "end %d %d" (fun a b -> (a, b)) with
-            | None -> Error (Truncated "unparsable end-of-dump footer")
-            | Some (lines, checksum) ->
-                let actual_lines = count_lines payload in
-                if actual_lines <> lines then
-                  Error
-                    (Truncated
-                       (Fmt.str "%d of %d record lines present" actual_lines lines))
-                else
-                  let actual = fnv1a32 payload in
-                  if actual <> checksum then
-                    Error (Corrupted { expected = checksum; actual })
-                  else Ok payload)
-        | _ -> Error (Truncated "missing end-of-dump footer"))
+    | "coredump v2" -> validate_sealed ~header:(String.equal "coredump v2") src
     | l -> Error (Bad_header l)
 
 let classify_exn = function
@@ -482,11 +495,23 @@ let of_string src : Coredump.t =
   | Ok { dump; _ } -> dump
   | Error err -> raise (Bad_format (dump_error_to_string err))
 
-(** Write a coredump to [path]. *)
-let save path d =
-  let oc = open_out path in
-  output_string oc (to_string d);
-  close_out oc
+(** Write [contents] to [path] atomically: write [path ^ ".tmp"] in full,
+    then [Sys.rename] over the destination.  A crash mid-write leaves the
+    previous file (if any) intact and at worst a stale [.tmp] — never a
+    torn destination that a loader then has to salvage.  Shared by every
+    on-disk artifact (coredumps, search checkpoints). *)
+let write_file_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try output_string oc contents
+   with exn ->
+     close_out_noerr oc;
+     raise exn);
+  close_out oc;
+  Sys.rename tmp path
+
+(** Write a coredump to [path] (atomically, via temp file + rename). *)
+let save path d = write_file_atomic path (to_string d)
 
 let read_file path =
   match open_in_bin path with

@@ -42,8 +42,66 @@ val of_string_result : ?salvage:bool -> string -> (loaded, dump_error) result
     @raise Bad_format on malformed input. *)
 val of_string : string -> Coredump.t
 
-(** Write a coredump to a file. *)
+(** Write a coredump to a file (atomically: temp file + rename, so a crash
+    mid-write never leaves a torn dump at the destination). *)
 val save : string -> Coredump.t -> unit
+
+(** {2 Shared on-disk-format helpers}
+
+    Other sealed textual formats (the search checkpoints of
+    {!Res_persist.Checkpoint}) reuse the coredump format's building blocks:
+    the FNV-1a envelope, the atomic writer, and the token-level record
+    readers/printers. *)
+
+(** 32-bit FNV-1a checksum of a string. *)
+val fnv1a32 : string -> int
+
+(** Newlines in a string (the envelope's line count). *)
+val count_lines : string -> int
+
+(** Append the validating [end <lines> <checksum>] footer to a payload
+    (which must end in a newline). *)
+val seal : string -> string
+
+(** Validate a sealed envelope whose first line must satisfy [header];
+    returns the record payload (footer stripped). *)
+val validate_sealed : header:(string -> bool) -> string -> (string, dump_error) result
+
+(** [write_file_atomic path contents] writes [path ^ ".tmp"] in full, then
+    renames it over [path].  A crash mid-write leaves at worst a stale
+    [.tmp], never a torn destination. *)
+val write_file_atomic : string -> string -> unit
+
+(** Read a whole file, classifying failures as {!Unreadable}. *)
+val read_file : string -> (string, dump_error) result
+
+(** Token-level reader over {!Res_ir.Parser.tokenize} output. *)
+type reader = { mutable toks : (Res_ir.Parser.token * int) list }
+
+(** @raise Bad_format at end of input. *)
+val next : reader -> Res_ir.Parser.token
+
+val peek : reader -> Res_ir.Parser.token option
+
+(** Typed token readers. @raise Bad_format on the wrong token kind. *)
+val int_tok : reader -> int
+
+val ident : reader -> string
+val string_tok : reader -> string
+
+(** Record-field (de)serializers shared with the checkpoint format. *)
+val pc_of : reader -> Res_ir.Pc.t
+
+val site_of : reader -> Res_ir.Pc.t option
+val kind_of : reader -> Crash.kind
+val status_of : reader -> Thread.status
+val pp_pc : Format.formatter -> Res_ir.Pc.t -> unit
+val pp_kind : Format.formatter -> Crash.kind -> unit
+val pp_status : Format.formatter -> Thread.status -> unit
+val pp_site : Format.formatter -> Res_ir.Pc.t option -> unit
+
+(** Raise {!Bad_format} with a formatted message. *)
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 (** Load a coredump from a file, classifying damage instead of raising. *)
 val load_result : ?salvage:bool -> string -> (loaded, dump_error) result

@@ -1,10 +1,15 @@
 #!/bin/sh
-# CI entry point: build, run the full test suite, then fault-inject the
-# pipeline itself (res selftest exits non-zero if any perturbed analysis
-# escapes with an exception or the 1s deadline is not honored within 10%).
+# CI entry point: build (including formatting of dune files), run the
+# full test suite, then fault-inject the pipeline itself: res selftest
+# exits non-zero if any perturbed analysis escapes with an exception or
+# the 1s deadline is not honored within 10%, and the kill-resume
+# campaign exits non-zero if any killed-and-resumed analysis fails to
+# reconverge to bit-identical reports or leaves a torn file on disk.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
+dune build @fmt
 dune runtest
 dune exec bin/res_cli.exe -- selftest --runs 60
+dune exec bin/res_cli.exe -- selftest --kill-resume
