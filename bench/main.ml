@@ -612,6 +612,43 @@ let e13 () =
     "expected shape: every chain reconverges to bit-identical reports, \
      including the mid-write kill (journal recovery), leaving no torn files@."
 
+(* ------------------------------------------------------------------ *)
+(* E14 — goal-directed static pruning.  The chain refuter discards      *)
+(* candidate backward steps whose constraint system is statically       *)
+(* unsatisfiable, before any symbolic execution or solving — and, being *)
+(* admissible, must leave the reports byte-identical.                   *)
+(* ------------------------------------------------------------------ *)
+let e14 () =
+  section "e14" "static chain-refutation pruning — work saved, reports equal";
+  let open Res_faultinject.Faultinject in
+  Fmt.pr "%-24s %-12s %-12s %-10s %-12s %-10s@." "workload" "nodes(off)"
+    "nodes(on)" "pruned" "reduction" "reports";
+  List.iter
+    (fun name ->
+      let w = Res_workloads.Workloads.find name in
+      let r, _ = time (fun () -> prune_equivalence_one w) in
+      let reduction =
+        if r.pe_nodes_off = 0 then 0.
+        else
+          100.
+          *. float_of_int (r.pe_nodes_off - r.pe_nodes_on)
+          /. float_of_int r.pe_nodes_off
+      in
+      Fmt.pr "%-24s %-12d %-12d %-10d %-12s %-10s@." name r.pe_nodes_off
+        r.pe_nodes_on r.pe_pruned
+        (Fmt.str "%.1f%%" reduction)
+        (if r.pe_equivalent then "identical" else "DIVERGED"))
+    [
+      "fig1-overflow";
+      "long-exec-50";
+      "kvstore-stats-race";
+      "counter-race";
+      "div-by-zero";
+    ];
+  Fmt.pr
+    "expected shape: long-exec drops >=30%% of backward-step evaluations; \
+     every report column reads 'identical'@."
+
 let experiments =
   [
     ("e1", e1);
@@ -626,6 +663,7 @@ let experiments =
     ("e10", e10);
     ("e11", e11);
     ("e13", e13);
+    ("e14", e14);
     ("a1", a1);
     ("bechamel", bechamel);
   ]

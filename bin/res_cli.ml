@@ -2,6 +2,7 @@
    and drive reverse execution synthesis over them.
 
      res validate prog.res            check a program is well-formed
+     res check prog.res               static lint: races, deadlocks, dead code
      res run prog.res -o core.txt     run; save the coredump on a crash
      res analyze prog.res core.txt    synthesize, replay, classify
      res replay prog.res core.txt     verify deterministic reproduction
@@ -14,7 +15,8 @@
 
    Exit codes: 0 analysis complete, 1 internal error or invalid usage,
    2 partial analysis (search truncated), 3 bad coredump, 4 budget or
-   deadline exhausted. *)
+   deadline exhausted.  `res check` reuses 0/2/3 as clean / warnings /
+   errors, so orchestrators can gate on lint severity. *)
 
 open Cmdliner
 
@@ -180,6 +182,59 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Parse and validate a MiniIR program.")
     Term.(const run $ prog_arg)
 
+(* --- check --- *)
+
+let check_cmd =
+  let prog_opt =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"PROG" ~doc:"MiniIR program file to lint.")
+  in
+  let all_workloads =
+    Arg.(
+      value & flag
+      & info [ "all-workloads" ]
+          ~doc:
+            "Lint every built-in workload program instead of a file; the \
+             exit code reflects the worst finding across all of them.")
+  in
+  (* One TSV line per finding, prefixed with the program name so
+     --all-workloads output stays machine-splittable. *)
+  let check_one name prog =
+    let findings = Res_static.Lint.run prog in
+    List.iter
+      (fun f -> Fmt.pr "%s\t%s@." name (Res_static.Lint.to_line f))
+      findings;
+    Res_static.Lint.exit_code findings
+  in
+  let run prog_path all_workloads =
+    match (prog_path, all_workloads) with
+    | Some _, true | None, false ->
+        raise
+          (Die (exit_internal, "check needs a PROG file or --all-workloads"))
+    | Some path, false ->
+        (* Lint even programs the validator rejects: the validator's
+           errors ARE findings, so parse-only here. *)
+        let prog = or_die (Res_ir.Parser.parse_result (read_file path)) in
+        check_one path prog
+    | None, true ->
+        List.fold_left
+          (fun worst (w : Res_workloads.Truth.t) ->
+            max worst
+              (check_one w.Res_workloads.Truth.w_name
+                 w.Res_workloads.Truth.w_prog))
+          exit_ok Res_workloads.Workloads.all
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically lint a program: validation, unreachable blocks, dead \
+          stores, lock leaks, data races, and lock-order deadlocks.  One \
+          tab-separated finding per line; exit 0 clean, 2 warnings, 3 \
+          errors.")
+    Term.(const run $ prog_opt $ all_workloads)
+
 (* --- analyze --- *)
 
 let salvage_arg =
@@ -269,8 +324,16 @@ let analyze_cmd =
       & info [ "checkpoint-every" ] ~docv:"N"
           ~doc:"Checkpoint every $(docv) expanded search nodes.")
   in
+  let no_static_prune =
+    Arg.(
+      value & flag
+      & info [ "no-static-prune" ]
+          ~doc:
+            "Disable the static chain-refutation pruner (the reports must \
+             not change, only the amount of search work).")
+  in
   let run prog_path dump_path depth breadcrumbs deadline fuel attempts salvage
-      checkpoint checkpoint_every =
+      checkpoint checkpoint_every no_static_prune =
     let prog = or_die (load_prog prog_path) in
     let dump = load_dump ~salvage dump_path in
     let ctx = Res_core.Backstep.make_ctx prog in
@@ -283,6 +346,7 @@ let analyze_cmd =
             max_segments = depth;
             max_nodes = 30_000;
             use_breadcrumbs = breadcrumbs;
+            static_prune = not no_static_prune;
           };
         max_attempts = max 1 attempts;
       }
@@ -306,7 +370,7 @@ let analyze_cmd =
     Term.(
       const run $ prog_arg $ dump_arg 1 $ depth_arg $ breadcrumbs_arg
       $ deadline $ fuel $ attempts $ salvage_arg $ checkpoint
-      $ checkpoint_every)
+      $ checkpoint_every $ no_static_prune)
 
 (* --- resume --- *)
 
@@ -581,9 +645,27 @@ let selftest_cmd =
              analyses after k nodes (including mid-checkpoint-write), resume \
              from the checkpoint, and assert bit-identical reports.")
   in
-  let run runs seed verbose skip_deadline kill_resume =
+  let prune_equivalence =
+    Arg.(
+      value & flag
+      & info [ "prune-equivalence" ]
+          ~doc:
+            "Run the static-prune equivalence campaign: analyze every \
+             workload with pruning on and off and assert byte-identical \
+             reports.")
+  in
+  let run runs seed verbose skip_deadline kill_resume prune_equivalence =
     let open Res_faultinject.Faultinject in
-    if kill_resume then begin
+    if prune_equivalence then begin
+      let s = prune_equivalence_campaign () in
+      if verbose then List.iter (fun r -> Fmt.pr "%a@." pp_pe_run r) s.pe_runs;
+      Fmt.pr "%a@." pp_pe_summary s;
+      List.iter
+        (fun r -> Fmt.epr "PRUNE-EQUIVALENCE FAILURE: %a@." pp_pe_run r)
+        s.pe_failures;
+      if s.pe_failures = [] then exit_ok else exit_internal
+    end
+    else if kill_resume then begin
       let s = kill_resume_campaign ~dir:(Filename.get_temp_dir_name ()) () in
       if verbose then List.iter (fun r -> Fmt.pr "%a@." pp_kr_run r) s.kr_runs;
       Fmt.pr "%a@." pp_kr_summary s;
@@ -613,7 +695,9 @@ let selftest_cmd =
          "Fault-inject the analysis pipeline itself (corrupt dumps, starved \
           budgets, tight deadlines) and assert it always degrades to a typed \
           outcome.")
-    Term.(const run $ runs $ seed $ verbose $ skip_deadline $ kill_resume)
+    Term.(
+      const run $ runs $ seed $ verbose $ skip_deadline $ kill_resume
+      $ prune_equivalence)
 
 let main_cmd =
   let doc = "reverse execution synthesis for MiniIR coredumps" in
@@ -621,6 +705,7 @@ let main_cmd =
   Cmd.group info
     [
       validate_cmd;
+      check_cmd;
       run_cmd;
       analyze_cmd;
       resume_cmd;

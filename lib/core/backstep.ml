@@ -33,6 +33,8 @@ type ctx = {
   use_addr_pool : bool;
       (** resolve unconstrained havocked pointers against plausible mapped
           addresses (suffix-touched first); disabling it is the A1 ablation *)
+  statics : Res_static.Summary.t Lazy.t;
+      (** whole-program mod/ref summaries, forced on first static prune *)
 }
 
 let make_ctx ?(sym_config = Res_symex.Symexec.default_config)
@@ -47,6 +49,7 @@ let make_ctx ?(sym_config = Res_symex.Symexec.default_config)
     relaxed_mem;
     relaxed_regs;
     use_addr_pool;
+    statics = lazy (Res_static.Summary.of_prog prog);
   }
 
 (** Thread a cooperative interrupt into every engine the context drives:

@@ -34,11 +34,12 @@ let pp_analysis ctx ppf (a : Res.analysis) =
   Fmt.pf ppf
     "@[<v>=== RES analysis ===@,\
      suffix depth reached: %d@,\
-     search nodes: %d, candidates: %d, suffixes synthesized: %d@,\
+     search nodes: %d, candidates: %d, statically pruned: %d, suffixes \
+     synthesized: %d@,\
      cpu time: %.3fs@,\
      reproduced suffixes: %d@,@,%a@]"
     a.Res.depth_reached a.Res.nodes_expanded a.Res.candidates_tried
-    a.Res.suffixes_synthesized a.Res.cpu_seconds
+    a.Res.nodes_pruned a.Res.suffixes_synthesized a.Res.cpu_seconds
     (List.length a.Res.reports)
     Fmt.(list ~sep:(cut ++ cut) (pp_report ctx))
     a.Res.reports
@@ -84,6 +85,17 @@ let reports_to_string ctx (a : Res.analysis) =
     "@[<v>depth %d nodes %d candidates %d synthesized %d@,@,%a@]@."
     a.Res.depth_reached a.Res.nodes_expanded a.Res.candidates_tried
     a.Res.suffixes_synthesized
+    Fmt.(list ~sep:(cut ++ cut) (pp_report ctx))
+    a.Res.reports
+
+(** The report {e bodies} only, display-sorted, without the work counters.
+    Two analyses that found the same defects render identically here even
+    if they did different amounts of work to find them — this is what the
+    static-prune equivalence check compares (pruning must change the
+    counters and nothing else). *)
+let report_list_to_string ctx (a : Res.analysis) =
+  let a = display_sort ctx a in
+  Fmt.str "@[<v>%a@]@."
     Fmt.(list ~sep:(cut ++ cut) (pp_report ctx))
     a.Res.reports
 

@@ -21,6 +21,8 @@ type analysis = {
   depth_reached : int;
   nodes_expanded : int;
   candidates_tried : int;
+  nodes_pruned : int;
+      (** candidates the static layer refuted without evaluation *)
   suffixes_synthesized : int;
   cpu_seconds : float;
   checkpoint : string option;
@@ -122,6 +124,7 @@ type ckpt_state = {
   ck_truncated : bool;  (** a depth of this attempt hit the node budget *)
   ck_nodes : int;
   ck_cands : int;
+  ck_pruned : int;
   ck_synth : int;
   ck_suspended : Search.suspended option;
       (** the in-flight search frontier; [None] between depths *)
@@ -144,6 +147,7 @@ let empty_analysis =
     depth_reached = 0;
     nodes_expanded = 0;
     candidates_tried = 0;
+    nodes_pruned = 0;
     suffixes_synthesized = 0;
     cpu_seconds = 0.;
     checkpoint = None;
@@ -212,6 +216,7 @@ let initial_state config =
     ck_truncated = false;
     ck_nodes = 0;
     ck_cands = 0;
+    ck_pruned = 0;
     ck_synth = 0;
     ck_suspended = None;
     ck_fuel = None;
@@ -238,6 +243,7 @@ let run config budget checkpointer ctx (dump : Res_vm.Coredump.t)
      the suspended search state, so a resumed run re-reports it. *)
   let nodes = ref st0.ck_nodes
   and cands = ref st0.ck_cands
+  and pruned = ref st0.ck_pruned
   and synth = ref st0.ck_synth in
   let truncated = ref st0.ck_truncated in
   let last_ckpt = ref None in
@@ -251,6 +257,7 @@ let run config budget checkpointer ctx (dump : Res_vm.Coredump.t)
       ck_truncated = !truncated;
       ck_nodes = !nodes;
       ck_cands = !cands;
+      ck_pruned = !pruned;
       ck_synth = !synth;
       ck_suspended = suspended;
       ck_fuel = Budget.remaining_fuel budget;
@@ -306,6 +313,7 @@ let run config budget checkpointer ctx (dump : Res_vm.Coredump.t)
       depth_reached = depth;
       nodes_expanded = !nodes;
       candidates_tried = !cands;
+      nodes_pruned = !pruned;
       suffixes_synthesized = !synth;
       cpu_seconds = Sys.time () -. t0;
       checkpoint = !last_ckpt;
@@ -345,6 +353,7 @@ let run config budget checkpointer ctx (dump : Res_vm.Coredump.t)
         | _ -> ());
         nodes := !nodes + result.Search.stats.Search.nodes;
         cands := !cands + result.Search.stats.Search.candidates;
+        pruned := !pruned + result.Search.stats.Search.pruned;
         synth := !synth + List.length result.Search.suffixes;
         if not result.Search.complete then truncated := true;
         let reports =

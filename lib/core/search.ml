@@ -4,10 +4,13 @@
     applies one backward step ({!Backstep}), building the suffix one
     segment at a time.  Snapshot compatibility (the solver) prunes
     infeasible candidates; optional LBR breadcrumbs prune harder (paper
-    §2.4).  The search yields every feasible suffix of the requested
-    length, crashing thread prioritized. *)
+    §2.4); the static chain refuter ({!Res_static.Chain}) skips candidate
+    steps whose symbolic execution is statically guaranteed to be rejected
+    by the solver.  The search yields every feasible suffix of the
+    requested length, crashing thread prioritized. *)
 
 module IMap = Map.Make (Int)
+module ISet = Set.Make (Int)
 open Res_solver
 
 type config = {
@@ -15,19 +18,31 @@ type config = {
   max_suffixes : int;  (** stop after this many feasible suffixes *)
   max_nodes : int;  (** search budget *)
   use_breadcrumbs : bool;  (** prune candidate predecessors with the LBR *)
+  static_prune : bool;
+      (** skip candidate steps the static chain refuter proves the solver
+          would reject — admissible: emitted suffixes are identical either
+          way, only the work differs *)
 }
 
 let default_config =
-  { max_segments = 6; max_suffixes = 4; max_nodes = 4000; use_breadcrumbs = false }
+  {
+    max_segments = 6;
+    max_suffixes = 4;
+    max_nodes = 4000;
+    use_breadcrumbs = false;
+    static_prune = true;
+  }
 
 type stats = {
-  mutable nodes : int;  (** search nodes expanded *)
-  mutable candidates : int;  (** backward-step candidates attempted *)
+  mutable nodes : int;  (** backward-step evaluations performed *)
+  mutable candidates : int;  (** backward-step candidates generated *)
   mutable feasible : int;  (** candidates that survived the solver *)
   mutable emitted : int;  (** suffixes produced *)
+  mutable pruned : int;  (** candidates refuted statically, never evaluated *)
 }
 
-let new_stats () = { nodes = 0; candidates = 0; feasible = 0; emitted = 0 }
+let new_stats () =
+  { nodes = 0; candidates = 0; feasible = 0; emitted = 0; pruned = 0 }
 
 (** Per-thread LBR breadcrumbs: branches of the thread's root function,
     most recent first — exactly the segment-end branches, in reverse
@@ -189,25 +204,56 @@ let at_program_start ctx (node : node) =
       | _ -> false)
   | _ -> false
 
-(** One pending unit of search work: a node awaiting expansion at the given
-    suffix depth.  The frontier (work stack, next-to-visit first) is the
-    {e entire} mutable state of the search besides its counters and its
-    emitted suffixes — which is what makes the search suspendable: persist
-    the frontier and the search can continue in another process. *)
-type frontier_item = { f_depth : int; f_node : node }
+(** One candidate backward step, not yet evaluated. *)
+type move = {
+  mv_tid : int;
+  mv_kind : Backstep.kind;
+  mv_crumbs : crumbs;  (** the node's crumbs after this move consumes its *)
+}
+
+(** One pending unit of search work.  The frontier is lazy at the
+    granularity of a single backward step: visiting a node generates its
+    candidate moves (cheap, prunable) without evaluating any of them, each
+    [F_eval] runs exactly one symbolic backward step when popped, and the
+    [F_seal] below a node's evals detects — after all of them have run —
+    that none produced a child, which is the dead-end emission point.  The
+    first eval that does produce a child deletes its node's seal.
+
+    Laziness is what makes static pruning pay: a refuted candidate is
+    dropped at generation time and its symbolic execution and solver calls
+    never happen.  The depth-first visit order (and therefore fresh-symbol
+    allocation, solver queries, and suffix emission) is identical with and
+    without pruning, because a refuted eval is exactly one that would have
+    produced no children.
+
+    The frontier (work stack, next-to-visit first) remains the {e entire}
+    mutable state of the search besides its counters and its emitted
+    suffixes — which is what makes the search suspendable: persist the
+    frontier and the search can continue in another process. *)
+type frontier_item =
+  | F_visit of { f_depth : int; f_node : node }
+  | F_eval of {
+      e_depth : int;  (** depth of the node being expanded *)
+      e_parent : int;  (** visit id of the node, pairs evals with the seal *)
+      e_node : node;
+      e_move : move;
+    }
+  | F_seal of { s_parent : int; s_node : node }
 
 (** A suspended search: everything needed to continue it exactly where it
     stopped (and nothing else).  [s_frontier] is the work stack,
     next-to-visit first; [s_out] the suffixes emitted so far, newest first;
-    the counters are a copy of {!stats} at suspension time.  Resuming with
-    this value yields the same remaining visits, in the same order, as the
-    uninterrupted search. *)
+    [s_next_id] the visit-id counter; the counters are a copy of {!stats}
+    at suspension time.  Resuming with this value yields the same remaining
+    visits, in the same order, as the uninterrupted search. *)
 type suspended = {
   s_frontier : frontier_item list;
   s_nodes : int;
   s_candidates : int;
   s_feasible : int;
   s_emitted : int;
+  s_pruned : int;
+  s_next_id : int;
   s_out : Suffix.t list;
 }
 
@@ -222,6 +268,133 @@ type result = {
           it drained — the seed for a later resumed run *)
 }
 
+(* --- static pruning glue ------------------------------------------- *)
+
+let chain_value_of_expr : Expr.t -> Res_static.Chain.value = function
+  | Expr.Const n -> Res_static.Chain.Known n
+  | _ -> Res_static.Chain.Top
+
+(** Register closure over a symbolic frame, with {!Backstep.seed_frame}'s
+    convention: a register absent from the frame reads as zero. *)
+let frame_values (fr : Res_symex.Symframe.t) r =
+  match Res_symex.Symframe.read_opt fr r with
+  | Some e -> chain_value_of_expr e
+  | None -> Res_static.Chain.Known 0
+
+(** Build the candidate chain and query for {!Res_static.Chain.refute}, or
+    raise [Exit] when the move's shape doesn't fit the refuter (partial
+    moves, threads without the expected frames) — meaning: don't prune. *)
+let prune_query ctx ~stop_snapshot (node : node) tid kind =
+  let open Res_static.Chain in
+  let candidate =
+    match kind with
+    | Backstep.K_partial _ -> raise Exit (* never prune partial segments *)
+    | Backstep.K_full { block } -> (
+        let ts = Snapshot.thread node.n_snapshot tid in
+        match Backstep.root_frame ts with
+        | None -> raise Exit
+        | Some fr ->
+            {
+              sg_func = fr.Res_symex.Symframe.func;
+              sg_block = block;
+              sg_end = End_branch fr.Res_symex.Symframe.block;
+            })
+    | Backstep.K_final { func; block } -> (
+        let f = Res_ir.Prog.func ctx.Backstep.prog func in
+        let b = Res_ir.Func.block f block in
+        match b.Res_ir.Block.term with
+        | Res_ir.Instr.Ret _ -> { sg_func = func; sg_block = block; sg_end = End_ret }
+        | Res_ir.Instr.Halt ->
+            { sg_func = func; sg_block = block; sg_end = End_halt }
+        | _ -> raise Exit)
+  in
+  (* The thread's already-synthesized segments run after the candidate,
+     oldest first.  The last one, if partial, stops at the coredump frame
+     position of this thread. *)
+  let stop_frame =
+    lazy
+      (match Backstep.root_frame (Snapshot.thread stop_snapshot tid) with
+      | Some fr -> fr
+      | None -> raise Exit)
+  in
+  let rest =
+    List.filter_map
+      (fun (seg : Suffix.segment) ->
+        if seg.Suffix.seg_tid <> tid then None
+        else
+          let sg_end =
+            match seg.Suffix.seg_end with
+            | Suffix.Seg_branch l -> End_branch l
+            | Suffix.Seg_ret -> End_ret
+            | Suffix.Seg_halt -> End_halt
+            | Suffix.Seg_crash _ | Suffix.Seg_blocked ->
+                let fr = Lazy.force stop_frame in
+                if
+                  String.equal seg.Suffix.seg_func fr.Res_symex.Symframe.func
+                  && String.equal seg.Suffix.seg_block
+                       fr.Res_symex.Symframe.block
+                then End_stop fr.Res_symex.Symframe.idx
+                else raise Exit
+          in
+          Some
+            { sg_func = seg.Suffix.seg_func; sg_block = seg.Suffix.seg_block; sg_end })
+      node.n_segments
+  in
+  let seed =
+    match kind with
+    | Backstep.K_final _ ->
+        (* halted thread: no post frame, nothing known *)
+        fun _ -> Top
+    | _ -> (
+        match Backstep.root_frame (Snapshot.thread node.n_snapshot tid) with
+        | None -> fun _ -> Top
+        | Some fr -> frame_values fr)
+  in
+  let post_mem addr =
+    if ISet.mem addr ctx.Backstep.relaxed_mem then None
+    else
+      match Snapshot.read_mem node.n_snapshot addr with
+      | Expr.Const n -> Some n
+      | _ -> None
+  in
+  let goal =
+    match Backstep.root_frame (Snapshot.thread stop_snapshot tid) with
+    | Some fr -> Some (frame_values fr)
+    | None -> None
+  in
+  let relaxed =
+    List.filter_map
+      (fun (t, r) -> if t = tid then Some r else None)
+      ctx.Backstep.relaxed_regs
+    |> Res_static.Chain.ISet.of_list
+  in
+  let query =
+    {
+      q_prog = ctx.Backstep.prog;
+      q_summary = Lazy.force ctx.Backstep.statics;
+      q_tid = tid;
+      q_seed = seed;
+      q_post_mem = post_mem;
+      q_goal = goal;
+      q_relaxed_regs = relaxed;
+      q_resolve_global =
+        (fun g ->
+          match Res_mem.Layout.global_base ctx.Backstep.layout g with
+          | base -> Some base
+          | exception Not_found -> None);
+      q_is_heap_addr = Res_mem.Layout.in_heap_region;
+    }
+  in
+  (query, candidate :: rest)
+
+(** Whether the static chain refuter proves the solver would reject every
+    outcome of this move.  [false] on any shape mismatch: pruning is
+    best-effort, feasibility is the solver's call. *)
+let statically_refuted ctx ~stop_snapshot node tid kind =
+  match prune_query ctx ~stop_snapshot node tid kind with
+  | query, chain -> Res_static.Chain.refute query chain <> None
+  | exception Exit -> false
+
 (** Synthesize suffixes of up to [max_segments] segments for [dump].
     [snapshot0] overrides the base snapshot — e.g.
     {!Snapshot.of_minidump} for the minidump ablation; the default is the
@@ -230,7 +403,7 @@ type result = {
     so far are returned with [complete = false] and the remaining frontier
     in [suspended].  [resume] continues a previously suspended search
     instead of starting from the coredump.  [on_node] is called at every
-    node-entry boundary with the state a resume from that instant would
+    frontier-pop boundary with the state a resume from that instant would
     need — the checkpoint hook. *)
 let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node ctx
     (dump : Res_vm.Coredump.t) : result =
@@ -244,9 +417,11 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node ctx
           candidates = s.s_candidates;
           feasible = s.s_feasible;
           emitted = s.s_emitted;
+          pruned = s.s_pruned;
         }
     | None -> new_stats ()
   in
+  let next_id = ref (match resume with Some s -> s.s_next_id | None -> 0) in
   let out = ref (match resume with Some s -> s.s_out | None -> []) in
   let budget_hit = ref false in
   let budget_ok () =
@@ -255,6 +430,12 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node ctx
       budget_hit := true;
       false
     end
+  in
+  (* The coredump-time stop state, for the static refuter's goal values.
+     [Snapshot.of_coredump] mints no fresh symbols, so recomputing it on a
+     resumed run preserves bit-identical symbol allocation. *)
+  let snapshot0 =
+    match snapshot0 with Some s -> s | None -> Snapshot.of_coredump dump
   in
   let crash = dump.Res_vm.Coredump.crash in
   let emit ?(at_start = false) node =
@@ -293,9 +474,9 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node ctx
   (* The frontier: an explicit work stack (next-to-visit first), visited
      depth-first so expansion order — and therefore fresh-symbol
      allocation, solver queries, and suffix emission — is exactly the
-     in-order traversal a recursive DFS would make.  Children are pushed
-     in reverse so the first candidate is explored (and its whole subtree
-     drained) before the second. *)
+     in-order traversal a recursive DFS would make.  A node's evals are
+     pushed in candidate order, so the first candidate is evaluated (and
+     its whole subtree drained) before the second. *)
   let stack = ref [] in
   let stopped = ref None in
   let snap_state frontier =
@@ -305,64 +486,113 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node ctx
       s_candidates = stats.candidates;
       s_feasible = stats.feasible;
       s_emitted = stats.emitted;
+      s_pruned = stats.pruned;
+      s_next_id = !next_id;
       s_out = !out;
     }
   in
-  (* Expand one node: generate candidate moves, apply each backward step,
-     and return the surviving children in candidate order. *)
-  let expand (node : node) =
-    let moves = candidate_moves ctx config node in
-    let progressed = ref false in
-    let children = ref [] in
-    List.iter
-      (fun (tid, kind, crumbs') ->
-        if stats.nodes >= config.max_nodes then budget_hit := true
-        else if not (Budget.ok budget) then budget_hit := true
-        else if stats.emitted < config.max_suffixes then begin
-          stats.candidates <- stats.candidates + 1;
-          let { Backstep.applied; rejects = _ } =
-            Backstep.step_back ~addr_hint:node.n_touched ctx node.n_snapshot
-              ~tid ~kind
+  (* Visit a node: emit if terminal, otherwise generate (and statically
+     prune) its candidate moves and schedule one eval per survivor, sealed
+     below by the dead-end detector. *)
+  let visit ~depth (node : node) =
+    if at_program_start ctx node then emit ~at_start:true node
+    else if depth >= config.max_segments then emit node
+    else begin
+      let moves = candidate_moves ctx config node in
+      let kept =
+        List.filter
+          (fun (tid, kind, _) ->
+            stats.candidates <- stats.candidates + 1;
+            if
+              config.static_prune
+              && statically_refuted ctx ~stop_snapshot:snapshot0 node tid kind
+            then begin
+              stats.pruned <- stats.pruned + 1;
+              false
+            end
+            else true)
+          moves
+      in
+      if kept = [] then begin
+        (* Dead end earlier than the target depth: emit what we have, as
+           long as the suffix is non-empty. *)
+        if node.n_segments <> [] then emit node
+      end
+      else begin
+        let id = !next_id in
+        incr next_id;
+        stack :=
+          List.map
+            (fun (tid, kind, crumbs') ->
+              F_eval
+                {
+                  e_depth = depth;
+                  e_parent = id;
+                  e_node = node;
+                  e_move = { mv_tid = tid; mv_kind = kind; mv_crumbs = crumbs' };
+                })
+            kept
+          @ (F_seal { s_parent = id; s_node = node } :: !stack)
+      end
+    end
+  in
+  (* Evaluate one backward step: symbolic execution plus the feasibility
+     solve.  Children are pushed above the node's remaining evals, so the
+     first surviving candidate's subtree drains before the second candidate
+     is even evaluated. *)
+  let eval ~depth ~parent (node : node) mv =
+    stats.nodes <- stats.nodes + 1;
+    let { Backstep.applied; rejects = _ } =
+      Backstep.step_back ~addr_hint:node.n_touched ctx node.n_snapshot
+        ~tid:mv.mv_tid ~kind:mv.mv_kind
+    in
+    let children =
+      List.filter_map
+        (fun (ap : Backstep.applied) ->
+          let log_match =
+            if not config.use_breadcrumbs then Some ([], node.n_logs)
+            else consume_logs ~tid:mv.mv_tid ap.Backstep.ap_logs node.n_logs
           in
-          List.iter
-            (fun (ap : Backstep.applied) ->
-              let log_match =
-                if not config.use_breadcrumbs then Some ([], node.n_logs)
-                else consume_logs ~tid ap.Backstep.ap_logs node.n_logs
+          match log_match with
+          | None -> None (* contradicts the error log: prune *)
+          | Some (log_cs, n_logs) ->
+              let snapshot' =
+                Snapshot.add_constraints ap.Backstep.ap_snapshot log_cs
               in
-              match log_match with
-              | None -> () (* contradicts the error log: prune *)
-              | Some (log_cs, n_logs) ->
-                  let snapshot' =
-                    Snapshot.add_constraints ap.Backstep.ap_snapshot log_cs
-                  in
-                  let feasible =
-                    log_cs = []
-                    || Solver.solve ~config:ctx.Backstep.solver_config
-                         snapshot'.Snapshot.constraints
-                       <> Solver.Unsat
-                  in
-                  if feasible then begin
-                    stats.feasible <- stats.feasible + 1;
-                    progressed := true;
-                    let seg = ap.Backstep.ap_segment in
-                    children :=
-                      {
-                        n_snapshot = snapshot';
-                        n_segments = seg :: node.n_segments;
-                        n_crumbs = crumbs';
-                        n_logs;
-                        n_last_tid = tid;
-                        n_touched =
-                          seg.Suffix.seg_writes @ seg.Suffix.seg_reads
-                          @ node.n_touched;
-                      }
-                      :: !children
-                  end)
-            applied
-        end)
-      moves;
-    (!progressed, List.rev !children)
+              let feasible =
+                log_cs = []
+                || Solver.solve ~config:ctx.Backstep.solver_config
+                     snapshot'.Snapshot.constraints
+                   <> Solver.Unsat
+              in
+              if feasible then begin
+                stats.feasible <- stats.feasible + 1;
+                let seg = ap.Backstep.ap_segment in
+                Some
+                  {
+                    n_snapshot = snapshot';
+                    n_segments = seg :: node.n_segments;
+                    n_crumbs = mv.mv_crumbs;
+                    n_logs;
+                    n_last_tid = mv.mv_tid;
+                    n_touched =
+                      seg.Suffix.seg_writes @ seg.Suffix.seg_reads
+                      @ node.n_touched;
+                  }
+              end
+              else None)
+        applied
+    in
+    if children <> [] then begin
+      (* The node is not a dead end: retire its seal. *)
+      stack :=
+        List.filter
+          (function F_seal s -> s.s_parent <> parent | _ -> true)
+          !stack;
+      stack :=
+        List.map (fun n -> F_visit { f_depth = depth + 1; f_node = n }) children
+        @ !stack
+    end
   in
   let rec drain () =
     match !stack with
@@ -374,8 +604,8 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node ctx
              by the recursive search either — drop it wholesale. *)
           stack := []
         else begin
-          (* A resume from this instant must re-visit [item]: report the
-             pre-visit state (frontier including it, counters unbumped). *)
+          (* A resume from this instant must re-process [item]: report the
+             pre-pop state (frontier including it, counters unbumped). *)
           (match on_node with
           | Some hook -> hook (snap_state (item :: rest))
           | None -> ());
@@ -386,21 +616,14 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node ctx
           else if not (budget_ok ()) then
             stopped := Some (snap_state (item :: rest))
           else begin
-            stats.nodes <- stats.nodes + 1;
-            let node = item.f_node in
-            if at_program_start ctx node then emit ~at_start:true node
-            else if item.f_depth >= config.max_segments then emit node
-            else begin
-              let progressed, children = expand node in
-              (* Dead end earlier than the target depth: emit what we
-                 have, as long as the suffix is non-empty. *)
-              if (not progressed) && node.n_segments <> [] then emit node;
-              stack :=
-                List.map
-                  (fun n -> { f_depth = item.f_depth + 1; f_node = n })
-                  children
-                @ !stack
-            end;
+            (match item with
+            | F_visit { f_depth; f_node } -> visit ~depth:f_depth f_node
+            | F_eval { e_depth; e_parent; e_node; e_move } ->
+                eval ~depth:e_depth ~parent:e_parent e_node e_move
+            | F_seal { s_node; _ } ->
+                (* All of the node's evals ran and none produced a child:
+                   the node is a dead end. *)
+                if s_node.n_segments <> [] then emit s_node);
             drain ()
           end
         end
@@ -408,9 +631,6 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node ctx
   (match resume with
   | Some s -> stack := s.s_frontier
   | None -> (
-      let snapshot0 =
-        match snapshot0 with Some s -> s | None -> Snapshot.of_coredump dump
-      in
       let crumbs0 =
         if config.use_breadcrumbs then crumbs_of_dump ctx dump else IMap.empty
       in
@@ -427,23 +647,26 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node ctx
              newest). *)
           stack :=
             [
-              {
-                f_depth = 0;
-                f_node =
-                  {
-                    n_snapshot = snapshot0;
-                    n_segments = [];
-                    n_crumbs = crumbs0;
-                    n_logs = logs0;
-                    n_last_tid = crash.Res_vm.Crash.tid;
-                    n_touched = [];
-                  };
-              };
+              F_visit
+                {
+                  f_depth = 0;
+                  f_node =
+                    {
+                      n_snapshot = snapshot0;
+                      n_segments = [];
+                      n_crumbs = crumbs0;
+                      n_logs = logs0;
+                      n_last_tid = crash.Res_vm.Crash.tid;
+                      n_touched = [];
+                    };
+                };
             ]
       | _ ->
           (* Otherwise the first backward step is always the crashing
-             thread's in-progress segment. *)
+             thread's in-progress segment — evaluated eagerly (it is the
+             root of every branch of the search). *)
           stats.candidates <- stats.candidates + 1;
+          stats.nodes <- stats.nodes + 1;
           let { Backstep.applied; rejects = _ } =
             Backstep.step_back ctx snapshot0 ~tid:crash.Res_vm.Crash.tid
               ~kind:(Backstep.K_partial (Some crash.Res_vm.Crash.kind))
@@ -463,21 +686,22 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node ctx
                     stats.feasible <- stats.feasible + 1;
                     let seg = ap.Backstep.ap_segment in
                     Some
-                      {
-                        f_depth = 1;
-                        f_node =
-                          {
-                            n_snapshot =
-                              Snapshot.add_constraints ap.Backstep.ap_snapshot
-                                log_cs;
-                            n_segments = [ seg ];
-                            n_crumbs = crumbs0;
-                            n_logs;
-                            n_last_tid = crash.Res_vm.Crash.tid;
-                            n_touched =
-                              seg.Suffix.seg_writes @ seg.Suffix.seg_reads;
-                          };
-                      })
+                      (F_visit
+                         {
+                           f_depth = 1;
+                           f_node =
+                             {
+                               n_snapshot =
+                                 Snapshot.add_constraints
+                                   ap.Backstep.ap_snapshot log_cs;
+                               n_segments = [ seg ];
+                               n_crumbs = crumbs0;
+                               n_logs;
+                               n_last_tid = crash.Res_vm.Crash.tid;
+                               n_touched =
+                                 seg.Suffix.seg_writes @ seg.Suffix.seg_reads;
+                             };
+                         }))
               applied));
   drain ();
   {

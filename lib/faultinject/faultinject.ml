@@ -512,6 +512,107 @@ let pp_kr_summary ppf s =
      failures: %d@]"
     s.kr_total s.kr_ok s.kr_total (List.length s.kr_failures)
 
+(* --- static-prune equivalence campaign --- *)
+
+(** One workload analyzed twice — static pruning on and off — with the
+    display-sorted report {e bodies} compared byte for byte.  The chain
+    refuter is admissible: it may only discard candidate moves whose
+    backward step would produce no children, so the two runs must report
+    exactly the same defects (only the work counters may differ). *)
+type pe_run = {
+  pe_workload : string;
+  pe_equivalent : bool;
+  pe_nodes_on : int;  (** backward-step evaluations with pruning on *)
+  pe_nodes_off : int;  (** … with pruning off *)
+  pe_pruned : int;  (** candidate moves refuted statically *)
+  pe_detail : string;  (** diagnosis when not equivalent *)
+}
+
+type pe_summary = {
+  pe_runs : pe_run list;
+  pe_total : int;
+  pe_ok : int;
+  pe_failures : pe_run list;  (** empty iff pruning is observably sound *)
+}
+
+(* Exhaustive deepening (no early stop) so pruning is exercised on every
+   branch of every workload's search, not just the path to the first
+   cause. *)
+let pe_config ~prune =
+  {
+    Res_core.Res.default_config with
+    search =
+      {
+        Res_core.Search.default_config with
+        Res_core.Search.static_prune = prune;
+      };
+    stop_at_first_cause = false;
+  }
+
+let prune_equivalence_one (w : Res_workloads.Truth.t) : pe_run =
+  let analyze ~prune =
+    (* Reset the symbol counter so both runs mint identical symbol ids
+       for the search prefixes they share. *)
+    Res_solver.Expr.reset_counter_for_tests ();
+    let dump = Res_workloads.Truth.coredump w in
+    let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+    let outcome = Res_core.Res.analyze ~config:(pe_config ~prune) ctx dump in
+    let a = Res_core.Res.analysis outcome in
+    (Res_core.Report.report_list_to_string ctx a, a)
+  in
+  try
+    let s_on, a_on = analyze ~prune:true in
+    let s_off, a_off = analyze ~prune:false in
+    let equivalent = String.equal s_on s_off in
+    {
+      pe_workload = w.Res_workloads.Truth.w_name;
+      pe_equivalent = equivalent;
+      pe_nodes_on = a_on.Res_core.Res.nodes_expanded;
+      pe_nodes_off = a_off.Res_core.Res.nodes_expanded;
+      pe_pruned = a_on.Res_core.Res.nodes_pruned;
+      pe_detail = (if equivalent then "" else "reports diverged");
+    }
+  with exn ->
+    {
+      pe_workload = w.Res_workloads.Truth.w_name;
+      pe_equivalent = false;
+      pe_nodes_on = 0;
+      pe_nodes_off = 0;
+      pe_pruned = 0;
+      pe_detail = Fmt.str "escaped exception: %s" (Printexc.to_string exn);
+    }
+
+(** Static-prune equivalence campaign over the whole workload corpus
+    (every workload, both prune settings, reports compared bitwise). *)
+let prune_equivalence_campaign ?workloads () : pe_summary =
+  let workloads =
+    match workloads with
+    | Some ws -> ws
+    | None -> Res_workloads.Workloads.all
+  in
+  let runs = List.map prune_equivalence_one workloads in
+  {
+    pe_runs = runs;
+    pe_total = List.length runs;
+    pe_ok = List.length (List.filter (fun r -> r.pe_equivalent) runs);
+    pe_failures = List.filter (fun r -> not r.pe_equivalent) runs;
+  }
+
+let pp_pe_run ppf r =
+  Fmt.pf ppf "%-26s %s  nodes %d -> %d (pruned %d)%s" r.pe_workload
+    (if r.pe_equivalent then "bit-identical" else "DIVERGED")
+    r.pe_nodes_off r.pe_nodes_on r.pe_pruned
+    (if r.pe_detail = "" then "" else Fmt.str " (%s)" r.pe_detail)
+
+let pp_pe_summary ppf s =
+  let off = List.fold_left (fun a r -> a + r.pe_nodes_off) 0 s.pe_runs in
+  let on = List.fold_left (fun a r -> a + r.pe_nodes_on) 0 s.pe_runs in
+  Fmt.pf ppf
+    "@[<v>static-prune equivalence self-test: %d workloads analyzed twice@,\
+     bit-identical reports: %d/%d@,\
+     backward-step evaluations: %d unpruned -> %d pruned@]"
+    s.pe_total s.pe_ok s.pe_total off on
+
 (* --- reporting --- *)
 
 let pp_run ppf r =

@@ -7,6 +7,7 @@
     (to the spawning thread's block). *)
 
 module SMap = Map.Make (String)
+module SSet = Set.Make (String)
 
 (** A call or spawn site: function, block, and instruction index. *)
 type site = { in_func : string; in_block : Instr.label; at_idx : int }
@@ -40,7 +41,15 @@ let func_cfg_of (f : Func.t) =
           (fun m tgt ->
             match SMap.find_opt tgt m with
             | Some l -> SMap.add tgt (src :: l) m
-            | None -> m)
+            | None ->
+                (* A dangling branch target would silently truncate the
+                   predecessor map — and a truncated CFG makes every
+                   analysis built on it (backward search, summaries)
+                   quietly wrong.  Validate rejects such programs; refuse
+                   to build a CFG for one that slipped through. *)
+                invalid_arg
+                  (Fmt.str "Cfg: %s:%s branches to unknown block %s" f.name
+                     src tgt))
           m targets)
       succs empty
     |> SMap.map (List.sort_uniq String.compare)
@@ -129,8 +138,8 @@ let reachable_labels t (f : Func.t) =
 
 (** Blocks of [f] never reachable from its entry. *)
 let unreachable_labels t (f : Func.t) =
-  let reach = reachable_labels t f in
-  List.filter
-    (fun (b : Block.t) -> not (List.mem b.label reach))
+  let reach = SSet.of_list (reachable_labels t f) in
+  List.filter_map
+    (fun (b : Block.t) ->
+      if SSet.mem b.label reach then None else Some b.label)
     f.blocks
-  |> List.map (fun (b : Block.t) -> b.label)

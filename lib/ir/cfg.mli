@@ -10,7 +10,11 @@ type site = { in_func : string; in_block : Instr.label; at_idx : int }
 
 type t
 
-(** Build the CFG and site indexes for a whole program. *)
+(** Build the CFG and site indexes for a whole program.
+    @raise Invalid_argument when a terminator branches to a block that
+    does not exist — such a program fails {!Validate.check}, and building
+    a silently truncated predecessor map for it would poison every
+    analysis downstream. *)
 val of_prog : Prog.t -> t
 
 (** Intra-function successors of a block.

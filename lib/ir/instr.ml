@@ -197,6 +197,37 @@ let term_targets = function
   | Br (_, l1, l2) -> if String.equal l1 l2 then [ l1 ] else [ l1; l2 ]
   | Ret _ | Halt | Abort _ -> []
 
+(** One memory access an instruction performs through an address register:
+    the cell at [acc_addr + acc_off] is read ([acc_write = false]) or
+    written.  [Lock]/[Unlock] both read and write their mutex cell (the VM
+    stores the owner's tid there), so they contribute two accesses.  The
+    static-analysis layer ({!Res_static}) builds its mod/ref summaries from
+    this classification instead of re-matching constructors. *)
+type access = { acc_addr : reg; acc_off : int; acc_write : bool }
+
+(** [accesses i] are the memory accesses [i] performs, in operand order.
+    Heap management ([Alloc]/[Free]) is not an access — see {!heap_op}. *)
+let accesses = function
+  | Load (_, a, off) -> [ { acc_addr = a; acc_off = off; acc_write = false } ]
+  | Store (a, off, _) -> [ { acc_addr = a; acc_off = off; acc_write = true } ]
+  | Lock a | Unlock a ->
+      [
+        { acc_addr = a; acc_off = 0; acc_write = false };
+        { acc_addr = a; acc_off = 0; acc_write = true };
+      ]
+  | Const _ | Mov _ | Binop _ | Unop _ | Global_addr _ | Alloc _ | Free _
+  | Input _ | Spawn _ | Join _ | Call _ | Assert _ | Log _ | Nop ->
+      []
+
+(** Whether [i] changes the heap structure (allocates or frees a block). *)
+let heap_op = function Alloc _ | Free _ -> true | _ -> false
+
+(** The function a [Call] transfers to, with its argument registers. *)
+let call_target = function Call (_, f, args) -> Some (f, args) | _ -> None
+
+(** The function a [Spawn] starts a thread in, with its arguments. *)
+let spawn_target = function Spawn (_, f, args) -> Some (f, args) | _ -> None
+
 let equal_instr (a : instr) (b : instr) = a = b
 let equal_terminator (a : terminator) (b : terminator) = a = b
 

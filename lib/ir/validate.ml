@@ -17,6 +17,13 @@ let check_func (p : Prog.t) (errs : error list ref) (f : Func.t) =
   if f.params <> expected_params then
     err errs f.name "parameters must be registers r0..r%d"
       (List.length f.params - 1);
+  (* The entry block must come first in the block list: dataflow analyses
+     (and the printer) rely on that convention. *)
+  (match f.blocks with
+  | (b : Block.t) :: _ when not (String.equal b.label f.entry) ->
+      err errs f.name "entry block %s must be listed first (found %s)" f.entry
+        b.label
+  | _ -> ());
   List.iter
     (fun (b : Block.t) ->
       let where = where_block b in
@@ -52,7 +59,21 @@ let check_func (p : Prog.t) (errs : error list ref) (f : Func.t) =
               if abs n > max_int / 2 then
                 err errs where "immediate %d too large" n
           | _ -> ())
-        b.instrs)
+        b.instrs;
+      (* Terminator shape: blocks end in exactly one canonical terminator.
+         The [Block.t] representation already guarantees there is one and
+         that no instruction follows it; what it cannot guarantee is that
+         the terminator is in canonical form — summaries and CFG analyses
+         assume a [Br] genuinely forks (both-arms-equal is [Jmp] in
+         disguise and would make edge counts lie) and that terminator
+         operands are real registers. *)
+      List.iter
+        (fun r -> if r < 0 then err errs where "negative register r%d" r)
+        (Instr.term_uses b.term);
+      match b.term with
+      | Instr.Br (_, l1, l2) when String.equal l1 l2 ->
+          err errs where "br with identical targets %s; use jmp" l1
+      | _ -> ())
     f.blocks
 
 (** [check p] returns all well-formedness violations, empty when valid. *)

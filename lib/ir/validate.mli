@@ -4,7 +4,10 @@
     structural properties the rest of the system assumes: branch targets
     and called/spawned functions exist, arities match, parameters occupy
     registers [r0..rn-1], [main] exists and takes no parameters, globals
-    are declared, and immediates fit the word. *)
+    are declared, immediates fit the word, the entry block is listed
+    first, and terminators are canonical (no both-arms-equal [br], no
+    negative terminator registers) — so summary computation and the CFG
+    can assume canonical blocks. *)
 
 type error = { where : string; what : string }
 

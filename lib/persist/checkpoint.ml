@@ -10,7 +10,7 @@
 
     The on-disk format reuses the coredump format's building blocks
     ({!Res_vm.Coredump_io}): a line-oriented text record under a
-    [rescheckpoint v1] header, sealed with the FNV-1a
+    [rescheckpoint v2] header, sealed with the FNV-1a
     [end <lines> <checksum>] footer, written via temp-file + atomic
     rename.  Loading classifies damage into the same {!dump_error}
     taxonomy as coredumps — truncation, bit corruption, and torn writes
@@ -34,7 +34,7 @@ type t = {
   state : Res_core.Res.ckpt_state;
 }
 
-let header = "rescheckpoint v1"
+let header = "rescheckpoint v2"
 
 (* --- writers ------------------------------------------------------- *)
 
@@ -135,13 +135,36 @@ let pp_node ppf (n : Res_core.Search.node) =
     (IMap.bindings n.n_crumbs)
     (pp_seq pp_segment) n.n_segments pp_snapshot n.n_snapshot
 
+let pp_bkind ppf (k : Res_core.Backstep.kind) =
+  match k with
+  | Res_core.Backstep.K_partial None -> Fmt.string ppf "partial none"
+  | Res_core.Backstep.K_partial (Some ck) ->
+      Fmt.pf ppf "partial some %a" Io.pp_kind ck
+  | Res_core.Backstep.K_full { block } -> Fmt.pf ppf "full %S" block
+  | Res_core.Backstep.K_final { func; block } ->
+      Fmt.pf ppf "final %S %S" func block
+
+let pp_crumbs ppf (crumbs : Res_core.Search.crumbs) =
+  (pp_seq (fun ppf (tid, branches) ->
+       Fmt.pf ppf "%d %a" tid (pp_seq pp_branch) branches))
+    ppf (IMap.bindings crumbs)
+
 let pp_item ppf (it : Res_core.Search.frontier_item) =
-  Fmt.pf ppf "item %d@,%a" it.Res_core.Search.f_depth pp_node it.f_node
+  match it with
+  | Res_core.Search.F_visit { f_depth; f_node } ->
+      Fmt.pf ppf "item visit %d@,%a" f_depth pp_node f_node
+  | Res_core.Search.F_eval { e_depth; e_parent; e_node; e_move } ->
+      Fmt.pf ppf "item eval %d %d %d %a crumbs %a@,%a" e_depth e_parent
+        e_move.Res_core.Search.mv_tid pp_bkind e_move.mv_kind pp_crumbs
+        e_move.mv_crumbs pp_node e_node
+  | Res_core.Search.F_seal { s_parent; s_node } ->
+      Fmt.pf ppf "item seal %d@,%a" s_parent pp_node s_node
 
 let pp_suspended ppf (s : Res_core.Search.suspended) =
-  Fmt.pf ppf "@[<v>suspended 1 %d %d %d %d@,out %a@,frontier %a@]"
+  Fmt.pf ppf "@[<v>suspended 1 %d %d %d %d %d %d@,out %a@,frontier %a@]"
     s.Res_core.Search.s_nodes s.s_candidates s.s_feasible s.s_emitted
-    (pp_seq pp_suffix) s.s_out (pp_seq pp_item) s.s_frontier
+    s.s_pruned s.s_next_id (pp_seq pp_suffix) s.s_out (pp_seq pp_item)
+    s.s_frontier
 
 let to_string (c : t) =
   let cfg = c.config in
@@ -149,14 +172,14 @@ let to_string (c : t) =
   let st = c.state in
   let payload =
     Fmt.str
-      "@[<v>%s@,config %d %d %d %a %d %a %d@,prog %S@,dump %S@,state %d %d %d %a %d %d %d %d@,fuel %a@,suffixes %a@,%a@]@."
+      "@[<v>%s@,config %d %d %d %a %a %d %a %d@,prog %S@,dump %S@,state %d %d %d %a %d %d %d %d %d@,fuel %a@,suffixes %a@,%a@]@."
       header sc.Res_core.Search.max_segments sc.max_suffixes sc.max_nodes
-      pp_bool sc.use_breadcrumbs cfg.determinism_runs pp_bool
-      cfg.stop_at_first_cause cfg.max_attempts
+      pp_bool sc.use_breadcrumbs pp_bool sc.static_prune cfg.determinism_runs
+      pp_bool cfg.stop_at_first_cause cfg.max_attempts
       (Res_ir.Prog.to_string c.prog)
       (Io.to_string c.dump) st.Res_core.Res.ck_attempt st.ck_max_nodes
-      st.ck_depth pp_bool st.ck_truncated st.ck_nodes st.ck_cands st.ck_synth
-      st.ck_expr_counter pp_int_opt st.ck_fuel (pp_seq pp_suffix)
+      st.ck_depth pp_bool st.ck_truncated st.ck_nodes st.ck_cands st.ck_pruned
+      st.ck_synth st.ck_expr_counter pp_int_opt st.ck_fuel (pp_seq pp_suffix)
       st.ck_suffixes
       (fun ppf -> function
         | None -> Fmt.string ppf "suspended 0"
@@ -411,10 +434,50 @@ let node_of rd : Res_core.Search.node =
     n_touched;
   }
 
+let bkind_of rd : Res_core.Backstep.kind =
+  match Io.ident rd with
+  | "partial" -> (
+      match Io.ident rd with
+      | "none" -> Res_core.Backstep.K_partial None
+      | "some" -> Res_core.Backstep.K_partial (Some (Io.kind_of rd))
+      | k -> Io.fail "unknown partial tag %S" k)
+  | "full" -> Res_core.Backstep.K_full { block = Io.string_tok rd }
+  | "final" ->
+      let func = Io.string_tok rd in
+      let block = Io.string_tok rd in
+      Res_core.Backstep.K_final { func; block }
+  | k -> Io.fail "unknown backstep kind %S" k
+
+let crumbs_of rd : Res_core.Search.crumbs =
+  seq_of rd (fun rd ->
+      let tid = Io.int_tok rd in
+      (tid, seq_of rd branch_of))
+  |> List.fold_left (fun m (tid, bs) -> IMap.add tid bs m) IMap.empty
+
 let item_of rd : Res_core.Search.frontier_item =
   keyword rd "item";
-  let f_depth = Io.int_tok rd in
-  { Res_core.Search.f_depth; f_node = node_of rd }
+  match Io.ident rd with
+  | "visit" ->
+      let f_depth = Io.int_tok rd in
+      Res_core.Search.F_visit { f_depth; f_node = node_of rd }
+  | "eval" ->
+      let e_depth = Io.int_tok rd in
+      let e_parent = Io.int_tok rd in
+      let mv_tid = Io.int_tok rd in
+      let mv_kind = bkind_of rd in
+      keyword rd "crumbs";
+      let mv_crumbs = crumbs_of rd in
+      Res_core.Search.F_eval
+        {
+          e_depth;
+          e_parent;
+          e_node = node_of rd;
+          e_move = { Res_core.Search.mv_tid; mv_kind; mv_crumbs };
+        }
+  | "seal" ->
+      let s_parent = Io.int_tok rd in
+      Res_core.Search.F_seal { s_parent; s_node = node_of rd }
+  | k -> Io.fail "unknown frontier item tag %S" k
 
 let suspended_of rd : Res_core.Search.suspended option =
   keyword rd "suspended";
@@ -425,6 +488,8 @@ let suspended_of rd : Res_core.Search.suspended option =
       let s_candidates = Io.int_tok rd in
       let s_feasible = Io.int_tok rd in
       let s_emitted = Io.int_tok rd in
+      let s_pruned = Io.int_tok rd in
+      let s_next_id = Io.int_tok rd in
       keyword rd "out";
       let s_out = seq_of rd suffix_of in
       keyword rd "frontier";
@@ -436,6 +501,8 @@ let suspended_of rd : Res_core.Search.suspended option =
           s_candidates;
           s_feasible;
           s_emitted;
+          s_pruned;
+          s_next_id;
           s_out;
         }
   | n -> Io.fail "expected suspended 0/1, got %d" n
@@ -443,19 +510,26 @@ let suspended_of rd : Res_core.Search.suspended option =
 let parse_payload payload : t =
   let rd = { Io.toks = Res_ir.Parser.tokenize payload } in
   keyword rd "rescheckpoint";
-  keyword rd "v1";
+  keyword rd "v2";
   keyword rd "config";
   let max_segments = Io.int_tok rd in
   let max_suffixes = Io.int_tok rd in
   let max_nodes = Io.int_tok rd in
   let use_breadcrumbs = bool_of rd in
+  let static_prune = bool_of rd in
   let determinism_runs = Io.int_tok rd in
   let stop_at_first_cause = bool_of rd in
   let max_attempts = Io.int_tok rd in
   let config =
     {
       Res_core.Res.search =
-        { Res_core.Search.max_segments; max_suffixes; max_nodes; use_breadcrumbs };
+        {
+          Res_core.Search.max_segments;
+          max_suffixes;
+          max_nodes;
+          use_breadcrumbs;
+          static_prune;
+        };
       determinism_runs;
       stop_at_first_cause;
       max_attempts;
@@ -476,6 +550,7 @@ let parse_payload payload : t =
   let ck_truncated = bool_of rd in
   let ck_nodes = Io.int_tok rd in
   let ck_cands = Io.int_tok rd in
+  let ck_pruned = Io.int_tok rd in
   let ck_synth = Io.int_tok rd in
   let ck_expr_counter = Io.int_tok rd in
   keyword rd "fuel";
@@ -499,6 +574,7 @@ let parse_payload payload : t =
         ck_truncated;
         ck_nodes;
         ck_cands;
+        ck_pruned;
         ck_synth;
         ck_suspended;
         ck_fuel;

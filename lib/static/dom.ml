@@ -1,0 +1,110 @@
+(** Dominators and postdominators of a function's CFG.
+
+    Computed by the classic iterative dataflow over label sets — MiniIR
+    functions are small, so the simple quadratic scheme beats maintaining
+    a Lengauer–Tarjan implementation.  [dominators f] maps every label to
+    the set of labels that dominate it (itself included); [postdominators]
+    is the same over reversed edges, with the exit blocks (terminators
+    with no successors) as roots.
+
+    Blocks unreachable from the entry keep the full label set as their
+    dominator set (vacuously true: no entry path reaches them at all);
+    symmetrically, blocks that cannot reach any exit keep the full set as
+    their postdominator set.  Consumers that care (the lint layer) filter
+    unreachable blocks out first. *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+let labels_of (f : Res_ir.Func.t) =
+  List.map (fun (b : Res_ir.Block.t) -> b.label) f.Res_ir.Func.blocks
+
+(** Shared fixpoint: [roots] start at [{self}], everything else at the
+    full set, and each node's set is [{self} ∪ ⋂ sets(edges_in)]. *)
+let solve ~labels ~roots ~edges_in =
+  let all = SSet.of_list labels in
+  let init l = if List.mem l roots then SSet.singleton l else all in
+  let sets = ref (List.fold_left (fun m l -> SMap.add l (init l) m) SMap.empty labels) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if not (List.mem l roots) then begin
+          let preds = edges_in l in
+          let meet =
+            List.fold_left
+              (fun acc p -> SSet.inter acc (SMap.find p !sets))
+              all preds
+          in
+          let next = SSet.add l meet in
+          if not (SSet.equal next (SMap.find l !sets)) then begin
+            sets := SMap.add l next !sets;
+            changed := true
+          end
+        end)
+      labels
+  done;
+  !sets
+
+(** [dominators f] maps each label to its dominator set (reflexive). *)
+let dominators (f : Res_ir.Func.t) =
+  let labels = labels_of f in
+  let preds =
+    (* Intra-function predecessor edges, built locally so this module
+       works on a single function without a whole-program Cfg. *)
+    List.fold_left
+      (fun m (b : Res_ir.Block.t) ->
+        List.fold_left
+          (fun m tgt ->
+            SMap.update tgt
+              (function Some l -> Some (b.label :: l) | None -> Some [ b.label ])
+              m)
+          m
+          (Res_ir.Block.successors b))
+      SMap.empty f.Res_ir.Func.blocks
+  in
+  solve ~labels ~roots:[ f.Res_ir.Func.entry ]
+    ~edges_in:(fun l -> Option.value ~default:[] (SMap.find_opt l preds))
+
+(** [postdominators f] maps each label to its postdominator set
+    (reflexive); roots are the exit blocks. *)
+let postdominators (f : Res_ir.Func.t) =
+  let labels = labels_of f in
+  let exits =
+    List.filter_map
+      (fun (b : Res_ir.Block.t) ->
+        if Res_ir.Block.successors b = [] then Some b.label else None)
+      f.Res_ir.Func.blocks
+  in
+  let succs l = Res_ir.Block.successors (Res_ir.Func.block f l) in
+  solve ~labels ~roots:exits ~edges_in:succs
+
+(** [dominates sets ~over l] — does [l] dominate [over]?  Works for both
+    {!dominators} and {!postdominators} results. *)
+let dominates sets ~over l =
+  match SMap.find_opt over sets with
+  | Some s -> SSet.mem l s
+  | None -> false
+
+(** The immediate dominator of [l]: the unique strict dominator that all
+    other strict dominators dominate.  [None] for roots (their only
+    dominator is themselves). *)
+let idom sets l =
+  match SMap.find_opt l sets with
+  | None -> None
+  | Some s ->
+      let strict = SSet.remove l s in
+      SSet.fold
+        (fun cand acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if
+                SSet.for_all
+                  (fun other ->
+                    String.equal other cand || dominates sets ~over:cand other)
+                  strict
+              then Some cand
+              else None)
+        strict None

@@ -1,0 +1,205 @@
+(** The `res check` lint suite: validator, unreachable blocks, dead
+    stores, lock hygiene, and the race/deadlock analysis, as one
+    machine-readable findings list.
+
+    Every finding is a claim about the program, so every check here is
+    tuned to under-approximate: a warning fires only when the supporting
+    static facts are fully resolved.  (The workload corpus holds the
+    suite to zero false positives on correct code.) *)
+
+module SSet = Set.Make (String)
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type finding = {
+  f_severity : severity;
+  f_check : string;  (** machine-stable check name, e.g. "race" *)
+  f_where : string;  (** "func", "func:block", or "func:block:idx" *)
+  f_msg : string;
+}
+
+(** One tab-separated line per finding: SEVERITY CHECK WHERE MESSAGE. *)
+let to_line f =
+  Fmt.str "%s\t%s\t%s\t%s"
+    (severity_name f.f_severity)
+    f.f_check f.f_where f.f_msg
+
+let order a b =
+  match compare (a.f_check, a.f_where, a.f_msg) (b.f_check, b.f_where, b.f_msg)
+  with
+  | 0 -> 0
+  | c -> c
+
+(** Whether any function of [p] spawns a thread: the dead-store check is
+    single-threaded-only (another thread may observe any global). *)
+let has_spawns (p : Res_ir.Prog.t) =
+  List.exists
+    (fun (f : Res_ir.Func.t) ->
+      List.exists
+        (fun (b : Res_ir.Block.t) ->
+          Res_ir.Block.exists
+            (fun i -> Res_ir.Instr.spawn_target i <> None)
+            b)
+        f.Res_ir.Func.blocks)
+    p.Res_ir.Prog.funcs
+
+let dead_stores p summary (f : Res_ir.Func.t) =
+  let fname = f.Res_ir.Func.name in
+  let envs = Summary.envs_of summary fname in
+  ignore p;
+  let findings = ref [] in
+  List.iter
+    (fun (b : Res_ir.Block.t) ->
+      match Summary.SMap.find_opt b.Res_ir.Block.label envs with
+      | None -> () (* unreachable: reported separately *)
+      | Some env0 ->
+          let env = ref env0 in
+          Array.iteri
+            (fun i instr ->
+              (match instr with
+              | Res_ir.Instr.Store (a, off, _) -> (
+                  match Absval.read !env a with
+                  | Absval.GPtr (g, o) ->
+                      let cell = (g, o + off) in
+                      if
+                        not
+                          (Reach.observable_after summary f
+                             ~block:b.Res_ir.Block.label ~idx:i cell)
+                      then
+                        findings :=
+                          {
+                            f_severity = Warning;
+                            f_check = "dead-store";
+                            f_where =
+                              Fmt.str "%s:%s:%d" fname b.Res_ir.Block.label i;
+                            f_msg =
+                              Fmt.str
+                                "store to %a is overwritten on every path \
+                                 before any read"
+                                Summary.Cell.pp cell;
+                          }
+                          :: !findings
+                  | _ -> ())
+              | _ -> ());
+              env := Absval.transfer !env instr)
+            b.Res_ir.Block.instrs)
+    f.Res_ir.Func.blocks;
+  List.rev !findings
+
+(** Run the full suite.  Validator errors suppress the structural checks
+    (a malformed program has no trustworthy CFG to analyze). *)
+let run (p : Res_ir.Prog.t) : finding list =
+  let verrs = Res_ir.Validate.check p in
+  if verrs <> [] then
+    List.map
+      (fun (e : Res_ir.Validate.error) ->
+        {
+          f_severity = Error;
+          f_check = "validate";
+          f_where = e.Res_ir.Validate.where;
+          f_msg = e.Res_ir.Validate.what;
+        })
+      verrs
+    |> List.sort order
+  else begin
+    let cfg = Res_ir.Cfg.of_prog p in
+    let summary = Summary.of_prog p in
+    let findings = ref [] in
+    let add f = findings := f :: !findings in
+    (* unreachable blocks *)
+    List.iter
+      (fun (f : Res_ir.Func.t) ->
+        List.iter
+          (fun label ->
+            add
+              {
+                f_severity = Warning;
+                f_check = "unreachable";
+                f_where = Fmt.str "%s:%s" f.Res_ir.Func.name label;
+                f_msg = "block is unreachable from the function entry";
+              })
+          (Res_ir.Cfg.unreachable_labels cfg f))
+      p.Res_ir.Prog.funcs;
+    (* dead stores (single-threaded programs only) *)
+    if not (has_spawns p) then
+      List.iter
+        (fun f -> List.iter add (dead_stores p summary f))
+        p.Res_ir.Prog.funcs;
+    (* lock hygiene: leaks per function *)
+    List.iter
+      (fun (f : Res_ir.Func.t) ->
+        List.iter
+          (fun ((cell : Summary.Cell.t), where) ->
+            add
+              {
+                f_severity = Warning;
+                f_check = "lock-leak";
+                f_where = where;
+                f_msg =
+                  Fmt.str "lock of %a is not released on every path"
+                    Summary.Cell.pp cell;
+              })
+          (Lockcheck.lock_leaks summary f))
+      p.Res_ir.Prog.funcs;
+    (* races and lock-order cycles *)
+    let report = Lockcheck.check p summary in
+    (* one finding per racy cell, with one witness pair *)
+    let seen_cells = ref [] in
+    List.iter
+      (fun (r : Lockcheck.race) ->
+        if not (List.mem r.Lockcheck.r_cell !seen_cells) then begin
+          seen_cells := r.Lockcheck.r_cell :: !seen_cells;
+          add
+            {
+              f_severity = Warning;
+              f_check = "race";
+              f_where = r.Lockcheck.r_where1;
+              f_msg =
+                Fmt.str
+                  "possible data race on %a: conflicting access at %s with \
+                   no common lock"
+                  Summary.Cell.pp r.Lockcheck.r_cell r.Lockcheck.r_where2;
+            }
+        end)
+      report.Lockcheck.races;
+    List.iter
+      (fun (c : Lockcheck.cycle) ->
+        add
+          {
+            f_severity = Warning;
+            f_check = "deadlock";
+            f_where = c.Lockcheck.c_site1;
+            f_msg =
+              Fmt.str
+                "lock-order cycle: %a and %a are acquired in opposite \
+                 orders by concurrent threads (%s vs %s)"
+                Summary.Cell.pp c.Lockcheck.c_lock1 Summary.Cell.pp
+                c.Lockcheck.c_lock2 c.Lockcheck.c_site1 c.Lockcheck.c_site2;
+          })
+      report.Lockcheck.cycles;
+    List.iter
+      (fun ((cell : Summary.Cell.t), where) ->
+        add
+          {
+            f_severity = Warning;
+            f_check = "deadlock";
+            f_where = where;
+            f_msg =
+              Fmt.str "re-acquisition of held lock %a always deadlocks"
+                Summary.Cell.pp cell;
+          })
+      report.Lockcheck.double_locks;
+    List.sort order !findings
+  end
+
+(** The `res check` exit-code convention: 0 clean, 2 warnings only, 3
+    errors. *)
+let exit_code findings =
+  if List.exists (fun f -> f.f_severity = Error) findings then 3
+  else if List.exists (fun f -> f.f_severity = Warning) findings then 2
+  else 0

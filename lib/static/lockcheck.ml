@@ -1,0 +1,668 @@
+(** Lockset-based static race and deadlock lint over MiniIR's
+    spawn/mutex instructions.
+
+    The analysis is built to make {e zero false claims} on correct code
+    (the bar the workload ground truth in [lib/workloads/truth.ml] sets),
+    at the cost of missing bugs it cannot resolve statically:
+
+    - {b Thread instances} are spawn sites.  A forward dataflow over each
+      spawning function tracks which instances are {e outstanding}
+      (spawned, not yet provably joined) at every point; two instances
+      are {e concurrent} if one is spawned while the other is
+      outstanding.  [join] on an unresolved thread id conservatively
+      clears the outstanding set (so post-join accesses are never
+      miscalled racy), as does a call that may join.
+    - {b Accesses} are collected over each instance's function and its
+      call closure, each carrying the {e must-hold lockset} at that
+      point (intersection at joins, so a lock is claimed held only when
+      it is held on every path).
+    - {b A race} is two accesses from concurrent instances (or a
+      still-outstanding instance vs. its spawner) to the same resolved
+      global cell, at least one a write, with disjoint must-locksets.
+    - {b A lock-order cycle} is a pair of concurrent instances acquiring
+      two mutexes in opposite orders ([m1 < m2] vs [m2 < m1]).
+    - Any lock/unlock through an address the abstraction cannot resolve
+      {e taints} the instance: no claim involving it is made at all.
+
+    Heap-allocated shared state and instances spawned from inside
+    spawned threads are out of scope (never reported — another
+    under-approximation, never a false positive). *)
+
+module IMap = Map.Make (Int)
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+module CSet = Summary.CSet
+
+type cell = Summary.Cell.t
+
+(** A data access with its must-hold lockset. *)
+type access = {
+  a_cell : cell;
+  a_write : bool;
+  a_locks : CSet.t;
+  a_where : string;  (** "func:block:idx" *)
+}
+
+(** Result of analyzing one function body (plus call closure) from a
+    given entry lockset. *)
+type body = {
+  b_accesses : access list;
+  b_edges : (cell * cell) list;  (** lock-order: held -> acquired *)
+  b_double : (cell * string) list;  (** lock of an already-held mutex *)
+  b_exit_locks : CSet.t;  (** must-held at return *)
+  b_tainted : bool;  (** an unresolved lock/unlock: suppress claims *)
+}
+
+let empty_body locks =
+  {
+    b_accesses = [];
+    b_edges = [];
+    b_double = [];
+    b_exit_locks = locks;
+    b_tainted = false;
+  }
+
+(** Forward (env, lockset) state; joins are env-join / set-intersection. *)
+type bstate = { st_env : Absval.env; st_locks : CSet.t }
+
+let join_bstate a b =
+  {
+    st_env = Absval.join_env a.st_env b.st_env;
+    st_locks = CSet.inter a.st_locks b.st_locks;
+  }
+
+let equal_bstate a b =
+  Absval.IMap.equal Absval.equal a.st_env b.st_env
+  && CSet.equal a.st_locks b.st_locks
+
+let resolve env a =
+  match Absval.read env a with
+  | Absval.GPtr (g, o) -> Some (g, o)
+  | _ -> None
+
+(** Analyze [fname]'s body from [locks0] with [args] bound to its
+    parameters, following calls ([stack] cuts recursion with a taint). *)
+let rec analyze_body prog summary ~stack fname (args : Absval.t list)
+    (locks0 : CSet.t) : body =
+  if List.mem fname stack then { (empty_body locks0) with b_tainted = true }
+  else
+    match Res_ir.Prog.func_opt prog fname with
+    | None -> { (empty_body locks0) with b_tainted = true }
+    | Some f ->
+        let stack = fname :: stack in
+        let init_env =
+          List.fold_left
+            (fun (env, i) v -> (Absval.IMap.add i v env, i + 1))
+            (Absval.IMap.empty, 0) args
+          |> fst
+        in
+        let acc = ref (empty_body locks0) in
+        let taint () = acc := { !acc with b_tainted = true } in
+        (* Transfer one instruction; [record] is false during the
+           fixpoint and true during the final collection walk, so
+           accesses and edges are recorded exactly once per point. *)
+        let step ~record where (st : bstate) (i : Res_ir.Instr.instr) :
+            bstate =
+          let env = st.st_env in
+          let record_access (a : Res_ir.Instr.access) =
+            if record then
+              match Absval.cell_of_access env a with
+              | Some c ->
+                  acc :=
+                    {
+                      !acc with
+                      b_accesses =
+                        {
+                          a_cell = c;
+                          a_write = a.Res_ir.Instr.acc_write;
+                          a_locks = st.st_locks;
+                          a_where = where;
+                        }
+                        :: !acc.b_accesses;
+                    }
+              | None -> () (* unresolved: claim nothing *)
+          in
+          let st' =
+            match i with
+            | Res_ir.Instr.Lock a -> (
+                match resolve env a with
+                | Some c ->
+                    if record then begin
+                      if CSet.mem c st.st_locks then
+                        acc :=
+                          { !acc with b_double = (c, where) :: !acc.b_double };
+                      CSet.iter
+                        (fun held ->
+                          acc :=
+                            {
+                              !acc with
+                              b_edges = (held, c) :: !acc.b_edges;
+                            })
+                        st.st_locks
+                    end;
+                    { st with st_locks = CSet.add c st.st_locks }
+                | None ->
+                    taint ();
+                    st)
+            | Res_ir.Instr.Unlock a -> (
+                match resolve env a with
+                | Some c -> { st with st_locks = CSet.remove c st.st_locks }
+                | None ->
+                    taint ();
+                    st)
+            | Res_ir.Instr.Call (_, callee, cargs) ->
+                let vals = List.map (Absval.read env) cargs in
+                let sub = analyze_body prog summary ~stack callee vals st.st_locks in
+                if sub.b_tainted then taint ();
+                if record then
+                  acc :=
+                    {
+                      !acc with
+                      b_accesses = sub.b_accesses @ !acc.b_accesses;
+                      b_edges = sub.b_edges @ !acc.b_edges;
+                      b_double = sub.b_double @ !acc.b_double;
+                    };
+                { st with st_locks = sub.b_exit_locks }
+            | Res_ir.Instr.Load _ | Res_ir.Instr.Store _ ->
+                List.iter record_access (Res_ir.Instr.accesses i);
+                st
+            | _ -> st
+          in
+          { st' with st_env = Absval.transfer st'.st_env i }
+        in
+        let block_out ~record (b : Res_ir.Block.t) st0 =
+          let st = ref st0 in
+          Array.iteri
+            (fun i instr ->
+              let where = Fmt.str "%s:%s:%d" fname b.Res_ir.Block.label i in
+              st := step ~record where !st instr)
+            b.Res_ir.Block.instrs;
+          !st
+        in
+        (* Fixpoint over block-entry states. *)
+        let states =
+          ref
+            (SMap.singleton f.Res_ir.Func.entry
+               { st_env = init_env; st_locks = locks0 })
+        in
+        let work = Queue.create () in
+        Queue.add f.Res_ir.Func.entry work;
+        while not (Queue.is_empty work) do
+          let l = Queue.pop work in
+          match SMap.find_opt l !states with
+          | None -> ()
+          | Some st0 ->
+              let b = Res_ir.Func.block f l in
+              let out = block_out ~record:false b st0 in
+              List.iter
+                (fun succ ->
+                  let next =
+                    match SMap.find_opt succ !states with
+                    | None -> out
+                    | Some prev -> join_bstate prev out
+                  in
+                  let changed =
+                    match SMap.find_opt succ !states with
+                    | None -> true
+                    | Some prev -> not (equal_bstate prev next)
+                  in
+                  if changed then begin
+                    states := SMap.add succ next !states;
+                    Queue.add succ work
+                  end)
+                (Res_ir.Block.successors b)
+        done;
+        (* Collection walk + exit lockset (meet over reachable rets). *)
+        let exit_locks = ref None in
+        SMap.iter
+          (fun l st0 ->
+            let b = Res_ir.Func.block f l in
+            let out = block_out ~record:true b st0 in
+            match b.Res_ir.Block.term with
+            | Res_ir.Instr.Ret _ ->
+                exit_locks :=
+                  Some
+                    (match !exit_locks with
+                    | None -> out.st_locks
+                    | Some prev -> CSet.inter prev out.st_locks)
+            | _ -> ())
+          !states;
+        {
+          !acc with
+          b_exit_locks =
+            (match !exit_locks with Some s -> s | None -> locks0);
+        }
+
+(* --- spawner-side analysis: which instances overlap --- *)
+
+(** A thread instance: one spawn site. *)
+type instance = {
+  in_id : string;  (** "func:block:idx" of the spawn *)
+  in_func : string;  (** the function the thread runs *)
+  mutable in_args : Absval.t list;  (** joined over visits *)
+}
+
+type sstate = {
+  ss_base : bstate;
+  ss_out : SSet.t;  (** outstanding spawn sites *)
+  ss_bind : string IMap.t;  (** register -> site its tid lives in *)
+}
+
+let join_sstate a b =
+  {
+    ss_base = join_bstate a.ss_base b.ss_base;
+    ss_out = SSet.union a.ss_out b.ss_out;
+    ss_bind =
+      IMap.merge
+        (fun _ x y ->
+          match (x, y) with
+          | Some s, Some t when String.equal s t -> Some s
+          | _ -> None)
+        a.ss_bind b.ss_bind;
+  }
+
+let equal_sstate a b =
+  equal_bstate a.ss_base b.ss_base
+  && SSet.equal a.ss_out b.ss_out
+  && IMap.equal String.equal a.ss_bind b.ss_bind
+
+(** Everything the reporting phase needs. *)
+type analysis = {
+  an_instances : instance list;
+  an_pairs : (string * string) list;  (** concurrent site pairs *)
+  an_selfconc : SSet.t;  (** sites concurrent with themselves *)
+  an_spawner_accesses : (access * SSet.t) list;
+      (** spawner-side accesses, with the then-outstanding sites *)
+  an_bodies : (string * body) list;  (** per instance (by site id) *)
+}
+
+(** A normalized unordered pair. *)
+let norm_pair a b = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let analyze prog (summary : Summary.t) : analysis =
+  let instances : (string, instance) Hashtbl.t = Hashtbl.create 8 in
+  let pairs = ref [] in
+  let selfconc = ref SSet.empty in
+  let spawner_accesses = ref [] in
+  let spawners =
+    List.filter
+      (fun (f : Res_ir.Func.t) ->
+        List.exists
+          (fun (b : Res_ir.Block.t) ->
+            Res_ir.Block.exists
+              (fun i -> Res_ir.Instr.spawn_target i <> None)
+              b)
+          f.Res_ir.Func.blocks)
+      prog.Res_ir.Prog.funcs
+  in
+  List.iter
+    (fun (f : Res_ir.Func.t) ->
+      let fname = f.Res_ir.Func.name in
+      (* This spawner's own accesses, withheld from the global list if an
+         unresolved lock op makes its locksets untrustworthy. *)
+      let local_accesses = ref [] in
+      let sp_taint = ref false in
+      (* Transfer mirrors analyze_body's lockset/env handling (without
+         descending for accesses), adding outstanding/bind tracking. *)
+      let step ~record where (st : sstate) (i : Res_ir.Instr.instr) : sstate
+          =
+        let env = st.ss_base.st_env in
+        let base_instr st_base =
+          match i with
+          | Res_ir.Instr.Lock a -> (
+              match resolve env a with
+              | Some c ->
+                  { st_base with st_locks = CSet.add c st_base.st_locks }
+              | None ->
+                  sp_taint := true;
+                  st_base)
+          | Res_ir.Instr.Unlock a -> (
+              match resolve env a with
+              | Some c ->
+                  { st_base with st_locks = CSet.remove c st_base.st_locks }
+              | None ->
+                  sp_taint := true;
+                  st_base)
+          | _ -> st_base
+        in
+        let st =
+          match i with
+          | Res_ir.Instr.Spawn (r, callee, cargs) ->
+              let id = where in
+              let vals = List.map (Absval.read env) cargs in
+              if record then begin
+                (match Hashtbl.find_opt instances id with
+                | Some inst ->
+                    inst.in_args <-
+                      List.map2 Absval.join inst.in_args vals
+                | None ->
+                    Hashtbl.replace instances id
+                      { in_id = id; in_func = callee; in_args = vals });
+                if SSet.mem id st.ss_out then
+                  selfconc := SSet.add id !selfconc;
+                SSet.iter
+                  (fun other -> pairs := norm_pair id other :: !pairs)
+                  st.ss_out
+              end;
+              {
+                st with
+                ss_out = SSet.add id st.ss_out;
+                ss_bind = IMap.add r id st.ss_bind;
+              }
+          | Res_ir.Instr.Join r -> (
+              match IMap.find_opt r st.ss_bind with
+              | Some id ->
+                  {
+                    st with
+                    ss_out = SSet.remove id st.ss_out;
+                    ss_bind = IMap.remove r st.ss_bind;
+                  }
+              | None ->
+                  (* join on an unresolved tid: assume it may join
+                     anything — never claim concurrency past it *)
+                  { st with ss_out = SSet.empty; ss_bind = IMap.empty })
+          | Res_ir.Instr.Call (_, callee, cargs) ->
+              let tsum = Summary.transitive summary callee in
+              let st =
+                if tsum.Summary.s_joins then
+                  { st with ss_out = SSet.empty; ss_bind = IMap.empty }
+                else st
+              in
+              if record then begin
+                (* callee accesses run with the threads outstanding here *)
+                let vals = List.map (Absval.read env) cargs in
+                let sub =
+                  analyze_body prog summary ~stack:[ fname ] callee vals
+                    st.ss_base.st_locks
+                in
+                if not sub.b_tainted then
+                  List.iter
+                    (fun a ->
+                      local_accesses := (a, st.ss_out) :: !local_accesses)
+                    sub.b_accesses
+              end;
+              st
+          | Res_ir.Instr.Load _ | Res_ir.Instr.Store _ ->
+              if record then
+                List.iter
+                  (fun (a : Res_ir.Instr.access) ->
+                    match Absval.cell_of_access env a with
+                    | Some c ->
+                        local_accesses :=
+                          ( {
+                              a_cell = c;
+                              a_write = a.Res_ir.Instr.acc_write;
+                              a_locks = st.ss_base.st_locks;
+                              a_where = where;
+                            },
+                            st.ss_out )
+                          :: !local_accesses
+                    | None -> ())
+                  (Res_ir.Instr.accesses i);
+              st
+          | _ -> st
+        in
+        (* any definition other than the spawn itself invalidates a tid
+           binding, whichever branch handled the instruction *)
+        let st =
+          match i with
+          | Res_ir.Instr.Spawn _ -> st
+          | _ -> (
+              match Res_ir.Instr.defs i with
+              | Some r -> { st with ss_bind = IMap.remove r st.ss_bind }
+              | None -> st)
+        in
+        let base = base_instr st.ss_base in
+        { st with ss_base = { base with st_env = Absval.transfer base.st_env i } }
+      in
+      let block_out ~record (b : Res_ir.Block.t) st0 =
+        let st = ref st0 in
+        Array.iteri
+          (fun i instr ->
+            let where = Fmt.str "%s:%s:%d" fname b.Res_ir.Block.label i in
+            st := step ~record where !st instr)
+          b.Res_ir.Block.instrs;
+        !st
+      in
+      let init =
+        {
+          ss_base = { st_env = Absval.IMap.empty; st_locks = CSet.empty };
+          ss_out = SSet.empty;
+          ss_bind = IMap.empty;
+        }
+      in
+      let states = ref (SMap.singleton f.Res_ir.Func.entry init) in
+      let work = Queue.create () in
+      Queue.add f.Res_ir.Func.entry work;
+      while not (Queue.is_empty work) do
+        let l = Queue.pop work in
+        match SMap.find_opt l !states with
+        | None -> ()
+        | Some st0 ->
+            let b = Res_ir.Func.block f l in
+            let out = block_out ~record:false b st0 in
+            List.iter
+              (fun succ ->
+                let next =
+                  match SMap.find_opt succ !states with
+                  | None -> out
+                  | Some prev -> join_sstate prev out
+                in
+                let changed =
+                  match SMap.find_opt succ !states with
+                  | None -> true
+                  | Some prev -> not (equal_sstate prev next)
+                in
+                if changed then begin
+                  states := SMap.add succ next !states;
+                  Queue.add succ work
+                end)
+              (Res_ir.Block.successors b)
+      done;
+      SMap.iter
+        (fun l st0 ->
+          ignore (block_out ~record:true (Res_ir.Func.block f l) st0))
+        !states;
+      if not !sp_taint then
+        spawner_accesses := !local_accesses @ !spawner_accesses)
+    spawners;
+  let bodies =
+    Hashtbl.fold
+      (fun id (inst : instance) acc ->
+        ( id,
+          analyze_body prog summary ~stack:[] inst.in_func inst.in_args
+            CSet.empty )
+        :: acc)
+      instances []
+  in
+  {
+    an_instances =
+      Hashtbl.fold (fun _ i acc -> i :: acc) instances []
+      |> List.sort (fun a b -> String.compare a.in_id b.in_id);
+    an_pairs = List.sort_uniq compare !pairs;
+    an_selfconc = !selfconc;
+    an_spawner_accesses = !spawner_accesses;
+    an_bodies = bodies;
+  }
+
+(* --- reporting --- *)
+
+type race = {
+  r_cell : cell;
+  r_where1 : string;
+  r_where2 : string;
+}
+
+type cycle = {
+  c_lock1 : cell;
+  c_lock2 : cell;
+  c_site1 : string;
+  c_site2 : string;
+}
+
+type report = {
+  races : race list;
+  cycles : cycle list;
+  double_locks : (cell * string) list;
+}
+
+let body_of an id = List.assoc_opt id an.an_bodies
+
+(** All concurrent site pairs, self-concurrent sites included as (s, s). *)
+let concurrent_pairs an =
+  an.an_pairs
+  @ List.map (fun s -> (s, s)) (SSet.elements an.an_selfconc)
+
+let check prog summary : report =
+  let an = analyze prog summary in
+  let races = ref [] in
+  let add_race a1 a2 =
+    let w1, w2 =
+      if String.compare a1.a_where a2.a_where <= 0 then
+        (a1.a_where, a2.a_where)
+      else (a2.a_where, a1.a_where)
+    in
+    races := { r_cell = a1.a_cell; r_where1 = w1; r_where2 = w2 } :: !races
+  in
+  let racy a1 a2 =
+    Summary.Cell.compare a1.a_cell a2.a_cell = 0
+    && (a1.a_write || a2.a_write)
+    && CSet.is_empty (CSet.inter a1.a_locks a2.a_locks)
+  in
+  (* instance vs instance *)
+  List.iter
+    (fun (s1, s2) ->
+      match (body_of an s1, body_of an s2) with
+      | Some b1, Some b2 when (not b1.b_tainted) && not b2.b_tainted ->
+          List.iter
+            (fun a1 ->
+              List.iter
+                (fun a2 -> if racy a1 a2 then add_race a1 a2)
+                b2.b_accesses)
+            b1.b_accesses
+      | _ -> ())
+    (concurrent_pairs an);
+  (* spawner vs outstanding instance *)
+  List.iter
+    (fun (a, out) ->
+      SSet.iter
+        (fun s ->
+          match body_of an s with
+          | Some b when not b.b_tainted ->
+              List.iter
+                (fun a2 -> if racy a a2 then add_race a a2)
+                b.b_accesses
+          | _ -> ())
+        out)
+    an.an_spawner_accesses;
+  (* lock-order cycles between concurrent instances *)
+  let cycles = ref [] in
+  List.iter
+    (fun (s1, s2) ->
+      match (body_of an s1, body_of an s2) with
+      | Some b1, Some b2 when (not b1.b_tainted) && not b2.b_tainted ->
+          List.iter
+            (fun (a, b) ->
+              List.iter
+                (fun (c, d) ->
+                  if
+                    Summary.Cell.compare a d = 0
+                    && Summary.Cell.compare b c = 0
+                    && Summary.Cell.compare a b <> 0
+                  then
+                    let l1, l2 =
+                      if Summary.Cell.compare a b <= 0 then (a, b) else (b, a)
+                    in
+                    cycles :=
+                      { c_lock1 = l1; c_lock2 = l2; c_site1 = s1; c_site2 = s2 }
+                      :: !cycles)
+                b2.b_edges)
+            b1.b_edges
+      | _ -> ())
+    (concurrent_pairs an);
+  (* double acquisition within one instance (guaranteed self-deadlock) *)
+  let doubles =
+    List.concat_map
+      (fun (_, (b : body)) -> if b.b_tainted then [] else b.b_double)
+      an.an_bodies
+  in
+  let dedup_races =
+    List.sort_uniq compare !races
+  in
+  let dedup_cycles =
+    List.sort_uniq
+      (fun a b ->
+        compare (a.c_lock1, a.c_lock2) (b.c_lock1, b.c_lock2))
+      !cycles
+  in
+  { races = dedup_races; cycles = dedup_cycles; double_locks = doubles }
+
+(* --- lock-leak lint (a postdominator client) --- *)
+
+(** Locks acquired on some path and provably released on every path: for
+    each resolved [lock] site, require a matching [unlock] later in the
+    same block or in a postdominating block.  Functions with any
+    unresolved lock/unlock are skipped entirely (no claims). *)
+let lock_leaks summary (f : Res_ir.Func.t) : (cell * string) list =
+  let fname = f.Res_ir.Func.name in
+  let envs = Summary.envs_of summary fname in
+  let env_at l = SMap.find_opt l envs in
+  let dsum = Summary.direct summary fname in
+  if dsum.Summary.s_locks_unknown then []
+  else
+    let pdom = lazy (Dom.postdominators f) in
+    (* blocks (by label) whose body releases the cell, with the index *)
+    let unlocks_in (b : Res_ir.Block.t) env0 c ~after =
+      let env = ref env0 in
+      let found = ref false in
+      Array.iteri
+        (fun i instr ->
+          (match instr with
+          | Res_ir.Instr.Unlock a when i > after -> (
+              match resolve !env a with
+              | Some c' when Summary.Cell.compare c c' = 0 -> found := true
+              | _ -> ())
+          | _ -> ());
+          env := Absval.transfer !env instr)
+        b.Res_ir.Block.instrs;
+      !found
+    in
+    let leaks = ref [] in
+    List.iter
+      (fun (b : Res_ir.Block.t) ->
+        match env_at b.Res_ir.Block.label with
+        | None -> () (* unreachable *)
+        | Some env0 ->
+            let env = ref env0 in
+            Array.iteri
+              (fun i instr ->
+                (match instr with
+                | Res_ir.Instr.Lock a -> (
+                    match resolve !env a with
+                    | None -> ()
+                    | Some c ->
+                        let released_here = unlocks_in b env0 c ~after:i in
+                        let released_below =
+                          List.exists
+                            (fun (u : Res_ir.Block.t) ->
+                              (not (String.equal u.label b.label))
+                              && Dom.dominates (Lazy.force pdom)
+                                   ~over:b.Res_ir.Block.label u.label
+                              &&
+                              match env_at u.label with
+                              | Some uenv ->
+                                  unlocks_in u uenv c ~after:(-1)
+                              | None -> false)
+                            f.Res_ir.Func.blocks
+                        in
+                        if not (released_here || released_below) then
+                          leaks :=
+                            ( c,
+                              Fmt.str "%s:%s:%d" fname b.Res_ir.Block.label i
+                            )
+                            :: !leaks)
+                | _ -> ());
+                env := Absval.transfer !env instr)
+              b.Res_ir.Block.instrs)
+      f.Res_ir.Func.blocks;
+    List.rev !leaks

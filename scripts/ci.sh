@@ -2,9 +2,13 @@
 # CI entry point: build (including formatting of dune files), run the
 # full test suite, then fault-inject the pipeline itself: res selftest
 # exits non-zero if any perturbed analysis escapes with an exception or
-# the 1s deadline is not honored within 10%, and the kill-resume
-# campaign exits non-zero if any killed-and-resumed analysis fails to
-# reconverge to bit-identical reports or leaves a torn file on disk.
+# the 1s deadline is not honored within 10%, the kill-resume campaign
+# exits non-zero if any killed-and-resumed analysis fails to reconverge
+# to bit-identical reports or leaves a torn file on disk, and the
+# prune-equivalence campaign exits non-zero if disabling the static
+# pruner changes any workload's reports.  Finally `res check` lints the
+# whole workload corpus: the three seeded concurrency bugs must be the
+# only findings.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,3 +17,16 @@ dune build @fmt
 dune runtest
 dune exec bin/res_cli.exe -- selftest --runs 60
 dune exec bin/res_cli.exe -- selftest --kill-resume
+dune exec bin/res_cli.exe -- selftest --prune-equivalence
+
+# Static lint over the corpus: warnings are expected (exit 2) but only
+# on the seeded bugs; any other program producing a finding, or any
+# lint error, fails CI.
+lint=$(dune exec bin/res_cli.exe -- check --all-workloads) || [ $? -eq 2 ]
+echo "$lint"
+bad=$(echo "$lint" | awk -F'\t' \
+  '$1 != "counter-race" && $1 != "lock-order-deadlock" && $1 != "kvstore-stats-race"')
+[ -z "$bad" ] || { echo "unexpected lint findings:"; echo "$bad"; exit 1; }
+echo "$lint" | grep -q "^counter-race	warning	race" || { echo "missing counter-race race finding"; exit 1; }
+echo "$lint" | grep -q "^lock-order-deadlock	warning	deadlock" || { echo "missing deadlock finding"; exit 1; }
+echo "$lint" | grep -q "^kvstore-stats-race	warning	race" || { echo "missing kvstore race finding"; exit 1; }

@@ -70,6 +70,7 @@ let test_roundtrip_all_workloads () =
                 ck_truncated = false;
                 ck_nodes = 0;
                 ck_cands = 0;
+                ck_pruned = 0;
                 ck_synth = 0;
                 ck_suspended = None;
                 ck_fuel = Some 42;

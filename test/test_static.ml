@@ -1,0 +1,698 @@
+(* Tests for the static-analysis layer (lib/static): mod/ref summaries,
+   dominators, goal-directed reachability, the chain refuter that prunes
+   the backward search, the lint suite, and the property the whole layer
+   stands on — pruning never changes what the search reports, only how
+   much work it does. *)
+
+open Res_static
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+let parse src = Res_ir.Parser.parse src
+
+(* --- mod/ref summaries --- *)
+
+let calls_src =
+  {|
+global a 1
+global b 1
+global m 1
+
+func main() {
+entry:
+  r0 = call mid()
+  halt
+}
+
+func mid() {
+entry:
+  r0 = global a
+  r1 = load r0[0]
+  r2 = call leaf(r1)
+  ret r2
+}
+
+func leaf(r0) {
+entry:
+  r1 = global b
+  store r1[0] = r0
+  r2 = global m
+  lock r2
+  unlock r2
+  ret r0
+}
+|}
+
+let has_cell foot cell = Summary.CSet.mem cell foot.Summary.f_cells
+
+let test_summary_transitive () =
+  let s = Summary.of_prog (parse calls_src) in
+  let direct = Summary.direct s "main" in
+  check bool_t "direct main writes nothing" true
+    (Summary.CSet.is_empty direct.Summary.s_mod.Summary.f_cells);
+  check bool_t "direct main mod is known" false
+    direct.Summary.s_mod.Summary.f_unknown;
+  let trans = Summary.transitive s "main" in
+  check bool_t "transitive main writes b[0] via leaf" true
+    (has_cell trans.Summary.s_mod ("b", 0));
+  check bool_t "transitive main reads a[0] via mid" true
+    (has_cell trans.Summary.s_ref ("a", 0));
+  check bool_t "transitive main locks m[0] via leaf" true
+    (Summary.CSet.mem ("m", 0) trans.Summary.s_locks);
+  check bool_t "transitive main does not write a[0]" false
+    (has_cell trans.Summary.s_mod ("a", 0));
+  check bool_t "no unknown accesses anywhere" false
+    (trans.Summary.s_mod.Summary.f_unknown
+    || trans.Summary.s_ref.Summary.f_unknown
+    || trans.Summary.s_locks_unknown)
+
+let test_summary_block_sum () =
+  let prog = parse calls_src in
+  let s = Summary.of_prog prog in
+  let f = Res_ir.Prog.func prog "main" in
+  let b = Res_ir.Func.block f "entry" in
+  let sum = Summary.block_sum s f b in
+  check bool_t "block with a call absorbs the callee's writes" true
+    (has_cell sum.Summary.s_mod ("b", 0))
+
+let test_summary_recursion_converges () =
+  let src =
+    {|
+global a 1
+
+func main() {
+entry:
+  r0 = call even()
+  halt
+}
+
+func even() {
+entry:
+  r0 = global a
+  r1 = load r0[0]
+  r2 = call odd()
+  ret r2
+}
+
+func odd() {
+entry:
+  r0 = global a
+  r3 = const 1
+  store r0[0] = r3
+  r2 = call even()
+  ret r2
+}
+|}
+  in
+  let s = Summary.of_prog (parse src) in
+  let t = Summary.transitive s "even" in
+  check bool_t "mutual recursion: cycle union reached" true
+    (has_cell t.Summary.s_mod ("a", 0) && has_cell t.Summary.s_ref ("a", 0));
+  check bool_t "unknown function gets the all-unknown summary" true
+    (Summary.transitive s "nonexistent").Summary.s_mod.Summary.f_unknown
+
+let test_summary_unresolved_is_unknown () =
+  (* A store through an input-derived address cannot be resolved: the
+     footprint must flag it rather than drop it. *)
+  let src =
+    {|
+func main() {
+entry:
+  r0 = input net
+  r1 = const 7
+  store r0[0] = r1
+  halt
+}
+|}
+  in
+  let s = Summary.of_prog (parse src) in
+  let t = Summary.transitive s "main" in
+  check bool_t "unresolved store sets the unknown flag" true
+    t.Summary.s_mod.Summary.f_unknown;
+  check bool_t "input flag set" true t.Summary.s_inputs
+
+(* --- dominators / postdominators --- *)
+
+let diamond_src =
+  {|
+func main(r0) {
+entry:
+  br r0, a, b
+a:
+  jmp exit
+b:
+  jmp exit
+exit:
+  halt
+}
+|}
+
+let test_dominators () =
+  let f = Res_ir.Prog.func (parse diamond_src) "main" in
+  let doms = Dom.dominators f in
+  check bool_t "entry dominates exit" true
+    (Dom.dominates doms ~over:"exit" "entry");
+  check bool_t "a does not dominate exit" false
+    (Dom.dominates doms ~over:"exit" "a");
+  check bool_t "a dominates itself" true (Dom.dominates doms ~over:"a" "a");
+  check (Alcotest.option string_t) "idom of exit is entry" (Some "entry")
+    (Dom.idom doms "exit");
+  check (Alcotest.option string_t) "entry has no idom" None
+    (Dom.idom doms "entry")
+
+let test_postdominators () =
+  let f = Res_ir.Prog.func (parse diamond_src) "main" in
+  let pdoms = Dom.postdominators f in
+  check bool_t "exit postdominates entry" true
+    (Dom.dominates pdoms ~over:"entry" "exit");
+  check bool_t "a does not postdominate entry" false
+    (Dom.dominates pdoms ~over:"entry" "a");
+  check (Alcotest.option string_t) "ipdom of entry is exit" (Some "exit")
+    (Dom.idom pdoms "entry")
+
+(* --- goal-directed reachability --- *)
+
+let reach_src =
+  {|
+global g 1
+
+func f(r1) {
+entry:
+  r0 = global g
+  br r1, w, s
+w:
+  r2 = const 3
+  store r0[0] = r2
+  jmp t
+s:
+  jmp t
+t:
+  r3 = global g
+  r4 = load r3[0]
+  halt
+}
+|}
+
+let test_reach_def_clear_paths () =
+  let prog = parse reach_src in
+  let s = Summary.of_prog prog in
+  let f = Res_ir.Prog.func prog "f" in
+  check bool_t "s-path reaches t def-clear" true
+    (Reach.can_reach_without_write s f ~from:"s" ~target:"t" ("g", 0));
+  check bool_t "w-path must write g[0] first" false
+    (Reach.can_reach_without_write s f ~from:"w" ~target:"t" ("g", 0))
+
+let test_reach_observable () =
+  let src =
+    {|
+global g 1
+
+func main() {
+entry:
+  r0 = global g
+  r1 = const 1
+  store r0[0] = r1
+  r2 = const 2
+  store r0[0] = r2
+  r3 = load r0[0]
+  halt
+}
+|}
+  in
+  let prog = parse src in
+  let s = Summary.of_prog prog in
+  let f = Res_ir.Prog.func prog "main" in
+  check bool_t "first store is overwritten before any read" false
+    (Reach.observable_after s f ~block:"entry" ~idx:2 ("g", 0));
+  check bool_t "second store is read" true
+    (Reach.observable_after s f ~block:"entry" ~idx:4 ("g", 0))
+
+(* --- the chain refuter --- *)
+
+let mk_query ?(tid = 0) ?(seed = fun _ -> Chain.Top)
+    ?(post_mem = fun _ -> None) ?goal ?(relaxed = Chain.ISet.empty) prog =
+  {
+    Chain.q_prog = prog;
+    q_summary = Summary.of_prog prog;
+    q_tid = tid;
+    q_seed = seed;
+    q_post_mem = post_mem;
+    q_goal = goal;
+    q_relaxed_regs = relaxed;
+    q_resolve_global = (fun g -> if g = "g" then Some 4096 else None);
+    q_is_heap_addr = (fun _ -> false);
+  }
+
+let seg func block e = { Chain.sg_func = func; sg_block = block; sg_end = e }
+let refuted = Alcotest.testable Fmt.(option string) (fun a b -> (a = None) = (b = None))
+
+let test_chain_branch_contradiction () =
+  let prog =
+    parse
+      {|
+func main() {
+entry:
+  r0 = const 5
+  br r0, a, b
+a:
+  halt
+b:
+  halt
+}
+|}
+  in
+  let q = mk_query prog in
+  check refuted "constant 5 cannot take the zero arm" (Some "")
+    (Chain.refute q [ seg "main" "entry" (Chain.End_branch "b") ]);
+  check refuted "constant 5 takes the nonzero arm" None
+    (Chain.refute q [ seg "main" "entry" (Chain.End_branch "a") ])
+
+let test_chain_zero_arm_learns () =
+  (* Taking the zero arm with an unknown condition records cond = 0; a
+     later branch on the same register is then decided. *)
+  let prog =
+    parse
+      {|
+func main(r0) {
+entry:
+  br r0, a, b
+a:
+  halt
+b:
+  br r0, c, d
+c:
+  halt
+d:
+  halt
+}
+|}
+  in
+  let q = mk_query prog in
+  check refuted "r0 learned 0 in entry forces d in b" (Some "")
+    (Chain.refute q
+       [
+         seg "main" "entry" (Chain.End_branch "b");
+         seg "main" "b" (Chain.End_branch "c");
+       ]);
+  check refuted "consistent zero-arm chain survives" None
+    (Chain.refute q
+       [
+         seg "main" "entry" (Chain.End_branch "b");
+         seg "main" "b" (Chain.End_branch "d");
+       ])
+
+let test_chain_trap_contradictions () =
+  let prog =
+    parse
+      {|
+func main() {
+entry:
+  r0 = const 0
+  assert r0, "boom"
+  jmp next
+next:
+  halt
+}
+|}
+  in
+  check refuted "completing past assert(0) is impossible" (Some "")
+    (Chain.refute (mk_query prog)
+       [ seg "main" "entry" (Chain.End_branch "next") ]);
+  let div =
+    parse
+      {|
+func main() {
+entry:
+  r0 = const 0
+  r1 = const 8
+  r2 = div r1, r0
+  jmp next
+next:
+  halt
+}
+|}
+  in
+  check refuted "completing past a zero divisor is impossible" (Some "")
+    (Chain.refute (mk_query div)
+       [ seg "main" "entry" (Chain.End_branch "next") ])
+
+let test_chain_store_vs_snapshot () =
+  let prog =
+    parse
+      {|
+global g 1
+
+func main() {
+entry:
+  r0 = global g
+  r1 = const 7
+  store r0[0] = r1
+  jmp next
+next:
+  halt
+}
+|}
+  in
+  let post_mem v a = if a = 4096 then Some v else None in
+  check refuted "final store 7 vs snapshot 9 is impossible" (Some "")
+    (Chain.refute
+       (mk_query ~post_mem:(post_mem 9) prog)
+       [ seg "main" "entry" (Chain.End_branch "next") ]);
+  check refuted "final store 7 vs snapshot 7 is consistent" None
+    (Chain.refute
+       (mk_query ~post_mem:(post_mem 7) prog)
+       [ seg "main" "entry" (Chain.End_branch "next") ])
+
+let test_chain_goal_and_relaxation () =
+  let prog =
+    parse
+      {|
+func main() {
+entry:
+  r0 = const 5
+  jmp next
+next:
+  halt
+}
+|}
+  in
+  let goal n r = if r = 0 then Chain.Known n else Chain.Top in
+  let chain =
+    [
+      seg "main" "entry" (Chain.End_branch "next");
+      seg "main" "next" (Chain.End_stop 0);
+    ]
+  in
+  check refuted "chain forces r0=5 but the coredump frame holds 3" (Some "")
+    (Chain.refute (mk_query ~goal:(goal 3) prog) chain);
+  check refuted "matching goal survives" None
+    (Chain.refute (mk_query ~goal:(goal 5) prog) chain);
+  check refuted "a relaxed register imposes no goal" None
+    (Chain.refute
+       (mk_query ~goal:(goal 3) ~relaxed:(Chain.ISet.singleton 0) prog)
+       chain);
+  (* The goal only binds when the chain actually ends at the stop frame. *)
+  check refuted "no goal check for a terminal chain" None
+    (Chain.refute
+       (mk_query ~goal:(goal 3) prog)
+       [ seg "main" "entry" (Chain.End_branch "next") ])
+
+let test_chain_seeds_from_post_frame () =
+  (* A register the candidate block does not define reads as its
+     post-state value. *)
+  let prog =
+    parse
+      {|
+func main(r0) {
+entry:
+  br r0, a, b
+a:
+  halt
+b:
+  halt
+}
+|}
+  in
+  let seed n r = if r = 0 then Chain.Known n else Chain.Top in
+  check refuted "seed r0=0 cannot take the nonzero arm" (Some "")
+    (Chain.refute
+       (mk_query ~seed:(seed 0) prog)
+       [ seg "main" "entry" (Chain.End_branch "a") ]);
+  check refuted "seed r0=0 takes the zero arm" None
+    (Chain.refute
+       (mk_query ~seed:(seed 0) prog)
+       [ seg "main" "entry" (Chain.End_branch "b") ])
+
+let test_chain_call_clobbers () =
+  (* The candidate's store fact must not survive a call that may write
+     the cell: no refutation even though the snapshot disagrees. *)
+  let prog =
+    parse
+      {|
+global g 1
+
+func main() {
+entry:
+  r0 = global g
+  r1 = const 7
+  store r0[0] = r1
+  r2 = call smash()
+  jmp next
+next:
+  halt
+}
+
+func smash() {
+entry:
+  r0 = global g
+  r9 = const 1
+  store r0[0] = r9
+  ret r9
+}
+|}
+  in
+  check refuted "call clobbers the store fact: no refutation" None
+    (Chain.refute
+       (mk_query ~post_mem:(fun a -> if a = 4096 then Some 9 else None) prog)
+       [ seg "main" "entry" (Chain.End_branch "next") ])
+
+(* --- pruning never changes the reports (the soundness property) --- *)
+
+let test_prune_equivalence_all_workloads () =
+  let s = Res_faultinject.Faultinject.prune_equivalence_campaign () in
+  List.iter
+    (fun r ->
+      Alcotest.failf "prune equivalence violated: %a"
+        (fun ppf -> Res_faultinject.Faultinject.pp_pe_run ppf)
+        r)
+    s.Res_faultinject.Faultinject.pe_failures;
+  check int_t "all workloads bit-identical"
+    s.Res_faultinject.Faultinject.pe_total s.Res_faultinject.Faultinject.pe_ok
+
+let test_prune_reduces_long_exec () =
+  (* E14 acceptance: >= 30% fewer backward-step evaluations on the
+     long-execution workload. *)
+  let r =
+    Res_faultinject.Faultinject.prune_equivalence_one
+      (Res_workloads.Workloads.find "long-exec-50")
+  in
+  check bool_t "long-exec reports unchanged" true
+    r.Res_faultinject.Faultinject.pe_equivalent;
+  let on = r.Res_faultinject.Faultinject.pe_nodes_on in
+  let off = r.Res_faultinject.Faultinject.pe_nodes_off in
+  if not (on * 10 <= off * 7) then
+    Alcotest.failf "expected >=30%% node reduction, got %d -> %d" off on
+
+(* --- the lint suite against the workload corpus's ground truth --- *)
+
+let findings_of w =
+  Lint.run (w : Res_workloads.Truth.t).Res_workloads.Truth.w_prog
+
+let contains_substr ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let has_finding fs ~chk ~substr =
+  List.exists
+    (fun f ->
+      String.equal f.Lint.f_check chk
+      && contains_substr ~sub:substr f.Lint.f_msg)
+    fs
+
+let test_lint_flags_seeded_bugs () =
+  let race = findings_of (Res_workloads.Workloads.find "counter-race") in
+  check bool_t "counter-race: race on counter[0] flagged" true
+    (has_finding race ~chk:"race" ~substr:"counter[0]");
+  let kv = findings_of (Res_workloads.Workloads.find "kvstore-stats-race") in
+  check bool_t "kvstore-stats-race: race on size[0] flagged" true
+    (has_finding kv ~chk:"race" ~substr:"size[0]");
+  let dl = findings_of (Res_workloads.Workloads.find "lock-order-deadlock") in
+  check bool_t "lock-order-deadlock: opposite-order cycle flagged" true
+    (has_finding dl ~chk:"deadlock" ~substr:"opposite orders")
+
+let test_lint_zero_false_positives () =
+  let buggy =
+    [ "counter-race"; "kvstore-stats-race"; "lock-order-deadlock" ]
+  in
+  List.iter
+    (fun (w : Res_workloads.Truth.t) ->
+      if not (List.mem w.Res_workloads.Truth.w_name buggy) then
+        match findings_of w with
+        | [] -> ()
+        | fs ->
+            Alcotest.failf "%s: unexpected findings:@.%a"
+              w.Res_workloads.Truth.w_name
+              Fmt.(list ~sep:cut (fun ppf f -> Fmt.string ppf (Lint.to_line f)))
+              fs)
+    Res_workloads.Workloads.all
+
+let test_lint_locked_counter_control () =
+  (* The properly-locked variant of the racy counter: same sharing, but
+     every access holds the mutex — the race check must stay silent. *)
+  let src =
+    {|
+global counter 1
+global m 1
+
+func main() {
+entry:
+  r0 = spawn worker()
+  r1 = spawn worker()
+  join r0
+  join r1
+  halt
+}
+
+func worker() {
+entry:
+  r5 = global m
+  lock r5
+  r0 = global counter
+  r1 = load r0[0]
+  r2 = const 1
+  r3 = add r1, r2
+  store r0[0] = r3
+  unlock r5
+  ret
+}
+|}
+  in
+  check int_t "locked counter lints clean" 0
+    (Lint.exit_code (Lint.run (parse src)))
+
+let test_lint_synthetic_warnings () =
+  let dead =
+    parse
+      {|
+global g 1
+
+func main() {
+entry:
+  r0 = global g
+  r1 = const 1
+  store r0[0] = r1
+  r2 = const 2
+  store r0[0] = r2
+  r3 = load r0[0]
+  halt
+}
+|}
+  in
+  let fs = Lint.run dead in
+  check bool_t "overwritten store flagged dead" true
+    (List.exists (fun f -> f.Lint.f_check = "dead-store") fs);
+  check int_t "warnings exit 2" 2 (Lint.exit_code fs);
+  let unreachable =
+    parse {|
+func main() {
+entry:
+  halt
+orphan:
+  halt
+}
+|}
+  in
+  check bool_t "orphan block flagged unreachable" true
+    (List.exists
+       (fun f -> f.Lint.f_check = "unreachable")
+       (Lint.run unreachable));
+  let leak =
+    parse
+      {|
+global m 1
+
+func main() {
+entry:
+  r0 = global m
+  lock r0
+  halt
+}
+|}
+  in
+  check bool_t "unreleased lock flagged" true
+    (List.exists (fun f -> f.Lint.f_check = "lock-leak") (Lint.run leak))
+
+let test_lint_validator_errors () =
+  (* A malformed program: validator findings are errors (exit 3) and
+     suppress the structural checks. *)
+  let bad = parse {|
+func main(r0) {
+entry:
+  br r0, entry, entry
+}
+|} in
+  let fs = Lint.run bad in
+  check bool_t "validator error surfaces as a finding" true
+    (List.exists
+       (fun f -> f.Lint.f_check = "validate" && f.Lint.f_severity = Lint.Error)
+       fs);
+  check int_t "errors exit 3" 3 (Lint.exit_code fs)
+
+let () =
+  Alcotest.run "static"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "transitive mod/ref through calls" `Quick
+            test_summary_transitive;
+          Alcotest.test_case "block summary absorbs callees" `Quick
+            test_summary_block_sum;
+          Alcotest.test_case "recursion converges" `Quick
+            test_summary_recursion_converges;
+          Alcotest.test_case "unresolved access flags unknown" `Quick
+            test_summary_unresolved_is_unknown;
+        ] );
+      ( "dom",
+        [
+          Alcotest.test_case "dominators of a diamond" `Quick test_dominators;
+          Alcotest.test_case "postdominators of a diamond" `Quick
+            test_postdominators;
+        ] );
+      ( "reach",
+        [
+          Alcotest.test_case "def-clear paths" `Quick
+            test_reach_def_clear_paths;
+          Alcotest.test_case "observable-after" `Quick test_reach_observable;
+        ] );
+      ( "chain",
+        [
+          Alcotest.test_case "branch contradiction" `Quick
+            test_chain_branch_contradiction;
+          Alcotest.test_case "zero-arm learns cond = 0" `Quick
+            test_chain_zero_arm_learns;
+          Alcotest.test_case "assert and division traps" `Quick
+            test_chain_trap_contradictions;
+          Alcotest.test_case "final stores vs snapshot" `Quick
+            test_chain_store_vs_snapshot;
+          Alcotest.test_case "goal pinning and relaxation" `Quick
+            test_chain_goal_and_relaxation;
+          Alcotest.test_case "seeds from the post frame" `Quick
+            test_chain_seeds_from_post_frame;
+          Alcotest.test_case "calls clobber store facts" `Quick
+            test_chain_call_clobbers;
+        ] );
+      ( "prune",
+        [
+          Alcotest.test_case "reports identical on all workloads" `Quick
+            test_prune_equivalence_all_workloads;
+          Alcotest.test_case "long-exec explores >=30% fewer nodes" `Quick
+            test_prune_reduces_long_exec;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "seeded races and deadlock flagged" `Quick
+            test_lint_flags_seeded_bugs;
+          Alcotest.test_case "zero false positives on the corpus" `Quick
+            test_lint_zero_false_positives;
+          Alcotest.test_case "locked counter control is clean" `Quick
+            test_lint_locked_counter_control;
+          Alcotest.test_case "dead store, unreachable, lock leak" `Quick
+            test_lint_synthetic_warnings;
+          Alcotest.test_case "validator errors surface" `Quick
+            test_lint_validator_errors;
+        ] );
+    ]
