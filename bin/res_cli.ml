@@ -9,6 +9,7 @@
      res hwdiag prog.res core.txt     software bug or hardware error?
      res exploit prog.res core.txt    exploitability rating
      res workload NAME -o core.txt    generate a built-in buggy workload
+     res triage prog.res --dir D -j4  batch-triage a directory of coredumps
      res triage-demo                  run the triaging comparison corpus
      res selftest                     fault-injection self-test of the pipeline
      res resume ckpt.res              continue an interrupted analysis
@@ -282,6 +283,54 @@ let mk_budget deadline fuel =
   | None, None -> None
   | _ -> Some (Res_core.Budget.create ?wall_seconds:deadline ?fuel ())
 
+(* --- parallel flags (shared by analyze and triage) --- *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker count for the parallel engine.  0 (the default) uses the \
+           serial engine; any explicit value — including 1 — routes through \
+           the sharded parallel engine, whose results are byte-identical to \
+           the serial ones.")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("auto", None); ("domains", Some Res_parallel.Pool.Domains);
+                  ("fork", Some Res_parallel.Pool.Forked) ])
+        None
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Worker backend: $(b,domains) (shared-memory OCaml domains), \
+           $(b,fork) (isolated processes; survives worker death), or \
+           $(b,auto) (domains on multicore, fork otherwise; the \
+           RES_PARALLEL_BACKEND environment variable overrides).")
+
+let shard_depth_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "shard-depth" ] ~docv:"D"
+        ~doc:
+          "Search depth at which subtrees split off as independent work \
+           units (parallel engine only).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print one machine-parsable key=value line to stderr: wall-clock, \
+           nodes expanded, nodes pruned, solver queries, workers used.")
+
+(** The [--stats] line.  Solver queries are counted from this process's
+    own (domain-local) counter delta plus what workers reported over the
+    wire, so the total is meaningful under every backend. *)
+let print_stats ~wall_s ~nodes ~pruned ~queries ~workers =
+  Fmt.epr "wall_s=%.3f nodes=%d pruned=%d solver_queries=%d workers=%d@."
+    wall_s nodes pruned queries workers
+
 let analyze_cmd =
   let deadline =
     Arg.(
@@ -333,7 +382,15 @@ let analyze_cmd =
              not change, only the amount of search work).")
   in
   let run prog_path dump_path depth breadcrumbs deadline fuel attempts salvage
-      checkpoint checkpoint_every no_static_prune =
+      checkpoint checkpoint_every no_static_prune jobs backend shard_depth
+      stats =
+    if jobs > 0 && checkpoint <> None then
+      raise
+        (Die
+           ( exit_internal,
+             "--checkpoint is a serial-engine feature (the parallel engine \
+              checkpoints per worker unit instead); drop -j or --checkpoint"
+           ));
     let prog = or_die (load_prog prog_path) in
     let dump = load_dump ~salvage dump_path in
     let ctx = Res_core.Backstep.make_ctx prog in
@@ -352,25 +409,50 @@ let analyze_cmd =
       }
     in
     let budget = mk_budget deadline fuel in
-    let checkpointer =
-      Option.map
-        (fun path ->
-          Res_persist.Checkpoint.checkpointer ~every:(max 1 checkpoint_every)
-            ~path ~config ~prog ~dump ())
-        checkpoint
+    let t0 = Unix.gettimeofday () in
+    let q0 = Res_solver.Solver.queries () in
+    let outcome, workers, worker_queries =
+      if jobs > 0 then begin
+        let outcome, st =
+          Res_parallel.Engine.analyze ~config ?budget ~jobs ~shard_depth
+            ?backend ~prog ctx dump
+        in
+        (outcome, st.Res_parallel.Engine.e_jobs,
+         st.Res_parallel.Engine.e_worker_queries)
+      end
+      else
+        let checkpointer =
+          Option.map
+            (fun path ->
+              Res_persist.Checkpoint.checkpointer
+                ~every:(max 1 checkpoint_every) ~path ~config ~prog ~dump ())
+            checkpoint
+        in
+        (Res_core.Res.analyze ~config ?budget ?checkpointer ctx dump, 1, 0)
     in
-    let outcome = Res_core.Res.analyze ~config ?budget ?checkpointer ctx dump in
+    if stats then begin
+      let a = Res_core.Res.analysis outcome in
+      print_stats
+        ~wall_s:(Unix.gettimeofday () -. t0)
+        ~nodes:a.Res_core.Res.nodes_expanded
+        ~pruned:a.Res_core.Res.nodes_pruned
+        ~queries:(Res_solver.Solver.queries () - q0 + worker_queries)
+        ~workers
+    end;
     report_outcome ctx outcome
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Synthesize execution suffixes for a coredump, replay them, and \
-          classify the root cause.")
+          classify the root cause.  With $(b,-j N) the search is sharded \
+          across N workers; the reports are byte-identical to the serial \
+          engine's.")
     Term.(
       const run $ prog_arg $ dump_arg 1 $ depth_arg $ breadcrumbs_arg
       $ deadline $ fuel $ attempts $ salvage_arg $ checkpoint
-      $ checkpoint_every $ no_static_prune)
+      $ checkpoint_every $ no_static_prune $ jobs_arg $ backend_arg
+      $ shard_depth_arg $ stats_arg)
 
 (* --- resume --- *)
 
@@ -572,6 +654,86 @@ let workload_cmd =
        ~doc:"Generate a coredump (and program) from a built-in buggy workload.")
     Term.(const run $ wname $ out $ prog_out)
 
+(* --- triage (batch) --- *)
+
+let triage_batch_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Directory of coredump files to triage (every regular file).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-dump wall-clock deadline; a dump that exceeds it degrades \
+             to a partial row without starving the rest of the batch.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N" ~doc:"Per-dump search-node budget.")
+  in
+  let run prog_path dir jobs backend deadline fuel stats =
+    let prog = or_die (load_prog prog_path) in
+    let files = Sys.readdir dir in
+    Array.sort compare files;
+    let items =
+      Array.to_list files
+      |> List.filter_map (fun name ->
+             let path = Filename.concat dir name in
+             match (Unix.stat path).Unix.st_kind with
+             | Unix.S_REG ->
+                 Some
+                   {
+                     Res_parallel.Batch.it_name = name;
+                     it_prog = prog;
+                     it_dump =
+                       (match Res_vm.Coredump_io.load_result path with
+                       | Ok { Res_vm.Coredump_io.dump; _ } -> Ok dump
+                       | Error e ->
+                           Error (Res_vm.Coredump_io.dump_error_to_string e));
+                   }
+             | _ -> None
+             | exception Unix.Unix_error _ -> None)
+    in
+    if items = [] then
+      raise (Die (exit_internal, Fmt.str "no coredump files under %s" dir));
+    let t0 = Unix.gettimeofday () in
+    let q0 = Res_solver.Solver.queries () in
+    let t =
+      Res_parallel.Batch.run ?budget_wall:deadline ?budget_fuel:fuel
+        ~jobs:(max 1 jobs) ?backend items
+    in
+    print_string t.Res_parallel.Batch.tsv;
+    if stats then
+      print_stats
+        ~wall_s:(Unix.gettimeofday () -. t0)
+        ~nodes:(Res_parallel.Batch.total_nodes t)
+        ~pruned:(Res_parallel.Batch.total_pruned t)
+        ~queries:
+          (Res_solver.Solver.queries () - q0
+          + t.Res_parallel.Batch.worker_queries)
+        ~workers:t.Res_parallel.Batch.workers;
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "triage"
+       ~doc:
+         "Batch-triage every coredump in a directory on a worker pool: \
+          analyze each, bucket by root-cause signature, and print a \
+          deterministic TSV (one $(b,dump) row per file, then $(b,cluster) \
+          rows).  Unloadable or repeatedly-failing dumps degrade to \
+          $(b,failed) rows; the batch always completes.")
+    Term.(
+      const run $ prog_arg $ dir_arg $ jobs_arg $ backend_arg $ deadline
+      $ fuel $ stats_arg)
+
 (* --- triage demo --- *)
 
 let triage_cmd =
@@ -654,9 +816,63 @@ let selftest_cmd =
              workload with pruning on and off and assert byte-identical \
              reports.")
   in
-  let run runs seed verbose skip_deadline kill_resume prune_equivalence =
+  let worker_kill =
+    Arg.(
+      value & flag
+      & info [ "worker-kill" ]
+          ~doc:
+            "Run the worker-kill campaign: batch-triage the corpus on forked \
+             workers, SIGKILL one mid-unit at several deterministic points, \
+             and assert the coordinator reschedules the unit and the final \
+             TSV is identical to an undisturbed run's.")
+  in
+  let parallel_equivalence =
+    Arg.(
+      value
+      & opt ~vopt:(Some 2) (some int) None
+      & info [ "parallel-equivalence" ] ~docv:"JOBS"
+          ~doc:
+            "Run the parallel-equivalence campaign: analyze every workload \
+             serially and with the sharded engine at $(docv) workers \
+             (default 2) and assert byte-identical reports.")
+  in
+  let run runs seed verbose skip_deadline kill_resume prune_equivalence
+      worker_kill parallel_equivalence backend =
     let open Res_faultinject.Faultinject in
-    if prune_equivalence then begin
+    (* The worker-kill campaign forks; the others may spawn domains.  The
+       runtime forbids fork after domains, so when both are requested the
+       fork-backed campaign runs first. *)
+    if worker_kill || parallel_equivalence <> None then begin
+      let wk_ok =
+        if not worker_kill then true
+        else begin
+          let s = worker_kill_campaign () in
+          if verbose then
+            List.iter (fun r -> Fmt.pr "%a@." pp_wk_run r) s.wk_runs;
+          Fmt.pr "%a@." pp_wk_summary s;
+          List.iter
+            (fun r -> Fmt.epr "WORKER-KILL FAILURE: %a@." pp_wk_run r)
+            s.wk_failures;
+          s.wk_failures = []
+        end
+      in
+      let pq_ok =
+        match parallel_equivalence with
+        | None -> true
+        | Some jobs ->
+            let s = parallel_equivalence_campaign ~jobs ?backend () in
+            if verbose then
+              List.iter (fun r -> Fmt.pr "%a@." pp_pq_run r) s.pq_runs;
+            Fmt.pr "%a@." pp_pq_summary s;
+            List.iter
+              (fun r ->
+                Fmt.epr "PARALLEL-EQUIVALENCE FAILURE: %a@." pp_pq_run r)
+              s.pq_failures;
+            s.pq_failures = []
+      in
+      if wk_ok && pq_ok then exit_ok else exit_internal
+    end
+    else if prune_equivalence then begin
       let s = prune_equivalence_campaign () in
       if verbose then List.iter (fun r -> Fmt.pr "%a@." pp_pe_run r) s.pe_runs;
       Fmt.pr "%a@." pp_pe_summary s;
@@ -697,7 +913,7 @@ let selftest_cmd =
           outcome.")
     Term.(
       const run $ runs $ seed $ verbose $ skip_deadline $ kill_resume
-      $ prune_equivalence)
+      $ prune_equivalence $ worker_kill $ parallel_equivalence $ backend_arg)
 
 let main_cmd =
   let doc = "reverse execution synthesis for MiniIR coredumps" in
@@ -713,6 +929,7 @@ let main_cmd =
       hwdiag_cmd;
       exploit_cmd;
       workload_cmd;
+      triage_batch_cmd;
       triage_cmd;
       selftest_cmd;
     ]

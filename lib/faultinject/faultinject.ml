@@ -347,12 +347,12 @@ let kill_resume_one ?(every = 4) ?(dir = Filename.current_dir_name)
   let cleanup () =
     List.iter
       (fun p -> try Sys.remove p with Sys_error _ -> ())
-      [ path; path ^ ".tmp" ]
+      (path :: Res_vm.Coredump_io.journal_siblings path)
   in
   let finish ~legs ~equivalent ~detail =
     (* Acceptance: the chain never leaves a torn journal behind, and
        whatever checkpoint remains on disk validates. *)
-    let tmp_left = Sys.file_exists (path ^ ".tmp") in
+    let tmp_left = Res_vm.Coredump_io.journal_siblings path <> [] in
     let final_valid =
       (not (Sys.file_exists path))
       || (match Res_persist.Checkpoint.load path with Ok _ -> true | Error _ -> false)
@@ -392,13 +392,15 @@ let kill_resume_one ?(every = 4) ?(dir = Filename.current_dir_name)
               else begin
                 (* The exhaustion-time write: simulate the process dying
                    halfway through it.  The atomic writer's intermediate
-                   state is the [.tmp] journal, so a mid-write death is a
-                   torn [.tmp] — and no update of [path]. *)
+                   state is a [path.<pid>.<n>.tmp] journal, so a mid-write
+                   death is a torn journal — and no update of [path]. *)
                 let full =
                   Res_persist.Checkpoint.to_string
                     { Res_persist.Checkpoint.config; prog; dump; state = st }
                 in
-                let oc = open_out_bin (path ^ ".tmp") in
+                let oc =
+                  open_out_bin (Res_vm.Coredump_io.fresh_tmp_path path)
+                in
                 output_string oc (String.sub full 0 (String.length full / 2));
                 close_out oc;
                 Error "simulated death mid-checkpoint-write"
@@ -612,6 +614,179 @@ let pp_pe_summary ppf s =
      bit-identical reports: %d/%d@,\
      backward-step evaluations: %d unpruned -> %d pruned@]"
     s.pe_total s.pe_ok s.pe_total off on
+
+(* --- campaign: parallel/serial equivalence --------------------------- *)
+
+type pq_run = {
+  pq_workload : string;
+  pq_equivalent : bool;
+  pq_units : int;  (** subtree work units farmed across all depths *)
+  pq_detail : string;
+}
+
+type pq_summary = {
+  pq_runs : pq_run list;
+  pq_total : int;
+  pq_ok : int;
+  pq_jobs : int;
+  pq_backend : string;
+  pq_failures : pq_run list;  (** empty iff sharding is observably sound *)
+}
+
+let pq_one ~jobs ~backend (w : Res_workloads.Truth.t) : pq_run =
+  let name = w.Res_workloads.Truth.w_name in
+  try
+    Res_solver.Expr.reset_counter_for_tests ();
+    let dump = Res_workloads.Truth.coredump w in
+    let prog = w.Res_workloads.Truth.w_prog in
+    let ctx = Res_core.Backstep.make_ctx prog in
+    let serial = Res_core.Res.analyze ctx dump in
+    let s_body =
+      Res_core.Report.report_list_to_string ctx (Res_core.Res.analysis serial)
+    in
+    Res_solver.Expr.reset_counter_for_tests ();
+    let par, st =
+      Res_parallel.Engine.analyze ~jobs ~backend ~shard_depth:1 ~prog ctx dump
+    in
+    let p_body =
+      Res_core.Report.report_list_to_string ctx (Res_core.Res.analysis par)
+    in
+    let same_outcome =
+      String.equal
+        (Res_core.Res.outcome_name serial)
+        (Res_core.Res.outcome_name par)
+    in
+    let equivalent = String.equal s_body p_body && same_outcome in
+    {
+      pq_workload = name;
+      pq_equivalent = equivalent;
+      pq_units = st.Res_parallel.Engine.e_units;
+      pq_detail =
+        (if equivalent then ""
+         else if not same_outcome then "outcomes diverged"
+         else "report bodies diverged");
+    }
+  with exn ->
+    {
+      pq_workload = name;
+      pq_equivalent = false;
+      pq_units = 0;
+      pq_detail = Fmt.str "escaped exception: %s" (Printexc.to_string exn);
+    }
+
+(** Parallel-equivalence campaign: every workload analyzed serially and
+    with the sharded engine at [jobs] workers (shard depth 1, so even
+    shallow searches go through the farm/merge path); report bodies must
+    match byte for byte. *)
+let parallel_equivalence_campaign ?(jobs = 2) ?backend () : pq_summary =
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> Res_parallel.Pool.default_backend ()
+  in
+  let runs =
+    List.map (pq_one ~jobs ~backend) Res_workloads.Workloads.all
+  in
+  {
+    pq_runs = runs;
+    pq_total = List.length runs;
+    pq_ok = List.length (List.filter (fun r -> r.pq_equivalent) runs);
+    pq_jobs = jobs;
+    pq_backend = Res_parallel.Pool.backend_name backend;
+    pq_failures = List.filter (fun r -> not r.pq_equivalent) runs;
+  }
+
+let pp_pq_run ppf r =
+  Fmt.pf ppf "%-26s %s  (%d units)%s" r.pq_workload
+    (if r.pq_equivalent then "byte-identical" else "DIVERGED")
+    r.pq_units
+    (if r.pq_detail = "" then "" else Fmt.str " (%s)" r.pq_detail)
+
+let pp_pq_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>parallel equivalence self-test: %d workloads, serial vs -j %d \
+     (%s)@,byte-identical reports: %d/%d@]"
+    s.pq_total s.pq_jobs s.pq_backend s.pq_ok s.pq_total
+
+(* --- campaign: worker kill during batch triage ----------------------- *)
+
+type wk_run = {
+  wk_kill : int;  (** corpus index whose worker was SIGKILLed *)
+  wk_equivalent : bool;  (** final TSV identical to the undisturbed one *)
+  wk_retries : int;  (** units rescheduled by the coordinator *)
+  wk_lost : int;  (** units that never produced a row *)
+  wk_detail : string;
+}
+
+type wk_summary = {
+  wk_runs : wk_run list;
+  wk_total : int;
+  wk_ok : int;
+  wk_failures : wk_run list;  (** empty iff the coordinator heals every kill *)
+}
+
+let wk_items () =
+  List.map
+    (fun (r : Res_workloads.Corpus.report) ->
+      {
+        Res_parallel.Batch.it_name =
+          Fmt.str "%s-%02d" r.Res_workloads.Corpus.r_bug r.r_id;
+        it_prog = r.r_prog;
+        it_dump = Ok r.r_dump;
+      })
+    (Res_workloads.Corpus.generate ~n_per_bug:2 ())
+
+(** Worker-kill campaign: batch-triage the corpus undisturbed, then
+    re-run it on forked workers with a SIGKILL landing mid-unit at each
+    of [kills]; the coordinator must reschedule the murdered unit and the
+    final TSV must come out identical every time.  Forked backend by
+    construction (domains cannot be killed without killing the process —
+    and the fork runs must precede any domains run in this process). *)
+let worker_kill_campaign ?(jobs = 3) ?(kills = [ 0; 3; 7 ]) () : wk_summary =
+  let items = wk_items () in
+  let backend = Res_parallel.Pool.Forked in
+  let baseline = Res_parallel.Batch.run ~jobs:1 ~backend items in
+  let one kill =
+    try
+      let t = Res_parallel.Batch.run ~jobs ~backend ~kill_unit:kill items in
+      let equivalent =
+        String.equal baseline.Res_parallel.Batch.tsv t.Res_parallel.Batch.tsv
+      in
+      {
+        wk_kill = kill;
+        wk_equivalent = equivalent;
+        wk_retries = t.Res_parallel.Batch.retries;
+        wk_lost = t.Res_parallel.Batch.lost;
+        wk_detail = (if equivalent then "" else "TSV diverged");
+      }
+    with exn ->
+      {
+        wk_kill = kill;
+        wk_equivalent = false;
+        wk_retries = 0;
+        wk_lost = 0;
+        wk_detail = Fmt.str "escaped exception: %s" (Printexc.to_string exn);
+      }
+  in
+  let runs = List.map one kills in
+  {
+    wk_runs = runs;
+    wk_total = List.length runs;
+    wk_ok = List.length (List.filter (fun r -> r.wk_equivalent) runs);
+    wk_failures = List.filter (fun r -> not r.wk_equivalent) runs;
+  }
+
+let pp_wk_run ppf r =
+  Fmt.pf ppf "kill at unit %-3d %s  (retries %d, lost %d)%s" r.wk_kill
+    (if r.wk_equivalent then "TSV identical" else "DIVERGED")
+    r.wk_retries r.wk_lost
+    (if r.wk_detail = "" then "" else Fmt.str " (%s)" r.wk_detail)
+
+let pp_wk_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>worker-kill self-test: %d SIGKILLed batch runs vs undisturbed \
+     baseline@,identical TSVs: %d/%d@]"
+    s.wk_total s.wk_ok s.wk_total
 
 (* --- reporting --- *)
 

@@ -1,0 +1,180 @@
+(** Batch coredump triage: analyze a whole directory of dumps on a worker
+    pool and cluster them by root-cause signature.
+
+    Work division is per dump — the natural unit, since dumps are
+    independent — and the wire payload is just an index into the corpus
+    both sides share.  Output is a deterministic TSV: rows sorted by dump
+    name (so shuffled input directories produce identical bytes), then
+    cluster lines sorted by bucket.  A dump that cannot be loaded, or
+    whose workers keep dying, degrades to a [failed] row instead of
+    sinking the batch. *)
+
+open Res_core
+
+(** One triage candidate.  [it_dump] is a [result] so unloadable dumps
+    flow through as rows rather than exceptions. *)
+type item = {
+  it_name : string;
+  it_prog : Res_ir.Prog.t;
+  it_dump : (Res_vm.Coredump.t, string) result;
+}
+
+type row = {
+  row_name : string;
+  row_outcome : string;  (** complete | partial | failed *)
+  row_bucket : string;
+  row_cause : string;
+  row_nodes : int;
+  row_pruned : int;
+}
+
+type t = {
+  rows : row list;  (** sorted by dump name *)
+  clusters : (string * string list) list;  (** bucket -> member names, sorted *)
+  tsv : string;
+  workers : int;
+  retries : int;
+  lost : int;
+  worker_queries : int;
+}
+
+let tsv_field s =
+  String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s
+
+let render rows clusters =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Fmt.str "dump\t%s\t%s\t%s\t%s\n" (tsv_field r.row_name)
+           (tsv_field r.row_outcome) (tsv_field r.row_bucket)
+           (tsv_field r.row_cause)))
+    rows;
+  List.iter
+    (fun (bucket, names) ->
+      Buffer.add_string b
+        (Fmt.str "cluster\t%s\t%d\t%s\n" (tsv_field bucket)
+           (List.length names)
+           (tsv_field (String.concat "," names))))
+    clusters;
+  Buffer.contents b
+
+(** [run items] triages every item on [jobs] workers.  [budget_wall] /
+    [budget_fuel] bound each {e dump}'s analysis separately (a budget
+    cannot be shared across processes, and per-dump bounds are what batch
+    triage wants: one pathological dump degrades to [partial] without
+    starving its neighbours). *)
+let run ?(config = Res.default_config) ?budget_wall ?budget_fuel ?(jobs = 1)
+    ?backend ?kill_unit items =
+  let items =
+    List.sort (fun a b -> compare a.it_name b.it_name) items |> Array.of_list
+  in
+  let n = Array.length items in
+  let farm =
+    (* only loadable dumps go to the pool *)
+    List.filter
+      (fun i -> Result.is_ok items.(i).it_dump)
+      (List.init n Fun.id)
+  in
+  let worker () =
+    fun payload ->
+      let i = int_of_string payload in
+      let it = items.(i) in
+      let dump =
+        match it.it_dump with Ok d -> d | Error _ -> assert false
+      in
+      let q0 = Res_solver.Solver.queries () in
+      let budget =
+        match (budget_wall, budget_fuel) with
+        | None, None -> None
+        | w, f -> Some (Budget.create ?wall_seconds:w ?fuel:f ())
+      in
+      let tr =
+        try Res_usecases.Triage.triage_one ~config ?budget it.it_prog dump
+        with exn ->
+          {
+            Res_usecases.Triage.tr_outcome = "failed";
+            tr_bucket = "analysis-error";
+            tr_cause = Printexc.to_string exn;
+            tr_nodes = 0;
+            tr_pruned = 0;
+          }
+      in
+      Wire.encode_batch
+        {
+          Wire.b_index = i;
+          b_outcome = tr.Res_usecases.Triage.tr_outcome;
+          b_bucket = tr.Res_usecases.Triage.tr_bucket;
+          b_cause = tr.Res_usecases.Triage.tr_cause;
+          b_nodes = tr.Res_usecases.Triage.tr_nodes;
+          b_pruned = tr.Res_usecases.Triage.tr_pruned;
+          b_queries = Res_solver.Solver.queries () - q0;
+        }
+  in
+  let replies, pstats =
+    Pool.run ?backend ?kill_unit ~jobs ~worker
+      (List.map string_of_int farm)
+  in
+  let triaged = Array.make n None in
+  List.iter
+    (fun reply ->
+      match Option.map Wire.decode_batch reply with
+      | Some (Ok b) when b.Wire.b_index >= 0 && b.Wire.b_index < n ->
+          triaged.(b.Wire.b_index) <- Some b
+      | _ -> ())
+    replies;
+  let rows =
+    List.init n (fun i ->
+        let it = items.(i) in
+        match (it.it_dump, triaged.(i)) with
+        | Error msg, _ ->
+            {
+              row_name = it.it_name;
+              row_outcome = "failed";
+              row_bucket = "dump-error";
+              row_cause = msg;
+              row_nodes = 0;
+              row_pruned = 0;
+            }
+        | Ok _, None ->
+            (* every attempt died with the worker *)
+            {
+              row_name = it.it_name;
+              row_outcome = "failed";
+              row_bucket = "worker-lost";
+              row_cause = "";
+              row_nodes = 0;
+              row_pruned = 0;
+            }
+        | Ok _, Some b ->
+            {
+              row_name = it.it_name;
+              row_outcome = b.Wire.b_outcome;
+              row_bucket = b.Wire.b_bucket;
+              row_cause = b.Wire.b_cause;
+              row_nodes = b.Wire.b_nodes;
+              row_pruned = b.Wire.b_pruned;
+            })
+  in
+  let clusters =
+    Res_usecases.Triage.bucket ~key:(fun r -> r.row_bucket) rows
+    |> List.map (fun (k, rs) -> (k, List.map (fun r -> r.row_name) rs))
+  in
+  let worker_queries =
+    Array.fold_left
+      (fun a o -> match o with Some b -> a + b.Wire.b_queries | None -> a)
+      0 triaged
+  in
+  {
+    rows;
+    clusters;
+    tsv = render rows clusters;
+    workers = pstats.Pool.p_workers;
+    retries = pstats.Pool.p_retries;
+    lost = pstats.Pool.p_lost;
+    worker_queries;
+  }
+
+(** Aggregate node/prune work across rows, for [--stats]. *)
+let total_nodes t = List.fold_left (fun a r -> a + r.row_nodes) 0 t.rows
+let total_pruned t = List.fold_left (fun a r -> a + r.row_pruned) 0 t.rows

@@ -1,0 +1,61 @@
+(** Parallel analysis engine: {!Res_core.Res.analyze} with every per-depth
+    search replaced by the sharded {!Psearch}.  The deepening schedule,
+    escalation, replay, and classification all stay in [Res] — only the
+    search primitive is swapped — so outcomes are byte-identical to the
+    serial engine's (same reports, same order) for any worker count. *)
+
+open Res_core
+
+(** Aggregated pool telemetry across every search the analysis ran. *)
+type stats = {
+  e_jobs : int;
+  e_backend : Pool.backend;
+  e_units : int;
+  e_retries : int;
+  e_lost : int;
+  e_worker_queries : int;
+}
+
+(** [analyze ~prog ctx dump] — parallel drop-in for
+    {!Res_core.Res.analyze}.  [jobs] is the worker count (values [< 2]
+    still go through the sharding machinery on one worker — useful for
+    equivalence tests — use the serial engine to avoid it entirely);
+    [shard_depth] is where subtrees split off; [backend] defaults to
+    {!Pool.default_backend}.  [ckpt_dir] enables per-unit worker crash
+    checkpoints (fork backend).  Checkpoint/resume of the {e analysis}
+    is a serial-engine feature: this engine rejects it by construction
+    ([Res.analyze_with] passes no resume state). *)
+let analyze ?(config = Res.default_config) ?budget ?(jobs = 1)
+    ?(shard_depth = 2) ?backend ?ckpt_dir ?kill_unit ~prog ctx
+    (dump : Res_vm.Coredump.t) =
+  let backend = match backend with Some b -> b | None -> Pool.default_backend () in
+  let units = ref 0 in
+  let retries = ref 0 in
+  let lost = ref 0 in
+  let wq = ref 0 in
+  let search_fn ~config ~budget ~resume ~on_node ctx dump =
+    ignore on_node;
+    (match resume with
+    | Some _ ->
+        invalid_arg "Res_parallel.Engine: cannot resume into a parallel search"
+    | None -> ());
+    let r =
+      Psearch.search ~config ~budget ~jobs ~shard_depth ~backend ?ckpt_dir
+        ?kill_unit ~prog ctx dump
+    in
+    units := !units + r.Psearch.units;
+    retries := !retries + r.Psearch.retries;
+    lost := !lost + r.Psearch.lost;
+    wq := !wq + r.Psearch.worker_queries;
+    r.Psearch.result
+  in
+  let outcome = Res.analyze_with ~search_fn ~config ?budget ctx dump in
+  ( outcome,
+    {
+      e_jobs = jobs;
+      e_backend = backend;
+      e_units = !units;
+      e_retries = !retries;
+      e_lost = !lost;
+      e_worker_queries = !wq;
+    } )

@@ -1,0 +1,272 @@
+(** Sharded backward search: split one search tree across workers and
+    merge the pieces back into the serial answer, byte for byte.
+
+    The coordinator runs {!Res_core.Search.search} with [~shard_at d]: the
+    search proceeds normally until a subtree root reaches depth [d], where
+    instead of visiting it the engine records the would-be visit as an
+    independent work unit and moves on.  Alongside its own shallow
+    emissions it records the {e plan} — the exact DFS interleaving of its
+    emissions and the skipped subtrees.  Each unit ships to a worker as a
+    one-item suspended frontier (the checkpoint wire format); the worker
+    resumes it to exhaustion and returns the subtree's suffixes in DFS
+    emission order.  Replaying the plan with the workers' answers
+    substituted in reconstructs the serial emission order exactly, and the
+    [max_suffixes] cap is reapplied at the merge, so the merged result is
+    byte-identical to the serial one for any worker count and either
+    backend.
+
+    Budgets: each unit gets [remaining fuel / n_units] fuel (the serial
+    search's global fuel pool cannot be shared across processes; slicing
+    is conservative for any single unit but the slices sum to the pool)
+    and the coordinator's remaining wall-clock, so all workers' deadlines
+    expire near the same absolute instant.  A unit that trips its slice
+    reports [complete = false] exactly like a serial search would. *)
+
+module Io = Res_vm.Coredump_io
+open Res_core
+
+(** A merged parallel search result plus pool/runtime telemetry. *)
+type t = {
+  result : Search.result;
+  units : int;  (** subtree work units farmed out *)
+  workers : int;
+  retries : int;  (** units rescheduled after a worker death *)
+  lost : int;  (** units with no result after all attempts *)
+  worker_queries : int;  (** solver queries made inside workers *)
+}
+
+let ckpt_path dir idx = Filename.concat dir (Fmt.str "unit-%d.wrk" idx)
+
+(** Worker body: decode a unit, resume its one-item frontier under its
+    budget slice, reply with the subtree's suffixes and counters.  With
+    [ckpt_dir], the worker checkpoints its suspended frontier every few
+    nodes so a rescheduled attempt resumes instead of restarting; the
+    fresh-symbol counter rides along because frontier snapshots bake in
+    symbol ids that a restarted worker must not re-mint. *)
+let run_unit ~ctx ~dump ?ckpt_dir payload =
+  match Wire.decode_unit payload with
+  | Error m -> failwith m
+  | Ok u ->
+      (match u.Wire.u_restore with
+      | Some n -> Res_solver.Expr.restore_counter n
+      | None -> ());
+      let q0 = Res_solver.Solver.queries () in
+      let budget =
+        Budget.create
+          ?wall_seconds:
+            (Option.map (fun ms -> float_of_int ms /. 1000.) u.Wire.u_wall_ms)
+          ?fuel:u.Wire.u_fuel ()
+      in
+      let tick = ref 0 in
+      let on_node =
+        Option.map
+          (fun dir ->
+            let path = ckpt_path dir u.Wire.u_index in
+            fun (s : Search.suspended) ->
+              incr tick;
+              if !tick mod 32 = 0 then
+                let enc =
+                  Wire.encode_unit_ckpt
+                    {
+                      Wire.c_expr_counter = Res_solver.Expr.counter_value ();
+                      c_suspended = s;
+                    }
+                in
+                try Io.write_file_atomic path enc with Sys_error _ -> ())
+          ckpt_dir
+      in
+      let r =
+        Search.search ~config:u.Wire.u_config ~budget ~resume:u.Wire.u_suspended
+          ?on_node ctx dump
+      in
+      Wire.encode_result
+        {
+          Wire.r_index = u.Wire.u_index;
+          r_complete = r.Search.complete;
+          r_exhausted = r.Search.exhausted;
+          r_nodes = r.Search.stats.Search.nodes;
+          r_candidates = r.Search.stats.Search.candidates;
+          r_feasible = r.Search.stats.Search.feasible;
+          r_emitted = r.Search.stats.Search.emitted;
+          r_pruned = r.Search.stats.Search.pruned;
+          r_queries = Res_solver.Solver.queries () - q0;
+          r_suffixes = r.Search.suffixes;
+        }
+
+(** [search ~prog ctx dump] — the drop-in parallel replacement for
+    {!Res_core.Search.search}.  [prog] must be the program [ctx] was built
+    from: workers rebuild their own contexts (the context's lazy static
+    summaries are not shareable across domains or processes).  [kill_unit]
+    is the fault-injection hook, forwarded to the pool. *)
+let search ?(config = Search.default_config) ?budget ?(jobs = 1)
+    ?(shard_depth = 2) ?backend ?ckpt_dir ?kill_unit ~prog ctx
+    (dump : Res_vm.Coredump.t) : t =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let shard_depth = max 1 shard_depth in
+  let r0 = Search.search ~config ~budget ~shard_at:shard_depth ctx dump in
+  let serial result =
+    {
+      result = { result with Search.plan = []; shards = [] };
+      units = 0;
+      workers = 0;
+      retries = 0;
+      lost = 0;
+      worker_queries = 0;
+    }
+  in
+  if r0.Search.shards = [] then
+    (* Nothing reached the shard depth: the coordinator's own emissions
+       ARE the serial result (every plan entry is [P_emit]). *)
+    serial r0
+  else if r0.Search.exhausted <> None then
+    (* The budget tripped during the split itself; farming the collected
+       shards would spend budget we no longer have.  Return the partial
+       answer with the serial meaning: truncated, resumable. *)
+    serial { r0 with Search.complete = false }
+  else begin
+    let shards = Array.of_list r0.Search.shards in
+    let n_units = Array.length shards in
+    let fuel_slice =
+      Option.map (fun f -> max 1 (f / n_units)) (Budget.remaining_fuel budget)
+    in
+    let wall_ms =
+      Option.map
+        (fun s -> int_of_float (ceil (s *. 1000.)))
+        (Budget.remaining_seconds budget)
+    in
+    let unit_of i restore suspended =
+      Wire.encode_unit
+        {
+          Wire.u_index = i;
+          u_config = config;
+          u_fuel = fuel_slice;
+          u_wall_ms = wall_ms;
+          u_restore = restore;
+          u_suspended = suspended;
+        }
+    in
+    let fresh_unit i item =
+      unit_of i None
+        {
+          Search.s_frontier = [ item ];
+          s_nodes = 0;
+          s_candidates = 0;
+          s_feasible = 0;
+          s_emitted = 0;
+          s_pruned = 0;
+          s_next_id = 0;
+          s_out = [];
+        }
+    in
+    let payloads = List.mapi fresh_unit r0.Search.shards in
+    (* Workers rebuild a private context from the program; the caller's
+       tuning (symexec/solver configs) carries over, but its lazy static
+       summaries and interrupt closure do not — each worker forces its
+       own, and [Search.search] installs the budget interrupt itself. *)
+    let sym_config = ctx.Backstep.sym_config in
+    let solver_config = ctx.Backstep.solver_config in
+    let worker () =
+      let wctx = Backstep.make_ctx ~sym_config ~solver_config prog in
+      fun payload -> run_unit ~ctx:wctx ~dump ?ckpt_dir payload
+    in
+    let on_retry =
+      Option.map
+        (fun dir i payload ->
+          match Io.read_file (ckpt_path dir i) with
+          | Error _ -> payload
+          | Ok s -> (
+              match Wire.decode_unit_ckpt s with
+              | Error _ -> payload
+              | Ok c ->
+                  unit_of i (Some c.Wire.c_expr_counter) c.Wire.c_suspended))
+        ckpt_dir
+    in
+    let replies, pstats =
+      Pool.run ?backend ?kill_unit ?on_retry ~jobs ~worker payloads
+    in
+    (match ckpt_dir with
+    | Some dir ->
+        for i = 0 to n_units - 1 do
+          try Sys.remove (ckpt_path dir i) with Sys_error _ -> ()
+        done
+    | None -> ());
+    let unit_res = Array.make n_units None in
+    let decode_lost = ref 0 in
+    List.iter
+      (fun reply ->
+        match Option.map Wire.decode_result reply with
+        | Some (Ok ur) when ur.Wire.r_index >= 0 && ur.Wire.r_index < n_units
+          ->
+            unit_res.(ur.Wire.r_index) <- Some ur
+        | Some (Error _) -> incr decode_lost
+        | _ -> ())
+      replies;
+    (* Plan replay: walk the recorded interleaving, drawing from the
+       coordinator's own suffix queue on [P_emit] and from unit [i]'s
+       result on [P_shard i], reapplying the global [max_suffixes] cap. *)
+    let out = ref [] in
+    let count = ref 0 in
+    let push s =
+      if !count < config.Search.max_suffixes then begin
+        out := s :: !out;
+        incr count
+      end
+    in
+    let coord = ref r0.Search.suffixes in
+    List.iter
+      (fun entry ->
+        match entry with
+        | Search.P_emit -> (
+            match !coord with
+            | s :: rest ->
+                coord := rest;
+                push s
+            | [] -> ())
+        | Search.P_shard i -> (
+            match unit_res.(i) with
+            | Some ur -> List.iter push ur.Wire.r_suffixes
+            | None -> ()))
+      r0.Search.plan;
+    let fold f init =
+      Array.fold_left
+        (fun acc o -> match o with Some ur -> f acc ur | None -> acc)
+        init unit_res
+    in
+    let stats =
+      {
+        Search.nodes = fold (fun a u -> a + u.Wire.r_nodes) r0.Search.stats.Search.nodes;
+        candidates =
+          fold (fun a u -> a + u.Wire.r_candidates) r0.Search.stats.Search.candidates;
+        feasible = fold (fun a u -> a + u.Wire.r_feasible) r0.Search.stats.Search.feasible;
+        emitted = !count;
+        pruned = fold (fun a u -> a + u.Wire.r_pruned) r0.Search.stats.Search.pruned;
+      }
+    in
+    let all_present = Array.for_all Option.is_some unit_res in
+    let complete =
+      r0.Search.complete && all_present
+      && Array.for_all
+           (function Some ur -> ur.Wire.r_complete | None -> false)
+           unit_res
+    in
+    let exhausted =
+      fold (fun acc u -> if acc = None then u.Wire.r_exhausted else acc) None
+    in
+    {
+      result =
+        {
+          Search.suffixes = List.rev !out;
+          stats;
+          complete;
+          exhausted;
+          suspended = None;
+          plan = [];
+          shards = [];
+        };
+      units = n_units;
+      workers = pstats.Pool.p_workers;
+      retries = pstats.Pool.p_retries;
+      lost = pstats.Pool.p_lost + !decode_lost;
+      worker_queries = fold (fun a u -> a + u.Wire.r_queries) 0;
+    }
+  end

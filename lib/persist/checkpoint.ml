@@ -596,17 +596,22 @@ let of_string src : (t, Io.dump_error) result =
 
 let save path c = Io.write_file_atomic path (to_string c)
 
-(** Journal recovery for the atomic writer's only intermediate state, the
-    [.tmp] sibling: a valid one is a completed write that died before its
-    rename — promote it; an invalid one is a torn write — delete it. *)
+(** Journal recovery for the atomic writer's intermediate states, the
+    [path.<pid>.<n>.tmp] siblings (plus the legacy [path.tmp]): a valid
+    one is a completed write that died before its rename — promote it; an
+    invalid one is a torn write — delete it.  Siblings are scanned in
+    sorted order (deterministic), so with several valid journals the
+    lexicographically last wins. *)
 let recover_journal path =
-  let tmp = path ^ ".tmp" in
-  match Io.read_file tmp with
-  | Error _ -> () (* no journal to recover *)
-  | Ok src -> (
-      match Io.validate_sealed ~header:(String.equal header) src with
-      | Ok _ -> ( try Sys.rename tmp path with Sys_error _ -> ())
-      | Error _ -> ( try Sys.remove tmp with Sys_error _ -> ()))
+  List.iter
+    (fun tmp ->
+      match Io.read_file tmp with
+      | Error _ -> ()
+      | Ok src -> (
+          match Io.validate_sealed ~header:(String.equal header) src with
+          | Ok _ -> ( try Sys.rename tmp path with Sys_error _ -> ())
+          | Error _ -> ( try Sys.remove tmp with Sys_error _ -> ())))
+    (Io.journal_siblings path)
 
 let load path : (t, Io.dump_error) result =
   recover_journal path;

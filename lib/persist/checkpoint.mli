@@ -31,14 +31,34 @@ val of_string : string -> (t, Res_vm.Coredump_io.dump_error) result
     never leaves a torn file at [path]. *)
 val save : string -> t -> unit
 
-(** Recover the atomic writer's journal at [path ^ ".tmp"], if any: a
-    valid sibling is a completed write that died before its rename —
-    promote it over [path]; an invalid sibling is a torn write — delete
-    it.  Idempotent; called automatically by {!load}. *)
+(** Recover the atomic writer's journals at [path.<pid>.<n>.tmp] (and the
+    legacy [path ^ ".tmp"]), if any: a valid sibling is a completed write
+    that died before its rename — promote it over [path]; an invalid
+    sibling is a torn write — delete it.  Idempotent; called automatically
+    by {!load}. *)
 val recover_journal : string -> unit
 
 (** Load a checkpoint, after {!recover_journal}. *)
 val load : string -> (t, Res_vm.Coredump_io.dump_error) result
+
+(** {2 Wire-format building blocks}
+
+    The printers/readers for the checkpoint format's inner records,
+    exposed so {!Res_parallel} can reuse the suspend/resume frontier
+    encoding as its work-unit wire format (a shard of the search frontier
+    travels to a worker as a [suspended] record; emitted suffixes travel
+    back the same way).  Each [pp_x] output is read back by the matching
+    [x_of]; both sides are whitespace-tolerant token streams. *)
+
+val pp_suffix : Format.formatter -> Res_core.Suffix.t -> unit
+val suffix_of : Res_vm.Coredump_io.reader -> Res_core.Suffix.t
+val pp_item : Format.formatter -> Res_core.Search.frontier_item -> unit
+val item_of : Res_vm.Coredump_io.reader -> Res_core.Search.frontier_item
+
+(** [pp_suspended] writes a [suspended 1 ...] record; [suspended_of] also
+    accepts [suspended 0] (= [None]), the between-depths case. *)
+val pp_suspended : Format.formatter -> Res_core.Search.suspended -> unit
+val suspended_of : Res_vm.Coredump_io.reader -> Res_core.Search.suspended option
 
 (** A {!Res_core.Res.checkpointer} persisting to [path] every [every]
     expanded nodes (default 25).  Write failures surface as [Error] and

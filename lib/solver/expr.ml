@@ -17,25 +17,26 @@ type t =
   | Unop of Res_ir.Instr.unop * t
   | Ite of t * t * t  (** if-then-else on a nonzero condition *)
 
-let counter = ref 0
+(* An [Atomic] so concurrent search workers (OCaml 5 domains) mint
+   disjoint ids: a plain [ref] would lose increments under contention and
+   hand two domains the same "fresh" variable. *)
+let counter = Atomic.make 0
 
 (** Allocate a fresh symbolic variable.  Fresh variables are globally
-    unique for the lifetime of the process. *)
-let fresh_sym name =
-  incr counter;
-  { id = !counter; name }
+    unique for the lifetime of the process, across all domains. *)
+let fresh_sym name = { id = 1 + Atomic.fetch_and_add counter 1; name }
 
 (** Reset the id counter — test isolation only. *)
-let reset_counter_for_tests () = counter := 0
+let reset_counter_for_tests () = Atomic.set counter 0
 
 (** Current value of the fresh-variable counter.  Checkpoints persist it so
     a resumed process re-mints exactly the ids the uninterrupted run would
     have (bit-identical continuation). *)
-let counter_value () = !counter
+let counter_value () = Atomic.get counter
 
 (** Restore the fresh-variable counter from a checkpoint.  The ids below
     [n] are considered taken; only the resumed analysis may reuse them. *)
-let restore_counter n = counter := n
+let restore_counter n = Atomic.set counter n
 
 let fresh name = Sym (fresh_sym name)
 let const n = Const n

@@ -487,7 +487,15 @@ let solve_core config constraints =
     the returned model (if any) always satisfies the {e original}
     constraints — an answer of [Sat]/[Unsat] is trustworthy, [Unknown]
     means budget or fragment limits were hit. *)
+(* Per-domain query counter (domain-local storage): each parallel search
+   worker meters its own solver traffic and reports the count explicitly,
+   so aggregation never double-counts whichever backend (domains or forked
+   processes) ran the worker. *)
+let queries_key = Domain.DLS.new_key (fun () -> ref 0)
+let queries () = !(Domain.DLS.get queries_key)
+
 let solve ?(config = default_config) constraints =
+  incr (Domain.DLS.get queries_key);
   match normalize_constraints IMap.empty constraints with
   | exception Contradiction -> Unsat
   | normalized -> (

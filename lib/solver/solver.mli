@@ -27,6 +27,11 @@ val default_config : config
     nonzero. *)
 val solve : ?config:config -> Expr.t list -> result
 
+(** Number of {!solve} calls made so far {e by the calling domain}
+    (domain-local, monotonic).  Parallel workers report the delta across
+    their own work, so per-worker counts sum without double-counting. *)
+val queries : unit -> int
+
 (** [is_sat cs] — convenience wrapper ([Unknown] counts as unsatisfiable,
     which is the conservative reading for feasibility checks). *)
 val is_sat : ?config:config -> Expr.t list -> bool

@@ -64,6 +64,45 @@ let res_key ?(config = Res_core.Res.default_config) ?(annotations = [])
       | None -> Res_core.Rootcause.signature cause)
   | None -> wer_key r.t_dump
 
+(** Everything batch triage records about one dump: how far the analysis
+    got, where the dump buckets, and the classified cause (empty when RES
+    fell back to the WER key).  The work counters ride along so a batch
+    coordinator can aggregate stats across workers. *)
+type triaged = {
+  tr_outcome : string;  (** {!Res_core.Res.outcome_name}: complete/partial/failed *)
+  tr_bucket : string;  (** root-cause signature, annotation bucket, or WER fallback *)
+  tr_cause : string;  (** rendered root cause; empty when none reproduced *)
+  tr_nodes : int;
+  tr_pruned : int;
+}
+
+(** Analyze one (program, dump) pair for batch triage: like {!res_key} but
+    returning the full {!triaged} record instead of just the key — the
+    per-dump unit of work `res triage --dir` farms to its pool.  Never
+    raises: an analysis that dies internally degrades to a [failed] row in
+    the WER bucket. *)
+let triage_one ?(config = Res_core.Res.default_config) ?(annotations = [])
+    ?budget prog dump =
+  let ctx = Res_core.Backstep.make_ctx prog in
+  let outcome = Res_core.Res.analyze ~config ?budget ctx dump in
+  let analysis = Res_core.Res.analysis outcome in
+  let bucket, cause =
+    match Res_core.Res.best_cause analysis with
+    | Some cause -> (
+        let sig_ = Res_core.Rootcause.signature cause in
+        match List.find_opt (fun a -> a.a_matches cause dump) annotations with
+        | Some a -> (a.a_bucket, sig_)
+        | None -> (sig_, sig_))
+    | None -> (wer_key dump, "")
+  in
+  {
+    tr_outcome = Res_core.Res.outcome_name outcome;
+    tr_bucket = bucket;
+    tr_cause = cause;
+    tr_nodes = analysis.Res_core.Res.nodes_expanded;
+    tr_pruned = analysis.Res_core.Res.nodes_pruned;
+  }
+
 (** Group reports by a key function. *)
 let bucket ~key reports =
   List.fold_left

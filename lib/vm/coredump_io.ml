@@ -495,13 +495,48 @@ let of_string src : Coredump.t =
   | Ok { dump; _ } -> dump
   | Error err -> raise (Bad_format (dump_error_to_string err))
 
-(** Write [contents] to [path] atomically: write [path ^ ".tmp"] in full,
-    then [Sys.rename] over the destination.  A crash mid-write leaves the
-    previous file (if any) intact and at worst a stale [.tmp] — never a
-    torn destination that a loader then has to salvage.  Shared by every
-    on-disk artifact (coredumps, search checkpoints). *)
+(* Temp names carry the writer's PID plus a process-local counter so
+   concurrent workers (forked processes or domains) writing into one
+   directory never open the same journal — and a crashed writer's leftover
+   can never be renamed over a *different* destination by a concurrent
+   writer's rename, because no two writers ever share a temp name. *)
+let tmp_seq = Atomic.make 0
+
+(** The journal name the next atomic write to [path] would use: unique per
+    (process, call).  Exposed so fault-injection can place a deliberately
+    torn journal exactly where a killed writer would have left one. *)
+let fresh_tmp_path path =
+  Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_seq 1)
+
+(** All journal siblings of [path] on disk, sorted: files named
+    [path.<pid>.<n>.tmp] (current writers) plus the legacy [path.tmp]
+    (pre-PID format).  These are the only intermediate states the atomic
+    writer can leave behind. *)
+let journal_siblings path =
+  let dir = Filename.dirname path and base = Filename.basename path in
+  let prefix = base ^ "." in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter (fun e ->
+             String.length e > String.length prefix
+             && String.equal (String.sub e 0 (String.length prefix)) prefix
+             && Filename.check_suffix e ".tmp")
+      |> List.sort compare
+      |> List.map (Filename.concat dir)
+
+(** Write [contents] to [path] atomically: write a fresh
+    [path.<pid>.<n>.tmp] journal in full, then [Sys.rename] over the
+    destination.  A crash mid-write leaves the previous file (if any)
+    intact and at worst a stale journal — never a torn destination that a
+    loader then has to salvage.  Journal names are unique per process and
+    call ({!fresh_tmp_path}), so concurrent writers in one directory never
+    collide.  Shared by every on-disk artifact (coredumps, search
+    checkpoints, parallel work-unit checkpoints). *)
 let write_file_atomic path contents =
-  let tmp = path ^ ".tmp" in
+  let tmp = fresh_tmp_path path in
   let oc = open_out_bin tmp in
   (try output_string oc contents
    with exn ->

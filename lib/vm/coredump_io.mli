@@ -67,10 +67,23 @@ val seal : string -> string
     returns the record payload (footer stripped). *)
 val validate_sealed : header:(string -> bool) -> string -> (string, dump_error) result
 
-(** [write_file_atomic path contents] writes [path ^ ".tmp"] in full, then
-    renames it over [path].  A crash mid-write leaves at worst a stale
-    [.tmp], never a torn destination. *)
+(** [write_file_atomic path contents] writes a fresh [path.<pid>.<n>.tmp]
+    journal in full, then renames it over [path].  A crash mid-write
+    leaves at worst a stale journal, never a torn destination; journal
+    names are unique per process and call, so concurrent workers writing
+    into one directory never collide or cross-promote each other's
+    journals. *)
 val write_file_atomic : string -> string -> unit
+
+(** The journal name the next atomic write to [path] would use — for
+    fault-injection that plants a torn journal where a killed writer
+    would have left one. *)
+val fresh_tmp_path : string -> string
+
+(** All journal siblings of [path] on disk, sorted: [path.<pid>.<n>.tmp]
+    files plus the legacy [path.tmp].  What {!Res_persist.Checkpoint}'s
+    journal recovery scans. *)
+val journal_siblings : string -> string list
 
 (** Read a whole file, classifying failures as {!Unreadable}. *)
 val read_file : string -> (string, dump_error) result

@@ -6,9 +6,11 @@
 # exits non-zero if any killed-and-resumed analysis fails to reconverge
 # to bit-identical reports or leaves a torn file on disk, and the
 # prune-equivalence campaign exits non-zero if disabling the static
-# pruner changes any workload's reports.  Finally `res check` lints the
-# whole workload corpus: the three seeded concurrency bugs must be the
-# only findings.
+# pruner changes any workload's reports.  The parallel gates assert the
+# sharded engine is byte-identical to the serial one at -j 2 and -j 4
+# and that SIGKILLing batch-triage workers mid-unit never changes the
+# final TSV.  Finally `res check` lints the whole workload corpus: the
+# three seeded concurrency bugs must be the only findings.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,6 +20,9 @@ dune runtest
 dune exec bin/res_cli.exe -- selftest --runs 60
 dune exec bin/res_cli.exe -- selftest --kill-resume
 dune exec bin/res_cli.exe -- selftest --prune-equivalence
+dune exec bin/res_cli.exe -- selftest --worker-kill
+dune exec bin/res_cli.exe -- selftest --parallel-equivalence 2
+dune exec bin/res_cli.exe -- selftest --parallel-equivalence 4
 
 # Static lint over the corpus: warnings are expected (exit 2) but only
 # on the seeded bugs; any other program producing a finding, or any

@@ -1,0 +1,446 @@
+(* Parallel engine: pool behaviour, wire round-trips, and the headline
+   property — parallel results byte-identical to serial for any worker
+   count, on both backends, plus deterministic batch triage.
+
+   Suite ordering is load-bearing: the OCaml runtime forbids Unix.fork
+   once any domain has been spawned, so every fork-backend test runs
+   before the first domains-backend test (Pool enforces this with a clear
+   error; these suites are arranged to respect it). *)
+
+module Pool = Res_parallel.Pool
+module Wire = Res_parallel.Wire
+module Engine = Res_parallel.Engine
+module Batch = Res_parallel.Batch
+
+let serial_body (w : Res_workloads.Truth.t) =
+  Res_solver.Expr.reset_counter_for_tests ();
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  let outcome = Res_core.Res.analyze ctx dump in
+  ( Res_core.Report.report_list_to_string ctx (Res_core.Res.analysis outcome),
+    Res_core.Res.outcome_name outcome )
+
+let parallel_body ?ckpt_dir ?kill_unit ?shard_depth ~jobs ~backend
+    (w : Res_workloads.Truth.t) =
+  Res_solver.Expr.reset_counter_for_tests ();
+  let dump = Res_workloads.Truth.coredump w in
+  let prog = w.Res_workloads.Truth.w_prog in
+  let ctx = Res_core.Backstep.make_ctx prog in
+  let outcome, stats =
+    Engine.analyze ~jobs ~backend ?ckpt_dir ?kill_unit ?shard_depth ~prog ctx
+      dump
+  in
+  ( Res_core.Report.report_list_to_string ctx (Res_core.Res.analysis outcome),
+    Res_core.Res.outcome_name outcome,
+    stats )
+
+let check_equivalent ?shard_depth ~jobs ~backend (w : Res_workloads.Truth.t) =
+  let body, outcome = serial_body w in
+  let body', outcome', _ = parallel_body ?shard_depth ~jobs ~backend w in
+  Alcotest.(check string)
+    (Fmt.str "%s -j %d (%s) outcome" w.Res_workloads.Truth.w_name jobs
+       (Pool.backend_name backend))
+    outcome outcome';
+  Alcotest.(check string)
+    (Fmt.str "%s -j %d (%s) report bodies" w.Res_workloads.Truth.w_name jobs
+       (Pool.backend_name backend))
+    body body'
+
+(* --- pool: fork phase ----------------------------------------------- *)
+
+let test_pool_order_fork () =
+  let worker () = fun s -> "r:" ^ s in
+  let units = List.init 13 (fun i -> Fmt.str "u%d" i) in
+  let replies, stats = Pool.run ~backend:Pool.Forked ~jobs:4 ~worker units in
+  Alcotest.(check (list (option string)))
+    "replies in request order"
+    (List.map (fun u -> Some ("r:" ^ u)) units)
+    replies;
+  Alcotest.(check int) "no lost units" 0 stats.Pool.p_lost
+
+let test_pool_worker_exception_fork () =
+  (* A deterministic per-unit exception is a permanent failure: the unit
+     reads back as None and is NOT retried (same input, same crash). *)
+  let worker () = fun s -> if s = "boom" then failwith "boom" else s in
+  let replies, stats =
+    Pool.run ~backend:Pool.Forked ~jobs:2 ~worker [ "a"; "boom"; "b" ]
+  in
+  Alcotest.(check (list (option string)))
+    "exception -> None"
+    [ Some "a"; None; Some "b" ] replies;
+  Alcotest.(check int) "counted lost" 1 stats.Pool.p_lost;
+  Alcotest.(check int) "not retried" 0 stats.Pool.p_retries
+
+let test_pool_kill_reschedules () =
+  (* SIGKILL a forked worker mid-unit: the coordinator must detect the
+     death, respawn, and re-run the unit — every reply present. *)
+  let worker () =
+   fun s ->
+    if s = "slow" then Unix.sleepf 0.3;
+    "r:" ^ s
+  in
+  let units = [ "a"; "slow"; "b"; "c" ] in
+  let replies, stats =
+    Pool.run ~backend:Pool.Forked ~jobs:2 ~kill_unit:1 ~worker units
+  in
+  Alcotest.(check (list (option string)))
+    "all units answered despite the kill"
+    (List.map (fun u -> Some ("r:" ^ u)) units)
+    replies;
+  Alcotest.(check bool) "unit was rescheduled" true (stats.Pool.p_retries >= 1);
+  Alcotest.(check int) "nothing lost" 0 stats.Pool.p_lost
+
+(* --- wire (no pool) ------------------------------------------------- *)
+
+(* Harvest a real frontier from a real workload so the round-trip
+   exercises genuine snapshots, not toy values. *)
+let some_shards () =
+  let w = Res_workloads.Workloads.find "counter-race" in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  let config =
+    { Res_core.Search.default_config with Res_core.Search.max_segments = 3 }
+  in
+  let r = Res_core.Search.search ~config ~shard_at:1 ctx dump in
+  (config, r.Res_core.Search.shards, r.Res_core.Search.suffixes)
+
+let test_wire_roundtrip () =
+  let config, shards, suffixes = some_shards () in
+  Alcotest.(check bool) "harvested shards" true (shards <> []);
+  let suspended =
+    {
+      Res_core.Search.s_frontier = shards;
+      s_nodes = 7;
+      s_candidates = 9;
+      s_feasible = 4;
+      s_emitted = 2;
+      s_pruned = 1;
+      s_next_id = 42;
+      s_out = suffixes;
+    }
+  in
+  let u =
+    {
+      Wire.u_index = 3;
+      u_config = config;
+      u_fuel = Some 500;
+      u_wall_ms = None;
+      u_restore = Some 17;
+      u_suspended = suspended;
+    }
+  in
+  let enc = Wire.encode_unit u in
+  (match Wire.decode_unit enc with
+  | Error m -> Alcotest.failf "unit decode failed: %s" m
+  | Ok u' ->
+      Alcotest.(check string) "unit re-encodes identically" enc
+        (Wire.encode_unit u'));
+  let res =
+    {
+      Wire.r_index = 3;
+      r_complete = true;
+      r_exhausted = Some Res_core.Budget.Fuel;
+      r_nodes = 11;
+      r_candidates = 13;
+      r_feasible = 5;
+      r_emitted = 2;
+      r_pruned = 0;
+      r_queries = 21;
+      r_suffixes = suffixes;
+    }
+  in
+  let enc = Wire.encode_result res in
+  (match Wire.decode_result enc with
+  | Error m -> Alcotest.failf "result decode failed: %s" m
+  | Ok r' ->
+      Alcotest.(check string) "result re-encodes identically" enc
+        (Wire.encode_result r'));
+  let ck = { Wire.c_expr_counter = 99; c_suspended = suspended } in
+  let enc = Wire.encode_unit_ckpt ck in
+  (match Wire.decode_unit_ckpt enc with
+  | Error m -> Alcotest.failf "ckpt decode failed: %s" m
+  | Ok c' ->
+      Alcotest.(check string) "ckpt re-encodes identically" enc
+        (Wire.encode_unit_ckpt c'));
+  let b =
+    {
+      Wire.b_index = 5;
+      b_outcome = "complete";
+      b_bucket = "race sig";
+      b_cause = "write/write race on x";
+      b_nodes = 40;
+      b_pruned = 3;
+      b_queries = 12;
+    }
+  in
+  match Wire.decode_batch (Wire.encode_batch b) with
+  | Error m -> Alcotest.failf "batch decode failed: %s" m
+  | Ok b' ->
+      Alcotest.(check string) "batch re-encodes identically"
+        (Wire.encode_batch b) (Wire.encode_batch b')
+
+let test_wire_rejects_corrupt () =
+  let config, shards, _ = some_shards () in
+  let u =
+    {
+      Wire.u_index = 0;
+      u_config = config;
+      u_fuel = None;
+      u_wall_ms = None;
+      u_restore = None;
+      u_suspended =
+        {
+          Res_core.Search.s_frontier = shards;
+          s_nodes = 0;
+          s_candidates = 0;
+          s_feasible = 0;
+          s_emitted = 0;
+          s_pruned = 0;
+          s_next_id = 0;
+          s_out = [];
+        };
+    }
+  in
+  let enc = Wire.encode_unit u in
+  let flipped = Bytes.of_string enc in
+  Bytes.set flipped (String.length enc / 2) '\255';
+  (match Wire.decode_unit (Bytes.to_string flipped) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt unit must not decode");
+  match Wire.decode_result enc with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong header must not decode"
+
+(* --- equivalence: fork phase ---------------------------------------- *)
+
+let test_equivalence_fork () =
+  List.iter
+    (fun w ->
+      check_equivalent ~jobs:2 ~backend:Pool.Forked w;
+      (* shard_depth 1 forces every workload through the farm/merge path
+         (at depth 2 the shallow ones never shard) *)
+      check_equivalent ~shard_depth:1 ~jobs:2 ~backend:Pool.Forked w)
+    Res_workloads.Workloads.all
+
+let test_equivalence_kill_and_checkpoint () =
+  (* Fork backend with a worker SIGKILLed mid-search at every depth, unit
+     checkpoints enabled: the rescheduled units must reproduce the serial
+     report bodies exactly. *)
+  let dir = Filename.temp_file "res_par" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  List.iter
+    (fun name ->
+      let w = Res_workloads.Workloads.find name in
+      let body, outcome = serial_body w in
+      let body', outcome', stats =
+        parallel_body ~jobs:2 ~backend:Pool.Forked ~ckpt_dir:dir ~kill_unit:0
+          w
+      in
+      Alcotest.(check string)
+        (name ^ " outcome survives worker kill")
+        outcome outcome';
+      Alcotest.(check string)
+        (name ^ " bodies survive worker kill")
+        body body';
+      Alcotest.(check bool)
+        (name ^ " a unit was rescheduled")
+        true
+        (stats.Engine.e_retries >= 1))
+    [ "counter-race"; "long-exec-50" ];
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+(* --- batch: fork phase ---------------------------------------------- *)
+
+let corpus_items () =
+  List.map
+    (fun (r : Res_workloads.Corpus.report) ->
+      {
+        Batch.it_name = Fmt.str "%s-%02d" r.Res_workloads.Corpus.r_bug r.r_id;
+        it_prog = r.r_prog;
+        it_dump = Ok r.r_dump;
+      })
+    (Res_workloads.Corpus.generate ~n_per_bug:2 ())
+
+let shuffle seed l =
+  let st = Random.State.make [| seed |] in
+  l
+  |> List.map (fun x -> (Random.State.bits st, x))
+  |> List.sort compare |> List.map snd
+
+let test_batch_deterministic_fork () =
+  let items = corpus_items () in
+  let serial = Batch.run ~jobs:1 ~backend:Pool.Forked items in
+  Alcotest.(check bool) "rows produced" true (serial.Batch.rows <> []);
+  let t = Batch.run ~jobs:4 ~backend:Pool.Forked (shuffle 23 items) in
+  Alcotest.(check string) "tsv identical at -j 4 (fork), shuffled input"
+    serial.Batch.tsv t.Batch.tsv
+
+let test_batch_degrades () =
+  let items = corpus_items () in
+  let broken =
+    {
+      Batch.it_name = "00-broken";
+      it_prog = (List.hd items).Batch.it_prog;
+      it_dump = Error "truncated file";
+    }
+  in
+  let t = Batch.run ~jobs:2 ~backend:Pool.Forked (broken :: items) in
+  match t.Batch.rows with
+  | first :: rest ->
+      Alcotest.(check string) "broken dump sorts first" "00-broken"
+        first.Batch.row_name;
+      Alcotest.(check string) "broken dump fails gracefully" "failed"
+        first.Batch.row_outcome;
+      Alcotest.(check string) "bucketed as dump error" "dump-error"
+        first.Batch.row_bucket;
+      Alcotest.(check bool) "other rows unaffected" true
+        (List.for_all (fun r -> r.Batch.row_outcome <> "failed") rest)
+  | [] -> Alcotest.fail "no rows"
+
+(* --- journal naming (satellite 1; no pool) -------------------------- *)
+
+let test_fresh_tmp_paths_disjoint () =
+  let ps =
+    List.init 50 (fun _ -> Res_vm.Coredump_io.fresh_tmp_path "/tmp/x/ckpt")
+  in
+  Alcotest.(check int) "50 distinct temp names" 50
+    (List.length (List.sort_uniq compare ps));
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "temp name keeps the .tmp suffix" true
+        (Filename.check_suffix p ".tmp"))
+    ps
+
+let test_journal_siblings_found () =
+  let dir = Filename.temp_file "res_sib" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "ckpt" in
+  let legacy = path ^ ".tmp" in
+  let modern = Fmt.str "%s.%d.7.tmp" path (Unix.getpid ()) in
+  let decoy = Filename.concat dir "other.tmp" in
+  List.iter
+    (fun f ->
+      let oc = open_out f in
+      output_string oc "x";
+      close_out oc)
+    [ legacy; modern; decoy ];
+  let sibs = Res_vm.Coredump_io.journal_siblings path in
+  Alcotest.(check (list string)) "both journal generations, no decoys"
+    (List.sort compare [ legacy; modern ])
+    (List.sort compare sibs);
+  List.iter Sys.remove [ legacy; modern; decoy ];
+  Unix.rmdir dir
+
+(* --- pool: domains phase -------------------------------------------- *)
+
+let test_pool_order_domains () =
+  let worker () = fun s -> "r:" ^ s in
+  let units = List.init 13 (fun i -> Fmt.str "u%d" i) in
+  let replies, stats = Pool.run ~backend:Pool.Domains ~jobs:4 ~worker units in
+  Alcotest.(check (list (option string)))
+    "replies in request order"
+    (List.map (fun u -> Some ("r:" ^ u)) units)
+    replies;
+  Alcotest.(check int) "no lost units" 0 stats.Pool.p_lost
+
+let test_pool_worker_exception_domains () =
+  let worker () = fun s -> if s = "boom" then failwith "boom" else s in
+  let replies, stats =
+    Pool.run ~backend:Pool.Domains ~jobs:2 ~worker [ "a"; "boom"; "b" ]
+  in
+  Alcotest.(check (list (option string)))
+    "exception -> None"
+    [ Some "a"; None; Some "b" ] replies;
+  Alcotest.(check int) "counted lost" 1 stats.Pool.p_lost
+
+let test_pool_fork_after_domains_rejected () =
+  let worker () = Fun.id in
+  match Pool.run ~backend:Pool.Forked ~jobs:2 ~worker [ "a" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fork after domains must be rejected, not hang"
+
+(* --- equivalence: domains phase ------------------------------------- *)
+
+let test_equivalence_domains () =
+  List.iter
+    (fun w ->
+      check_equivalent ~jobs:1 ~backend:Pool.Domains w;
+      check_equivalent ~jobs:4 ~backend:Pool.Domains w;
+      check_equivalent ~shard_depth:1 ~jobs:4 ~backend:Pool.Domains w)
+    Res_workloads.Workloads.all
+
+(* --- batch: domains phase ------------------------------------------- *)
+
+let test_batch_deterministic_domains () =
+  let items = corpus_items () in
+  let serial = Batch.run ~jobs:1 ~backend:Pool.Domains items in
+  List.iter
+    (fun (jobs, seed) ->
+      let t = Batch.run ~jobs ~backend:Pool.Domains (shuffle seed items) in
+      Alcotest.(check string)
+        (Fmt.str "tsv identical at -j %d (domains), shuffled input" jobs)
+        serial.Batch.tsv t.Batch.tsv)
+    [ (2, 7); (3, 99) ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool-fork",
+        [
+          Alcotest.test_case "replies in request order" `Quick
+            test_pool_order_fork;
+          Alcotest.test_case "worker exception = lost unit" `Quick
+            test_pool_worker_exception_fork;
+          Alcotest.test_case "SIGKILL mid-unit reschedules" `Quick
+            test_pool_kill_reschedules;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "round-trips" `Quick test_wire_roundtrip;
+          Alcotest.test_case "rejects corruption" `Quick
+            test_wire_rejects_corrupt;
+        ] );
+      ( "equivalence-fork",
+        [
+          Alcotest.test_case "serial = parallel -j 2, all workloads" `Slow
+            test_equivalence_fork;
+          Alcotest.test_case "worker kill + unit checkpoints" `Slow
+            test_equivalence_kill_and_checkpoint;
+        ] );
+      ( "batch-fork",
+        [
+          Alcotest.test_case "deterministic tsv under shuffle" `Slow
+            test_batch_deterministic_fork;
+          Alcotest.test_case "unloadable dump degrades" `Quick
+            test_batch_degrades;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "fresh tmp paths disjoint" `Quick
+            test_fresh_tmp_paths_disjoint;
+          Alcotest.test_case "siblings include legacy + pid forms" `Quick
+            test_journal_siblings_found;
+        ] );
+      ( "pool-domains",
+        [
+          Alcotest.test_case "replies in request order" `Quick
+            test_pool_order_domains;
+          Alcotest.test_case "worker exception = lost unit" `Quick
+            test_pool_worker_exception_domains;
+          Alcotest.test_case "fork after domains rejected" `Quick
+            test_pool_fork_after_domains_rejected;
+        ] );
+      ( "equivalence-domains",
+        [
+          Alcotest.test_case "serial = parallel -j 1/4, all workloads" `Slow
+            test_equivalence_domains;
+        ] );
+      ( "batch-domains",
+        [
+          Alcotest.test_case "deterministic tsv under shuffle" `Slow
+            test_batch_deterministic_domains;
+        ] );
+    ]
