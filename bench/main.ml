@@ -757,6 +757,27 @@ let e15 () =
      min(jobs, cores) on multi-core hosts (a single-core host pins it \
      near 1.0x and measures pool overhead instead)@."
 
+(* ------------------------------------------------------------------ *)
+(* E16: the triage service under abuse.  Runs the full soak campaign — *)
+(* flood at 2x capacity, worker SIGKILLs, daemon SIGKILL + restart on  *)
+(* the spool, breaker trip/recovery, graceful drain — and prints the   *)
+(* service-contract numbers: zero lost accepted requests, zero body    *)
+(* mismatches vs offline analyze, and client-observed latency.  Forks  *)
+(* (daemon + workers), so it must run before any domains experiment.   *)
+(* ------------------------------------------------------------------ *)
+let e16 () =
+  section "e16" "triage service — soak: overload, kills, restart, drain";
+  let s = Res_faultinject.Faultinject.serve_soak_campaign () in
+  Fmt.pr "%a@." Res_faultinject.Faultinject.pp_sk_summary s;
+  (match s.Res_faultinject.Faultinject.sk_failures with
+  | [] -> ()
+  | fs -> List.iter (fun m -> Fmt.pr "FAILURE: %s@." m) fs);
+  Fmt.pr
+    "expected shape: shed > 0 (admission control sheds the overflow), lost \
+     = 0 and mismatches = 0 (the service contract), recovered > 0 (the \
+     SIGKILLed daemon's accepted requests survive on the spool), breaker \
+     tripped and recovered, drain true@."
+
 let experiments =
   [
     ("e1", e1);
@@ -773,6 +794,7 @@ let experiments =
     ("e13", e13);
     ("e14", e14);
     ("e15", e15);
+    ("e16", e16);
     ("a1", a1);
     ("bechamel", bechamel);
   ]

@@ -13,10 +13,13 @@
      res triage-demo                  run the triaging comparison corpus
      res selftest                     fault-injection self-test of the pipeline
      res resume ckpt.res              continue an interrupted analysis
+     res serve --socket S --spool D   long-running triage daemon
+     res client submit prog core      submit to a running daemon
 
    Exit codes: 0 analysis complete, 1 internal error or invalid usage,
    2 partial analysis (search truncated), 3 bad coredump, 4 budget or
-   deadline exhausted.  `res check` reuses 0/2/3 as clean / warnings /
+   deadline exhausted, 5 submission rejected by a daemon (overload,
+   breaker, or drain).  `res check` reuses 0/2/3 as clean / warnings /
    errors, so orchestrators can gate on lint severity. *)
 
 open Cmdliner
@@ -28,6 +31,9 @@ let exit_internal = 1
 let exit_partial = 2
 let exit_bad_dump = 3
 let exit_exhausted = 4
+
+let exit_rejected = 5
+(** a triage daemon refused the submission with a typed rejection *)
 
 (** Abort the command with a code; caught at the top level (never a raw
     OCaml backtrace). *)
@@ -259,12 +265,7 @@ let outcome_code = function
 (** Sort reports deterministically before printing, so two runs that
     found the same causes print identically regardless of emission
     order. *)
-let sorted_outcome ctx = function
-  | Res_core.Res.Complete a ->
-      Res_core.Res.Complete (Res_core.Report.display_sort ctx a)
-  | Res_core.Res.Partial (r, a) ->
-      Res_core.Res.Partial (r, Res_core.Report.display_sort ctx a)
-  | Res_core.Res.Failed _ as o -> o
+let sorted_outcome = Res_core.Report.sorted_outcome
 
 (** Print an outcome (sorted) plus, on a partial result, the checkpoint
     a successor can resume from. *)
@@ -326,10 +327,13 @@ let stats_arg =
 
 (** The [--stats] line.  Solver queries are counted from this process's
     own (domain-local) counter delta plus what workers reported over the
-    wire, so the total is meaningful under every backend. *)
-let print_stats ~wall_s ~nodes ~pruned ~queries ~workers =
-  Fmt.epr "wall_s=%.3f nodes=%d pruned=%d solver_queries=%d workers=%d@."
-    wall_s nodes pruned queries workers
+    wire, so the total is meaningful under every backend.  [restarts] is
+    how many times the pool's supervisor respawned a dead worker — a
+    healthy run prints 0, so a nonzero value is a cheap flake signal. *)
+let print_stats ~wall_s ~nodes ~pruned ~queries ~workers ~restarts =
+  Fmt.epr
+    "wall_s=%.3f nodes=%d pruned=%d solver_queries=%d workers=%d restarts=%d@."
+    wall_s nodes pruned queries workers restarts
 
 let analyze_cmd =
   let deadline =
@@ -411,14 +415,15 @@ let analyze_cmd =
     let budget = mk_budget deadline fuel in
     let t0 = Unix.gettimeofday () in
     let q0 = Res_solver.Solver.queries () in
-    let outcome, workers, worker_queries =
+    let outcome, workers, worker_queries, restarts =
       if jobs > 0 then begin
         let outcome, st =
           Res_parallel.Engine.analyze ~config ?budget ~jobs ~shard_depth
             ?backend ~prog ctx dump
         in
         (outcome, st.Res_parallel.Engine.e_jobs,
-         st.Res_parallel.Engine.e_worker_queries)
+         st.Res_parallel.Engine.e_worker_queries,
+         st.Res_parallel.Engine.e_respawns)
       end
       else
         let checkpointer =
@@ -428,7 +433,7 @@ let analyze_cmd =
                 ~every:(max 1 checkpoint_every) ~path ~config ~prog ~dump ())
             checkpoint
         in
-        (Res_core.Res.analyze ~config ?budget ?checkpointer ctx dump, 1, 0)
+        (Res_core.Res.analyze ~config ?budget ?checkpointer ctx dump, 1, 0, 0)
     in
     if stats then begin
       let a = Res_core.Res.analysis outcome in
@@ -437,7 +442,7 @@ let analyze_cmd =
         ~nodes:a.Res_core.Res.nodes_expanded
         ~pruned:a.Res_core.Res.nodes_pruned
         ~queries:(Res_solver.Solver.queries () - q0 + worker_queries)
-        ~workers
+        ~workers ~restarts
     end;
     report_outcome ctx outcome
   in
@@ -719,8 +724,11 @@ let triage_batch_cmd =
         ~queries:
           (Res_solver.Solver.queries () - q0
           + t.Res_parallel.Batch.worker_queries)
-        ~workers:t.Res_parallel.Batch.workers;
-    exit_ok
+        ~workers:t.Res_parallel.Batch.workers
+        ~restarts:t.Res_parallel.Batch.respawns;
+    (* a batch where literally every dump failed is a pipeline problem,
+       not a triage result: make it visible to orchestrators *)
+    if Res_parallel.Batch.all_failed t then exit_internal else exit_ok
   in
   Cmd.v
     (Cmd.info "triage"
@@ -775,6 +783,230 @@ let triage_cmd =
        ~doc:"Compare stack-hash (WER) and root-cause (RES) bucketing on the \
              built-in bug-report corpus.")
     Term.(const run $ per_bug)
+
+(* --- serve / client --- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "res-serve.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix domain socket the daemon listens on.")
+
+let serve_cmd =
+  let spool =
+    Arg.(
+      value
+      & opt string "res-spool"
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Durable request spool.  Accepted requests are journaled here \
+             before they are acknowledged, so a crashed daemon restarted on \
+             the same spool loses nothing.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 8
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound; submissions beyond it are shed with a \
+             typed overload rejection.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) (Some 30.)
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Default per-request wall-clock budget.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N" ~doc:"Default per-request fuel budget.")
+  in
+  let grace =
+    Arg.(
+      value & opt float 5.0
+      & info [ "grace" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall clock past its deadline a worker may overstay before it is \
+             SIGKILLed and the request reported as exhausted.")
+  in
+  let breaker_threshold =
+    Arg.(
+      value & opt int 3
+      & info [ "breaker-threshold" ] ~docv:"N"
+          ~doc:
+            "Consecutive budget exhaustions of one workload signature that \
+             trip its circuit breaker.")
+  in
+  let breaker_cooldown =
+    Arg.(
+      value & opt float 5.0
+      & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+          ~doc:"Seconds a tripped breaker stays open before a half-open probe.")
+  in
+  let attempts =
+    Arg.(
+      value & opt int 3
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:
+            "Analysis tries per request across worker deaths before the \
+             daemon gives up and reports a synthetic failure.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log daemon events to stderr.")
+  in
+  let run socket spool jobs capacity deadline fuel grace breaker_threshold
+      breaker_cooldown attempts verbose =
+    let cfg =
+      {
+        Res_serve.Server.default_config with
+        Res_serve.Server.socket_path = socket;
+        spool_dir = spool;
+        jobs = (if jobs <= 0 then 2 else jobs);
+        capacity = max 1 capacity;
+        default_deadline = deadline;
+        default_fuel = fuel;
+        hard_grace = grace;
+        breaker_threshold;
+        breaker_cooldown;
+        worker_attempts = max 1 attempts;
+        log = (if verbose then fun m -> Fmt.epr "res-serve: %s@." m else ignore);
+      }
+    in
+    Res_serve.Server.run cfg;
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resilient triage daemon: accept coredump submissions over \
+          a Unix socket, analyze them in supervised forked workers, shed \
+          load beyond $(b,--capacity), trip per-workload circuit breakers, \
+          and recover accepted-but-unfinished requests from the spool after \
+          a crash.  SIGTERM drains gracefully and exits 0.")
+    Term.(
+      const run $ socket_arg $ spool $ jobs_arg $ capacity $ deadline $ fuel
+      $ grace $ breaker_threshold $ breaker_cooldown $ attempts $ verbose)
+
+(** Map a daemon reply to an exit code and print it; Result replies also
+    print the report body. *)
+let client_finish = function
+  | Ok (Res_serve.Protocol.Result { rs_outcome; rs_timeout; rs_body; _ } as r)
+    ->
+      Fmt.pr "%a@." Res_serve.Protocol.pp_reply r;
+      if rs_body <> "" then print_string rs_body;
+      if rs_timeout then exit_exhausted
+      else if String.equal rs_outcome "complete" then exit_ok
+      else if String.equal rs_outcome "partial" then exit_partial
+      else exit_internal
+  | Ok
+      (( Res_serve.Protocol.Rejected_overload _
+       | Res_serve.Protocol.Rejected_breaker _
+       | Res_serve.Protocol.Rejected_draining ) as r) ->
+      Fmt.pr "%a@." Res_serve.Protocol.pp_reply r;
+      exit_rejected
+  | Ok (Res_serve.Protocol.Err msg) ->
+      raise (Die (exit_internal, Fmt.str "daemon: %s" msg))
+  | Ok r ->
+      Fmt.pr "%a@." Res_serve.Protocol.pp_reply r;
+      exit_ok
+  | Error e ->
+      raise (Die (exit_internal, Res_serve.Client.error_to_string e))
+
+let client_cmd =
+  let submit =
+    let deadline_ms =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "deadline-ms" ] ~docv:"MS"
+            ~doc:"Per-request wall budget (overrides the daemon default).")
+    in
+    let fuel =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "fuel" ] ~docv:"N"
+            ~doc:"Per-request fuel budget (overrides the daemon default).")
+    in
+    let no_wait =
+      Arg.(
+        value & flag
+        & info [ "no-wait" ]
+            ~doc:
+              "Return right after admission instead of waiting for the \
+               result; poll later with $(b,res client fetch).")
+    in
+    let dump_arg =
+      Arg.(
+        required
+        & pos 1 (some file) None
+        & info [] ~docv:"COREDUMP" ~doc:"Coredump file to triage.")
+    in
+    let run socket prog_path dump_path deadline_ms fuel no_wait =
+      let prog = read_file prog_path in
+      let dump = read_file dump_path in
+      if no_wait then
+        match
+          Res_serve.Client.submit socket ~prog ~dump ?deadline_ms ?fuel ()
+        with
+        | Ok (conn, reply) ->
+            Res_serve.Client.close conn;
+            client_finish (Ok reply)
+        | Error e -> client_finish (Error e)
+      else
+        match
+          Res_serve.Client.submit_wait ~timeout:3600. socket ~prog ~dump
+            ?deadline_ms ?fuel ()
+        with
+        | Ok (_, Some result) -> client_finish (Ok result)
+        | Ok (admission, None) -> client_finish (Ok admission)
+        | Error e -> client_finish (Error e)
+    in
+    Cmd.v
+      (Cmd.info "submit"
+         ~doc:
+           "Submit a (program, coredump) pair; by default wait for the \
+            result.  Exit 5 on a typed rejection (overload, breaker, \
+            draining).")
+      Term.(
+        const run $ socket_arg $ prog_arg $ dump_arg $ deadline_ms $ fuel
+        $ no_wait)
+  in
+  let fetch =
+    let id_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"ID" ~doc:"Request id from a previous submit.")
+    in
+    let run socket id = client_finish (Res_serve.Client.fetch socket id) in
+    Cmd.v
+      (Cmd.info "fetch"
+         ~doc:"Fetch the result (or pending state) of an accepted request.")
+      Term.(const run $ socket_arg $ id_arg)
+  in
+  let simple name doc call =
+    Cmd.v (Cmd.info name ~doc)
+      Term.(const (fun socket -> client_finish (call socket)) $ socket_arg)
+  in
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:"Talk to a running triage daemon (submit, fetch, status, drain).")
+    [
+      submit;
+      fetch;
+      simple "status" "Print the daemon's counters."
+        (fun s -> Res_serve.Client.status s);
+      simple "drain"
+        "Ask the daemon to stop accepting, finish in-flight work, and exit."
+        (fun s -> Res_serve.Client.drain s);
+      simple "ping" "Check the daemon is alive."
+        (fun s -> Res_serve.Client.ping s);
+    ]
 
 (* --- selftest --- *)
 
@@ -836,13 +1068,34 @@ let selftest_cmd =
              serially and with the sharded engine at $(docv) workers \
              (default 2) and assert byte-identical reports.")
   in
+  let serve_soak =
+    Arg.(
+      value & flag
+      & info [ "serve-soak" ]
+          ~doc:
+            "Run the triage-service soak campaign: flood a daemon at 2x \
+             capacity, SIGKILL workers and the daemon itself, restart on the \
+             same spool, trip and recover a circuit breaker, drain \
+             gracefully — and assert zero lost accepted requests and \
+             byte-identical completed report bodies.")
+  in
   let run runs seed verbose skip_deadline kill_resume prune_equivalence
-      worker_kill parallel_equivalence backend =
+      worker_kill parallel_equivalence serve_soak backend =
     let open Res_faultinject.Faultinject in
-    (* The worker-kill campaign forks; the others may spawn domains.  The
-       runtime forbids fork after domains, so when both are requested the
-       fork-backed campaign runs first. *)
-    if worker_kill || parallel_equivalence <> None then begin
+    (* Fork-backed campaigns (daemon soak, worker kill) must precede any
+       campaign that spawns domains: the runtime forbids fork after
+       domains. *)
+    if serve_soak then begin
+      let s =
+        serve_soak_campaign
+          ~log:(if verbose then fun m -> Fmt.epr "soak: %s@." m else ignore)
+          ()
+      in
+      Fmt.pr "%a@." pp_sk_summary s;
+      List.iter (fun m -> Fmt.epr "SERVE-SOAK FAILURE: %s@." m) s.sk_failures;
+      if s.sk_failures = [] then exit_ok else exit_internal
+    end
+    else if worker_kill || parallel_equivalence <> None then begin
       let wk_ok =
         if not worker_kill then true
         else begin
@@ -913,7 +1166,8 @@ let selftest_cmd =
           outcome.")
     Term.(
       const run $ runs $ seed $ verbose $ skip_deadline $ kill_resume
-      $ prune_equivalence $ worker_kill $ parallel_equivalence $ backend_arg)
+      $ prune_equivalence $ worker_kill $ parallel_equivalence $ serve_soak
+      $ backend_arg)
 
 let main_cmd =
   let doc = "reverse execution synthesis for MiniIR coredumps" in
@@ -932,6 +1186,8 @@ let main_cmd =
       triage_batch_cmd;
       triage_cmd;
       selftest_cmd;
+      serve_cmd;
+      client_cmd;
     ]
 
 (* Never let a raw OCaml exception (or backtrace) reach the user: every

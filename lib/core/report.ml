@@ -109,3 +109,12 @@ let pp_outcome ctx ppf (o : Res.outcome) =
   | Res.Failed e -> Fmt.pf ppf "outcome: FAILED — %a" Res.pp_error e
 
 let outcome_to_string ctx o = Fmt.str "%a@." (pp_outcome ctx) o
+
+(** Display-sort the reports inside an outcome ([Failed] is unchanged), so
+    every surface that prints an outcome — the CLI, the triage daemon —
+    orders reports identically regardless of search emission order. *)
+let sorted_outcome ctx (o : Res.outcome) =
+  match o with
+  | Res.Complete a -> Res.Complete (display_sort ctx a)
+  | Res.Partial (r, a) -> Res.Partial (r, display_sort ctx a)
+  | Res.Failed _ -> o

@@ -161,6 +161,14 @@ let outcome_name = function
   | Partial _ -> "partial"
   | Failed _ -> "failed"
 
+(** The analysis ran out of wall clock or fuel (as opposed to finishing,
+    truncating on the node budget, or failing outright).  This is what a
+    serving layer's circuit breaker counts as a "solver timeout": the
+    request burned its whole budget without reaching a deliberate stop. *)
+let is_budget_partial = function
+  | Partial ((Deadline_exceeded | Fuel_exhausted), _) -> true
+  | Complete _ | Partial (Search_truncated, _) | Failed _ -> false
+
 let pp_outcome ppf = function
   | Complete _ -> Fmt.string ppf "complete"
   | Partial (r, a) ->

@@ -809,3 +809,316 @@ let pp_deadline_check ppf d =
   Fmt.pf ppf
     "deadline %.2fs: elapsed %.3fs, cut off by clock: %b, within tolerance: %b (%s)"
     d.d_deadline d.d_elapsed d.d_hit_deadline d.d_within d.d_outcome
+
+(* --- campaign: triage service soak ----------------------------------- *)
+
+(** Soak-test the triage daemon the way production will hurt it: flood it
+    past capacity, SIGKILL its workers mid-request, SIGKILL the daemon
+    itself and restart it on the same spool, trip a circuit breaker and
+    watch it recover, then drain it gracefully.  The acceptance bar is
+    the service contract: {e every accepted request eventually yields a
+    reply} (zero lost), and every request the service reports
+    [complete] has a report body byte-identical to what a serial offline
+    [res analyze] of the same dump produces.
+
+    Fork-backed by construction (the daemon and its workers are forked
+    processes), so like the worker-kill campaign it must run before any
+    domains are spawned in this process. *)
+
+type sk_summary = {
+  sk_submitted : int;
+  sk_accepted : int;  (** across both daemon incarnations *)
+  sk_shed : int;  (** typed [Rejected_overload] replies during the flood *)
+  sk_completed : int;  (** accepted requests that reached a [Result] *)
+  sk_lost : int;  (** accepted requests that never got a reply: must be 0 *)
+  sk_mismatched : int;
+      (** completed bodies differing from offline analyze: must be 0 *)
+  sk_recovered : int;  (** requests re-admitted from the spool at restart *)
+  sk_worker_restarts : int;  (** supervised restarts seen by incarnation 2 *)
+  sk_breaker_tripped : bool;
+  sk_breaker_recovered : bool;  (** half-open probe closed it again *)
+  sk_drain_exit_ok : bool;  (** SIGTERM-free drain exited 0 *)
+  sk_p50_ms : int;  (** client-observed submit-to-result latency *)
+  sk_p99_ms : int;
+  sk_failures : string list;  (** empty iff the service kept its contract *)
+}
+
+let percentile_ms p latencies =
+  match List.sort compare latencies with
+  | [] -> 0
+  | l ->
+      let n = List.length l in
+      let idx = min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1) in
+      List.nth l (max 0 idx)
+
+(** The expected report body for a dump the service completed: a serial,
+    unbudgeted offline analysis with a fresh symbol counter — the same
+    bit-stable projection the daemon's workers emit. *)
+let offline_body prog dump =
+  Res_solver.Expr.reset_counter_for_tests ();
+  let ctx = Res_core.Backstep.make_ctx prog in
+  let outcome = Res_core.Res.analyze ctx dump in
+  Res_core.Report.report_list_to_string ctx (Res_core.Res.analysis outcome)
+
+let serve_soak_campaign ?(dir = Filename.get_temp_dir_name ()) ?(log = ignore)
+    () : sk_summary =
+  let module Server = Res_serve.Server in
+  let module Client = Res_serve.Client in
+  let module P = Res_serve.Protocol in
+  let base = Filename.concat dir (Fmt.str "res-soak-%d" (Unix.getpid ())) in
+  (try Unix.mkdir base 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let socket = Filename.concat base "serve.sock" in
+  let spool = Filename.concat base "spool" in
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun m -> log m; failures := m :: !failures) fmt in
+  let cfg ~fi ~delay =
+    {
+      Server.default_config with
+      Server.socket_path = socket;
+      spool_dir = spool;
+      jobs = 2;
+      capacity = 3;
+      default_deadline = Some 10.;
+      breaker_threshold = 3;
+      breaker_cooldown = 0.4;
+      fi_kill_workers = fi;
+      fi_worker_delay = delay;
+    }
+  in
+  let start ~fi ~delay =
+    match Unix.fork () with
+    | 0 ->
+        (try Server.run (cfg ~fi ~delay) with _ -> Unix._exit 1);
+        Unix._exit 0
+    | pid -> pid
+  in
+  let wait_ready () =
+    let deadline = Unix.gettimeofday () +. 10. in
+    let rec go () =
+      match Client.ping ~timeout:1.0 socket with
+      | Ok (P.Pong _) -> true
+      | _ ->
+          if Unix.gettimeofday () > deadline then false
+          else begin
+            Unix.sleepf 0.02;
+            go ()
+          end
+    in
+    go ()
+  in
+  (* corpus texts: each report submitted twice makes the flood 2x the
+     daemon's total absorption (jobs + capacity) *)
+  let reports = Res_workloads.Corpus.generate ~n_per_bug:1 () in
+  let texts =
+    List.map
+      (fun (r : Res_workloads.Corpus.report) ->
+        ( Fmt.str "%s-%02d" r.r_bug r.r_id,
+          r.r_prog,
+          r.r_dump,
+          Res_ir.Prog.to_string r.r_prog,
+          Res_vm.Coredump_io.to_string r.r_dump ))
+      reports
+  in
+  let flood = texts @ texts in
+  (* --- phase 1: flood a worker-killing daemon at 2x capacity.  Workers
+     are slowed by injected delay so the queue pressure is deterministic:
+     2 running + 3 queued absorb 5 of the 10 submissions, the rest must
+     shed --- *)
+  let pid1 = start ~fi:[ 2 ] ~delay:0.5 in
+  if not (wait_ready ()) then fail "daemon 1 never became ready";
+  let accepted = ref [] and shed = ref 0 and submitted = ref 0 in
+  List.iter
+    (fun (name, _, _, prog_text, dump_text) ->
+      incr submitted;
+      match Client.submit socket ~prog:prog_text ~dump:dump_text () with
+      | Ok (conn, reply) -> (
+          Client.close conn;
+          match reply with
+          | P.Accepted { ac_id; _ } ->
+              accepted := (ac_id, name, Unix.gettimeofday ()) :: !accepted
+          | P.Rejected_overload _ -> incr shed
+          | r -> fail "flood submit %s: unexpected %a" name P.pp_reply r)
+      | Error e -> fail "flood submit %s: %s" name (Client.error_to_string e))
+    flood;
+  if !shed = 0 then fail "flood at 2x capacity shed nothing";
+  (* --- phase 2: SIGKILL the daemon mid-flight, restart on the spool --- *)
+  (try Unix.kill pid1 Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] pid1) with Unix.Unix_error _ -> ());
+  (* the small worker delay keeps the injected SIGKILL honest: without
+     it the scheduler often runs the doomed child to completion before
+     the daemon's kill lands *)
+  let pid2 = start ~fi:[ 1 ] ~delay:0.05 in
+  if not (wait_ready ()) then fail "daemon 2 never became ready after restart";
+  (* --- phase 3: every accepted request must yield a reply --- *)
+  let latencies = ref [] and completed = ref 0 and lost = ref 0 in
+  let mismatched = ref 0 in
+  List.iter
+    (fun (id, name, t_submit) ->
+      match Client.await_result ~deadline:60.0 socket id with
+      | Ok (P.Result { rs_outcome; rs_body; _ }) ->
+          incr completed;
+          latencies :=
+            int_of_float ((Unix.gettimeofday () -. t_submit) *. 1000.)
+            :: !latencies;
+          if String.equal rs_outcome "complete" then begin
+            let _, prog, dump, _, _ =
+              List.find (fun (n, _, _, _, _) -> String.equal n name) texts
+            in
+            let expected = offline_body prog dump in
+            if not (String.equal rs_body expected) then begin
+              incr mismatched;
+              fail "%s (%s): completed body differs from offline analyze" id
+                name
+            end
+          end
+      | Ok r ->
+          incr lost;
+          fail "%s (%s): no result: %a" id name P.pp_reply r
+      | Error e ->
+          incr lost;
+          fail "%s (%s): no result: %s" id name (Client.error_to_string e))
+    (List.rev !accepted);
+  (* --- phase 4: trip a breaker with budget-exhausting requests, then
+     watch the half-open probe close it again.  The tar pit is the
+     long-execution workload under fuel 1: its search needs dozens of
+     nodes, so one fuel tick guarantees a Fuel_exhausted partial --- *)
+  let b_w = Res_workloads.Long_exec.workload_n 50 in
+  let b_name = b_w.Res_workloads.Truth.w_name in
+  let b_prog = Res_ir.Prog.to_string b_w.Res_workloads.Truth.w_prog in
+  let b_dump =
+    Res_vm.Coredump_io.to_string (Res_workloads.Truth.coredump b_w)
+  in
+  let submit_exhausting () =
+    match
+      Client.submit_wait ~timeout:30.0 socket ~prog:b_prog ~dump:b_dump ~fuel:1
+        ()
+    with
+    | Ok (P.Accepted _, Some (P.Result { rs_timeout; _ })) -> `Done rs_timeout
+    | Ok (reply, _) -> `Rejected reply
+    | Error e -> `Err (Client.error_to_string e)
+  in
+  let rec trip n =
+    if n = 0 then true
+    else
+      match submit_exhausting () with
+      | `Done true -> trip (n - 1)
+      | `Done false ->
+          fail "breaker phase: fuel-starved %s finished within budget" b_name;
+          false
+      | `Rejected r ->
+          fail "breaker phase: submit rejected early: %a" P.pp_reply r;
+          false
+      | `Err e ->
+          fail "breaker phase: %s" e;
+          false
+  in
+  let tripped =
+    trip 3
+    &&
+    match submit_exhausting () with
+    | `Rejected (P.Rejected_breaker _) -> true
+    | `Rejected r ->
+        fail "breaker never tripped: got %a" P.pp_reply r;
+        false
+    | `Done _ ->
+        fail "breaker never tripped: request was admitted";
+        false
+    | `Err e ->
+        fail "breaker trip check: %s" e;
+        false
+  in
+  let breaker_recovered =
+    tripped
+    && begin
+         Unix.sleepf 0.5 (* past the 0.4s cooldown: next submit is the probe *)
+       ;
+         match
+           Client.submit_wait ~timeout:30.0 socket ~prog:b_prog ~dump:b_dump ()
+         with
+         | Ok (P.Accepted _, Some (P.Result { rs_timeout = false; _ })) -> (
+             (* probe succeeded: the breaker must be closed again *)
+             match
+               Client.submit_wait ~timeout:30.0 socket ~prog:b_prog
+                 ~dump:b_dump ()
+             with
+             | Ok (P.Accepted _, Some (P.Result _)) -> true
+             | Ok (r, _) ->
+                 fail "breaker stayed open after a good probe: %a" P.pp_reply r;
+                 false
+             | Error e ->
+                 fail "post-probe submit: %s" (Client.error_to_string e);
+                 false)
+         | Ok (r, _) ->
+             fail "half-open probe was not admitted/completed: %a" P.pp_reply r;
+             false
+         | Error e ->
+             fail "half-open probe: %s" (Client.error_to_string e);
+             false
+       end
+  in
+  (* --- phase 5: read final counters, then drain gracefully --- *)
+  let recovered, restarts =
+    match Client.status socket with
+    | Ok (P.Status_reply { st_recovered; st_worker_restarts; _ }) ->
+        (st_recovered, st_worker_restarts)
+    | _ ->
+        fail "status request failed";
+        (0, 0)
+  in
+  if recovered = 0 then
+    fail "restarted daemon recovered nothing from the spool";
+  if restarts = 0 then
+    fail "injected worker SIGKILL produced no supervised restart";
+  ignore (Client.drain ~timeout:5.0 socket);
+  let drain_ok =
+    let rec reap tries =
+      match Unix.waitpid [ Unix.WNOHANG ] pid2 with
+      | 0, _ ->
+          if tries = 0 then begin
+            (try Unix.kill pid2 Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid2);
+            fail "daemon 2 did not drain within 30s";
+            false
+          end
+          else begin
+            Unix.sleepf 0.05;
+            reap (tries - 1)
+          end
+      | _, Unix.WEXITED 0 -> true
+      | _, st ->
+          fail "daemon 2 drain exit: %s"
+            (match st with
+            | Unix.WEXITED n -> Fmt.str "exit %d" n
+            | Unix.WSIGNALED n -> Fmt.str "signal %d" n
+            | Unix.WSTOPPED n -> Fmt.str "stopped %d" n);
+          false
+    in
+    reap 600
+  in
+  {
+    sk_submitted = !submitted;
+    sk_accepted = List.length !accepted;
+    sk_shed = !shed;
+    sk_completed = !completed;
+    sk_lost = !lost;
+    sk_mismatched = !mismatched;
+    sk_recovered = recovered;
+    sk_worker_restarts = restarts;
+    sk_breaker_tripped = tripped;
+    sk_breaker_recovered = breaker_recovered;
+    sk_drain_exit_ok = drain_ok;
+    sk_p50_ms = percentile_ms 0.50 !latencies;
+    sk_p99_ms = percentile_ms 0.99 !latencies;
+    sk_failures = List.rev !failures;
+  }
+
+let pp_sk_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>serve soak: %d submitted, %d accepted, %d shed, %d completed@,\
+     lost %d | body mismatches %d | recovered after SIGKILL %d | worker \
+     restarts %d@,\
+     breaker tripped %b, recovered %b | graceful drain %b@,\
+     latency p50 %dms p99 %dms@]"
+    s.sk_submitted s.sk_accepted s.sk_shed s.sk_completed s.sk_lost
+    s.sk_mismatched s.sk_recovered s.sk_worker_restarts s.sk_breaker_tripped
+    s.sk_breaker_recovered s.sk_drain_exit_ok s.sk_p50_ms s.sk_p99_ms

@@ -35,6 +35,7 @@ type t = {
   workers : int;
   retries : int;
   lost : int;
+  respawns : int;  (** replacement workers forked after a death *)
   worker_queries : int;
 }
 
@@ -65,7 +66,7 @@ let render rows clusters =
     triage wants: one pathological dump degrades to [partial] without
     starving its neighbours). *)
 let run ?(config = Res.default_config) ?budget_wall ?budget_fuel ?(jobs = 1)
-    ?backend ?kill_unit items =
+    ?backend ?kill_unit ?attempts ?backoff_base ?backoff_cap items =
   let items =
     List.sort (fun a b -> compare a.it_name b.it_name) items |> Array.of_list
   in
@@ -112,7 +113,8 @@ let run ?(config = Res.default_config) ?budget_wall ?budget_fuel ?(jobs = 1)
         }
   in
   let replies, pstats =
-    Pool.run ?backend ?kill_unit ~jobs ~worker
+    Pool.run ?backend ?kill_unit ?attempts ?backoff_base ?backoff_cap ~jobs
+      ~worker
       (List.map string_of_int farm)
   in
   let triaged = Array.make n None in
@@ -172,9 +174,16 @@ let run ?(config = Res.default_config) ?budget_wall ?budget_fuel ?(jobs = 1)
     workers = pstats.Pool.p_workers;
     retries = pstats.Pool.p_retries;
     lost = pstats.Pool.p_lost;
+    respawns = pstats.Pool.p_respawns;
     worker_queries;
   }
 
 (** Aggregate node/prune work across rows, for [--stats]. *)
 let total_nodes t = List.fold_left (fun a r -> a + r.row_nodes) 0 t.rows
 let total_pruned t = List.fold_left (fun a r -> a + r.row_pruned) 0 t.rows
+
+(** Every dump in the batch degraded to a [failed] row — the signal an
+    orchestrator gates on (bad program, poisoned dump directory, or a
+    worker pool that cannot keep a child alive). *)
+let all_failed t =
+  t.rows <> [] && List.for_all (fun r -> String.equal r.row_outcome "failed") t.rows

@@ -13,6 +13,7 @@ type stats = {
   e_units : int;
   e_retries : int;
   e_lost : int;
+  e_respawns : int;
   e_worker_queries : int;
 }
 
@@ -32,6 +33,7 @@ let analyze ?(config = Res.default_config) ?budget ?(jobs = 1)
   let units = ref 0 in
   let retries = ref 0 in
   let lost = ref 0 in
+  let respawns = ref 0 in
   let wq = ref 0 in
   let search_fn ~config ~budget ~resume ~on_node ctx dump =
     ignore on_node;
@@ -46,6 +48,7 @@ let analyze ?(config = Res.default_config) ?budget ?(jobs = 1)
     units := !units + r.Psearch.units;
     retries := !retries + r.Psearch.retries;
     lost := !lost + r.Psearch.lost;
+    respawns := !respawns + r.Psearch.respawns;
     wq := !wq + r.Psearch.worker_queries;
     r.Psearch.result
   in
@@ -57,5 +60,6 @@ let analyze ?(config = Res.default_config) ?budget ?(jobs = 1)
       e_units = !units;
       e_retries = !retries;
       e_lost = !lost;
+      e_respawns = !respawns;
       e_worker_queries = !wq;
     } )

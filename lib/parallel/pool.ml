@@ -37,10 +37,25 @@ type stats = {
   p_workers : int;  (** worker slots actually used *)
   p_retries : int;  (** units rescheduled after a worker death (fork only) *)
   p_lost : int;  (** units with no reply after all attempts *)
+  p_respawns : int;  (** replacement workers forked after a death (fork only) *)
 }
 
-(** Attempts per unit before it is abandoned as lost. *)
-let max_attempts = 3
+(** Default attempts per unit before it is abandoned as lost. *)
+let default_attempts = 3
+
+(** Default backoff before respawning a dead worker: [base * 2^deaths],
+    capped.  Immediate respawn (the old behavior) amplifies a persistent
+    failure — a worker that dies on startup would be re-forked in a hot
+    loop; the capped exponential delay keeps the coordinator responsive
+    while starving a crash loop of fuel. *)
+let default_backoff_base = 0.005
+
+let default_backoff_cap = 0.25
+
+(** The delay before the [deaths]-th respawn (0-based). *)
+let backoff_delay ~base ~cap deaths =
+  if base <= 0. then 0.
+  else min cap (base *. (2. ** float_of_int (min deaths 30)))
 
 (* The OCaml 5 runtime forbids [Unix.fork] once any domain has ever been
    spawned in the process.  The two backends therefore cannot be freely
@@ -93,49 +108,16 @@ let run_domains ~jobs ~worker units =
       p_workers = 1 + List.length doms;
       p_retries = 0;
       p_lost = Atomic.get lost;
+      p_respawns = 0;
     } )
 
 (* --- forked backend ------------------------------------------------- *)
 
-(* Frames are a 10-digit decimal length header followed by the payload;
-   big enough for any unit, trivially resynchronizable, and a partial
-   header/payload (worker died mid-write) reads as EOF. *)
+(* Frame I/O lives in {!Wire} (10-digit length prefix + payload), shared
+   with the triage daemon's socket protocol. *)
 
-let rec write_all fd b off len =
-  if len > 0 then
-    let n =
-      try Unix.write fd b off len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd b (off + n) (len - n)
-
-let write_frame fd s =
-  let b = Bytes.of_string (Printf.sprintf "%010d%s" (String.length s) s) in
-  write_all fd b 0 (Bytes.length b)
-
-let read_exact fd n =
-  let b = Bytes.create n in
-  let rec go off =
-    if off = n then Some b
-    else
-      match Unix.read fd b off (n - off) with
-      | 0 -> None
-      | k -> go (off + k)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-  in
-  go 0
-
-let read_frame fd =
-  match read_exact fd 10 with
-  | None -> None
-  | Some hdr -> (
-      match int_of_string_opt (Bytes.to_string hdr) with
-      | None -> None
-      | Some len when len < 0 -> None
-      | Some len -> (
-          match read_exact fd len with
-          | None -> None
-          | Some b -> Some (Bytes.to_string b)))
+let write_frame = Wire.write_frame
+let read_frame = Wire.read_frame
 
 (* A child serves requests until its request pipe hits EOF.  A worker
    factory or per-unit exception becomes an "ex"-prefixed reply — a
@@ -169,13 +151,17 @@ type wrk = {
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let run_forked ?kill_unit ?on_retry ~jobs ~worker units =
+let run_forked ?kill_unit ?on_retry ?(attempts = default_attempts)
+    ?(backoff_base = default_backoff_base) ?(backoff_cap = default_backoff_cap)
+    ~jobs ~worker units =
+  let max_attempts = max 1 attempts in
   let units = Array.of_list units in
   let n = Array.length units in
   let payloads = Array.copy units in
   let results = Array.make n None in
   let attempts = Array.make n 0 in
   let retries = ref 0 and lost = ref 0 in
+  let deaths = ref 0 and respawns = ref 0 in
   let remaining = ref n in
   let pending = Queue.create () in
   Array.iteri (fun i _ -> Queue.add i pending) units;
@@ -224,7 +210,9 @@ let run_forked ?kill_unit ?on_retry ~jobs ~worker units =
   (* A worker died (EOF on its reply pipe, or EPIPE writing to it).  Its
      in-flight unit goes back on the queue — transformed by [on_retry],
      which lets callers resume from a unit checkpoint instead of from
-     scratch — unless it has burned all its attempts. *)
+     scratch — unless it has burned all its attempts.  The replacement is
+     forked after a capped exponential backoff so a crash-looping worker
+     cannot pin the coordinator in a fork storm. *)
   and handle_death w =
     workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
     close_quiet w.req_w;
@@ -246,7 +234,14 @@ let run_forked ?kill_unit ?on_retry ~jobs ~worker units =
           | None -> ());
           Queue.add i pending
         end);
-    if not (Queue.is_empty pending) then dispatch (spawn ())
+    if not (Queue.is_empty pending) then begin
+      let delay = backoff_delay ~base:backoff_base ~cap:backoff_cap !deaths in
+      incr deaths;
+      if delay > 0. then Unix.sleepf delay;
+      incr respawns;
+      dispatch (spawn ())
+    end
+    else incr deaths
   in
   let find_worker fd = List.find (fun w -> w.res_r = fd) !workers in
   let handle_reply w reply =
@@ -284,7 +279,10 @@ let run_forked ?kill_unit ?on_retry ~jobs ~worker units =
                fresh child (inflight units were requeued or written off by
                [handle_death], so the queue is the whole remainder). *)
             if Queue.is_empty pending then remaining := 0
-            else dispatch (spawn ())
+            else begin
+              incr respawns;
+              dispatch (spawn ())
+            end
         | ws -> (
             let fds = List.map (fun w -> w.res_r) ws in
             match Unix.select fds [] [] (-1.0) with
@@ -301,8 +299,12 @@ let run_forked ?kill_unit ?on_retry ~jobs ~worker units =
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
       done);
   ( Array.to_list results,
-    { p_workers = max 1 (min jobs n); p_retries = !retries; p_lost = !lost }
-  )
+    {
+      p_workers = max 1 (min jobs n);
+      p_retries = !retries;
+      p_lost = !lost;
+      p_respawns = !respawns;
+    } )
 
 (* --- entry point ---------------------------------------------------- *)
 
@@ -314,8 +316,12 @@ let run_forked ?kill_unit ?on_retry ~jobs ~worker units =
     [i] is dispatched to it — the fault-injection hook behind the
     worker-kill campaign.  [on_retry i payload] produces the payload for
     a rescheduled attempt of unit [i] (fork backend only; domains workers
-    cannot die independently of the coordinator). *)
-let run ?backend ?kill_unit ?on_retry ~jobs ~worker units =
+    cannot die independently of the coordinator).  [attempts] bounds tries
+    per unit before it is written off as lost (default
+    {!default_attempts}); [backoff_base]/[backoff_cap] shape the capped
+    exponential delay before a dead worker's replacement is forked. *)
+let run ?backend ?kill_unit ?on_retry ?attempts ?backoff_base ?backoff_cap
+    ~jobs ~worker units =
   let backend =
     match backend with Some b -> b | None -> default_backend ()
   in
@@ -327,4 +333,5 @@ let run ?backend ?kill_unit ?on_retry ~jobs ~worker units =
           "Res_parallel.Pool: the fork backend cannot run after the domains \
            backend has spawned workers in this process (OCaml runtime \
            restriction); run fork-backend work first";
-      run_forked ?kill_unit ?on_retry ~jobs ~worker units
+      run_forked ?kill_unit ?on_retry ?attempts ?backoff_base ?backoff_cap
+        ~jobs ~worker units

@@ -32,6 +32,7 @@ type t = {
   workers : int;
   retries : int;  (** units rescheduled after a worker death *)
   lost : int;  (** units with no result after all attempts *)
+  respawns : int;  (** replacement workers forked after a death *)
   worker_queries : int;  (** solver queries made inside workers *)
 }
 
@@ -111,6 +112,7 @@ let search ?(config = Search.default_config) ?budget ?(jobs = 1)
       workers = 0;
       retries = 0;
       lost = 0;
+      respawns = 0;
       worker_queries = 0;
     }
   in
@@ -267,6 +269,7 @@ let search ?(config = Search.default_config) ?budget ?(jobs = 1)
       workers = pstats.Pool.p_workers;
       retries = pstats.Pool.p_retries;
       lost = pstats.Pool.p_lost + !decode_lost;
+      respawns = pstats.Pool.p_respawns;
       worker_queries = fold (fun a u -> a + u.Wire.r_queries) 0;
     }
   end

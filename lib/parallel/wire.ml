@@ -13,6 +13,50 @@ module Io = Res_vm.Coredump_io
 module Ckpt = Res_persist.Checkpoint
 open Res_core
 
+(* --- length-prefixed frames over file descriptors ------------------- *)
+
+(* Frames are a 10-digit decimal length header followed by the payload;
+   big enough for any unit, trivially resynchronizable, and a partial
+   header/payload (the writer died mid-write) reads as EOF.  Shared by
+   the worker pool's pipes and the triage daemon's Unix-domain sockets. *)
+
+let rec write_all fd b off len =
+  if len > 0 then
+    let n =
+      try Unix.write fd b off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + n) (len - n)
+
+let write_frame fd s =
+  let b = Bytes.of_string (Printf.sprintf "%010d%s" (String.length s) s) in
+  write_all fd b 0 (Bytes.length b)
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Some b
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 -> None
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(** Read one frame; [None] on EOF or a torn header/payload (writer died). *)
+let read_frame fd =
+  match read_exact fd 10 with
+  | None -> None
+  | Some hdr -> (
+      match int_of_string_opt (Bytes.to_string hdr) with
+      | None -> None
+      | Some len when len < 0 -> None
+      | Some len -> (
+          match read_exact fd len with
+          | None -> None
+          | Some b -> Some (Bytes.to_string b)))
+
 (* --- shared helpers (same idiom as checkpoint.ml) ------------------- *)
 
 let pp_bool ppf b = Fmt.int ppf (if b then 1 else 0)

@@ -602,16 +602,21 @@ let save path c = Io.write_file_atomic path (to_string c)
     invalid one is a torn write — delete it.  Siblings are scanned in
     sorted order (deterministic), so with several valid journals the
     lexicographically last wins. *)
-let recover_journal path =
+let recover_journal_with ~valid path =
   List.iter
     (fun tmp ->
       match Io.read_file tmp with
       | Error _ -> ()
-      | Ok src -> (
-          match Io.validate_sealed ~header:(String.equal header) src with
-          | Ok _ -> ( try Sys.rename tmp path with Sys_error _ -> ())
-          | Error _ -> ( try Sys.remove tmp with Sys_error _ -> ())))
+      | Ok src ->
+          if valid src then (try Sys.rename tmp path with Sys_error _ -> ())
+          else try Sys.remove tmp with Sys_error _ -> ())
     (Io.journal_siblings path)
+
+let recover_journal path =
+  recover_journal_with
+    ~valid:(fun src ->
+      Result.is_ok (Io.validate_sealed ~header:(String.equal header) src))
+    path
 
 let load path : (t, Io.dump_error) result =
   recover_journal path;

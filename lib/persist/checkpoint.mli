@@ -38,6 +38,12 @@ val save : string -> t -> unit
     by {!load}. *)
 val recover_journal : string -> unit
 
+(** The same promote-or-delete journal recovery for {e any} sealed on-disk
+    format: [valid src] decides whether a journal's bytes are a completed
+    write.  The triage daemon's request spool recovers its [.req]/[.res]
+    journals through this. *)
+val recover_journal_with : valid:(string -> bool) -> string -> unit
+
 (** Load a checkpoint, after {!recover_journal}. *)
 val load : string -> (t, Res_vm.Coredump_io.dump_error) result
 

@@ -1,0 +1,109 @@
+(** Per-workload-signature circuit breakers.
+
+    A triage service meets pathological workloads: a dump whose analysis
+    burns its entire solver budget will do so {e every} time it (or a
+    sibling from the same buggy deployment) is submitted.  Without a
+    breaker, a stream of such requests occupies workers wall-to-wall and
+    starves everything else.  The breaker watches consecutive budget
+    exhaustions per workload signature (crash family + stack — the WER
+    key, computable at admission without analysis) and fast-fails
+    matching requests once a signature has proven itself a tar pit.
+
+    Classic three-state machine, one instance per signature:
+
+    - [Closed]: requests pass.  [threshold] consecutive timeouts trip it.
+    - [Open]: matching requests are rejected ({!check} = [Reject]) until
+      [cooldown] has elapsed, then exactly one probe passes ([Probe]).
+    - [Half_open]: the probe is in flight; everyone else is rejected.
+      Probe success closes the breaker; a probe timeout re-opens it and
+      restarts the cooldown.
+
+    The clock is injected ([now]) so tests drive state transitions
+    without sleeping. *)
+
+type state = Closed | Open | Half_open
+
+type entry = {
+  mutable st : state;
+  mutable consecutive : int;  (** consecutive timeouts while closed *)
+  mutable opened_at : float;
+  mutable trips : int;  (** times this signature tripped the breaker *)
+}
+
+type t = {
+  threshold : int;  (** consecutive timeouts that trip the breaker *)
+  cooldown : float;  (** seconds open before a half-open probe *)
+  now : unit -> float;
+  tbl : (string, entry) Hashtbl.t;
+}
+
+let create ?(threshold = 3) ?(cooldown = 5.0) ?(now = Unix.gettimeofday) () =
+  { threshold = max 1 threshold; cooldown; now; tbl = Hashtbl.create 16 }
+
+let entry t signature =
+  match Hashtbl.find_opt t.tbl signature with
+  | Some e -> e
+  | None ->
+      let e = { st = Closed; consecutive = 0; opened_at = 0.; trips = 0 } in
+      Hashtbl.replace t.tbl signature e;
+      e
+
+(** Admission decision for a request with this signature. *)
+type decision =
+  | Pass
+  | Probe  (** pass, but as the half-open probe: its outcome decides *)
+  | Reject of { retry_ms : int }
+
+let check t signature =
+  let e = entry t signature in
+  match e.st with
+  | Closed -> Pass
+  | Half_open ->
+      Reject { retry_ms = int_of_float (t.cooldown *. 1000.) }
+  | Open ->
+      let elapsed = t.now () -. e.opened_at in
+      if elapsed >= t.cooldown then begin
+        e.st <- Half_open;
+        Probe
+      end
+      else
+        Reject
+          { retry_ms = max 1 (int_of_float ((t.cooldown -. elapsed) *. 1000.)) }
+
+(** The request with this signature finished within budget: close. *)
+let record_success t signature =
+  let e = entry t signature in
+  e.st <- Closed;
+  e.consecutive <- 0
+
+(** The request with this signature exhausted its budget (or had to be
+    hard-killed): count it, trip when the threshold is reached, and
+    re-open immediately if it was the half-open probe. *)
+let record_timeout t signature =
+  let e = entry t signature in
+  match e.st with
+  | Half_open | Open ->
+      e.st <- Open;
+      e.opened_at <- t.now ();
+      e.trips <- e.trips + 1
+  | Closed ->
+      e.consecutive <- e.consecutive + 1;
+      if e.consecutive >= t.threshold then begin
+        e.st <- Open;
+        e.opened_at <- t.now ();
+        e.trips <- e.trips + 1
+      end
+
+let state t signature = (entry t signature).st
+
+let open_count t =
+  Hashtbl.fold
+    (fun _ e acc -> if e.st = Closed then acc else acc + 1)
+    t.tbl 0
+
+let total_trips t = Hashtbl.fold (fun _ e acc -> acc + e.trips) t.tbl 0
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"

@@ -1,0 +1,132 @@
+(** Client side of the triage daemon's socket protocol.
+
+    Every call is guarded by a wall-clock timeout: a client of a
+    resilience-oriented service must itself never hang on a daemon that
+    is wedged, draining, or gone.  Failures are typed — connection
+    refused, timeout, and protocol damage are distinct, because callers
+    react differently to each (retry later vs. give up vs. report a
+    bug). *)
+
+module P = Protocol
+
+type error =
+  | Unreachable of string  (** connect failed: daemon not running there *)
+  | Timed_out of float  (** no (complete) reply within the deadline *)
+  | Closed  (** the daemon hung up mid-exchange *)
+  | Bad_reply of string  (** a frame arrived but failed seal or parse *)
+
+let error_to_string = function
+  | Unreachable m -> Fmt.str "cannot reach daemon: %s" m
+  | Timed_out s -> Fmt.str "timed out after %.1fs" s
+  | Closed -> "daemon closed the connection"
+  | Bad_reply m -> Fmt.str "bad reply: %s" m
+
+type t = { fd : Unix.file_descr }
+
+let connect ?(timeout = 5.0) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  ignore timeout;
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok { fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unreachable (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send t req =
+  try Ok (P.write_frame t.fd (P.encode_request req))
+  with Unix.Unix_error _ | Sys_error _ -> Error Closed
+
+(** Wait for one reply frame, but never longer than [timeout].  The
+    receive timeout is enforced with [SO_RCVTIMEO]-style select guarding:
+    the frame read itself only starts once the descriptor is readable,
+    and a frame the daemon began writing arrives promptly or not at
+    all (same-host pipe semantics). *)
+let recv ?(timeout = 30.0) t =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec wait () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0. then Error (Timed_out timeout)
+    else
+      match Unix.select [ t.fd ] [] [] remaining with
+      | [], _, _ -> Error (Timed_out timeout)
+      | _ -> (
+          match (try P.read_frame t.fd with _ -> None) with
+          | None -> Error Closed
+          | Some frame -> (
+              match P.decode_reply frame with
+              | Ok r -> Ok r
+              | Error m -> Error (Bad_reply m)))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Bad_reply (Unix.error_message e))
+  in
+  wait ()
+
+(** One-shot request/reply exchange on a fresh connection. *)
+let roundtrip ?timeout path req =
+  match connect path with
+  | Error e -> Error e
+  | Ok t ->
+      let r = match send t req with Ok () -> recv ?timeout t | Error e -> Error e in
+      close t;
+      r
+
+(** Submit and return the immediate admission reply ([Accepted] or a
+    typed rejection) together with the live connection, on which an
+    accepted request's [Result] will later be pushed. *)
+let submit ?timeout path ~prog ~dump ?deadline_ms ?fuel () =
+  match connect path with
+  | Error e -> Error e
+  | Ok t -> (
+      let req =
+        P.Submit
+          { sb_prog = prog; sb_dump = dump; sb_deadline_ms = deadline_ms; sb_fuel = fuel }
+      in
+      match send t req with
+      | Error e ->
+          close t;
+          Error e
+      | Ok () -> (
+          match recv ?timeout t with
+          | Error e ->
+              close t;
+              Error e
+          | Ok reply -> Ok (t, reply)))
+
+(** Submit and block until the terminal [Result] (or a rejection).
+    Returns the admission reply and, when accepted, the result. *)
+let submit_wait ?timeout path ~prog ~dump ?deadline_ms ?fuel () =
+  match submit ?timeout path ~prog ~dump ?deadline_ms ?fuel () with
+  | Error e -> Error e
+  | Ok (t, (P.Accepted _ as adm)) ->
+      let r = recv ?timeout t in
+      close t;
+      Result.map (fun result -> (adm, Some result)) r
+  | Ok (t, reply) ->
+      close t;
+      Ok (reply, None)
+
+let fetch ?timeout path id = roundtrip ?timeout path (P.Fetch id)
+let status ?timeout path = roundtrip ?timeout path P.Status
+let drain ?timeout path = roundtrip ?timeout path P.Drain
+let ping ?timeout path = roundtrip ?timeout path P.Ping
+
+(** Poll [fetch] until the request reaches its terminal [Result], up to
+    [deadline] seconds.  Transient connection failures are retried — the
+    daemon may be mid-restart, which is exactly when polling matters. *)
+let await_result ?(deadline = 30.0) ?(interval = 0.05) path id =
+  let until = Unix.gettimeofday () +. deadline in
+  let rec go () =
+    if Unix.gettimeofday () > until then Error (Timed_out deadline)
+    else
+      match fetch ~timeout:5.0 path id with
+      | Ok (P.Result _ as r) -> Ok r
+      | Ok (P.Unknown _ as r) -> Ok r
+      | Ok _ | Error (Unreachable _) | Error Closed | Error (Timed_out _) ->
+          Unix.sleepf interval;
+          go ()
+      | Error e -> Error e
+  in
+  go ()

@@ -1,0 +1,629 @@
+(** The triage daemon: a long-running analysis service engineered to stay
+    alive under hostile load.
+
+    One process owns a Unix domain socket and a durable request spool
+    ({!Spool}); clients submit (program, coredump) pairs and the daemon
+    runs each analysis in a {e forked worker} under a wall/fuel budget.
+    The design is defensive at every boundary:
+
+    - {b Bounded admission}: at most [capacity] requests queue.  Beyond
+      that, submissions get a typed [Rejected_overload] immediately —
+      load is shed explicitly, never absorbed into unbounded memory or
+      latency.
+    - {b Circuit breakers} ({!Breaker}): a workload signature that keeps
+      exhausting its budget is fast-failed with [Rejected_breaker] until
+      a cooldown passes and a half-open probe succeeds.
+    - {b Worker supervision}: a worker that dies (bug, OOM-kill, fault
+      injection) is restarted with capped exponential backoff, up to
+      [worker_attempts] tries; a worker that overstays its deadline plus
+      [hard_grace] is SIGKILLed and the request is reported as a budget
+      exhaustion.  Either way the request's client gets {e an answer} —
+      the daemon never goes silent on an accepted request.
+    - {b Crash-only recovery}: a request is journaled to the spool
+      {e before} the [Accepted] reply is sent, and its result is
+      journaled before it is reported completed.  A daemon that is
+      SIGKILLed mid-flight re-admits every accepted-but-unfinished
+      request on the next boot; completed results survive for [fetch].
+    - {b Graceful drain}: SIGTERM (or a [drain] request) stops admission,
+      finishes the queue, and exits 0.
+
+    Single-threaded [select] event loop; the only concurrency is forked
+    workers, each talking back over a pipe with the same length-prefixed
+    frames the client socket uses. *)
+
+module Io = Res_vm.Coredump_io
+module Res = Res_core.Res
+module Report = Res_core.Report
+module Backstep = Res_core.Backstep
+module Budget = Res_core.Budget
+module Pool = Res_parallel.Pool
+module P = Protocol
+
+type config = {
+  socket_path : string;
+  spool_dir : string;
+  jobs : int;  (** max concurrent analysis workers *)
+  capacity : int;  (** max queued (not yet running) requests *)
+  default_deadline : float option;  (** seconds, when the client sets none *)
+  default_fuel : int option;
+  hard_grace : float;  (** extra wall beyond the deadline before SIGKILL *)
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  worker_attempts : int;  (** analysis tries per request across worker deaths *)
+  backoff_base : float;
+  backoff_cap : float;
+  analyze_config : Res.config;
+  fi_kill_workers : int list;
+      (** fault injection: SIGKILL the Nth forked worker (1-based, in fork
+          order) right after it starts — simulates random worker death *)
+  fi_worker_delay : float;
+      (** fault injection: every worker sleeps this long before analyzing —
+          simulates slow analyses, so soak tests can build queue pressure
+          deterministically *)
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    socket_path = "res-serve.sock";
+    spool_dir = "res-spool";
+    jobs = 2;
+    capacity = 8;
+    default_deadline = Some 30.;
+    default_fuel = None;
+    hard_grace = 5.;
+    breaker_threshold = 3;
+    breaker_cooldown = 5.;
+    worker_attempts = 3;
+    backoff_base = Pool.default_backoff_base;
+    backoff_cap = Pool.default_backoff_cap;
+    analyze_config = Res.default_config;
+    fi_kill_workers = [];
+    fi_worker_delay = 0.;
+    log = ignore;
+  }
+
+(* --- per-request state ------------------------------------------------ *)
+
+type job = {
+  j_id : string;
+  j_prog : Res_ir.Prog.t;
+  j_dump : Res_vm.Coredump.t;
+  j_signature : string;
+  j_deadline : float option;
+  j_fuel : int option;
+  j_probe : bool;  (** this run is its breaker's half-open probe *)
+  j_enqueued : float;
+  mutable j_attempts : int;  (** worker deaths so far *)
+  mutable j_not_before : float;  (** backoff gate for the next dispatch *)
+  mutable j_waiters : Unix.file_descr list;
+      (** client connections awaiting this job's [Result] push *)
+}
+
+type worker = {
+  w_job : job;
+  w_pid : int;
+  w_pipe : Unix.file_descr;  (** read end of the result pipe *)
+  w_kill_at : float option;  (** hard-deadline SIGKILL backstop *)
+  mutable w_hard_killed : bool;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  sig_rd : Unix.file_descr;
+  sig_wr : Unix.file_descr;
+  spool : Spool.t;
+  breaker : Breaker.t;
+  mutable clients : Unix.file_descr list;
+  queue : job Queue.t;  (** admitted, waiting for a worker slot *)
+  mutable workers : worker list;
+  mutable draining : bool;
+  mutable fork_count : int;  (** fault-injection ordinal *)
+  (* counters for [status] *)
+  mutable n_accepted : int;
+  mutable n_completed : int;
+  mutable n_shed : int;
+  mutable n_breaker_rejected : int;
+  mutable n_recovered : int;
+  mutable n_restarts : int;
+}
+
+let queued_count t = Queue.length t.queue
+let running_count t = List.length t.workers
+
+let find_queued t id =
+  Queue.fold (fun acc j -> if String.equal j.j_id id then Some j else acc) None t.queue
+
+let find_running t id =
+  List.find_opt (fun w -> String.equal w.w_job.j_id id) t.workers
+
+(* --- worker child ----------------------------------------------------- *)
+
+(** The forked analysis worker.  A fresh process per request is the
+    isolation boundary: a segfaulting solver, a runaway allocation, or a
+    fault-injected SIGKILL takes down one request's attempt, never the
+    daemon.  The symbol counter is reset so the report bodies are
+    byte-identical to a serial offline [res analyze] of the same dump. *)
+let worker_child cfg job wfd =
+  Sys.set_signal Sys.sigterm Sys.Signal_default;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t0 = Unix.gettimeofday () in
+  if cfg.fi_worker_delay > 0. then Unix.sleepf cfg.fi_worker_delay;
+  Res_solver.Expr.reset_counter_for_tests ();
+  let budget =
+    match (job.j_deadline, job.j_fuel) with
+    | None, None -> None
+    | d, f -> Some (Budget.create ?wall_seconds:d ?fuel:f ())
+  in
+  let ctx = Backstep.make_ctx job.j_prog in
+  let outcome =
+    try Res.analyze ~config:cfg.analyze_config ?budget ctx job.j_dump
+    with exn -> Res.Failed (Res.Internal (Printexc.to_string exn))
+  in
+  let reply =
+    P.Result
+      {
+        rs_id = job.j_id;
+        rs_outcome = Res.outcome_name outcome;
+        rs_timeout = Res.is_budget_partial outcome;
+        rs_elapsed_ms =
+          int_of_float ((Unix.gettimeofday () -. t0) *. 1000.);
+        rs_body = Report.report_list_to_string ctx (Res.analysis outcome);
+      }
+  in
+  (try P.write_frame wfd (P.encode_reply reply)
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  (try Unix.close wfd with Unix.Unix_error _ -> ());
+  Unix._exit 0
+
+(* --- result plumbing -------------------------------------------------- *)
+
+(** Push a frame to a client, tolerating clients that vanished: a closed
+    or broken connection just means the client will [fetch] the spooled
+    result later. *)
+let push t fd frame =
+  try P.write_frame fd frame
+  with Unix.Unix_error _ | Sys_error _ ->
+    t.cfg.log (Fmt.str "push to departed client dropped")
+
+(** A job reached its terminal [Result]: journal it durably, feed the
+    breaker, and push it to every waiting client.  This is the {e only}
+    way an accepted request leaves the daemon — every code path that
+    retires a job funnels through here, which is what makes "accepted
+    implies answered" an invariant rather than a hope. *)
+let finish t job (reply : P.reply) =
+  let frame = P.encode_reply reply in
+  Spool.complete t.spool ~id:job.j_id ~frame;
+  (match reply with
+  | P.Result { rs_timeout; _ } ->
+      if rs_timeout then Breaker.record_timeout t.breaker job.j_signature
+      else Breaker.record_success t.breaker job.j_signature
+  | _ -> ());
+  List.iter (fun fd -> push t fd frame) job.j_waiters;
+  job.j_waiters <- [];
+  t.n_completed <- t.n_completed + 1;
+  t.cfg.log (Fmt.str "finished %s" job.j_id)
+
+(** Synthesize the terminal [Result] for a job the daemon had to give up
+    on (worker died [worker_attempts] times, or blew through the hard
+    deadline).  [timeout] routes the failure into the breaker as a budget
+    exhaustion; otherwise it counts as an ordinary failure. *)
+let finish_synthetic t job ~outcome ~timeout ~why =
+  t.cfg.log (Fmt.str "synthesizing %s result for %s: %s" outcome job.j_id why);
+  finish t job
+    (P.Result
+       {
+         rs_id = job.j_id;
+         rs_outcome = outcome;
+         rs_timeout = timeout;
+         rs_elapsed_ms =
+           int_of_float ((Unix.gettimeofday () -. job.j_enqueued) *. 1000.);
+         rs_body = "";
+       })
+
+(* --- dispatch and supervision ----------------------------------------- *)
+
+let spawn t job =
+  let rfd, wfd = Unix.pipe () in
+  t.fork_count <- t.fork_count + 1;
+  let ordinal = t.fork_count in
+  match Unix.fork () with
+  | 0 ->
+      (* the child keeps only its write pipe: holding the listen socket or
+         another worker's pipe open would mask EOFs in the parent *)
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (rfd :: t.listen_fd :: t.sig_rd :: t.sig_wr :: t.clients
+        @ List.map (fun w -> w.w_pipe) t.workers);
+      worker_child t.cfg job wfd
+  | pid ->
+      Unix.close wfd;
+      if List.mem ordinal t.cfg.fi_kill_workers then begin
+        t.cfg.log (Fmt.str "fault injection: SIGKILL worker %d (pid %d)" ordinal pid);
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+      end;
+      let now = Unix.gettimeofday () in
+      let w_kill_at =
+        Option.map (fun d -> now +. d +. t.cfg.hard_grace) job.j_deadline
+      in
+      t.workers <-
+        { w_job = job; w_pid = pid; w_pipe = rfd; w_kill_at; w_hard_killed = false }
+        :: t.workers;
+      t.cfg.log (Fmt.str "dispatched %s to pid %d" job.j_id pid)
+
+(** Fill free worker slots from the queue, respecting backoff gates.  The
+    queue is FIFO except that a backing-off job at the head must not
+    block runnable jobs behind it, so we rotate past gated jobs. *)
+let dispatch t =
+  let now = Unix.gettimeofday () in
+  let budget = ref (Queue.length t.queue) in
+  while
+    running_count t < t.cfg.jobs && !budget > 0 && not (Queue.is_empty t.queue)
+  do
+    decr budget;
+    let j = Queue.pop t.queue in
+    if j.j_not_before <= now then spawn t j else Queue.push j t.queue
+  done
+
+(** A worker's pipe produced a frame or an EOF.  A frame is the job's
+    result; EOF without a frame means the worker died (crash, OOM kill,
+    fault injection) and supervision decides: retry with backoff, or
+    admit defeat with a synthetic failure — but never silence. *)
+let on_worker_event t w =
+  let frame = try P.read_frame w.w_pipe with _ -> None in
+  (try Unix.close w.w_pipe with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ());
+  t.workers <- List.filter (fun w' -> w'.w_pid <> w.w_pid) t.workers;
+  (match frame with
+  | Some f -> (
+      match P.decode_reply f with
+      | Ok (P.Result _ as r) -> finish t w.w_job r
+      | Ok _ | Error _ ->
+          finish_synthetic t w.w_job ~outcome:"failed" ~timeout:false
+            ~why:"worker produced a malformed result frame")
+  | None when w.w_hard_killed ->
+      (* it overstayed deadline + grace: report it as the budget
+         exhaustion it is; retrying would just burn another slot *)
+      finish_synthetic t w.w_job ~outcome:"partial" ~timeout:true
+        ~why:"hard deadline exceeded (worker SIGKILLed)"
+  | None ->
+      let job = w.w_job in
+      job.j_attempts <- job.j_attempts + 1;
+      t.n_restarts <- t.n_restarts + 1;
+      if job.j_attempts >= t.cfg.worker_attempts then
+        finish_synthetic t job ~outcome:"failed" ~timeout:false
+          ~why:
+            (Fmt.str "worker died %d times (supervision limit)" job.j_attempts)
+      else begin
+        let delay =
+          Pool.backoff_delay ~base:t.cfg.backoff_base ~cap:t.cfg.backoff_cap
+            (job.j_attempts - 1)
+        in
+        job.j_not_before <- Unix.gettimeofday () +. delay;
+        Queue.push job t.queue;
+        t.cfg.log
+          (Fmt.str "worker for %s died (attempt %d); requeued with %.3fs backoff"
+             job.j_id job.j_attempts delay)
+      end);
+  dispatch t
+
+(** SIGKILL workers that blew past deadline + grace.  The kill is the
+    backstop for analyses wedged beyond their own budget enforcement
+    (e.g. a solver stuck in a single monstrous query). *)
+let enforce_hard_deadlines t =
+  let now = Unix.gettimeofday () in
+  List.iter
+    (fun w ->
+      match w.w_kill_at with
+      | Some kill_at when now >= kill_at && not w.w_hard_killed ->
+          w.w_hard_killed <- true;
+          t.cfg.log (Fmt.str "hard deadline: SIGKILL pid %d (%s)" w.w_pid w.w_job.j_id);
+          (try Unix.kill w.w_pid Sys.sigkill with Unix.Unix_error _ -> ())
+      | _ -> ())
+    t.workers
+
+(* --- admission -------------------------------------------------------- *)
+
+let status_reply t =
+  P.Status_reply
+    {
+      st_accepted = t.n_accepted;
+      st_completed = t.n_completed;
+      st_shed = t.n_shed;
+      st_breaker_rejected = t.n_breaker_rejected;
+      st_recovered = t.n_recovered;
+      st_queued = queued_count t;
+      st_running = running_count t;
+      st_worker_restarts = t.n_restarts;
+      st_breakers_open = Breaker.open_count t.breaker;
+      st_draining = t.draining;
+    }
+
+(** Parse and validate a submission's payloads in the daemon (cheap,
+    bounded work): malformed inputs earn a typed [Err] without ever
+    consuming a worker slot or a spool entry. *)
+let parse_submission ~prog_text ~dump_text =
+  match Res_ir.Parser.parse_result prog_text with
+  | Error msg -> Error (Fmt.str "bad program: %s" msg)
+  | Ok prog -> (
+      match Res_ir.Validate.check prog with
+      | _ :: _ as errs ->
+          Error
+            (Fmt.str "invalid program: %a"
+               Fmt.(list ~sep:(any "; ") Res_ir.Validate.pp_error)
+               errs)
+      | [] -> (
+          match Io.of_string_result dump_text with
+          | Error e -> Error (Fmt.str "bad coredump: %s" (Io.dump_error_to_string e))
+          | Ok { Io.dump; _ } -> Ok (prog, dump)))
+
+(** Admission control for a submission, in strict order: drain gate,
+    parse gate, capacity gate, breaker gate, then the durable accept.
+    Capacity is checked {e before} the breaker so a shed request can
+    never leave a breaker stuck half-open waiting for a probe that was
+    never admitted. *)
+let admit t ~frame ~prog_text ~dump_text ~deadline_ms ~fuel =
+  if t.draining then P.Rejected_draining
+  else
+    match parse_submission ~prog_text ~dump_text with
+    | Error msg -> P.Err msg
+    | Ok (prog, dump) ->
+        if queued_count t >= t.cfg.capacity then begin
+          t.n_shed <- t.n_shed + 1;
+          P.Rejected_overload
+            { ro_queued = queued_count t; ro_capacity = t.cfg.capacity }
+        end
+        else begin
+          let signature = Res_usecases.Triage.wer_key dump in
+          match Breaker.check t.breaker signature with
+          | Breaker.Reject { retry_ms } ->
+              t.n_breaker_rejected <- t.n_breaker_rejected + 1;
+              P.Rejected_breaker { rb_signature = signature; rb_retry_ms = retry_ms }
+          | (Breaker.Pass | Breaker.Probe) as d ->
+              let id = Spool.accept t.spool ~frame in
+              let now = Unix.gettimeofday () in
+              let job =
+                {
+                  j_id = id;
+                  j_prog = prog;
+                  j_dump = dump;
+                  j_signature = signature;
+                  j_deadline =
+                    (match deadline_ms with
+                    | Some ms -> Some (float_of_int ms /. 1000.)
+                    | None -> t.cfg.default_deadline);
+                  j_fuel = (match fuel with Some _ -> fuel | None -> t.cfg.default_fuel);
+                  j_probe = d = Breaker.Probe;
+                  j_enqueued = now;
+                  j_attempts = 0;
+                  j_not_before = now;
+                  j_waiters = [];
+                }
+              in
+              Queue.push job t.queue;
+              t.n_accepted <- t.n_accepted + 1;
+              t.cfg.log (Fmt.str "accepted %s (sig %s)" id signature);
+              P.Accepted { ac_id = id; ac_queued = queued_count t }
+        end
+
+let handle_fetch t id =
+  match Spool.read_result t.spool id with
+  | Ok frame -> `Raw frame  (* the journaled Result reply, verbatim *)
+  | Error _ ->
+      if find_running t id <> None then
+        `Reply (P.Pending { pd_id = id; pd_state = "running" })
+      else if find_queued t id <> None then
+        `Reply (P.Pending { pd_id = id; pd_state = "queued" })
+      else if Spool.has_request t.spool id then
+        (* accepted by a previous incarnation; recovery will run it *)
+        `Reply (P.Pending { pd_id = id; pd_state = "queued" })
+      else `Reply (P.Unknown id)
+
+(** One decoded client request → one immediate reply (plus, for an
+    accepted submit, a later pushed [Result]). *)
+let handle_request t fd frame = function
+  | P.Submit { sb_prog; sb_dump; sb_deadline_ms; sb_fuel } -> (
+      let reply =
+        admit t ~frame ~prog_text:sb_prog ~dump_text:sb_dump
+          ~deadline_ms:sb_deadline_ms ~fuel:sb_fuel
+      in
+      push t fd (P.encode_reply reply);
+      match reply with
+      | P.Accepted { ac_id; _ } -> (
+          (* register the submitter for the result push *)
+          match find_queued t ac_id with
+          | Some j -> j.j_waiters <- fd :: j.j_waiters
+          | None -> ())
+      | _ -> ())
+  | P.Fetch id -> (
+      match handle_fetch t id with
+      | `Raw frame -> push t fd frame
+      | `Reply r -> push t fd (P.encode_reply r))
+  | P.Status -> push t fd (P.encode_reply (status_reply t))
+  | P.Drain ->
+      t.draining <- true;
+      t.cfg.log "drain requested";
+      push t fd
+        (P.encode_reply
+           (P.Drained { dr_remaining = queued_count t + running_count t }))
+  | P.Ping -> push t fd (P.encode_reply (P.Pong (Unix.getpid ())))
+
+let drop_client t fd =
+  t.clients <- List.filter (fun fd' -> fd' <> fd) t.clients;
+  Queue.iter
+    (fun j -> j.j_waiters <- List.filter (fun fd' -> fd' <> fd) j.j_waiters)
+    t.queue;
+  List.iter
+    (fun w ->
+      w.w_job.j_waiters <- List.filter (fun fd' -> fd' <> fd) w.w_job.j_waiters)
+    t.workers;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let on_client_event t fd =
+  match (try P.read_frame fd with _ -> None) with
+  | None -> drop_client t fd
+  | Some frame -> (
+      match P.decode_request frame with
+      | Ok req -> handle_request t fd frame req
+      | Error msg -> push t fd (P.encode_reply (P.Err (Fmt.str "bad request: %s" msg))))
+
+(* --- boot: crash-only recovery ---------------------------------------- *)
+
+(** Re-admit every accepted-but-unfinished request from the spool.  The
+    journaled submit frame is re-decoded and re-parsed exactly as a fresh
+    submission would be; a journaled request that no longer parses (it
+    was validated at accept time, so this means on-disk damage beyond the
+    seal) is retired with a synthetic failure rather than dropped. *)
+let recover t =
+  List.iter
+    (fun id ->
+      let now = Unix.gettimeofday () in
+      let fail why =
+        (* retire the damaged spool entry durably — it still gets an
+           answer, just not an analysis *)
+        t.cfg.log (Fmt.str "retiring unrecoverable %s: %s" id why);
+        Spool.complete t.spool ~id
+          ~frame:
+            (P.encode_reply
+               (P.Result
+                  {
+                    rs_id = id;
+                    rs_outcome = "failed";
+                    rs_timeout = false;
+                    rs_elapsed_ms = 0;
+                    rs_body = "";
+                  }));
+        t.n_completed <- t.n_completed + 1
+      in
+      match Spool.read_request t.spool id with
+      | Error e -> fail (Fmt.str "spooled request unreadable: %s" (Io.dump_error_to_string e))
+      | Ok frame -> (
+          match P.decode_request frame with
+          | Ok (P.Submit { sb_prog; sb_dump; sb_deadline_ms; sb_fuel }) -> (
+              match parse_submission ~prog_text:sb_prog ~dump_text:sb_dump with
+              | Error why -> fail (Fmt.str "spooled request no longer parses: %s" why)
+              | Ok (prog, dump) ->
+                  let job =
+                    {
+                      j_id = id;
+                      j_prog = prog;
+                      j_dump = dump;
+                      j_signature = Res_usecases.Triage.wer_key dump;
+                      j_deadline =
+                        (match sb_deadline_ms with
+                        | Some ms -> Some (float_of_int ms /. 1000.)
+                        | None -> t.cfg.default_deadline);
+                      j_fuel =
+                        (match sb_fuel with Some _ -> sb_fuel | None -> t.cfg.default_fuel);
+                      j_probe = false;
+                      j_enqueued = now;
+                      j_attempts = 0;
+                      j_not_before = now;
+                      j_waiters = [];
+                    }
+                  in
+                  Queue.push job t.queue;
+                  t.n_recovered <- t.n_recovered + 1;
+                  t.cfg.log (Fmt.str "recovered %s from spool" id))
+          | Ok _ -> fail "spooled request is not a submit"
+          | Error why -> fail (Fmt.str "spooled request undecodable: %s" why)))
+    (Spool.pending t.spool)
+
+(* --- event loop ------------------------------------------------------- *)
+
+let run (cfg : config) =
+  let spool = Spool.openr cfg.spool_dir in
+  (* a previous incarnation's socket is stale by definition: we own the
+     spool, so we own the address *)
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  let sig_rd, sig_wr = Unix.pipe () in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      sig_rd;
+      sig_wr;
+      spool;
+      breaker =
+        Breaker.create ~threshold:cfg.breaker_threshold
+          ~cooldown:cfg.breaker_cooldown ();
+      clients = [];
+      queue = Queue.create ();
+      workers = [];
+      draining = false;
+      fork_count = 0;
+      n_accepted = 0;
+      n_completed = 0;
+      n_shed = 0;
+      n_breaker_rejected = 0;
+      n_recovered = 0;
+      n_restarts = 0;
+    }
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let request_drain _ =
+    (* async-signal-safe: one byte down the self-pipe wakes the loop *)
+    try ignore (Unix.write_substring t.sig_wr "T" 0 1) with Unix.Unix_error _ -> ()
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_drain);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_drain);
+  recover t;
+  dispatch t;
+  cfg.log
+    (Fmt.str "listening on %s (jobs=%d capacity=%d, %d recovered)"
+       cfg.socket_path cfg.jobs cfg.capacity t.n_recovered);
+  let finished () =
+    t.draining && Queue.is_empty t.queue && t.workers = []
+  in
+  while not (finished ()) do
+    let now = Unix.gettimeofday () in
+    (* wake for the earliest timer: a backoff gate or a hard kill *)
+    let timeout =
+      let tick = now +. 0.05 in
+      let earliest =
+        List.fold_left
+          (fun acc w -> match w.w_kill_at with Some k -> min acc k | None -> acc)
+          (Queue.fold (fun acc j -> min acc j.j_not_before) tick t.queue)
+          t.workers
+      in
+      Float.max 0.005 (earliest -. now)
+    in
+    let read_fds =
+      (if t.draining then [] else [ t.listen_fd ])
+      @ (t.sig_rd :: t.clients)
+      @ List.map (fun w -> w.w_pipe) t.workers
+    in
+    let ready, _, _ =
+      try Unix.select read_fds [] [] timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem t.sig_rd ready then begin
+      let buf = Bytes.create 16 in
+      (try ignore (Unix.read t.sig_rd buf 0 16) with Unix.Unix_error _ -> ());
+      if not t.draining then begin
+        t.draining <- true;
+        t.cfg.log "SIGTERM: draining"
+      end
+    end;
+    if (not t.draining) && List.mem t.listen_fd ready then begin
+      match Unix.accept t.listen_fd with
+      | fd, _ -> t.clients <- fd :: t.clients
+      | exception Unix.Unix_error _ -> ()
+    end;
+    List.iter
+      (fun w -> if List.mem w.w_pipe ready then on_worker_event t w)
+      t.workers;
+    List.iter
+      (fun fd -> if List.mem fd ready then on_client_event t fd)
+      t.clients;
+    enforce_hard_deadlines t;
+    dispatch t
+  done;
+  cfg.log "drained; exiting";
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.clients;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())

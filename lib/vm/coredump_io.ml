@@ -535,15 +535,38 @@ let journal_siblings path =
     call ({!fresh_tmp_path}), so concurrent writers in one directory never
     collide.  Shared by every on-disk artifact (coredumps, search
     checkpoints, parallel work-unit checkpoints). *)
+(* Flush the directory entry for a just-renamed file to stable storage.
+   Without this the rename is durable only against process death: after a
+   power loss the directory block may still hold the old entry.  Some
+   filesystems refuse fsync on a directory fd (EINVAL/EBADF/EACCES) — in
+   that case process-death atomicity is the best available and we keep
+   going rather than fail a write that already succeeded. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let write_file_atomic path contents =
   let tmp = fresh_tmp_path path in
-  let oc = open_out_bin tmp in
-  (try output_string oc contents
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     output_string oc contents;
+     flush oc;
+     (* Data must be on stable storage before the rename publishes it:
+        rename-before-fsync can surface an empty/torn file after power
+        loss even though the rename itself was atomic. *)
+     try Unix.fsync fd with Unix.Unix_error _ -> ()
    with exn ->
      close_out_noerr oc;
      raise exn);
   close_out oc;
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
 
 (** Write a coredump to [path] (atomically, via temp file + rename). *)
 let save path d = write_file_atomic path (to_string d)

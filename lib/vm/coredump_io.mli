@@ -68,12 +68,18 @@ val seal : string -> string
 val validate_sealed : header:(string -> bool) -> string -> (string, dump_error) result
 
 (** [write_file_atomic path contents] writes a fresh [path.<pid>.<n>.tmp]
-    journal in full, then renames it over [path].  A crash mid-write
-    leaves at worst a stale journal, never a torn destination; journal
-    names are unique per process and call, so concurrent workers writing
-    into one directory never collide or cross-promote each other's
-    journals. *)
+    journal in full, fsyncs it, renames it over [path], then fsyncs the
+    parent directory — durable against power loss, not just process
+    death.  A crash mid-write leaves at worst a stale journal, never a
+    torn destination; journal names are unique per process and call, so
+    concurrent workers writing into one directory never collide or
+    cross-promote each other's journals. *)
 val write_file_atomic : string -> string -> unit
+
+(** Best-effort fsync of a directory (publishes renames/creates within it
+    across power loss); silently a no-op where directory fsync is
+    unsupported. *)
+val fsync_dir : string -> unit
 
 (** The journal name the next atomic write to [path] would use — for
     fault-injection that plants a torn journal where a killed writer

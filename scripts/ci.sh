@@ -9,8 +9,14 @@
 # pruner changes any workload's reports.  The parallel gates assert the
 # sharded engine is byte-identical to the serial one at -j 2 and -j 4
 # and that SIGKILLing batch-triage workers mid-unit never changes the
-# final TSV.  Finally `res check` lints the whole workload corpus: the
-# three seeded concurrency bugs must be the only findings.
+# final TSV.  The serve-soak gate floods the triage daemon past
+# capacity, SIGKILLs a worker and then the daemon itself, and exits
+# non-zero if any accepted request is lost, any served report diverges
+# from offline analyze, the breaker fails to trip and recover, or
+# drain exits non-zero; it runs under a hard timeout so a wedged
+# daemon fails CI instead of hanging it.  Finally `res check` lints
+# the whole workload corpus: the three seeded concurrency bugs must be
+# the only findings.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -23,6 +29,7 @@ dune exec bin/res_cli.exe -- selftest --prune-equivalence
 dune exec bin/res_cli.exe -- selftest --worker-kill
 dune exec bin/res_cli.exe -- selftest --parallel-equivalence 2
 dune exec bin/res_cli.exe -- selftest --parallel-equivalence 4
+timeout 120 dune exec bin/res_cli.exe -- selftest --serve-soak
 
 # Static lint over the corpus: warnings are expected (exit 2) but only
 # on the seeded bugs; any other program producing a finding, or any

@@ -299,6 +299,100 @@ let test_batch_degrades () =
         (List.for_all (fun r -> r.Batch.row_outcome <> "failed") rest)
   | [] -> Alcotest.fail "no rows"
 
+(** The degraded row must be identical at every worker count: a damaged
+    dump costs one row, and which row it is cannot depend on [-j]. *)
+let test_batch_degrades_every_jobs () =
+  let items = corpus_items () in
+  let broken =
+    {
+      Batch.it_name = "00-broken";
+      it_prog = (List.hd items).Batch.it_prog;
+      it_dump = Error "truncated file";
+    }
+  in
+  let run jobs = Batch.run ~jobs ~backend:Pool.Forked (broken :: items) in
+  let t1 = run 1 in
+  let t4 = run 4 in
+  List.iter
+    (fun (jobs, t) ->
+      match t.Batch.rows with
+      | first :: rest ->
+          Alcotest.(check string)
+            (Fmt.str "-j %d: broken dump fails gracefully" jobs)
+            "failed" first.Batch.row_outcome;
+          Alcotest.(check string)
+            (Fmt.str "-j %d: bucketed as dump error" jobs)
+            "dump-error" first.Batch.row_bucket;
+          Alcotest.(check bool)
+            (Fmt.str "-j %d: other rows unaffected" jobs)
+            true
+            (List.for_all (fun r -> r.Batch.row_outcome <> "failed") rest)
+      | [] -> Alcotest.fail "no rows")
+    [ (1, t1); (4, t4) ];
+  Alcotest.(check string) "degraded TSV identical at -j 1 and -j 4"
+    t1.Batch.tsv t4.Batch.tsv
+
+(** A worker SIGKILLed mid-unit with retries exhausted degrades that one
+    unit to a worker-lost row; the pool still respawns a worker so the
+    rest of the batch completes. *)
+let test_batch_worker_lost_row () =
+  let items = corpus_items () in
+  let t =
+    Batch.run ~jobs:2 ~backend:Pool.Forked ~kill_unit:1 ~attempts:1 items
+  in
+  let lost_rows =
+    List.filter
+      (fun r -> String.equal r.Batch.row_bucket "worker-lost")
+      t.Batch.rows
+  in
+  Alcotest.(check int) "exactly one unit lost" 1 (List.length lost_rows);
+  Alcotest.(check string) "lost unit marked failed" "failed"
+    (List.hd lost_rows).Batch.row_outcome;
+  Alcotest.(check int) "pool counted the loss" 1 t.Batch.lost;
+  Alcotest.(check bool) "a replacement worker was respawned" true
+    (t.Batch.respawns >= 1);
+  Alcotest.(check int) "every item still produced a row"
+    (List.length items)
+    (List.length t.Batch.rows);
+  Alcotest.(check bool) "one lost unit is not a failed batch" false
+    (Batch.all_failed t)
+
+(** A batch where every dump is unloadable still completes — and is
+    recognizable as wholly failed, which the CLI maps to a nonzero
+    exit. *)
+let test_batch_all_failed () =
+  let items = corpus_items () in
+  let break i it =
+    {
+      it with
+      Batch.it_name = Fmt.str "b%02d" i;
+      it_dump = Error "unreadable";
+    }
+  in
+  let t =
+    Batch.run ~jobs:2 ~backend:Pool.Forked (List.mapi break items)
+  in
+  Alcotest.(check int) "every item produced a row" (List.length items)
+    (List.length t.Batch.rows);
+  Alcotest.(check bool) "wholly failed batch detected" true
+    (Batch.all_failed t);
+  let healthy = Batch.run ~jobs:2 ~backend:Pool.Forked items in
+  Alcotest.(check bool) "healthy batch is not wholly failed" false
+    (Batch.all_failed healthy)
+
+(* --- supervision backoff (satellite; no pool) ------------------------ *)
+
+let test_backoff_schedule () =
+  let d = Pool.backoff_delay ~base:0.005 ~cap:0.25 in
+  Alcotest.(check (float 1e-9)) "first retry at base" 0.005 (d 0);
+  Alcotest.(check (float 1e-9)) "doubles" 0.01 (d 1);
+  Alcotest.(check (float 1e-9)) "keeps doubling" 0.04 (d 3);
+  Alcotest.(check (float 1e-9)) "caps" 0.25 (d 9);
+  Alcotest.(check (float 1e-9)) "huge death counts stay capped (no overflow)"
+    0.25 (d 1000);
+  Alcotest.(check (float 1e-9)) "zero base disables backoff" 0.
+    (Pool.backoff_delay ~base:0. ~cap:0.25 5)
+
 (* --- journal naming (satellite 1; no pool) -------------------------- *)
 
 let test_fresh_tmp_paths_disjoint () =
@@ -416,9 +510,17 @@ let () =
             test_batch_deterministic_fork;
           Alcotest.test_case "unloadable dump degrades" `Quick
             test_batch_degrades;
+          Alcotest.test_case "degraded rows identical at -j 1/4" `Slow
+            test_batch_degrades_every_jobs;
+          Alcotest.test_case "worker lost past retry limit degrades" `Quick
+            test_batch_worker_lost_row;
+          Alcotest.test_case "wholly failed batch detected" `Quick
+            test_batch_all_failed;
         ] );
       ( "journal",
         [
+          Alcotest.test_case "backoff schedule doubles and caps" `Quick
+            test_backoff_schedule;
           Alcotest.test_case "fresh tmp paths disjoint" `Quick
             test_fresh_tmp_paths_disjoint;
           Alcotest.test_case "siblings include legacy + pid forms" `Quick
