@@ -1008,6 +1008,216 @@ let client_cmd =
         (fun s -> Res_serve.Client.ping s);
     ]
 
+(* --- cluster: node daemon + coordinator --- *)
+
+let node_cmd =
+  let host =
+    Arg.(
+      value
+      & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Address to listen on.")
+  in
+  let port =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+  in
+  let spool =
+    Arg.(
+      value
+      & opt string "res-node-spool"
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:"Durable request spool (per node).")
+  in
+  let verbose =
+    Arg.(
+      value & flag & info [ "verbose"; "v" ] ~doc:"Log node events to stderr.")
+  in
+  let run host port spool jobs verbose =
+    if port <= 0 || port > 65535 then
+      raise (Die (exit_internal, Fmt.str "bad port %d" port));
+    let cfg =
+      {
+        Res_serve.Server.default_config with
+        Res_serve.Server.tcp = Some (host, port);
+        spool_dir = spool;
+        jobs = (if jobs <= 0 then 2 else jobs);
+        log = (if verbose then fun m -> Fmt.epr "res-node: %s@." m else ignore);
+      }
+    in
+    Res_serve.Server.run cfg;
+    exit_ok
+  in
+  Cmd.v
+    (Cmd.info "node"
+       ~doc:
+         "Run a triage cluster node: the same resilient daemon as \
+          $(b,res serve) (supervised workers, spool recovery, circuit \
+          breakers, graceful drain) listening on TCP for a $(b,res \
+          coordinate) coordinator.")
+    Term.(const run $ host $ port $ spool $ jobs_arg $ verbose)
+
+let coordinate_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Directory of coredump files to triage (every regular file).")
+  in
+  let nodes_arg =
+    Arg.(
+      required
+      & opt (some (list string)) None
+      & info [ "nodes" ] ~docv:"HOST:PORT,..."
+          ~doc:"Comma-separated node daemon addresses to shard across.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Durable result journal.  Applied rows are journaled here \
+             before they count, so a killed coordinator re-run on the same \
+             journal resumes without re-running or double-applying units.")
+  in
+  let window =
+    Arg.(
+      value & opt int 2
+      & info [ "window" ] ~docv:"N"
+          ~doc:"In-flight units per node (match the node's $(b,--jobs)).")
+  in
+  let attempts =
+    Arg.(
+      value & opt int 8
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:
+            "Exchange attempts per unit, across nodes, before it degrades \
+             to a $(b,worker-lost) row.")
+  in
+  let unit_deadline =
+    Arg.(
+      value & opt float 60.0
+      & info [ "unit-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall clock an exchange may stay open before the node is \
+             charged a failure and the unit rescheduled.")
+  in
+  let connect_timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "connect-timeout" ] ~docv:"SECONDS"
+          ~doc:"Deadline for establishing each node connection.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-dump wall-clock deadline, forwarded to the nodes; a dump \
+             that exceeds it degrades to a partial row.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Per-dump search-node budget, forwarded to the nodes.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Log retries, reschedules, and node failures to stderr.")
+  in
+  let run prog_path dir nodes journal window attempts unit_deadline
+      connect_timeout deadline fuel stats verbose =
+    let module C = Res_cluster.Coordinator in
+    let prog = or_die (load_prog prog_path) in
+    let prog_text = Res_ir.Prog.to_string prog in
+    let addrs =
+      List.map (fun s -> or_die (Res_cluster.Transport.parse_addr s)) nodes
+    in
+    let files = Sys.readdir dir in
+    Array.sort compare files;
+    let units = ref [] and extra = ref [] in
+    Array.iter
+      (fun name ->
+        let path = Filename.concat dir name in
+        match (Unix.stat path).Unix.st_kind with
+        | Unix.S_REG -> (
+            match Res_vm.Coredump_io.load_result path with
+            | Ok { Res_vm.Coredump_io.dump; _ } ->
+                units :=
+                  {
+                    C.ci_name = name;
+                    ci_prog = prog_text;
+                    ci_dump = Res_vm.Coredump_io.to_string dump;
+                    ci_sig = Res_usecases.Triage.wer_key dump;
+                  }
+                  :: !units
+            | Error e ->
+                (* settled locally, exactly as batch triage rows them *)
+                extra :=
+                  {
+                    Res_parallel.Batch.row_name = name;
+                    row_outcome = "failed";
+                    row_bucket = "dump-error";
+                    row_cause = Res_vm.Coredump_io.dump_error_to_string e;
+                    row_nodes = 0;
+                    row_pruned = 0;
+                  }
+                  :: !extra)
+        | _ -> ()
+        | exception Unix.Unix_error _ -> ())
+      files;
+    if !units = [] && !extra = [] then
+      raise (Die (exit_internal, Fmt.str "no coredump files under %s" dir));
+    let config =
+      {
+        C.default_config with
+        C.nodes = addrs;
+        window = max 1 window;
+        unit_attempts = max 1 attempts;
+        unit_deadline;
+        connect_timeout;
+        deadline_ms = Option.map (fun s -> int_of_float (s *. 1000.)) deadline;
+        fuel;
+        journal_dir = journal;
+        log =
+          (if verbose then fun m -> Fmt.epr "res-coordinate: %s@." m
+           else ignore);
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let t = C.run ~config ~extra_rows:!extra !units in
+    print_string t.C.tsv;
+    if stats then begin
+      Fmt.epr "%a@." C.pp_stats t.C.stats;
+      List.iter
+        (fun (addr, state, ok, failed) ->
+          Fmt.epr "node %s %s completed=%d failures=%d@." addr state ok failed)
+        t.C.node_health;
+      Fmt.epr "wall %.3fs@." (Unix.gettimeofday () -. t0)
+    end;
+    if C.all_failed t then exit_internal else exit_ok
+  in
+  Cmd.v
+    (Cmd.info "coordinate"
+       ~doc:
+         "Shard a batch-triage corpus across $(b,res node) daemons: route \
+          each dump to a node by workload-signature hash, retry and \
+          reschedule units off dead or stalled nodes with capped backoff, \
+          journal applied rows for crash-resume, and print the same \
+          deterministic TSV a single-node $(b,res triage) prints.")
+    Term.(
+      const run $ prog_arg $ dir_arg $ nodes_arg $ journal $ window $ attempts
+      $ unit_deadline $ connect_timeout $ deadline $ fuel $ stats_arg
+      $ verbose)
+
 (* --- selftest --- *)
 
 let selftest_cmd =
@@ -1079,13 +1289,35 @@ let selftest_cmd =
              gracefully — and assert zero lost accepted requests and \
              byte-identical completed report bodies.")
   in
+  let cluster_soak =
+    Arg.(
+      value & flag
+      & info [ "cluster-soak" ]
+          ~doc:
+            "Run the multi-node cluster soak campaign: shard the corpus \
+             across three TCP node daemons, SIGKILL the coordinator \
+             mid-corpus and resume it from its journal, SIGKILL a node and \
+             watch its units reschedule, stall a node past the unit \
+             deadline — and assert the merged TSV stays byte-identical to \
+             single-node triage with zero lost units.")
+  in
   let run runs seed verbose skip_deadline kill_resume prune_equivalence
-      worker_kill parallel_equivalence serve_soak backend =
+      worker_kill parallel_equivalence serve_soak cluster_soak backend =
     let open Res_faultinject.Faultinject in
-    (* Fork-backed campaigns (daemon soak, worker kill) must precede any
-       campaign that spawns domains: the runtime forbids fork after
-       domains. *)
-    if serve_soak then begin
+    (* Fork-backed campaigns (cluster/daemon soak, worker kill) must
+       precede any campaign that spawns domains: the runtime forbids fork
+       after domains. *)
+    if cluster_soak then begin
+      let s =
+        cluster_soak_campaign
+          ~log:(if verbose then fun m -> Fmt.epr "cluster: %s@." m else ignore)
+          ()
+      in
+      Fmt.pr "%a@." pp_ck_summary s;
+      List.iter (fun m -> Fmt.epr "CLUSTER-SOAK FAILURE: %s@." m) s.ck_failures;
+      if s.ck_failures = [] then exit_ok else exit_internal
+    end
+    else if serve_soak then begin
       let s =
         serve_soak_campaign
           ~log:(if verbose then fun m -> Fmt.epr "soak: %s@." m else ignore)
@@ -1167,7 +1399,7 @@ let selftest_cmd =
     Term.(
       const run $ runs $ seed $ verbose $ skip_deadline $ kill_resume
       $ prune_equivalence $ worker_kill $ parallel_equivalence $ serve_soak
-      $ backend_arg)
+      $ cluster_soak $ backend_arg)
 
 let main_cmd =
   let doc = "reverse execution synthesis for MiniIR coredumps" in
@@ -1188,6 +1420,8 @@ let main_cmd =
       selftest_cmd;
       serve_cmd;
       client_cmd;
+      node_cmd;
+      coordinate_cmd;
     ]
 
 (* Never let a raw OCaml exception (or backtrace) reach the user: every

@@ -1,0 +1,94 @@
+(** The coordinator's durable result journal: crash-only, like the node
+    spool, but keyed by {e unit identity} (the dump's corpus name)
+    rather than by request id — a restarted coordinator re-derives the
+    corpus deterministically and must recognize which units are already
+    answered, whichever incarnation answered them.
+
+    One file per applied unit, [u<index>.row], holding the node's [Row]
+    reply frame verbatim (the same "journal the wire format" trick as
+    the spool: recovery needs no third format).  Files are written with
+    {!Res_vm.Coredump_io.write_file_atomic} {e before} the row is
+    applied in memory, so at-most-once application survives a SIGKILL
+    between the two: the reborn coordinator reads the row back instead
+    of re-running the unit.  A [.tmp] journal left by a killed writer is
+    promoted if its seal validates, deleted otherwise. *)
+
+module Io = Res_vm.Coredump_io
+module P = Res_serve.Protocol
+
+type t = { dir : string }
+
+let path t index = Filename.concat t.dir (Fmt.str "u%04d.row" index)
+
+let valid src =
+  Result.is_ok (Io.validate_sealed ~header:(String.equal P.rep_header) src)
+
+(** Open (and recover) a journal directory, creating it if needed. *)
+let openr dir =
+  (if not (Sys.file_exists dir) then
+     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+      let dests = Hashtbl.create 8 in
+      Array.iter
+        (fun e ->
+          if Filename.check_suffix e ".tmp" then begin
+            let stem = Filename.chop_suffix e ".tmp" in
+            (* strip the [.<pid>.<n>] journal suffix if present *)
+            let stem =
+              match String.rindex_opt stem '.' with
+              | Some i
+                when int_of_string_opt
+                       (String.sub stem (i + 1) (String.length stem - i - 1))
+                     <> None -> (
+                  let stem2 = String.sub stem 0 i in
+                  match String.rindex_opt stem2 '.' with
+                  | Some j
+                    when int_of_string_opt
+                           (String.sub stem2 (j + 1) (String.length stem2 - j - 1))
+                         <> None ->
+                      String.sub stem2 0 j
+                  | _ -> stem)
+              | _ -> stem
+            in
+            Hashtbl.replace dests (Filename.concat dir stem) ()
+          end)
+        entries;
+      Hashtbl.iter
+        (fun dest () ->
+          Res_persist.Checkpoint.recover_journal_with ~valid dest)
+        dests);
+  { dir }
+
+(** Durably record a unit's applied [Row] frame.  Once this returns, a
+    coordinator crash cannot lose or re-run the unit. *)
+let append t ~index ~frame = Io.write_file_atomic (path t index) frame
+
+(** How many units have journaled rows (what soak harnesses poll to time
+    their kills). *)
+let count dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+      Array.fold_left
+        (fun acc e -> if Filename.check_suffix e ".row" then acc + 1 else acc)
+        0 entries
+
+(** Every journaled row as [(unit name, Row frame)].  Rows that no
+    longer decode (on-disk damage beyond the seal) are skipped — the
+    unit will simply be re-run, which is always safe. *)
+let recovered_rows t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter (fun e -> Filename.check_suffix e ".row")
+      |> List.sort compare
+      |> List.filter_map (fun e ->
+             match Io.read_file (Filename.concat t.dir e) with
+             | Error _ -> None
+             | Ok frame -> (
+                 match P.decode_reply frame with
+                 | Ok (P.Row { rw_name; _ }) -> Some (rw_name, frame)
+                 | _ -> None))

@@ -1122,3 +1122,286 @@ let pp_sk_summary ppf s =
     s.sk_submitted s.sk_accepted s.sk_shed s.sk_completed s.sk_lost
     s.sk_mismatched s.sk_recovered s.sk_worker_restarts s.sk_breaker_tripped
     s.sk_breaker_recovered s.sk_drain_exit_ok s.sk_p50_ms s.sk_p99_ms
+
+(* --- campaign: multi-node cluster soak ------------------------------- *)
+
+(** Soak-test the cluster coordinator the way a real deployment will
+    hurt it: SIGKILL the coordinator mid-corpus and resume it from its
+    journal, SIGKILL a node mid-corpus and watch its units reschedule,
+    and partition a node behind an injected worker stall so exchanges
+    time out instead of failing fast.  The acceptance bar is the
+    cluster contract: {e the merged TSV is byte-identical to a
+    single-node [res triage] of the same corpus under every kill
+    schedule}, with zero lost units and every retry/reschedule counted.
+
+    Fork-backed by construction (nodes, the killed coordinator, and the
+    killer are forked processes), so it must run before any domains are
+    spawned in this process. *)
+
+type ck_summary = {
+  ck_units : int;  (** corpus size fed to every run *)
+  ck_identical : int;  (** of [ck_runs] faulted runs, TSV = single-node *)
+  ck_runs : int;
+  ck_recovered : int;  (** rows replayed from the journal after the
+                           coordinator was SIGKILLed *)
+  ck_retries : int;  (** unit re-dispatches after the node SIGKILL *)
+  ck_reschedules : int;  (** re-dispatches that moved to another node *)
+  ck_nodes_dead : int;  (** nodes declared dead after the SIGKILL *)
+  ck_stall_failures : int;  (** exchanges cut off by the unit deadline
+                                during the partition phase *)
+  ck_lost : int;  (** units degraded to worker-lost, all phases: must be 0 *)
+  ck_duplicates : int;  (** late rows dropped by at-most-once *)
+  ck_drain_ok : bool;  (** surviving nodes drained cleanly on SIGTERM *)
+  ck_failures : string list;  (** empty iff the cluster kept its contract *)
+}
+
+let cluster_soak_campaign ?(dir = Filename.get_temp_dir_name ())
+    ?(log = ignore) () : ck_summary =
+  let module Server = Res_serve.Server in
+  let module Transport = Res_cluster.Transport in
+  let module Journal = Res_cluster.Journal in
+  let module C = Res_cluster.Coordinator in
+  let base = Filename.concat dir (Fmt.str "res-cluster-%d" (Unix.getpid ())) in
+  (try Unix.mkdir base 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun m -> log m; failures := m :: !failures) fmt in
+  (* --- corpus and the single-node truth ------------------------------ *)
+  let reports = Res_workloads.Corpus.generate ~n_per_bug:3 () in
+  let items =
+    List.map
+      (fun (r : Res_workloads.Corpus.report) ->
+        {
+          Res_parallel.Batch.it_name = Fmt.str "%s-%02d" r.r_bug r.r_id;
+          it_prog = r.r_prog;
+          it_dump = Ok r.r_dump;
+        })
+      reports
+  in
+  let n_units = List.length items in
+  (* fork-backed single-node baseline: domains must not exist yet *)
+  let baseline =
+    Res_parallel.Batch.run ~jobs:1 ~backend:Res_parallel.Pool.Forked items
+  in
+  let units =
+    List.map
+      (fun (r : Res_workloads.Corpus.report) ->
+        {
+          C.ci_name = Fmt.str "%s-%02d" r.r_bug r.r_id;
+          ci_prog = Res_ir.Prog.to_string r.r_prog;
+          ci_dump = Res_vm.Coredump_io.to_string r.r_dump;
+          ci_sig = Res_usecases.Triage.wer_key r.r_dump;
+        })
+      reports
+  in
+  (* --- node fleet: bind ephemeral ports in the parent, fork each node
+     on its prebound socket, then close the parent's fd copy so a killed
+     node's port refuses instead of silently queueing connects --- *)
+  let start_node ~name ~delay =
+    let fd, port = Transport.listen_ephemeral () in
+    let pid =
+      match Unix.fork () with
+      | 0 ->
+          (try
+             Server.run
+               {
+                 Server.default_config with
+                 Server.prebound = Some fd;
+                 spool_dir = Filename.concat base (name ^ "-spool");
+                 jobs = 2;
+                 capacity = 8;
+                 default_deadline = Some 10.;
+                 fi_worker_delay = delay;
+               }
+           with _ -> Unix._exit 1);
+          Unix._exit 0
+      | pid -> pid
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (pid, { Transport.host = "127.0.0.1"; port })
+  in
+  let pid1, addr1 = start_node ~name:"node1" ~delay:0.08 in
+  let pid2, addr2 = start_node ~name:"node2" ~delay:0.08 in
+  let pid3, addr3 = start_node ~name:"node3" ~delay:0.08 in
+  let wait_ready addr =
+    let deadline = Unix.gettimeofday () +. 10. in
+    let rec go () =
+      Transport.ping addr
+      ||
+      if Unix.gettimeofday () > deadline then false
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+    in
+    if not (go ()) then
+      fail "node %s never became ready" (Transport.addr_to_string addr)
+  in
+  List.iter wait_ready [ addr1; addr2; addr3 ];
+  let config journal_dir =
+    {
+      C.default_config with
+      C.nodes = [ addr1; addr2; addr3 ];
+      window = 2;
+      (* two consecutive failed exchanges declare a node dead: a small
+         corpus must still reach the declaration before it runs out *)
+      node_attempts = 2;
+      journal_dir = Some journal_dir;
+      log;
+    }
+  in
+  let check_identical phase (t : C.t) =
+    if t.C.stats.C.cs_lost > 0 then
+      fail "%s: %d unit(s) lost" phase t.C.stats.C.cs_lost;
+    if String.equal t.C.tsv baseline.Res_parallel.Batch.tsv then true
+    else begin
+      fail "%s: merged TSV differs from single-node triage" phase;
+      false
+    end
+  in
+  (* poll a journal directory until [want] rows exist (how the campaign
+     times its kills to land mid-corpus) *)
+  let await_rows journal want =
+    let deadline = Unix.gettimeofday () +. 30. in
+    let rec go () =
+      Journal.count journal >= want
+      || Unix.gettimeofday () > deadline
+         && begin
+              fail "journal %s never reached %d rows" journal want;
+              false
+            end
+      || begin
+           Unix.sleepf 0.01;
+           go ()
+         end
+    in
+    go ()
+  in
+  (* --- phase 1: SIGKILL the coordinator mid-corpus, resume from its
+     journal.  The first incarnation is a forked child; the parent waits
+     for a few journaled rows, kills it, and re-runs the same corpus on
+     the same journal in-process --- *)
+  let journal1 = Filename.concat base "journal1" in
+  let co_pid =
+    match Unix.fork () with
+    | 0 ->
+        (try ignore (C.run ~config:(config journal1) units)
+         with _ -> Unix._exit 1);
+        Unix._exit 0
+    | pid -> pid
+  in
+  ignore (await_rows journal1 3);
+  (try Unix.kill co_pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] co_pid) with Unix.Unix_error _ -> ());
+  let t1 = C.run ~config:(config journal1) units in
+  let identical1 = check_identical "coordinator-kill" t1 in
+  if t1.C.stats.C.cs_recovered < 3 then
+    fail "coordinator-kill: resumed run recovered only %d journaled row(s)"
+      t1.C.stats.C.cs_recovered;
+  (* --- phase 2: SIGKILL a node mid-corpus.  A forked killer waits for
+     the run to be underway (journaled rows), then SIGKILLs node 2; its
+     units must reschedule onto the survivors --- *)
+  let journal2 = Filename.concat base "journal2" in
+  let killer =
+    match Unix.fork () with
+    | 0 ->
+        let deadline = Unix.gettimeofday () +. 30. in
+        let rec poll () =
+          if Journal.count journal2 >= 1 then
+            try Unix.kill pid2 Sys.sigkill with Unix.Unix_error _ -> ()
+          else if Unix.gettimeofday () < deadline then begin
+            Unix.sleepf 0.01;
+            poll ()
+          end
+        in
+        poll ();
+        Unix._exit 0
+    | pid -> pid
+  in
+  let t2 = C.run ~config:(config journal2) units in
+  (try ignore (Unix.waitpid [] killer) with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] pid2) with Unix.Unix_error _ -> ());
+  let identical2 = check_identical "node-kill" t2 in
+  if t2.C.stats.C.cs_retries = 0 then
+    fail "node-kill: no unit was ever retried";
+  if t2.C.stats.C.cs_nodes_dead = 0 then
+    fail "node-kill: the SIGKILLed node was never declared dead";
+  (* --- phase 3: partition a node behind an injected stall.  Node 4's
+     workers sleep far past the unit deadline, so every exchange routed
+     to it times out mid-wait and fails over to the healthy nodes --- *)
+  let pid4, addr4 = start_node ~name:"node4" ~delay:3.0 in
+  wait_ready addr4;
+  let journal3 = Filename.concat base "journal3" in
+  let t3 =
+    C.run
+      ~config:
+        {
+          (config journal3) with
+          C.nodes = [ addr1; addr4; addr3 ];
+          unit_deadline = 1.0;
+        }
+      units
+  in
+  let identical3 = check_identical "partition" t3 in
+  if t3.C.stats.C.cs_node_failures = 0 then
+    fail "partition: no exchange was ever cut off by the unit deadline";
+  (* --- drain: the surviving healthy nodes must exit 0 on SIGTERM; the
+     stalled node still has sleeping workers, so it is killed --- *)
+  let reap_drained name pid =
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    let rec reap tries =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          if tries = 0 then begin
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid);
+            fail "%s did not drain within 30s" name;
+            false
+          end
+          else begin
+            Unix.sleepf 0.05;
+            reap (tries - 1)
+          end
+      | _, Unix.WEXITED 0 -> true
+      | _, st ->
+          fail "%s drain exit: %s" name
+            (match st with
+            | Unix.WEXITED c -> Fmt.str "exit %d" c
+            | Unix.WSIGNALED c -> Fmt.str "signal %d" c
+            | Unix.WSTOPPED c -> Fmt.str "stopped %d" c);
+          false
+    in
+    reap 600
+  in
+  let drain1 = reap_drained "node1" pid1 in
+  let drain3 = reap_drained "node3" pid3 in
+  (try Unix.kill pid4 Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] pid4) with Unix.Unix_error _ -> ());
+  {
+    ck_units = n_units;
+    ck_identical =
+      List.length (List.filter Fun.id [ identical1; identical2; identical3 ]);
+    ck_runs = 3;
+    ck_recovered = t1.C.stats.C.cs_recovered;
+    ck_retries = t2.C.stats.C.cs_retries;
+    ck_reschedules = t2.C.stats.C.cs_reschedules;
+    ck_nodes_dead = t2.C.stats.C.cs_nodes_dead;
+    ck_stall_failures = t3.C.stats.C.cs_node_failures;
+    ck_lost =
+      t1.C.stats.C.cs_lost + t2.C.stats.C.cs_lost + t3.C.stats.C.cs_lost;
+    ck_duplicates =
+      t1.C.stats.C.cs_duplicates + t2.C.stats.C.cs_duplicates
+      + t3.C.stats.C.cs_duplicates;
+    ck_drain_ok = drain1 && drain3;
+    ck_failures = List.rev !failures;
+  }
+
+let pp_ck_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>cluster soak: %d units, %d/%d faulted runs byte-identical to \
+     single-node triage@,\
+     coordinator kill: %d rows recovered from journal | node kill: %d \
+     retries, %d reschedules, %d dead | partition: %d deadline cutoffs@,\
+     lost %d | duplicates dropped %d | graceful drain %b@]"
+    s.ck_units s.ck_identical s.ck_runs s.ck_recovered s.ck_retries
+    s.ck_reschedules s.ck_nodes_dead s.ck_stall_failures s.ck_lost
+    s.ck_duplicates s.ck_drain_ok

@@ -95,6 +95,7 @@ let run ?(config = Res.default_config) ?budget_wall ?budget_fuel ?(jobs = 1)
         with exn ->
           {
             Res_usecases.Triage.tr_outcome = "failed";
+            tr_timeout = false;
             tr_bucket = "analysis-error";
             tr_cause = Printexc.to_string exn;
             tr_nodes = 0;

@@ -32,30 +32,62 @@ let write_frame fd s =
   let b = Bytes.of_string (Printf.sprintf "%010d%s" (String.length s) s) in
   write_all fd b 0 (Bytes.length b)
 
+(** Why a frame could not be read.  [Frame_eof] is the clean case (the
+    peer closed between frames); everything else is damage worth
+    reporting: a writer that died mid-frame, a corrupt or hostile length
+    prefix.  Oversized prefixes are rejected {e before} allocating, so a
+    corrupted header surfaces as a typed error instead of
+    [Out_of_memory]. *)
+type frame_error =
+  | Frame_eof  (** EOF at a frame boundary *)
+  | Frame_torn of string  (** the writer died mid-header or mid-payload *)
+  | Frame_oversized of int  (** length prefix beyond {!max_frame_bytes} *)
+
+let frame_error_to_string = function
+  | Frame_eof -> "connection closed"
+  | Frame_torn what -> Fmt.str "torn frame (%s)" what
+  | Frame_oversized n -> Fmt.str "oversized frame (%d bytes > limit)" n
+
+(** Largest payload a frame may announce (64 MiB) — far above any sealed
+    unit or triage blob, far below an allocation that would take the
+    process down. *)
+let max_frame_bytes = 64 * 1024 * 1024
+
 let read_exact fd n =
   let b = Bytes.create n in
   let rec go off =
-    if off = n then Some b
+    if off = n then `Ok b
     else
       match Unix.read fd b off (n - off) with
-      | 0 -> None
+      | 0 -> `Eof off
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) -> `Err (Unix.error_message e)
   in
   go 0
 
-(** Read one frame; [None] on EOF or a torn header/payload (writer died). *)
-let read_frame fd =
+(** Read one frame, classifying every failure mode. *)
+let read_frame_result fd =
   match read_exact fd 10 with
-  | None -> None
-  | Some hdr -> (
+  | `Eof 0 -> Error Frame_eof
+  | `Eof n -> Error (Frame_torn (Fmt.str "%d/10 header bytes" n))
+  | `Err m -> Error (Frame_torn m)
+  | `Ok hdr -> (
       match int_of_string_opt (Bytes.to_string hdr) with
-      | None -> None
-      | Some len when len < 0 -> None
+      | None ->
+          Error (Frame_torn (Fmt.str "bad length prefix %S" (Bytes.to_string hdr)))
+      | Some len when len < 0 ->
+          Error (Frame_torn (Fmt.str "negative length prefix %d" len))
+      | Some len when len > max_frame_bytes -> Error (Frame_oversized len)
       | Some len -> (
           match read_exact fd len with
-          | None -> None
-          | Some b -> Some (Bytes.to_string b)))
+          | `Eof n -> Error (Frame_torn (Fmt.str "%d/%d payload bytes" n len))
+          | `Err m -> Error (Frame_torn m)
+          | `Ok b -> Ok (Bytes.to_string b)))
+
+(** Read one frame; [None] on EOF or a torn header/payload (writer died). *)
+let read_frame fd =
+  match read_frame_result fd with Ok s -> Some s | Error _ -> None
 
 (* --- shared helpers (same idiom as checkpoint.ml) ------------------- *)
 

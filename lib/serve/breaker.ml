@@ -107,3 +107,11 @@ let state_name = function
   | Closed -> "closed"
   | Open -> "open"
   | Half_open -> "half-open"
+
+(** Every signature the breaker has seen, with its state name and trip
+    count, sorted by signature — what [status] reports so operators can
+    see which workloads are degraded instead of inferring it from
+    rejection counts. *)
+let entries t =
+  Hashtbl.fold (fun s e acc -> (s, state_name e.st, e.trips) :: acc) t.tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)

@@ -23,10 +23,32 @@ let error_to_string = function
 
 type t = { fd : Unix.file_descr }
 
+(** Daemon addresses are Unix socket paths by default; a [host:port]
+    string (with a numeric port) addresses a TCP node daemon
+    ([res node]), so every client verb works unchanged against cluster
+    nodes. *)
+let sockaddr_of path =
+  match String.rindex_opt path ':' with
+  | Some i when i > 0 && i < String.length path - 1 -> (
+      let host = String.sub path 0 i in
+      match int_of_string_opt (String.sub path (i + 1) (String.length path - i - 1)) with
+      | Some port when port > 0 && port < 65536 -> (
+          match
+            try Some (Unix.inet_addr_of_string host)
+            with Failure _ -> (
+              try Some (Unix.gethostbyname host).Unix.h_addr_list.(0)
+              with Not_found | Invalid_argument _ -> None)
+          with
+          | Some a -> Unix.ADDR_INET (a, port)
+          | None -> Unix.ADDR_UNIX path)
+      | _ -> Unix.ADDR_UNIX path)
+  | _ -> Unix.ADDR_UNIX path
+
 let connect ?(timeout = 5.0) path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let addr = sockaddr_of path in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
   ignore timeout;
-  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  match Unix.connect fd addr with
   | () -> Ok { fd }
   | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -37,6 +59,33 @@ let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 let send t req =
   try Ok (P.write_frame t.fd (P.encode_request req))
   with Unix.Unix_error _ | Sys_error _ -> Error Closed
+
+(* --- transient-failure retries ---------------------------------------- *)
+
+(* Jitter desynchronizes clients that all observed the same daemon
+   restart: without it they would retry in lockstep and re-create the
+   very thundering herd the backoff is meant to dissipate. *)
+let retry_rng = lazy (Random.State.make_self_init ())
+
+let jittered d = d *. (0.5 +. Random.State.float (Lazy.force retry_rng) 0.5)
+
+(** Run one connect-and-exchange attempt, retrying transient failures
+    (connection refused — the daemon is restarting; the old incarnation
+    hung up mid-exchange) with jittered capped exponential backoff. *)
+let with_retries ?(retries = 4) ?(retry_base = 0.05) f =
+  let rec go n =
+    match f () with
+    | Error (Unreachable _ | Closed) as e ->
+        if n >= retries then e
+        else begin
+          Unix.sleepf
+            (jittered
+               (Res_parallel.Pool.backoff_delay ~base:retry_base ~cap:0.5 n));
+          go (n + 1)
+        end
+    | r -> r
+  in
+  go 0
 
 (** Wait for one reply frame, but never longer than [timeout].  The
     receive timeout is enforced with [SO_RCVTIMEO]-style select guarding:
@@ -75,30 +124,41 @@ let roundtrip ?timeout path req =
 
 (** Submit and return the immediate admission reply ([Accepted] or a
     typed rejection) together with the live connection, on which an
-    accepted request's [Result] will later be pushed. *)
-let submit ?timeout path ~prog ~dump ?deadline_ms ?fuel () =
-  match connect path with
-  | Error e -> Error e
-  | Ok t -> (
-      let req =
-        P.Submit
-          { sb_prog = prog; sb_dump = dump; sb_deadline_ms = deadline_ms; sb_fuel = fuel }
-      in
-      match send t req with
-      | Error e ->
-          close t;
-          Error e
-      | Ok () -> (
-          match recv ?timeout t with
+    accepted request's [Result] will later be pushed.  A daemon that is
+    mid-restart (connection refused, or it hung up before answering) is
+    retried with jittered backoff instead of surfacing immediately. *)
+let submit ?timeout ?retries ?retry_base path ~prog ~dump ?deadline_ms ?fuel () =
+  with_retries ?retries ?retry_base (fun () ->
+      match connect path with
+      | Error e -> Error e
+      | Ok t -> (
+          let req =
+            P.Submit
+              {
+                sb_prog = prog;
+                sb_dump = dump;
+                sb_deadline_ms = deadline_ms;
+                sb_fuel = fuel;
+              }
+          in
+          match send t req with
           | Error e ->
               close t;
               Error e
-          | Ok reply -> Ok (t, reply)))
+          | Ok () -> (
+              match recv ?timeout t with
+              | Error e ->
+                  close t;
+                  Error e
+              | Ok reply -> Ok (t, reply))))
 
 (** Submit and block until the terminal [Result] (or a rejection).
     Returns the admission reply and, when accepted, the result. *)
-let submit_wait ?timeout path ~prog ~dump ?deadline_ms ?fuel () =
-  match submit ?timeout path ~prog ~dump ?deadline_ms ?fuel () with
+let submit_wait ?timeout ?retries ?retry_base path ~prog ~dump ?deadline_ms
+    ?fuel () =
+  match
+    submit ?timeout ?retries ?retry_base path ~prog ~dump ?deadline_ms ?fuel ()
+  with
   | Error e -> Error e
   | Ok (t, (P.Accepted _ as adm)) ->
       let r = recv ?timeout t in
@@ -114,19 +174,27 @@ let drain ?timeout path = roundtrip ?timeout path P.Drain
 let ping ?timeout path = roundtrip ?timeout path P.Ping
 
 (** Poll [fetch] until the request reaches its terminal [Result], up to
-    [deadline] seconds.  Transient connection failures are retried — the
-    daemon may be mid-restart, which is exactly when polling matters. *)
+    [deadline] seconds.  Transient connection failures are retried with
+    jittered exponential backoff — the daemon may be mid-restart, which
+    is exactly when polling matters, and its reborn incarnation must not
+    be greeted by every waiting client at once. *)
 let await_result ?(deadline = 30.0) ?(interval = 0.05) path id =
   let until = Unix.gettimeofday () +. deadline in
-  let rec go () =
+  let rec go misses =
     if Unix.gettimeofday () > until then Error (Timed_out deadline)
     else
       match fetch ~timeout:5.0 path id with
       | Ok (P.Result _ as r) -> Ok r
       | Ok (P.Unknown _ as r) -> Ok r
-      | Ok _ | Error (Unreachable _) | Error Closed | Error (Timed_out _) ->
-          Unix.sleepf interval;
-          go ()
+      | Ok _ ->
+          (* still pending: steady-rate poll *)
+          Unix.sleepf (jittered interval);
+          go 0
+      | Error (Unreachable _) | Error Closed | Error (Timed_out _) ->
+          Unix.sleepf
+            (jittered
+               (Res_parallel.Pool.backoff_delay ~base:interval ~cap:0.5 misses));
+          go (misses + 1)
       | Error e -> Error e
   in
-  go ()
+  go 0

@@ -34,6 +34,16 @@ type request =
       sb_deadline_ms : int option;  (** per-request wall budget *)
       sb_fuel : int option;  (** per-request fuel budget *)
     }
+  | Triage of {
+      tg_name : string;  (** corpus name of the dump: the unit identity *)
+      tg_prog : string;  (** MiniIR program text *)
+      tg_dump : string;  (** coredump text *)
+      tg_deadline_ms : int option;
+      tg_fuel : int option;
+    }
+      (** a cluster coordinator's triage unit: analyze and answer with one
+          [Row] on this same connection (no spool id round-trip — the
+          coordinator owns retry and identity) *)
   | Fetch of string  (** result (or progress) of an accepted request id *)
   | Status
   | Drain
@@ -56,6 +66,17 @@ type reply =
       rs_elapsed_ms : int;
       rs_body : string;  (** bit-stable report bodies *)
     }
+  | Row of {
+      rw_name : string;  (** unit identity, echoed from the [Triage] request *)
+      rw_outcome : string;  (** {!Res_core.Res.outcome_name} *)
+      rw_timeout : bool;  (** the analysis burned its whole budget *)
+      rw_elapsed_ms : int;
+      rw_bucket : string;
+      rw_cause : string;
+      rw_nodes : int;
+      rw_pruned : int;
+      rw_queries : int;
+    }  (** terminal answer to a [Triage] unit *)
   | Pending of { pd_id : string; pd_state : string }  (** queued | running *)
   | Unknown of string
   | Status_reply of {
@@ -69,6 +90,8 @@ type reply =
       st_worker_restarts : int;
       st_breakers_open : int;
       st_draining : bool;
+      st_breakers : (string * string * int) list;
+          (** per-workload breaker health: (signature, state name, trips) *)
     }
   | Drained of { dr_remaining : int }
   | Pong of int  (** daemon pid *)
@@ -88,6 +111,17 @@ let encode_request = function
            (int_opt sb_fuel));
       blob b "prog" sb_prog;
       blob b "dump" sb_dump;
+      Io.seal (Buffer.contents b)
+  | Triage { tg_name; tg_prog; tg_dump; tg_deadline_ms; tg_fuel } ->
+      let b =
+        Buffer.create (String.length tg_prog + String.length tg_dump + 96)
+      in
+      Buffer.add_string b
+        (Fmt.str "%s\ntriage %s %s\n" req_header (int_opt tg_deadline_ms)
+           (int_opt tg_fuel));
+      blob b "name" tg_name;
+      blob b "prog" tg_prog;
+      blob b "dump" tg_dump;
       Io.seal (Buffer.contents b)
   | Fetch id -> Io.seal (Fmt.str "%s\nfetch %s\n" req_header id)
   | Status -> Io.seal (Fmt.str "%s\nstatus\n" req_header)
@@ -116,17 +150,34 @@ let encode_reply = function
            rs_elapsed_ms);
       blob b "body" rs_body;
       Io.seal (Buffer.contents b)
+  | Row r ->
+      let b = Buffer.create (String.length r.rw_bucket + 160) in
+      Buffer.add_string b
+        (Fmt.str "%s\nrow %s %d %d %d %d %d\n" rep_header r.rw_outcome
+           (if r.rw_timeout then 1 else 0)
+           r.rw_elapsed_ms r.rw_nodes r.rw_pruned r.rw_queries);
+      blob b "name" r.rw_name;
+      blob b "bucket" r.rw_bucket;
+      blob b "cause" r.rw_cause;
+      Io.seal (Buffer.contents b)
   | Pending { pd_id; pd_state } ->
       Io.seal (Fmt.str "%s\npending %s %s\n" rep_header pd_id pd_state)
   | Unknown id -> Io.seal (Fmt.str "%s\nunknown %s\n" rep_header id)
   | Status_reply s ->
-      Io.seal
-        (Fmt.str
-           "%s\nstatus %d %d %d %d %d %d %d %d %d %d\n" rep_header
+      let b = Buffer.create 256 in
+      Buffer.add_string b
+        (Fmt.str "%s\nstatus %d %d %d %d %d %d %d %d %d %d\n" rep_header
            s.st_accepted s.st_completed s.st_shed s.st_breaker_rejected
            s.st_recovered s.st_queued s.st_running s.st_worker_restarts
            s.st_breakers_open
-           (if s.st_draining then 1 else 0))
+           (if s.st_draining then 1 else 0));
+      Buffer.add_string b (Fmt.str "breakers %d\n" (List.length s.st_breakers));
+      List.iter
+        (fun (signature, state, trips) ->
+          Buffer.add_string b (Fmt.str "b %s %d\n" state trips);
+          blob b "sig" signature)
+        s.st_breakers;
+      Io.seal (Buffer.contents b)
   | Drained { dr_remaining } ->
       Io.seal (Fmt.str "%s\ndrained %d\n" rep_header dr_remaining)
   | Pong pid -> Io.seal (Fmt.str "%s\npong %d\n" rep_header pid)
@@ -218,6 +269,13 @@ let decode_request s =
           let sb_prog = blob_word c "prog" in
           let sb_dump = blob_word c "dump" in
           Submit { sb_prog; sb_dump; sb_deadline_ms; sb_fuel }
+      | "triage" ->
+          let tg_deadline_ms = int_opt_word c in
+          let tg_fuel = int_opt_word c in
+          let tg_name = blob_word c "name" in
+          let tg_prog = blob_word c "prog" in
+          let tg_dump = blob_word c "dump" in
+          Triage { tg_name; tg_prog; tg_dump; tg_deadline_ms; tg_fuel }
       | "fetch" -> Fetch (word c)
       | "status" -> Status
       | "drain" -> Drain
@@ -247,6 +305,28 @@ let decode_reply s =
           let rs_elapsed_ms = int_word c in
           let rs_body = blob_word c "body" in
           Result { rs_id; rs_outcome; rs_timeout; rs_elapsed_ms; rs_body }
+      | "row" ->
+          let rw_outcome = word c in
+          let rw_timeout = bool_word c in
+          let rw_elapsed_ms = int_word c in
+          let rw_nodes = int_word c in
+          let rw_pruned = int_word c in
+          let rw_queries = int_word c in
+          let rw_name = blob_word c "name" in
+          let rw_bucket = blob_word c "bucket" in
+          let rw_cause = blob_word c "cause" in
+          Row
+            {
+              rw_name;
+              rw_outcome;
+              rw_timeout;
+              rw_elapsed_ms;
+              rw_bucket;
+              rw_cause;
+              rw_nodes;
+              rw_pruned;
+              rw_queries;
+            }
       | "pending" ->
           let pd_id = word c in
           let pd_state = word c in
@@ -263,6 +343,22 @@ let decode_reply s =
           let st_worker_restarts = int_word c in
           let st_breakers_open = int_word c in
           let st_draining = bool_word c in
+          expect c "breakers";
+          let n = int_word c in
+          if n < 0 then raise (Bad "negative breaker count");
+          (* explicit loop: the cursor is stateful, so evaluation order
+             must be left-to-right *)
+          let rec breakers_of acc k =
+            if k = 0 then List.rev acc
+            else begin
+              expect c "b";
+              let state = word c in
+              let trips = int_word c in
+              let signature = blob_word c "sig" in
+              breakers_of ((signature, state, trips) :: acc) (k - 1)
+            end
+          in
+          let st_breakers = breakers_of [] n in
           Status_reply
             {
               st_accepted;
@@ -275,6 +371,7 @@ let decode_reply s =
               st_worker_restarts;
               st_breakers_open;
               st_draining;
+              st_breakers;
             }
       | "drained" -> Drained { dr_remaining = int_word c }
       | "pong" -> Pong (int_word c)
@@ -294,6 +391,10 @@ let pp_reply ppf = function
       Fmt.pf ppf "result %s: %s%s (%dms)" rs_id rs_outcome
         (if rs_timeout then " [budget exhausted]" else "")
         rs_elapsed_ms
+  | Row r ->
+      Fmt.pf ppf "row %s: %s%s → %s (%dms)" r.rw_name r.rw_outcome
+        (if r.rw_timeout then " [budget exhausted]" else "")
+        r.rw_bucket r.rw_elapsed_ms
   | Pending { pd_id; pd_state } -> Fmt.pf ppf "pending %s (%s)" pd_id pd_state
   | Unknown id -> Fmt.pf ppf "unknown request id %s" id
   | Status_reply s ->
@@ -302,7 +403,11 @@ let pp_reply ppf = function
          queued=%d running=%d worker_restarts=%d breakers_open=%d draining=%b"
         s.st_accepted s.st_completed s.st_shed s.st_breaker_rejected
         s.st_recovered s.st_queued s.st_running s.st_worker_restarts
-        s.st_breakers_open s.st_draining
+        s.st_breakers_open s.st_draining;
+      List.iter
+        (fun (signature, state, trips) ->
+          Fmt.pf ppf "@,breaker %-9s trips=%d sig=%s" state trips signature)
+        s.st_breakers
   | Drained { dr_remaining } ->
       Fmt.pf ppf "draining (%d request(s) still in flight)" dr_remaining
   | Pong pid -> Fmt.pf ppf "pong (pid %d)" pid

@@ -41,6 +41,13 @@ module P = Protocol
 
 type config = {
   socket_path : string;
+  tcp : (string * int) option;
+      (** listen on [host, port] instead of the Unix socket — the
+          cluster node mode ([res node]) *)
+  prebound : Unix.file_descr option;
+      (** an already-bound, already-listening socket to serve on (test
+          harnesses bind ephemeral ports race-free and pass the fd
+          through fork); overrides [tcp] and [socket_path] *)
   spool_dir : string;
   jobs : int;  (** max concurrent analysis workers *)
   capacity : int;  (** max queued (not yet running) requests *)
@@ -66,6 +73,8 @@ type config = {
 let default_config =
   {
     socket_path = "res-serve.sock";
+    tcp = None;
+    prebound = None;
     spool_dir = "res-spool";
     jobs = 2;
     capacity = 8;
@@ -85,8 +94,13 @@ let default_config =
 
 (* --- per-request state ------------------------------------------------ *)
 
+(** What kind of answer a job owes: a full analysis report ([Result]) or
+    a cluster coordinator's triage row keyed by the unit's corpus name. *)
+type task = Analyze | Triage_unit of string
+
 type job = {
   j_id : string;
+  j_task : task;
   j_prog : Res_ir.Prog.t;
   j_dump : Res_vm.Coredump.t;
   j_signature : string;
@@ -156,21 +170,52 @@ let worker_child cfg job wfd =
     | None, None -> None
     | d, f -> Some (Budget.create ?wall_seconds:d ?fuel:f ())
   in
-  let ctx = Backstep.make_ctx job.j_prog in
-  let outcome =
-    try Res.analyze ~config:cfg.analyze_config ?budget ctx job.j_dump
-    with exn -> Res.Failed (Res.Internal (Printexc.to_string exn))
-  in
   let reply =
-    P.Result
-      {
-        rs_id = job.j_id;
-        rs_outcome = Res.outcome_name outcome;
-        rs_timeout = Res.is_budget_partial outcome;
-        rs_elapsed_ms =
-          int_of_float ((Unix.gettimeofday () -. t0) *. 1000.);
-        rs_body = Report.report_list_to_string ctx (Res.analysis outcome);
-      }
+    match job.j_task with
+    | Analyze ->
+        let ctx = Backstep.make_ctx job.j_prog in
+        let outcome =
+          try Res.analyze ~config:cfg.analyze_config ?budget ctx job.j_dump
+          with exn -> Res.Failed (Res.Internal (Printexc.to_string exn))
+        in
+        P.Result
+          {
+            rs_id = job.j_id;
+            rs_outcome = Res.outcome_name outcome;
+            rs_timeout = Res.is_budget_partial outcome;
+            rs_elapsed_ms =
+              int_of_float ((Unix.gettimeofday () -. t0) *. 1000.);
+            rs_body = Report.report_list_to_string ctx (Res.analysis outcome);
+          }
+    | Triage_unit name ->
+        let q0 = Res_solver.Solver.queries () in
+        let tr =
+          try
+            Res_usecases.Triage.triage_one ~config:cfg.analyze_config ?budget
+              job.j_prog job.j_dump
+          with exn ->
+            {
+              Res_usecases.Triage.tr_outcome = "failed";
+              tr_timeout = false;
+              tr_bucket = "analysis-error";
+              tr_cause = Printexc.to_string exn;
+              tr_nodes = 0;
+              tr_pruned = 0;
+            }
+        in
+        P.Row
+          {
+            rw_name = name;
+            rw_outcome = tr.Res_usecases.Triage.tr_outcome;
+            rw_timeout = tr.Res_usecases.Triage.tr_timeout;
+            rw_elapsed_ms =
+              int_of_float ((Unix.gettimeofday () -. t0) *. 1000.);
+            rw_bucket = tr.Res_usecases.Triage.tr_bucket;
+            rw_cause = tr.Res_usecases.Triage.tr_cause;
+            rw_nodes = tr.Res_usecases.Triage.tr_nodes;
+            rw_pruned = tr.Res_usecases.Triage.tr_pruned;
+            rw_queries = Res_solver.Solver.queries () - q0;
+          }
   in
   (try P.write_frame wfd (P.encode_reply reply)
    with Unix.Unix_error _ | Sys_error _ -> ());
@@ -196,8 +241,8 @@ let finish t job (reply : P.reply) =
   let frame = P.encode_reply reply in
   Spool.complete t.spool ~id:job.j_id ~frame;
   (match reply with
-  | P.Result { rs_timeout; _ } ->
-      if rs_timeout then Breaker.record_timeout t.breaker job.j_signature
+  | P.Result { rs_timeout = timeout; _ } | P.Row { rw_timeout = timeout; _ } ->
+      if timeout then Breaker.record_timeout t.breaker job.j_signature
       else Breaker.record_success t.breaker job.j_signature
   | _ -> ());
   List.iter (fun fd -> push t fd frame) job.j_waiters;
@@ -211,16 +256,38 @@ let finish t job (reply : P.reply) =
     exhaustion; otherwise it counts as an ordinary failure. *)
 let finish_synthetic t job ~outcome ~timeout ~why =
   t.cfg.log (Fmt.str "synthesizing %s result for %s: %s" outcome job.j_id why);
-  finish t job
-    (P.Result
-       {
-         rs_id = job.j_id;
-         rs_outcome = outcome;
-         rs_timeout = timeout;
-         rs_elapsed_ms =
-           int_of_float ((Unix.gettimeofday () -. job.j_enqueued) *. 1000.);
-         rs_body = "";
-       })
+  let elapsed_ms =
+    int_of_float ((Unix.gettimeofday () -. job.j_enqueued) *. 1000.)
+  in
+  let reply =
+    match job.j_task with
+    | Analyze ->
+        P.Result
+          {
+            rs_id = job.j_id;
+            rs_outcome = outcome;
+            rs_timeout = timeout;
+            rs_elapsed_ms = elapsed_ms;
+            rs_body = "";
+          }
+    | Triage_unit name ->
+        (* the worker-lost bucket tells the coordinator this row is the
+           node giving up, not a triage verdict: it reschedules the unit
+           instead of applying the row *)
+        P.Row
+          {
+            rw_name = name;
+            rw_outcome = outcome;
+            rw_timeout = timeout;
+            rw_elapsed_ms = elapsed_ms;
+            rw_bucket = "worker-lost";
+            rw_cause = why;
+            rw_nodes = 0;
+            rw_pruned = 0;
+            rw_queries = 0;
+          }
+  in
+  finish t job reply
 
 (* --- dispatch and supervision ----------------------------------------- *)
 
@@ -278,7 +345,7 @@ let on_worker_event t w =
   (match frame with
   | Some f -> (
       match P.decode_reply f with
-      | Ok (P.Result _ as r) -> finish t w.w_job r
+      | Ok ((P.Result _ | P.Row _) as r) -> finish t w.w_job r
       | Ok _ | Error _ ->
           finish_synthetic t w.w_job ~outcome:"failed" ~timeout:false
             ~why:"worker produced a malformed result frame")
@@ -338,6 +405,7 @@ let status_reply t =
       st_worker_restarts = t.n_restarts;
       st_breakers_open = Breaker.open_count t.breaker;
       st_draining = t.draining;
+      st_breakers = Breaker.entries t.breaker;
     }
 
 (** Parse and validate a submission's payloads in the daemon (cheap,
@@ -363,7 +431,7 @@ let parse_submission ~prog_text ~dump_text =
     Capacity is checked {e before} the breaker so a shed request can
     never leave a breaker stuck half-open waiting for a probe that was
     never admitted. *)
-let admit t ~frame ~prog_text ~dump_text ~deadline_ms ~fuel =
+let admit t ~task ~frame ~prog_text ~dump_text ~deadline_ms ~fuel =
   if t.draining then P.Rejected_draining
   else
     match parse_submission ~prog_text ~dump_text with
@@ -386,6 +454,7 @@ let admit t ~frame ~prog_text ~dump_text ~deadline_ms ~fuel =
               let job =
                 {
                   j_id = id;
+                  j_task = task;
                   j_prog = prog;
                   j_dump = dump;
                   j_signature = signature;
@@ -425,13 +494,26 @@ let handle_fetch t id =
 let handle_request t fd frame = function
   | P.Submit { sb_prog; sb_dump; sb_deadline_ms; sb_fuel } -> (
       let reply =
-        admit t ~frame ~prog_text:sb_prog ~dump_text:sb_dump
+        admit t ~task:Analyze ~frame ~prog_text:sb_prog ~dump_text:sb_dump
           ~deadline_ms:sb_deadline_ms ~fuel:sb_fuel
       in
       push t fd (P.encode_reply reply);
       match reply with
       | P.Accepted { ac_id; _ } -> (
           (* register the submitter for the result push *)
+          match find_queued t ac_id with
+          | Some j -> j.j_waiters <- fd :: j.j_waiters
+          | None -> ())
+      | _ -> ())
+  | P.Triage { tg_name; tg_prog; tg_dump; tg_deadline_ms; tg_fuel } -> (
+      let reply =
+        admit t ~task:(Triage_unit tg_name) ~frame ~prog_text:tg_prog
+          ~dump_text:tg_dump ~deadline_ms:tg_deadline_ms ~fuel:tg_fuel
+      in
+      push t fd (P.encode_reply reply);
+      match reply with
+      | P.Accepted { ac_id; _ } -> (
+          (* the coordinator holds this connection open for the Row push *)
           match find_queued t ac_id with
           | Some j -> j.j_waiters <- fd :: j.j_waiters
           | None -> ())
@@ -499,47 +581,76 @@ let recover t =
       match Spool.read_request t.spool id with
       | Error e -> fail (Fmt.str "spooled request unreadable: %s" (Io.dump_error_to_string e))
       | Ok frame -> (
+          let readmit ~task ~prog_text ~dump_text ~deadline_ms ~fuel =
+            match parse_submission ~prog_text ~dump_text with
+            | Error why -> fail (Fmt.str "spooled request no longer parses: %s" why)
+            | Ok (prog, dump) ->
+                let job =
+                  {
+                    j_id = id;
+                    j_task = task;
+                    j_prog = prog;
+                    j_dump = dump;
+                    j_signature = Res_usecases.Triage.wer_key dump;
+                    j_deadline =
+                      (match deadline_ms with
+                      | Some ms -> Some (float_of_int ms /. 1000.)
+                      | None -> t.cfg.default_deadline);
+                    j_fuel =
+                      (match fuel with Some _ -> fuel | None -> t.cfg.default_fuel);
+                    j_probe = false;
+                    j_enqueued = now;
+                    j_attempts = 0;
+                    j_not_before = now;
+                    j_waiters = [];
+                  }
+                in
+                Queue.push job t.queue;
+                t.n_recovered <- t.n_recovered + 1;
+                t.cfg.log (Fmt.str "recovered %s from spool" id)
+          in
           match P.decode_request frame with
-          | Ok (P.Submit { sb_prog; sb_dump; sb_deadline_ms; sb_fuel }) -> (
-              match parse_submission ~prog_text:sb_prog ~dump_text:sb_dump with
-              | Error why -> fail (Fmt.str "spooled request no longer parses: %s" why)
-              | Ok (prog, dump) ->
-                  let job =
-                    {
-                      j_id = id;
-                      j_prog = prog;
-                      j_dump = dump;
-                      j_signature = Res_usecases.Triage.wer_key dump;
-                      j_deadline =
-                        (match sb_deadline_ms with
-                        | Some ms -> Some (float_of_int ms /. 1000.)
-                        | None -> t.cfg.default_deadline);
-                      j_fuel =
-                        (match sb_fuel with Some _ -> sb_fuel | None -> t.cfg.default_fuel);
-                      j_probe = false;
-                      j_enqueued = now;
-                      j_attempts = 0;
-                      j_not_before = now;
-                      j_waiters = [];
-                    }
-                  in
-                  Queue.push job t.queue;
-                  t.n_recovered <- t.n_recovered + 1;
-                  t.cfg.log (Fmt.str "recovered %s from spool" id))
+          | Ok (P.Submit { sb_prog; sb_dump; sb_deadline_ms; sb_fuel }) ->
+              readmit ~task:Analyze ~prog_text:sb_prog ~dump_text:sb_dump
+                ~deadline_ms:sb_deadline_ms ~fuel:sb_fuel
+          | Ok (P.Triage { tg_name; tg_prog; tg_dump; tg_deadline_ms; tg_fuel }) ->
+              readmit ~task:(Triage_unit tg_name) ~prog_text:tg_prog
+                ~dump_text:tg_dump ~deadline_ms:tg_deadline_ms ~fuel:tg_fuel
           | Ok _ -> fail "spooled request is not a submit"
           | Error why -> fail (Fmt.str "spooled request undecodable: %s" why)))
     (Spool.pending t.spool)
 
 (* --- event loop ------------------------------------------------------- *)
 
+(** Resolve a host name or dotted quad to an address. *)
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found | Invalid_argument _ ->
+      failwith (Fmt.str "cannot resolve host %S" host))
+
 let run (cfg : config) =
   let spool = Spool.openr cfg.spool_dir in
-  (* a previous incarnation's socket is stale by definition: we own the
-     spool, so we own the address *)
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-  Unix.listen listen_fd 64;
+  let unix_socket = cfg.prebound = None && cfg.tcp = None in
+  let listen_fd =
+    match (cfg.prebound, cfg.tcp) with
+    | Some fd, _ -> fd
+    | None, Some (host, port) ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+        Unix.listen fd 64;
+        fd
+    | None, None ->
+        (* a previous incarnation's socket is stale by definition: we own
+           the spool, so we own the address *)
+        (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
+        Unix.listen fd 64;
+        fd
+  in
   let sig_rd, sig_wr = Unix.pipe () in
   let t =
     {
@@ -573,9 +684,15 @@ let run (cfg : config) =
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_drain);
   recover t;
   dispatch t;
+  let where =
+    match (cfg.prebound, cfg.tcp) with
+    | Some _, _ -> "prebound socket"
+    | None, Some (host, port) -> Fmt.str "%s:%d" host port
+    | None, None -> cfg.socket_path
+  in
   cfg.log
-    (Fmt.str "listening on %s (jobs=%d capacity=%d, %d recovered)"
-       cfg.socket_path cfg.jobs cfg.capacity t.n_recovered);
+    (Fmt.str "listening on %s (jobs=%d capacity=%d, %d recovered)" where
+       cfg.jobs cfg.capacity t.n_recovered);
   let finished () =
     t.draining && Queue.is_empty t.queue && t.workers = []
   in
@@ -626,4 +743,5 @@ let run (cfg : config) =
   cfg.log "drained; exiting";
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.clients;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
+  if unix_socket then
+    try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ()

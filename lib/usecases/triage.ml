@@ -70,6 +70,7 @@ let res_key ?(config = Res_core.Res.default_config) ?(annotations = [])
     coordinator can aggregate stats across workers. *)
 type triaged = {
   tr_outcome : string;  (** {!Res_core.Res.outcome_name}: complete/partial/failed *)
+  tr_timeout : bool;  (** the analysis burned its whole budget *)
   tr_bucket : string;  (** root-cause signature, annotation bucket, or WER fallback *)
   tr_cause : string;  (** rendered root cause; empty when none reproduced *)
   tr_nodes : int;
@@ -97,6 +98,7 @@ let triage_one ?(config = Res_core.Res.default_config) ?(annotations = [])
   in
   {
     tr_outcome = Res_core.Res.outcome_name outcome;
+    tr_timeout = Res_core.Res.is_budget_partial outcome;
     tr_bucket = bucket;
     tr_cause = cause;
     tr_nodes = analysis.Res_core.Res.nodes_expanded;

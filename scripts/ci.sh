@@ -14,9 +14,15 @@
 # non-zero if any accepted request is lost, any served report diverges
 # from offline analyze, the breaker fails to trip and recover, or
 # drain exits non-zero; it runs under a hard timeout so a wedged
-# daemon fails CI instead of hanging it.  Finally `res check` lints
-# the whole workload corpus: the three seeded concurrency bugs must be
-# the only findings.
+# daemon fails CI instead of hanging it.  The cluster-soak gate shards
+# the corpus across three TCP node daemons, SIGKILLs the coordinator
+# mid-corpus (resuming it from its journal), SIGKILLs a node (its units
+# must reschedule), and stalls a node past the unit deadline — and
+# exits non-zero if any unit is lost or any merged TSV differs from
+# single-node triage by a byte; same hard timeout so a wedged cluster
+# fails CI instead of hanging it.  Finally `res check` lints the whole
+# workload corpus: the three seeded concurrency bugs must be the only
+# findings.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -30,6 +36,7 @@ dune exec bin/res_cli.exe -- selftest --worker-kill
 dune exec bin/res_cli.exe -- selftest --parallel-equivalence 2
 dune exec bin/res_cli.exe -- selftest --parallel-equivalence 4
 timeout 120 dune exec bin/res_cli.exe -- selftest --serve-soak
+timeout 240 dune exec bin/res_cli.exe -- selftest --cluster-soak
 
 # Static lint over the corpus: warnings are expected (exit 2) but only
 # on the seeded bugs; any other program producing a finding, or any

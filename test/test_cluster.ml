@@ -1,0 +1,500 @@
+(* The triage cluster: address parsing, typed wire-frame damage over a
+   real socketpair (torn headers, torn payloads, torn seals, oversized
+   announcements, stalls — every one a classified error, never a hang),
+   node-health registry transitions, the coordinator's at-most-once
+   result journal, and a forked two-node end-to-end run whose merged TSV
+   must be byte-identical to single-node batch triage — with and without
+   a dead node in the fleet.
+
+   The end-to-end tests fork node daemons; like test_parallel and
+   test_serve, no domains are spawned in this binary, so fork is always
+   legal. *)
+
+module Wire = Res_parallel.Wire
+module Pool = Res_parallel.Pool
+module Batch = Res_parallel.Batch
+module P = Res_serve.Protocol
+module Server = Res_serve.Server
+module Io = Res_vm.Coredump_io
+module Transport = Res_cluster.Transport
+module Registry = Res_cluster.Registry
+module Journal = Res_cluster.Journal
+module C = Res_cluster.Coordinator
+
+(* --- addresses ------------------------------------------------------- *)
+
+let test_parse_addr () =
+  (match Transport.parse_addr "127.0.0.1:9000" with
+  | Ok { Transport.host; port } ->
+      Alcotest.(check string) "host" "127.0.0.1" host;
+      Alcotest.(check int) "port" 9000 port
+  | Error e -> Alcotest.fail e);
+  (match Transport.parse_addr "triage-3.internal:65535" with
+  | Ok { Transport.host; port } ->
+      Alcotest.(check string) "named host" "triage-3.internal" host;
+      Alcotest.(check int) "max port" 65535 port
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Transport.parse_addr bad with
+      | Ok _ -> Alcotest.fail (Fmt.str "%S must not parse" bad)
+      | Error _ -> ())
+    [ "localhost"; ":9000"; "host:"; "host:0"; "host:65536"; "host:port" ]
+
+(* --- wire-frame damage over a real socketpair ------------------------ *)
+
+(* Each scenario writes a damaged byte stream into one end of a
+   socketpair and asserts the reader classifies it without hanging. *)
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ a; b ])
+    (fun () -> f a b)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+let fail_on s = Alcotest.fail (Fmt.str "classified wrongly: %s" s)
+
+let test_damage_eof_at_boundary () =
+  with_socketpair (fun w r ->
+      Unix.close w;
+      (match Wire.read_frame_result r with
+      | Error Wire.Frame_eof -> ()
+      | _ -> fail_on "EOF at a frame boundary must be Frame_eof");
+      match Transport.recv ~timeout:1.0 r with
+      | Error Transport.Closed -> ()
+      | _ -> fail_on "transport EOF at a boundary must be Closed")
+
+let test_damage_torn_header () =
+  with_socketpair (fun w r ->
+      write_all w "00000";
+      Unix.close w;
+      match Wire.read_frame_result r with
+      | Error (Wire.Frame_torn m) ->
+          Alcotest.(check bool) "carries a diagnostic" true
+            (String.length m > 0)
+      | _ -> fail_on "truncation mid-length-prefix must be Frame_torn")
+
+let test_damage_torn_header_transport () =
+  with_socketpair (fun w r ->
+      write_all w "00000";
+      Unix.close w;
+      match Transport.recv ~timeout:1.0 r with
+      | Error (Transport.Damaged _) -> ()
+      | _ -> fail_on "transport truncation mid-header must be Damaged")
+
+let test_damage_torn_body () =
+  with_socketpair (fun w r ->
+      write_all w (Fmt.str "%010d" 100);
+      write_all w "only ten b";
+      Unix.close w;
+      (match Wire.read_frame_result r with
+      | Error (Wire.Frame_torn _) -> ()
+      | _ -> fail_on "truncation mid-payload must be Frame_torn"));
+  with_socketpair (fun w r ->
+      write_all w (Fmt.str "%010d" 100);
+      write_all w "only ten b";
+      Unix.close w;
+      match Transport.recv ~timeout:1.0 r with
+      | Error (Transport.Damaged _) -> ()
+      | _ -> fail_on "transport truncation mid-payload must be Damaged")
+
+let test_damage_corrupt_prefix () =
+  with_socketpair (fun w r ->
+      write_all w "tenletters";
+      (* a full, corrupt header: the length prefix is not a number *)
+      Unix.close w;
+      match Wire.read_frame_result r with
+      | Error (Wire.Frame_torn _) -> ()
+      | _ -> fail_on "a non-numeric length prefix must be Frame_torn")
+
+let test_damage_oversized_prefix () =
+  (* an oversized announcement is rejected before any allocation: the
+     reader never tries to make a buffer of this size *)
+  with_socketpair (fun w r ->
+      write_all w (Fmt.str "%010d" (Wire.max_frame_bytes + 1));
+      (match Wire.read_frame_result r with
+      | Error (Wire.Frame_oversized n) ->
+          Alcotest.(check int) "reports the announced size"
+            (Wire.max_frame_bytes + 1) n
+      | _ -> fail_on "an oversized length prefix must be Frame_oversized"));
+  with_socketpair (fun w r ->
+      write_all w (Fmt.str "%010d" (Wire.max_frame_bytes + 1));
+      match Transport.recv ~timeout:1.0 r with
+      | Error (Transport.Damaged _) -> ()
+      | _ -> fail_on "transport oversized prefix must be Damaged")
+
+let test_damage_stall_is_timeout () =
+  (* a peer that goes silent mid-frame must surface as a deadline, not a
+     hang: the whole point of the deadline-guarded reader *)
+  with_socketpair (fun w r ->
+      write_all w (Fmt.str "%010d" 100);
+      write_all w "half";
+      let t0 = Unix.gettimeofday () in
+      match Transport.recv ~timeout:0.2 r with
+      | Error (Transport.Timeout _) ->
+          Alcotest.(check bool) "returned promptly" true
+            (Unix.gettimeofday () -. t0 < 2.0)
+      | _ -> fail_on "a mid-frame stall must be Timeout")
+
+let test_damage_torn_seal () =
+  (* the frame layer delivers an intact frame whose sealed payload was
+     truncated mid-seal: the codec, not the transport, must reject it *)
+  let reply =
+    P.encode_reply
+      (P.Err "a reply body long enough to truncate meaningfully")
+  in
+  let torn = String.sub reply 0 (String.length reply - 7) in
+  with_socketpair (fun w r ->
+      write_all w (Fmt.str "%010d" (String.length torn));
+      write_all w torn;
+      Unix.close w;
+      match Transport.recv ~timeout:1.0 r with
+      | Ok frame -> (
+          match P.decode_reply frame with
+          | Error _ -> ()
+          | Ok _ -> fail_on "a torn seal must not decode")
+      | Error e -> fail_on (Transport.error_to_string e))
+
+(* --- registry -------------------------------------------------------- *)
+
+let reg_addrs n =
+  List.init n (fun i -> { Transport.host = "10.0.0.1"; port = 7000 + i })
+
+let test_registry_backoff_then_dead () =
+  let r = Registry.create ~attempts:3 ~backoff_base:1.0 ~backoff_cap:8.0
+      (reg_addrs 2) in
+  Alcotest.(check bool) "fresh node available" true
+    (Registry.available r 0 ~now:0.);
+  Registry.mark_failure r 0 ~now:0.;
+  Alcotest.(check string) "one failure backs off" "backoff"
+    (Registry.state_name (Registry.node r 0).Registry.nd_state);
+  Alcotest.(check bool) "gated out during backoff" false
+    (Registry.available r 0 ~now:0.);
+  Alcotest.(check bool) "eligible after the gate" true
+    (Registry.available r 0 ~now:10.);
+  Registry.mark_failure r 0 ~now:10.;
+  Registry.mark_failure r 0 ~now:20.;
+  Alcotest.(check string) "third consecutive failure is death" "dead"
+    (Registry.state_name (Registry.node r 0).Registry.nd_state);
+  Alcotest.(check bool) "dead is never available" false
+    (Registry.available r 0 ~now:1e9);
+  Alcotest.(check int) "one dead node counted" 1 (Registry.dead_count r);
+  Alcotest.(check bool) "fleet not all dead" false (Registry.all_dead r);
+  Registry.mark_failure r 1 ~now:0.;
+  Registry.mark_failure r 1 ~now:10.;
+  Registry.mark_failure r 1 ~now:20.;
+  Alcotest.(check bool) "both dead: all dead" true (Registry.all_dead r)
+
+let test_registry_success_resets_streak () =
+  let r = Registry.create ~attempts:2 ~backoff_base:1.0 ~backoff_cap:8.0
+      (reg_addrs 1) in
+  Registry.mark_failure r 0 ~now:0.;
+  Registry.mark_success r 0;
+  Alcotest.(check string) "success snaps back to up" "up"
+    (Registry.state_name (Registry.node r 0).Registry.nd_state);
+  Registry.mark_failure r 0 ~now:0.;
+  Alcotest.(check string)
+    "the streak restarted: one failure is backoff, not death" "backoff"
+    (Registry.state_name (Registry.node r 0).Registry.nd_state);
+  Alcotest.(check int) "total failures still accumulate" 2
+    (Registry.node r 0).Registry.nd_failures
+
+let test_registry_next_gate () =
+  let r = Registry.create ~attempts:5 ~backoff_base:4.0 ~backoff_cap:64.0
+      (reg_addrs 3) in
+  Alcotest.(check bool) "no gate when everyone is up" true
+    (Registry.next_gate r = None);
+  Registry.mark_failure r 0 ~now:100.;
+  Registry.mark_failure r 1 ~now:200.;
+  match Registry.next_gate r with
+  | Some g ->
+      Alcotest.(check bool) "earliest gate belongs to the first failure" true
+        (g >= 100. && g <= 200.)
+  | None -> Alcotest.fail "two backing-off nodes must gate"
+
+(* --- journal --------------------------------------------------------- *)
+
+let fresh_dir name =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "res-test-%s-%d" name (Unix.getpid ()))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let row_frame name =
+  P.encode_reply
+    (P.Row
+       {
+         rw_name = name;
+         rw_outcome = "complete";
+         rw_timeout = false;
+         rw_elapsed_ms = 12;
+         rw_bucket = "uaf|f:a:0";
+         rw_cause = "free before use";
+         rw_nodes = 9;
+         rw_pruned = 2;
+         rw_queries = 4;
+       })
+
+let test_journal_roundtrip () =
+  let dir = fresh_dir "journal" in
+  let j = Journal.openr dir in
+  Alcotest.(check int) "fresh journal is empty" 0 (Journal.count dir);
+  Journal.append j ~index:3 ~frame:(row_frame "bug-c");
+  Journal.append j ~index:1 ~frame:(row_frame "bug-a");
+  Alcotest.(check int) "two rows journaled" 2 (Journal.count dir);
+  let rows = Journal.recovered_rows (Journal.openr dir) in
+  Alcotest.(check (list string)) "rows recovered in index order"
+    [ "bug-a"; "bug-c" ] (List.map fst rows);
+  List.iter
+    (fun (_, frame) ->
+      match P.decode_reply frame with
+      | Ok (P.Row _) -> ()
+      | _ -> Alcotest.fail "journaled frame must decode to a Row")
+    rows
+
+let test_journal_recovers_torn_tmp () =
+  let dir = fresh_dir "journal-torn" in
+  let j = Journal.openr dir in
+  Journal.append j ~index:0 ~frame:(row_frame "bug-a");
+  (* a killed writer leaves a torn temp beside a missing destination: it
+     must be discarded, not promoted *)
+  let oc = open_out (Filename.concat dir "u0007.row.1234.1.tmp") in
+  output_string oc "ressrvrep v1\nrow compl";
+  close_out oc;
+  (* and an intact temp must be promoted *)
+  let oc = open_out (Filename.concat dir "u0008.row.1234.2.tmp") in
+  output_string oc (row_frame "bug-b");
+  close_out oc;
+  let rows = Journal.recovered_rows (Journal.openr dir) in
+  Alcotest.(check (list string))
+    "intact temp promoted, torn temp discarded" [ "bug-a"; "bug-b" ]
+    (List.map fst rows);
+  Alcotest.(check bool) "torn temp gone" false
+    (Sys.file_exists (Filename.concat dir "u0007.row"))
+
+(* --- end-to-end: forked nodes, byte-identical merged TSV ------------- *)
+
+let corpus_units () =
+  let reports = Res_workloads.Corpus.generate ~n_per_bug:1 () in
+  let items =
+    List.map
+      (fun (r : Res_workloads.Corpus.report) ->
+        {
+          Batch.it_name = Fmt.str "%s-%02d" r.r_bug r.r_id;
+          it_prog = r.r_prog;
+          it_dump = Ok r.r_dump;
+        })
+      reports
+  in
+  let units =
+    List.map
+      (fun (r : Res_workloads.Corpus.report) ->
+        {
+          C.ci_name = Fmt.str "%s-%02d" r.r_bug r.r_id;
+          ci_prog = Res_ir.Prog.to_string r.r_prog;
+          ci_dump = Io.to_string r.r_dump;
+          ci_sig = Res_usecases.Triage.wer_key r.r_dump;
+        })
+      reports
+  in
+  (items, units)
+
+let start_node ~name =
+  let fd, port = Transport.listen_ephemeral () in
+  let pid =
+    match Unix.fork () with
+    | 0 ->
+        (try
+           Server.run
+             {
+               Server.default_config with
+               Server.prebound = Some fd;
+               spool_dir = Filename.concat (fresh_dir "nodes") name;
+               jobs = 2;
+               capacity = 8;
+             }
+         with _ -> Unix._exit 1);
+        Unix._exit 0
+    | pid -> pid
+  in
+  (* close the parent's copy so a dead node's port refuses connections
+     instead of queueing them on an orphaned listen socket *)
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (pid, { Transport.host = "127.0.0.1"; port })
+
+let wait_ready addr =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    Transport.ping addr
+    || (Unix.gettimeofday () < deadline
+       && begin
+            Unix.sleepf 0.02;
+            go ()
+          end)
+  in
+  Alcotest.(check bool)
+    (Fmt.str "node %s ready" (Transport.addr_to_string addr))
+    true (go ())
+
+let drain_node pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let rec reap tries =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+        if tries = 0 then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          Alcotest.fail "node did not drain"
+        end
+        else begin
+          Unix.sleepf 0.05;
+          reap (tries - 1)
+        end
+    | _, Unix.WEXITED 0 -> ()
+    | _, _ -> Alcotest.fail "node drain did not exit 0"
+  in
+  reap 600
+
+let test_cluster_matches_single_node () =
+  let items, units = corpus_units () in
+  (* fork-backed baseline: no domains may exist in this binary *)
+  let baseline = Batch.run ~jobs:1 ~backend:Pool.Forked items in
+  let pid1, addr1 = start_node ~name:"e2e-n1" in
+  let pid2, addr2 = start_node ~name:"e2e-n2" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [ Unix.WNOHANG ] pid)
+          with Unix.Unix_error _ -> ())
+        [ pid1; pid2 ])
+    (fun () ->
+      wait_ready addr1;
+      wait_ready addr2;
+      let journal = fresh_dir "e2e-journal" in
+      let config =
+        {
+          C.default_config with
+          C.nodes = [ addr1; addr2 ];
+          journal_dir = Some journal;
+        }
+      in
+      let t = C.run ~config units in
+      Alcotest.(check string) "merged TSV = single-node triage"
+        baseline.Batch.tsv t.C.tsv;
+      Alcotest.(check int) "nothing lost" 0 t.C.stats.C.cs_lost;
+      Alcotest.(check int) "every unit applied"
+        (List.length units) t.C.stats.C.cs_applied;
+      (* a re-run on the same journal is pure recovery: at-most-once
+         application means no unit is re-dispatched, so even a fleet of
+         unreachable nodes completes it *)
+      let dead = { Transport.host = "127.0.0.1"; port = 1 } in
+      let t2 =
+        C.run
+          ~config:{ config with C.nodes = [ dead ] }
+          units
+      in
+      Alcotest.(check string) "journal replay reproduces the TSV"
+        baseline.Batch.tsv t2.C.tsv;
+      Alcotest.(check int) "all rows recovered, none re-run"
+        (List.length units) t2.C.stats.C.cs_recovered;
+      Alcotest.(check int) "recovery applied nothing new" 0
+        t2.C.stats.C.cs_applied;
+      drain_node pid1;
+      drain_node pid2)
+
+let test_cluster_survives_dead_node_in_fleet () =
+  let items, units = corpus_units () in
+  let baseline = Batch.run ~jobs:1 ~backend:Pool.Forked items in
+  (* a listener bound and immediately closed: a port that refuses *)
+  let dead_fd, dead_port = Transport.listen_ephemeral () in
+  Unix.close dead_fd;
+  let dead = { Transport.host = "127.0.0.1"; port = dead_port } in
+  let pid1, addr1 = start_node ~name:"e2e-dead-n1" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid1 Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [ Unix.WNOHANG ] pid1)
+      with Unix.Unix_error _ -> ())
+    (fun () ->
+      wait_ready addr1;
+      let config =
+        {
+          C.default_config with
+          C.nodes = [ dead; addr1 ];
+          node_attempts = 2;
+        }
+      in
+      let t = C.run ~config units in
+      Alcotest.(check string) "TSV identical despite a dead node"
+        baseline.Batch.tsv t.C.tsv;
+      Alcotest.(check int) "nothing lost" 0 t.C.stats.C.cs_lost;
+      Alcotest.(check bool) "units routed at the dead node were retried"
+        true (t.C.stats.C.cs_retries >= 1);
+      Alcotest.(check bool) "refused connections were charged" true
+        (t.C.stats.C.cs_node_failures >= 1);
+      Alcotest.(check int) "the dead node was declared dead" 1
+        t.C.stats.C.cs_nodes_dead;
+      drain_node pid1)
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "transport",
+        [
+          Alcotest.test_case "parses host:port addresses" `Quick
+            test_parse_addr;
+          Alcotest.test_case "EOF at a boundary is Closed/Frame_eof" `Quick
+            test_damage_eof_at_boundary;
+          Alcotest.test_case "torn length prefix is typed" `Quick
+            test_damage_torn_header;
+          Alcotest.test_case "torn length prefix is Damaged" `Quick
+            test_damage_torn_header_transport;
+          Alcotest.test_case "torn payload is typed" `Quick
+            test_damage_torn_body;
+          Alcotest.test_case "corrupt length prefix is typed" `Quick
+            test_damage_corrupt_prefix;
+          Alcotest.test_case "oversized announcement rejected unallocated"
+            `Quick test_damage_oversized_prefix;
+          Alcotest.test_case "mid-frame stall is Timeout, never a hang"
+            `Quick test_damage_stall_is_timeout;
+          Alcotest.test_case "torn seal rejected by the codec" `Quick
+            test_damage_torn_seal;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "failures back off, then die" `Quick
+            test_registry_backoff_then_dead;
+          Alcotest.test_case "success resets the streak" `Quick
+            test_registry_success_resets_streak;
+          Alcotest.test_case "earliest gate drives the sleep" `Quick
+            test_registry_next_gate;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "append and recover rows" `Quick
+            test_journal_roundtrip;
+          Alcotest.test_case "torn temps discarded, intact promoted" `Quick
+            test_journal_recovers_torn_tmp;
+        ] );
+      ( "coordinator",
+        [
+          Alcotest.test_case "two nodes match single-node triage" `Slow
+            test_cluster_matches_single_node;
+          Alcotest.test_case "a dead node reroutes, TSV unchanged" `Slow
+            test_cluster_survives_dead_node_in_fleet;
+        ] );
+    ]

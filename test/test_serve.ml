@@ -162,6 +162,20 @@ let test_protocol_reply_roundtrip () =
           st_worker_restarts = 4;
           st_breakers_open = 1;
           st_draining = true;
+          st_breakers =
+            [ (hostile_blob, "open", 2); ("vm-crash|f:b:0", "closed", 0) ];
+        };
+      P.Row
+        {
+          rw_name = "bug-03";
+          rw_outcome = "complete";
+          rw_timeout = false;
+          rw_elapsed_ms = 41;
+          rw_bucket = hostile_blob;
+          rw_cause = hostile_blob;
+          rw_nodes = 17;
+          rw_pruned = 3;
+          rw_queries = 22;
         };
       P.Drained { dr_remaining = 3 };
       P.Pong 4242;
