@@ -897,6 +897,116 @@ let e17 () =
      overhead bounds speedup on this small corpus); every faulted run \
      byte-identical with lost = 0@."
 
+(* ------------------------------------------------------------------ *)
+(* E18: the content-addressed result cache (DESIGN.md §13).  The       *)
+(* paper's deployment is WER-scale: millions of dumps, a handful of    *)
+(* root causes, so re-triage of already-seen evidence should cost a    *)
+(* file read, not an analysis.  Measures cold vs warm wall clock and   *)
+(* hit rate on a generated corpus, the cost of incremental re-triage   *)
+(* after the corpus grows, and warm-run byte-identity after entries    *)
+(* are damaged (quarantine + recompute, never wrong bytes).  Forked    *)
+(* backend, so it must run before any domains experiment.              *)
+(* ------------------------------------------------------------------ *)
+let e18 () =
+  section "e18" "result cache — cold vs warm triage, growth, damage";
+  let module Cache = Res_cache.Cache in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let backend = Res_parallel.Pool.Forked in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "res-e18-cache-%d" (Unix.getpid ()))
+  in
+  let items n_per_bug =
+    List.map
+      (fun (r : Res_workloads.Corpus.report) ->
+        {
+          Res_parallel.Batch.it_name =
+            Fmt.str "%s-%04d" r.Res_workloads.Corpus.r_bug r.r_id;
+          it_prog = r.r_prog;
+          it_dump = Ok r.r_dump;
+        })
+      (Res_workloads.Corpus.generate ~n_per_bug ())
+  in
+  let corpus = items 3333 in
+  let n = List.length corpus in
+  (* the same deliberately heavy per-dump config as E15's batch triage:
+     the measurement is analysis avoided, not pool setup amortized *)
+  let config =
+    {
+      Res_core.Res.default_config with
+      stop_at_first_cause = false;
+      determinism_runs = 10;
+      search =
+        { Res_core.Search.default_config with max_segments = 8; max_suffixes = 8 };
+    }
+  in
+  let triage ?cache items =
+    Res_parallel.Batch.run ~config ~jobs:2 ~backend ?cache items
+  in
+  Fmt.pr "corpus: %d dumps (WER-style: every dump drawn from %d root causes)@."
+    n 5;
+  Fmt.pr "%-14s %-11s %-9s %-11s %-8s %s@." "run" "wall (s)" "speedup"
+    "hit rate" "entries" "tsv";
+  let cold, t_cold = wall (fun () -> triage ~cache:(Cache.openr dir) corpus) in
+  Fmt.pr "%-14s %-11.4f %-9s %-11s %-8d %s@." "cold" t_cold "1.00x"
+    (Fmt.str "%d/%d" cold.Res_parallel.Batch.cache_hits n)
+    (Cache.entry_count dir) "baseline";
+  let warm, t_warm = wall (fun () -> triage ~cache:(Cache.openr dir) corpus) in
+  Fmt.pr "%-14s %-11.4f %-9s %-11s %-8d %s@." "warm" t_warm
+    (Fmt.str "%.2fx" (t_cold /. t_warm))
+    (Fmt.str "%d/%d" warm.Res_parallel.Batch.cache_hits n)
+    (Cache.entry_count dir)
+    (if String.equal warm.Res_parallel.Batch.tsv cold.Res_parallel.Batch.tsv
+     then "identical"
+     else "DIVERGED");
+  (* the corpus grows: re-triage everything, pay only for unseen content *)
+  let grown = items 3366 in
+  let n_grown = List.length grown in
+  let incr_run, t_incr =
+    wall (fun () -> triage ~cache:(Cache.openr dir) grown)
+  in
+  Fmt.pr "%-14s %-11.4f %-9s %-11s %-8d %s@."
+    (Fmt.str "grown +%d" (n_grown - n))
+    t_incr
+    (Fmt.str "%.2fx" (t_cold /. t_incr))
+    (Fmt.str "%d/%d" incr_run.Res_parallel.Batch.cache_hits n_grown)
+    (Cache.entry_count dir) "-";
+  (* damage a slice of the entries: the warm run must quarantine them,
+     recompute, and still produce the identical TSV *)
+  let entries =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun e -> Filename.check_suffix e ".entry")
+    |> List.sort compare
+  in
+  List.iteri
+    (fun i e ->
+      if i mod 3 = 0 then begin
+        let oc = open_out_bin (Filename.concat dir e) in
+        output_string oc "bit rot";
+        close_out oc
+      end)
+    entries;
+  let dcache = Cache.openr dir in
+  let damaged, t_damaged = wall (fun () -> triage ~cache:dcache corpus) in
+  Fmt.pr "%-14s %-11.4f %-9s %-11s %-8d %s@." "damaged" t_damaged
+    (Fmt.str "%.2fx" (t_cold /. t_damaged))
+    (Fmt.str "%d/%d" damaged.Res_parallel.Batch.cache_hits n)
+    (Cache.entry_count dir)
+    (if String.equal damaged.Res_parallel.Batch.tsv cold.Res_parallel.Batch.tsv
+     then "identical"
+     else "DIVERGED");
+  Fmt.pr "damaged entries quarantined and recomputed: %d@."
+    (Cache.stats dcache).Cache.quarantined;
+  Fmt.pr
+    "expected shape: warm hit rate %d/%d with speedup >= 20x; the grown \
+     corpus pays only for unseen content; every row reads 'identical' — a \
+     damaged cache changes wall clock, never bytes@."
+    n n
+
 let experiments =
   [
     ("e1", e1);
@@ -915,6 +1025,7 @@ let experiments =
     ("e15", e15);
     ("e16", e16);
     ("e17", e17);
+    ("e18", e18);
     ("a1", a1);
     ("bechamel", bechamel);
   ]

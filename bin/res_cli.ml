@@ -317,6 +317,34 @@ let shard_depth_arg =
           "Search depth at which subtrees split off as independent work \
            units (parallel engine only).")
 
+(* --- result-cache flags (shared by triage, serve, node, coordinate,
+   client submit) --- *)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed triage result cache.  Verdicts are keyed by the \
+           exact (program bytes, dump bytes, budgets and analysis config), \
+           so re-triaging a corpus recomputes only unseen work and produces \
+           byte-identical output.  Damaged or torn entries are quarantined \
+           and transparently recomputed; a missing or unwritable directory \
+           just means every lookup misses.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Ignore $(b,--cache-dir): force cold analyses.")
+
+(** Open the result cache the flags ask for ([None] = caching off). *)
+let open_cache cache_dir no_cache =
+  match cache_dir with
+  | Some d when not no_cache -> Some (Res_cache.Cache.openr d)
+  | _ -> None
+
 let stats_arg =
   Arg.(
     value & flag
@@ -684,7 +712,7 @@ let triage_batch_cmd =
       & opt (some int) None
       & info [ "fuel" ] ~docv:"N" ~doc:"Per-dump search-node budget.")
   in
-  let run prog_path dir jobs backend deadline fuel stats =
+  let run prog_path dir jobs backend deadline fuel stats cache_dir no_cache =
     let prog = or_die (load_prog prog_path) in
     let files = Sys.readdir dir in
     Array.sort compare files;
@@ -709,14 +737,15 @@ let triage_batch_cmd =
     in
     if items = [] then
       raise (Die (exit_internal, Fmt.str "no coredump files under %s" dir));
+    let cache = open_cache cache_dir no_cache in
     let t0 = Unix.gettimeofday () in
     let q0 = Res_solver.Solver.queries () in
     let t =
       Res_parallel.Batch.run ?budget_wall:deadline ?budget_fuel:fuel
-        ~jobs:(max 1 jobs) ?backend items
+        ~jobs:(max 1 jobs) ?backend ?cache items
     in
     print_string t.Res_parallel.Batch.tsv;
-    if stats then
+    if stats then begin
       print_stats
         ~wall_s:(Unix.gettimeofday () -. t0)
         ~nodes:(Res_parallel.Batch.total_nodes t)
@@ -726,6 +755,12 @@ let triage_batch_cmd =
           + t.Res_parallel.Batch.worker_queries)
         ~workers:t.Res_parallel.Batch.workers
         ~restarts:t.Res_parallel.Batch.respawns;
+      match cache with
+      | Some c ->
+          Fmt.epr "cache cache_hits=%d %a@." t.Res_parallel.Batch.cache_hits
+            Res_cache.Cache.pp_stats (Res_cache.Cache.stats c)
+      | None -> ()
+    end;
     (* a batch where literally every dump failed is a pipeline problem,
        not a triage result: make it visible to orchestrators *)
     if Res_parallel.Batch.all_failed t then exit_internal else exit_ok
@@ -740,7 +775,7 @@ let triage_batch_cmd =
           $(b,failed) rows; the batch always completes.")
     Term.(
       const run $ prog_arg $ dir_arg $ jobs_arg $ backend_arg $ deadline
-      $ fuel $ stats_arg)
+      $ fuel $ stats_arg $ cache_dir_arg $ no_cache_arg)
 
 (* --- triage demo --- *)
 
@@ -859,12 +894,13 @@ let serve_cmd =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log daemon events to stderr.")
   in
   let run socket spool jobs capacity deadline fuel grace breaker_threshold
-      breaker_cooldown attempts verbose =
+      breaker_cooldown attempts verbose cache_dir no_cache =
     let cfg =
       {
         Res_serve.Server.default_config with
         Res_serve.Server.socket_path = socket;
         spool_dir = spool;
+        cache_dir = (if no_cache then None else cache_dir);
         jobs = (if jobs <= 0 then 2 else jobs);
         capacity = max 1 capacity;
         default_deadline = deadline;
@@ -889,7 +925,8 @@ let serve_cmd =
           a crash.  SIGTERM drains gracefully and exits 0.")
     Term.(
       const run $ socket_arg $ spool $ jobs_arg $ capacity $ deadline $ fuel
-      $ grace $ breaker_threshold $ breaker_cooldown $ attempts $ verbose)
+      $ grace $ breaker_threshold $ breaker_cooldown $ attempts $ verbose
+      $ cache_dir_arg $ no_cache_arg)
 
 (** Map a daemon reply to an exit code and print it; Result replies also
     print the report body. *)
@@ -946,25 +983,82 @@ let client_cmd =
         & pos 1 (some file) None
         & info [] ~docv:"COREDUMP" ~doc:"Coredump file to triage.")
     in
-    let run socket prog_path dump_path deadline_ms fuel no_wait =
+    let run socket prog_path dump_path deadline_ms fuel no_wait cache_dir
+        no_cache =
+      let module Cache = Res_cache.Cache in
+      let module P = Res_serve.Protocol in
       let prog = read_file prog_path in
       let dump = read_file dump_path in
-      if no_wait then
-        match
-          Res_serve.Client.submit socket ~prog ~dump ?deadline_ms ?fuel ()
-        with
-        | Ok (conn, reply) ->
-            Res_serve.Client.close conn;
-            client_finish (Ok reply)
-        | Error e -> client_finish (Error e)
-      else
-        match
-          Res_serve.Client.submit_wait ~timeout:3600. socket ~prog ~dump
-            ?deadline_ms ?fuel ()
-        with
-        | Ok (_, Some result) -> client_finish (Ok result)
-        | Ok (admission, None) -> client_finish (Ok admission)
-        | Error e -> client_finish (Error e)
+      let cache = open_cache cache_dir no_cache in
+      (* Client-side keying sees only what the client knows: the raw
+         bytes and the budgets it forwards (daemon defaults are not in
+         the key, so an unspecified and a spelled-out deadline are
+         distinct entries — conservative, never wrong). *)
+      let key =
+        match cache with
+        | None -> ""
+        | Some _ ->
+            Cache.key ~prog ~dump
+              ~config:
+                (Cache.row_config
+                   ~wall:
+                     (Option.map
+                        (fun ms -> float_of_int ms /. 1000.)
+                        deadline_ms)
+                   ~fuel
+                   ~engine:(Fmt.str "client submit %s" P.rep_header))
+      in
+      let cached =
+        match cache with
+        | Some c when not (String.equal key "") -> (
+            match Cache.find c key with
+            | None -> None
+            | Some body -> (
+                match P.decode_reply body with
+                | Ok (P.Result _ as r) -> Some r
+                | _ -> None))
+        | _ -> None
+      in
+      let store_result reply =
+        match (cache, reply) with
+        | ( Some c,
+            P.Result
+              { rs_id = _; rs_outcome; rs_timeout; rs_elapsed_ms = _; rs_body }
+          )
+          when (not (String.equal key "")) && not rs_timeout ->
+            Cache.store c key
+              (P.encode_reply
+                 (P.Result
+                    {
+                      rs_id = "cached";
+                      rs_outcome;
+                      rs_timeout;
+                      rs_elapsed_ms = 0;
+                      rs_body;
+                    }))
+        | _ -> ()
+      in
+      match cached with
+      | Some r -> client_finish (Ok r)
+      | None -> (
+          if no_wait then
+            match
+              Res_serve.Client.submit socket ~prog ~dump ?deadline_ms ?fuel ()
+            with
+            | Ok (conn, reply) ->
+                Res_serve.Client.close conn;
+                client_finish (Ok reply)
+            | Error e -> client_finish (Error e)
+          else
+            match
+              Res_serve.Client.submit_wait ~timeout:3600. socket ~prog ~dump
+                ?deadline_ms ?fuel ()
+            with
+            | Ok (_, Some result) ->
+                store_result result;
+                client_finish (Ok result)
+            | Ok (admission, None) -> client_finish (Ok admission)
+            | Error e -> client_finish (Error e))
     in
     Cmd.v
       (Cmd.info "submit"
@@ -974,7 +1068,7 @@ let client_cmd =
             draining).")
       Term.(
         const run $ socket_arg $ prog_arg $ dump_arg $ deadline_ms $ fuel
-        $ no_wait)
+        $ no_wait $ cache_dir_arg $ no_cache_arg)
   in
   let fetch =
     let id_arg =
@@ -1034,7 +1128,7 @@ let node_cmd =
     Arg.(
       value & flag & info [ "verbose"; "v" ] ~doc:"Log node events to stderr.")
   in
-  let run host port spool jobs verbose =
+  let run host port spool jobs verbose cache_dir no_cache =
     if port <= 0 || port > 65535 then
       raise (Die (exit_internal, Fmt.str "bad port %d" port));
     let cfg =
@@ -1042,6 +1136,7 @@ let node_cmd =
         Res_serve.Server.default_config with
         Res_serve.Server.tcp = Some (host, port);
         spool_dir = spool;
+        cache_dir = (if no_cache then None else cache_dir);
         jobs = (if jobs <= 0 then 2 else jobs);
         log = (if verbose then fun m -> Fmt.epr "res-node: %s@." m else ignore);
       }
@@ -1056,7 +1151,9 @@ let node_cmd =
           $(b,res serve) (supervised workers, spool recovery, circuit \
           breakers, graceful drain) listening on TCP for a $(b,res \
           coordinate) coordinator.")
-    Term.(const run $ host $ port $ spool $ jobs_arg $ verbose)
+    Term.(
+      const run $ host $ port $ spool $ jobs_arg $ verbose $ cache_dir_arg
+      $ no_cache_arg)
 
 let coordinate_cmd =
   let dir_arg =
@@ -1134,7 +1231,7 @@ let coordinate_cmd =
           ~doc:"Log retries, reschedules, and node failures to stderr.")
   in
   let run prog_path dir nodes journal window attempts unit_deadline
-      connect_timeout deadline fuel stats verbose =
+      connect_timeout deadline fuel stats verbose cache_dir no_cache =
     let module C = Res_cluster.Coordinator in
     let prog = or_die (load_prog prog_path) in
     let prog_text = Res_ir.Prog.to_string prog in
@@ -1187,6 +1284,7 @@ let coordinate_cmd =
         deadline_ms = Option.map (fun s -> int_of_float (s *. 1000.)) deadline;
         fuel;
         journal_dir = journal;
+        cache_dir = (if no_cache then None else cache_dir);
         log =
           (if verbose then fun m -> Fmt.epr "res-coordinate: %s@." m
            else ignore);
@@ -1216,7 +1314,7 @@ let coordinate_cmd =
     Term.(
       const run $ prog_arg $ dir_arg $ nodes_arg $ journal $ window $ attempts
       $ unit_deadline $ connect_timeout $ deadline $ fuel $ stats_arg
-      $ verbose)
+      $ verbose $ cache_dir_arg $ no_cache_arg)
 
 (* --- selftest --- *)
 
@@ -1289,6 +1387,19 @@ let selftest_cmd =
              gracefully — and assert zero lost accepted requests and \
              byte-identical completed report bodies.")
   in
+  let cache_chaos =
+    Arg.(
+      value & flag
+      & info [ "cache-chaos" ]
+          ~doc:
+            "Run the result-cache chaos campaign: triage the corpus cold \
+             then warm and assert byte-identical TSVs with a full hit rate; \
+             kill a cache write mid-rename and assert recovery; sweep \
+             injected disk faults (ENOSPC, EIO, failed fsync, torn writes) \
+             over every cache, spool, and checkpoint write and assert no \
+             lost accepted work and no wrong verdicts; fill the cache with \
+             garbage and assert it behaves exactly like a cold cache.")
+  in
   let cluster_soak =
     Arg.(
       value & flag
@@ -1302,12 +1413,24 @@ let selftest_cmd =
              single-node triage with zero lost units.")
   in
   let run runs seed verbose skip_deadline kill_resume prune_equivalence
-      worker_kill parallel_equivalence serve_soak cluster_soak backend =
+      worker_kill parallel_equivalence serve_soak cluster_soak cache_chaos
+      backend =
     let open Res_faultinject.Faultinject in
-    (* Fork-backed campaigns (cluster/daemon soak, worker kill) must
-       precede any campaign that spawns domains: the runtime forbids fork
-       after domains. *)
-    if cluster_soak then begin
+    (* Fork-backed campaigns (cluster/daemon soak, worker kill, cache
+       chaos) must precede any campaign that spawns domains: the runtime
+       forbids fork after domains. *)
+    if cache_chaos then begin
+      let s =
+        cache_chaos_campaign
+          ~dir:(Filename.get_temp_dir_name ())
+          ~log:(if verbose then fun m -> Fmt.epr "cache: %s@." m else ignore)
+          ()
+      in
+      Fmt.pr "%a@." pp_cc_summary s;
+      List.iter (fun m -> Fmt.epr "CACHE-CHAOS FAILURE: %s@." m) s.cc_failures;
+      if s.cc_failures = [] then exit_ok else exit_internal
+    end
+    else if cluster_soak then begin
       let s =
         cluster_soak_campaign
           ~log:(if verbose then fun m -> Fmt.epr "cluster: %s@." m else ignore)
@@ -1399,7 +1522,7 @@ let selftest_cmd =
     Term.(
       const run $ runs $ seed $ verbose $ skip_deadline $ kill_resume
       $ prune_equivalence $ worker_kill $ parallel_equivalence $ serve_soak
-      $ cluster_soak $ backend_arg)
+      $ cluster_soak $ cache_chaos $ backend_arg)
 
 let main_cmd =
   let doc = "reverse execution synthesis for MiniIR coredumps" in

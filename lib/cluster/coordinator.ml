@@ -57,6 +57,10 @@ type config = {
   backoff_base : float;
   backoff_cap : float;
   journal_dir : string option;  (** durable at-most-once journal *)
+  cache_dir : string option;
+      (** content-addressed result cache: units whose exact
+          (program, dump, budgets) were triaged by any earlier run are
+          applied from disk and never dispatched to a node *)
   log : string -> unit;
 }
 
@@ -73,6 +77,7 @@ let default_config =
     backoff_base = 0.01;
     backoff_cap = 0.25;
     journal_dir = None;
+    cache_dir = None;
     log = ignore;
   }
 
@@ -86,6 +91,7 @@ type stats = {
   cs_node_failures : int;  (** failed exchanges charged to nodes *)
   cs_nodes_dead : int;
   cs_duplicates : int;  (** late rows dropped by at-most-once *)
+  cs_cache_hits : int;  (** units applied from the result cache *)
   cs_queries : int;  (** solver queries reported by applied rows *)
 }
 
@@ -101,10 +107,10 @@ type t = {
 let pp_stats ppf s =
   Fmt.pf ppf
     "units=%d applied=%d recovered=%d lost=%d retries=%d reschedules=%d \
-     node_failures=%d nodes_dead=%d duplicates=%d queries=%d"
+     node_failures=%d nodes_dead=%d duplicates=%d cache_hits=%d queries=%d"
     s.cs_units s.cs_applied s.cs_recovered s.cs_lost s.cs_retries
     s.cs_reschedules s.cs_node_failures s.cs_nodes_dead s.cs_duplicates
-    s.cs_queries
+    s.cs_cache_hits s.cs_queries
 
 (** Decode a [Row] reply frame into a renderable batch row. *)
 let row_of_frame frame =
@@ -123,6 +129,77 @@ let row_of_frame frame =
             row_pruned = rw_pruned;
           },
           rw_queries )
+  | _ -> None
+
+(* Frames stored in the result cache are identity-normalized: the unit
+   name and elapsed time are per-run noise, not part of the verdict.
+   Timed-out and worker-lost rows are what a {e run} managed, not what
+   the inputs mean, so they are neither stored nor served. *)
+
+let normalize_frame frame =
+  match P.decode_reply frame with
+  | Ok
+      (P.Row
+         {
+           rw_name = _;
+           rw_outcome;
+           rw_timeout;
+           rw_elapsed_ms = _;
+           rw_bucket;
+           rw_cause;
+           rw_nodes;
+           rw_pruned;
+           rw_queries;
+         })
+    when (not rw_timeout) && not (String.equal rw_bucket "worker-lost") ->
+      Some
+        (P.encode_reply
+           (P.Row
+              {
+                rw_name = "cached";
+                rw_outcome;
+                rw_timeout;
+                rw_elapsed_ms = 0;
+                rw_bucket;
+                rw_cause;
+                rw_nodes;
+                rw_pruned;
+                rw_queries;
+              }))
+  | _ -> None
+
+(** Re-label a cached (normalized) frame with this unit's corpus name so
+    the row merges into the output like a node answer. *)
+let relabel_frame name body =
+  match P.decode_reply body with
+  | Ok
+      (P.Row
+         {
+           rw_name = _;
+           rw_outcome;
+           rw_timeout;
+           rw_elapsed_ms;
+           rw_bucket;
+           rw_cause;
+           rw_nodes;
+           rw_pruned;
+           rw_queries;
+         })
+    when (not rw_timeout) && not (String.equal rw_bucket "worker-lost") ->
+      Some
+        (P.encode_reply
+           (P.Row
+              {
+                rw_name = name;
+                rw_outcome;
+                rw_timeout;
+                rw_elapsed_ms;
+                rw_bucket;
+                rw_cause;
+                rw_nodes;
+                rw_pruned;
+                rw_queries;
+              }))
   | _ -> None
 
 (** One open exchange: the connection, which unit it carries, which node
@@ -151,6 +228,28 @@ let run ?(config = default_config) ?(extra_rows = []) items =
   in
   let n_nodes = Registry.count reg in
   let journal = Option.map Journal.openr config.journal_dir in
+  let cache = Option.map Res_cache.Cache.openr config.cache_dir in
+  (* Cache keys are content keys over the raw unit bytes plus the
+     budgets this coordinator forwards; the reply codec version makes a
+     protocol bump an honest miss.  The unit {e name} is deliberately
+     not in the key — identical (program, dump) bytes mean an identical
+     verdict, whatever the corpus calls the file. *)
+  let cache_cfg =
+    Res_cache.Cache.row_config
+      ~wall:(Option.map (fun ms -> float_of_int ms /. 1000.) config.deadline_ms)
+      ~fuel:config.fuel
+      ~engine:(Fmt.str "coord %s" P.rep_header)
+  in
+  let keys =
+    Array.map
+      (fun it ->
+        match cache with
+        | None -> ""
+        | Some _ ->
+            Res_cache.Cache.key ~prog:it.ci_prog ~dump:it.ci_dump
+              ~config:cache_cfg)
+      items
+  in
   let applied = Array.make n None in
   let lost = Array.make n false in
   let attempts = Array.make n 0 in
@@ -167,6 +266,7 @@ let run ?(config = default_config) ?(extra_rows = []) items =
   let n_reschedules = ref 0 in
   let n_node_failures = ref 0 in
   let n_duplicates = ref 0 in
+  let n_cache_hits = ref 0 in
   (* boot: replay the journal — rows applied by any prior incarnation
      are final *)
   (match journal with
@@ -191,6 +291,33 @@ let run ?(config = default_config) ?(extra_rows = []) items =
       if !n_recovered > 0 then
         config.log
           (Fmt.str "recovered %d applied row(s) from journal" !n_recovered));
+  (* warm start: units the cache already answers never touch the network.
+     Hits are journaled like node answers, so a coordinator killed during
+     a warm run recovers them as applied rows. *)
+  (match cache with
+  | None -> ()
+  | Some c ->
+      Array.iteri
+        (fun i it ->
+          if applied.(i) = None then
+            match Res_cache.Cache.find c keys.(i) with
+            | None -> ()
+            | Some body -> (
+                match relabel_frame it.ci_name body with
+                | None -> ()
+                | Some frame -> (
+                    match row_of_frame frame with
+                    | None -> ()
+                    | Some payload ->
+                        Option.iter
+                          (fun j -> Journal.append j ~index:i ~frame)
+                          journal;
+                        applied.(i) <- Some payload;
+                        incr n_cache_hits;
+                        decr remaining)))
+        items;
+      if !n_cache_hits > 0 then
+        config.log (Fmt.str "%d unit(s) applied from cache" !n_cache_hits));
   Array.iteri (fun i _ -> if applied.(i) = None then Queue.push i pending) items;
   let now () = Unix.gettimeofday () in
   let route i = Io.fnv1a32 items.(i).ci_sig mod n_nodes in
@@ -225,6 +352,12 @@ let run ?(config = default_config) ?(extra_rows = []) items =
             (* journal before applying: a kill between the two re-reads
                the row instead of re-running the unit *)
             Option.iter (fun j -> Journal.append j ~index:u ~frame) journal;
+            (match cache with
+            | Some c when not (String.equal keys.(u) "") -> (
+                match normalize_frame frame with
+                | Some body -> Res_cache.Cache.store c keys.(u) body
+                | None -> ())
+            | _ -> ());
             applied.(u) <- Some payload;
             incr n_applied;
             decr remaining)
@@ -449,6 +582,7 @@ let run ?(config = default_config) ?(extra_rows = []) items =
         cs_node_failures = !n_node_failures;
         cs_nodes_dead = Registry.dead_count reg;
         cs_duplicates = !n_duplicates;
+        cs_cache_hits = !n_cache_hits;
         cs_queries = queries;
       };
     node_health = Registry.report reg;

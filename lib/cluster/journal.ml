@@ -20,50 +20,19 @@ type t = { dir : string }
 
 let path t index = Filename.concat t.dir (Fmt.str "u%04d.row" index)
 
-let valid src =
-  Result.is_ok (Io.validate_sealed ~header:(String.equal P.rep_header) src)
+let valid src = Res_core.Sealing.valid ~header:P.rep_header src
 
-(** Open (and recover) a journal directory, creating it if needed. *)
+(** Open (and recover) a journal directory, creating it durably (parent
+    fsynced via the I/O shim) if needed. *)
 let openr dir =
-  (if not (Sys.file_exists dir) then
-     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  (match Sys.readdir dir with
-  | exception Sys_error _ -> ()
-  | entries ->
-      let dests = Hashtbl.create 8 in
-      Array.iter
-        (fun e ->
-          if Filename.check_suffix e ".tmp" then begin
-            let stem = Filename.chop_suffix e ".tmp" in
-            (* strip the [.<pid>.<n>] journal suffix if present *)
-            let stem =
-              match String.rindex_opt stem '.' with
-              | Some i
-                when int_of_string_opt
-                       (String.sub stem (i + 1) (String.length stem - i - 1))
-                     <> None -> (
-                  let stem2 = String.sub stem 0 i in
-                  match String.rindex_opt stem2 '.' with
-                  | Some j
-                    when int_of_string_opt
-                           (String.sub stem2 (j + 1) (String.length stem2 - j - 1))
-                         <> None ->
-                      String.sub stem2 0 j
-                  | _ -> stem)
-              | _ -> stem
-            in
-            Hashtbl.replace dests (Filename.concat dir stem) ()
-          end)
-        entries;
-      Hashtbl.iter
-        (fun dest () ->
-          Res_persist.Checkpoint.recover_journal_with ~valid dest)
-        dests);
+  Res_core.Ioshim.mkdir_durable dir;
+  Res_persist.Checkpoint.recover_dir dir ~valid_for:(fun _ -> valid);
   { dir }
 
 (** Durably record a unit's applied [Row] frame.  Once this returns, a
     coordinator crash cannot lose or re-run the unit. *)
-let append t ~index ~frame = Io.write_file_atomic (path t index) frame
+let append t ~index ~frame =
+  Res_core.Ioshim.write_file_atomic (path t index) frame
 
 (** How many units have journaled rows (what soak harnesses poll to time
     their kills). *)
@@ -86,7 +55,7 @@ let recovered_rows t =
       |> List.filter (fun e -> Filename.check_suffix e ".row")
       |> List.sort compare
       |> List.filter_map (fun e ->
-             match Io.read_file (Filename.concat t.dir e) with
+             match Res_core.Ioshim.read_file (Filename.concat t.dir e) with
              | Error _ -> None
              | Ok frame -> (
                  match P.decode_reply frame with

@@ -1,0 +1,137 @@
+(** The injectable I/O fault plane.
+
+    Every persistence module (checkpoint, spool, cluster journal, result
+    cache) routes its disk traffic through this thin shim instead of
+    calling {!Res_vm.Coredump_io} directly.  In production the shim is
+    transparent: {!write_file_atomic} is exactly the journal-then-rename
+    writer, {!read_file} is exactly the hardened reader.  Under test,
+    {!with_injector} installs a decision function that can make any
+    individual operation fail the way a hostile disk fails — ENOSPC
+    mid-write, EIO on read, a failed fsync, a torn write that leaves a
+    half-journal behind — so the fault-injection campaigns can prove
+    that every persistence path degrades (quarantine, recompute, retry)
+    instead of serving wrong bytes or losing accepted work.
+
+    Injected write faults deliberately leave a torn [.tmp] journal on
+    disk, exactly like a writer killed mid-[write(2)]: recovery code
+    must delete or refuse it, and the campaigns assert that it does.
+
+    The injector is process-global state (forked workers inherit it,
+    which is what the campaigns want); it is not synchronized across
+    domains — install it only from a single-domain test harness. *)
+
+module Io = Res_vm.Coredump_io
+
+(** The operations a persistence path performs, as injection points. *)
+type op =
+  | Write  (** writing the journal file's bytes *)
+  | Fsync  (** flushing the journal to stable storage before rename *)
+  | Rename  (** publishing the journal over the destination *)
+  | Fsync_dir  (** flushing the directory entry after rename *)
+  | Read  (** reading a file back *)
+  | Mkdir  (** creating a persistence directory *)
+
+let op_name = function
+  | Write -> "write"
+  | Fsync -> "fsync"
+  | Rename -> "rename"
+  | Fsync_dir -> "fsync-dir"
+  | Read -> "read"
+  | Mkdir -> "mkdir"
+
+(** How an injected operation fails. *)
+type fault =
+  | Enospc  (** disk full: half the bytes land, then ENOSPC *)
+  | Eio  (** the operation fails outright with EIO *)
+  | Fsync_fail  (** fsync reports failure; the write cannot be trusted *)
+  | Torn of int  (** exactly [n] bytes land, then the writer dies (EIO) *)
+
+let fault_name = function
+  | Enospc -> "enospc"
+  | Eio -> "eio"
+  | Fsync_fail -> "fsync-fail"
+  | Torn n -> Printf.sprintf "torn-%d" n
+
+(** Decide whether (and how) this operation on this path fails.  Return
+    [None] to let it through. *)
+type injector = op -> string -> fault option
+
+let no_faults : injector = fun _ _ -> None
+let injector : injector ref = ref no_faults
+
+(** Install [f] for the duration of [thunk] (restored on any exit). *)
+let with_injector f thunk =
+  let prev = !injector in
+  injector := f;
+  Fun.protect ~finally:(fun () -> injector := prev) thunk
+
+let check op path = !injector op path
+
+(* Leave a torn journal behind, like a writer that died mid-write, then
+   surface the failure as the Unix error a real disk returns. *)
+let fail_torn ~tmp ~contents ~keep code =
+  let oc = open_out_bin tmp in
+  output_string oc (String.sub contents 0 (min keep (String.length contents)));
+  close_out_noerr oc;
+  raise (Unix.Unix_error (code, "write", tmp))
+
+(** {!Res_vm.Coredump_io.write_file_atomic} with injection points at
+    every stage: journal write, fsync, rename, directory fsync.  A fault
+    raises [Unix.Unix_error] (after leaving a realistic torn journal for
+    write-stage faults); callers treat any exception as "this write did
+    not happen" and fall back to their degrade path. *)
+let write_file_atomic path contents =
+  let tmp = Io.fresh_tmp_path path in
+  (match check Write path with
+  | Some Enospc ->
+      fail_torn ~tmp ~contents ~keep:(String.length contents / 2) Unix.ENOSPC
+  | Some (Torn n) -> fail_torn ~tmp ~contents ~keep:n Unix.EIO
+  | Some (Eio | Fsync_fail) -> raise (Unix.Unix_error (Unix.EIO, "write", tmp))
+  | None -> ());
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     output_string oc contents;
+     flush oc;
+     match check Fsync path with
+     | Some _ ->
+         (* the journal is fully written but may not be durable: the
+            write cannot be acknowledged *)
+         raise (Unix.Unix_error (Unix.EIO, "fsync", tmp))
+     | None -> ( try Unix.fsync fd with Unix.Unix_error _ -> ())
+   with exn ->
+     close_out_noerr oc;
+     raise exn);
+  close_out oc;
+  (match check Rename path with
+  | Some _ -> raise (Unix.Unix_error (Unix.EIO, "rename", tmp))
+  | None -> ());
+  Sys.rename tmp path;
+  match check Fsync_dir path with
+  | Some _ -> () (* a failed directory fsync is tolerated, like the real one *)
+  | None -> Io.fsync_dir (Filename.dirname path)
+
+(** {!Res_vm.Coredump_io.read_file} with a read injection point: an
+    injected fault reads as an unreadable file (the classified error
+    every loader already degrades on), not an exception. *)
+let read_file path =
+  match check Read path with
+  | Some f ->
+      Error
+        (Io.Unreadable (Printf.sprintf "injected %s fault" (fault_name f)))
+  | None -> Io.read_file path
+
+(** Create [dir] if needed and — unlike a bare [Unix.mkdir] — fsync its
+    parent, so the directory itself survives a power loss.  The spool
+    and journal used to skip the parent fsync; every persistence
+    directory is created through here now. *)
+let mkdir_durable dir =
+  (match check Mkdir dir with
+  | Some Enospc -> raise (Unix.Unix_error (Unix.ENOSPC, "mkdir", dir))
+  | Some _ -> raise (Unix.Unix_error (Unix.EIO, "mkdir", dir))
+  | None -> ());
+  match Unix.mkdir dir 0o755 with
+  | () -> Io.fsync_dir (Filename.dirname dir)
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()

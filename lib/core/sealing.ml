@@ -1,0 +1,67 @@
+(** One home for the sealed-envelope helpers.
+
+    Every durable artifact in the system — coredumps, search checkpoints,
+    spool journals, cluster result journals, parallel work-unit frames,
+    cache entries — shares one on-disk discipline: a header line naming
+    the format, a line-oriented payload, and an [end <lines> <checksum>]
+    footer (FNV-1a over the payload) so torn or bit-flipped files are
+    {e detected} rather than parsed.  The writer ({!seal}) and validator
+    ({!validate}) grew up in {!Res_vm.Coredump_io} and were then
+    re-wrapped slightly differently by the checkpoint, spool, cluster
+    journal, and wire modules; this module is the single copy they all
+    call now.
+
+    Also here: the 64-bit FNV-1a variant ({!fnv1a64}, {!content_key})
+    used to derive content-addressed cache keys, where the 32-bit hash's
+    birthday bound (~77k inputs for a 50% collision) is too tight for a
+    100k-dump corpus and a collision would silently serve the wrong
+    cached result. *)
+
+module Io = Res_vm.Coredump_io
+
+(** 32-bit FNV-1a — the envelope checksum. *)
+let fnv1a32 = Io.fnv1a32
+
+(** Append the validating [end <lines> <checksum>] footer to a payload
+    (which must end in a newline). *)
+let seal = Io.seal
+
+(** Validate a sealed envelope whose first line must equal [header];
+    returns the full payload (header line included) on success. *)
+let validate ~header src =
+  Io.validate_sealed ~header:(String.equal header) src
+
+(** [valid ~header src] — does the envelope validate?  The boolean
+    form every journal-recovery path wants. *)
+let valid ~header src = Result.is_ok (validate ~header src)
+
+(* --- 64-bit FNV-1a for content-addressed keys --- *)
+
+let fnv64_basis = 0xcbf29ce484222325L
+let fnv64_prime = 0x100000001b3L
+
+(** 64-bit FNV-1a over a string, folded into [h] (start from
+    {!fnv64_basis}).  Int64 so the full 64-bit wraparound semantics hold
+    on OCaml's 63-bit native ints. *)
+let fnv1a64_fold h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv64_prime)
+    s;
+  !h
+
+let fnv1a64 s = fnv1a64_fold fnv64_basis s
+
+(** Derive a content-addressed key from the given parts: 64-bit FNV-1a
+    over the length-prefixed concatenation (length prefixes so
+    [["ab";"c"]] and [["a";"bc"]] never collide), rendered as 16 hex
+    digits — filesystem-safe and fixed-width. *)
+let content_key parts =
+  let h =
+    List.fold_left
+      (fun h part ->
+        fnv1a64_fold (fnv1a64_fold h (Printf.sprintf "%d:" (String.length part))) part)
+      fnv64_basis parts
+  in
+  Printf.sprintf "%016Lx" h

@@ -1405,3 +1405,299 @@ let pp_ck_summary ppf s =
     s.ck_units s.ck_identical s.ck_runs s.ck_recovered s.ck_retries
     s.ck_reschedules s.ck_nodes_dead s.ck_stall_failures s.ck_lost
     s.ck_duplicates s.ck_drain_ok
+
+(* --- campaign: result-cache chaos ------------------------------------ *)
+
+(** Chaos-test the content-addressed result cache the way a hostile disk
+    will hurt it: tear its atomic-writer journals, flip bits in sealed
+    entries, replace every entry with garbage, and inject ENOSPC / EIO /
+    failed-fsync / torn-write faults into every cache I/O — then assert
+    the crash-only contract: {e every} run, however damaged or starved
+    the cache, produces a triage TSV byte-identical to the uncached
+    baseline.  A garbage cache must behave exactly like a cold cache
+    (quarantine + recompute + re-store), and a cache that cannot even
+    create its directory must degrade to pure recompute — never to an
+    exception, never to wrong bytes.
+
+    Fork-backed by construction (batch workers are forked processes and
+    the injector is process-global), so like the other fork campaigns it
+    must run before any domains are spawned in this process. *)
+
+type cc_summary = {
+  cc_units : int;  (** corpus size fed to every run *)
+  cc_runs : int;  (** damaged/faulted/warm runs compared to the baseline *)
+  cc_identical : int;  (** of those, TSV byte-identical: must equal [cc_runs] *)
+  cc_cold_stores : int;  (** entries stored by the pristine cold run *)
+  cc_warm_hits : int;  (** rows served from cache by the pristine warm run *)
+  cc_quarantined : int;  (** damaged entries moved aside across all phases *)
+  cc_store_failures : int;  (** stores dropped on injected disk faults *)
+  cc_injected : int;  (** cache I/O operations made to fail *)
+  cc_failures : string list;  (** empty iff the cache kept its contract *)
+}
+
+let cache_chaos_campaign ?(dir = Filename.get_temp_dir_name ())
+    ?(log = ignore) () : cc_summary =
+  let module Cache = Res_cache.Cache in
+  let module Batch = Res_parallel.Batch in
+  let module Shim = Res_core.Ioshim in
+  let base = Filename.concat dir (Fmt.str "res-cache-chaos-%d" (Unix.getpid ())) in
+  (try Unix.mkdir base 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun m -> log m; failures := m :: !failures) fmt in
+  let under d path =
+    let n = String.length d in
+    String.length path > n && String.equal (String.sub path 0 n) d
+  in
+  let tmp_left d =
+    match Sys.readdir d with
+    | exception Sys_error _ -> false
+    | es ->
+        Array.exists
+          (fun e ->
+            Filename.check_suffix e ".tmp"
+            || Filename.extension e = ".tmp")
+          es
+  in
+  let backend = Res_parallel.Pool.Forked in
+  let items = wk_items () in
+  let n_units = List.length items in
+  (* the truth every run must reproduce: an uncached fork-backed triage *)
+  let baseline = Batch.run ~jobs:1 ~backend items in
+  let runs = ref 0 and identical = ref 0 in
+  let quarantined = ref 0 and store_failures = ref 0 and injected = ref 0 in
+  let drain_stats c =
+    let s = Cache.stats c in
+    quarantined := !quarantined + s.Cache.quarantined;
+    store_failures := !store_failures + s.Cache.store_failures
+  in
+  let run_cached phase c =
+    incr runs;
+    log (Fmt.str "run: %s" phase);
+    match Batch.run ~jobs:1 ~backend ~cache:c items with
+    | t ->
+        if String.equal t.Batch.tsv baseline.Batch.tsv then incr identical
+        else fail "%s: TSV diverged from the uncached baseline" phase;
+        drain_stats c;
+        Some t
+    | exception exn ->
+        drain_stats c;
+        fail "%s: escaped exception: %s" phase (Printexc.to_string exn);
+        None
+  in
+  (* --- phase 1: cold fill, then a fully warm replay ------------------ *)
+  let dir1 = Filename.concat base "steady" in
+  let c_cold = Cache.openr dir1 in
+  let cold_stores =
+    match run_cached "cold" c_cold with
+    | Some t ->
+        if t.Batch.cache_hits <> 0 then
+          fail "cold: %d hit(s) served from an empty cache" t.Batch.cache_hits;
+        (Cache.stats c_cold).Cache.stores
+    | None -> 0
+  in
+  if Cache.entry_count dir1 < n_units then
+    fail "cold: only %d/%d entries on disk after the fill" (Cache.entry_count dir1)
+      n_units;
+  let warm_hits =
+    match run_cached "warm" (Cache.openr dir1) with
+    | Some t ->
+        if t.Batch.cache_hits < n_units then
+          fail "warm: only %d/%d rows came from the cache" t.Batch.cache_hits
+            n_units;
+        t.Batch.cache_hits
+    | None -> 0
+  in
+  (* --- phase 2: torn journal, bit-flipped entry, garbage entry -------- *)
+  (match
+     Sys.readdir dir1 |> Array.to_list
+     |> List.filter (fun e -> Filename.check_suffix e ".entry")
+     |> List.sort compare
+   with
+  | [] -> fail "corrupt: no entries to damage"
+  | e0 :: rest ->
+      let p0 = Filename.concat dir1 e0 in
+      (* a torn atomic-writer journal, as left by a writer killed
+         mid-[write(2)]: reopen must delete it, never promote it *)
+      let torn = Res_vm.Coredump_io.fresh_tmp_path p0 in
+      let oc = open_out_bin torn in
+      output_string oc "rescache v1\nhalf a sealed entry";
+      close_out oc;
+      (* one flipped bit in a sealed entry: the seal must catch it *)
+      (match Res_vm.Coredump_io.read_file p0 with
+      | Ok src when String.length src > 0 ->
+          let b = Bytes.of_string src in
+          let i = Bytes.length b / 2 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+          let oc = open_out_bin p0 in
+          output_bytes oc b;
+          close_out oc
+      | _ -> fail "corrupt: could not read %s back" e0);
+      (* and one entry replaced outright *)
+      (match rest with
+      | e1 :: _ ->
+          let oc = open_out_bin (Filename.concat dir1 e1) in
+          output_string oc "not a sealed entry at all\n";
+          close_out oc
+      | [] -> ()));
+  let c_dam = Cache.openr dir1 in
+  if tmp_left dir1 then fail "corrupt: torn .tmp journal survived reopen";
+  (match run_cached "corrupt" c_dam with
+  | Some t ->
+      if (Cache.stats c_dam).Cache.quarantined = 0 then
+        fail "corrupt: damaged entries were never quarantined";
+      if t.Batch.cache_hits >= n_units then
+        fail "corrupt: damaged entries were served as hits"
+  | None -> ());
+  (* --- phase 3: every entry replaced by deterministic garbage.  The
+     contract under total corruption: quarantine everything, recompute
+     everything, re-store everything — a garbage cache IS a cold cache *)
+  let rng = { s = 0xC0FFEE } in
+  Array.iter
+    (fun e ->
+      if Filename.check_suffix e ".entry" then begin
+        let oc = open_out_bin (Filename.concat dir1 e) in
+        for _ = 1 to 64 + rng_below rng 128 do
+          output_char oc (Char.chr (rng_below rng 256))
+        done;
+        close_out oc
+      end)
+    (Sys.readdir dir1);
+  let c_garbage = Cache.openr dir1 in
+  (match run_cached "garbage" c_garbage with
+  | Some t ->
+      if t.Batch.cache_hits <> 0 then
+        fail "garbage: %d garbage entr(ies) served as hits" t.Batch.cache_hits;
+      if (Cache.stats c_garbage).Cache.quarantined < n_units then
+        fail "garbage: only %d/%d garbage entries quarantined"
+          (Cache.stats c_garbage).Cache.quarantined n_units
+  | None -> ());
+  (* the garbage run must have healed the cache: warm again, full hits *)
+  (match run_cached "healed" (Cache.openr dir1) with
+  | Some t ->
+      if t.Batch.cache_hits < n_units then
+        fail "healed: only %d/%d hits after the garbage run re-stored"
+          t.Batch.cache_hits n_units
+  | None -> ());
+  (* --- phase 4: injected read faults on a warm cache.  Every lookup
+     hits EIO; the cache must quarantine, recompute, and re-store ------- *)
+  let c_eio = Cache.openr dir1 in
+  let read_inj op path =
+    match op with
+    | Shim.Read when under dir1 path ->
+        incr injected;
+        Some Shim.Eio
+    | _ -> None
+  in
+  (match
+     Shim.with_injector read_inj (fun () -> run_cached "read-fault" c_eio)
+   with
+  | Some t ->
+      if t.Batch.cache_hits <> 0 then
+        fail "read-fault: %d hit(s) served through injected EIO"
+          t.Batch.cache_hits
+  | None -> ());
+  (* --- phase 5: injected store faults, one fault family at a time.
+     Every store fails (leaving realistic torn journals); the run must
+     shrug (store_failures), stay byte-identical, and the next reopen
+     must sweep the wreckage ------------------------------------------- *)
+  List.iter
+    (fun f ->
+      let name = Shim.fault_name f in
+      let cdir = Filename.concat base ("storm-" ^ name) in
+      let c = Cache.openr cdir in
+      let inj op path =
+        match op with
+        | Shim.Write when under cdir path ->
+            incr injected;
+            Some f
+        | _ -> None
+      in
+      (match
+         Shim.with_injector inj (fun () ->
+             run_cached (Fmt.str "store-fault %s" name) c)
+       with
+      | Some _ ->
+          if (Cache.stats c).Cache.store_failures = 0 then
+            fail "store-fault %s: no store ever failed under injection" name;
+          if (Cache.stats c).Cache.stores <> 0 then
+            fail "store-fault %s: %d store(s) claimed success under injection"
+              name (Cache.stats c).Cache.stores
+      | None -> ());
+      (* reopen sweeps torn journals; the cache is simply still cold *)
+      let c2 = Cache.openr cdir in
+      if tmp_left cdir then
+        fail "store-fault %s: torn .tmp journals survived reopen" name;
+      (match run_cached (Fmt.str "recold %s" name) c2 with
+      | Some _ ->
+          if Cache.entry_count cdir < n_units then
+            fail "recold %s: only %d/%d entries stored once the disk healed"
+              name (Cache.entry_count cdir) n_units
+      | None -> ()))
+    [ Shim.Enospc; Shim.Eio; Shim.Fsync_fail; Shim.Torn 11 ];
+  (* --- phase 6: a randomized (but deterministic) storm: roughly one in
+     three cache I/Os fails, fault family drawn per-operation ----------- *)
+  let dir6 = Filename.concat base "storm-random" in
+  let storm_rng = { s = 0xBADD15C } in
+  let storm_inj op path =
+    if not (under dir6 path) then None
+    else
+      match op with
+      | Shim.Fsync_dir -> None (* tolerated by design; keep the rng honest *)
+      | _ ->
+          if rng_below storm_rng 3 = 0 then begin
+            incr injected;
+            Some
+              (match rng_below storm_rng 4 with
+              | 0 -> Shim.Enospc
+              | 1 -> Shim.Eio
+              | 2 -> Shim.Fsync_fail
+              | _ -> Shim.Torn (1 + rng_below storm_rng 40))
+          end
+          else None
+  in
+  Shim.with_injector storm_inj (fun () ->
+      ignore (run_cached "random-storm cold" (Cache.openr dir6));
+      ignore (run_cached "random-storm warm" (Cache.openr dir6)));
+  let c6 = Cache.openr dir6 in
+  if tmp_left dir6 then fail "random-storm: torn .tmp journals survived reopen";
+  ignore (run_cached "random-storm healed" c6);
+  (* --- phase 7: the cache directory itself cannot be created.  openr
+     must not raise, and the run must degrade to pure recompute --------- *)
+  let dir7 = Filename.concat base "no-dir" in
+  let mkdir_inj op path =
+    match op with
+    | Shim.Mkdir when String.equal path dir7 || under dir7 path ->
+        incr injected;
+        Some Shim.Eio
+    | _ -> None
+  in
+  let c7 = Shim.with_injector mkdir_inj (fun () -> Cache.openr dir7) in
+  (match run_cached "no-dir" c7 with
+  | Some t ->
+      if t.Batch.cache_hits <> 0 then
+        fail "no-dir: hits from a cache whose directory does not exist";
+      if (Cache.stats c7).Cache.store_failures = 0 then
+        fail "no-dir: stores into a missing directory claimed success"
+  | None -> ());
+  {
+    cc_units = n_units;
+    cc_runs = !runs;
+    cc_identical = !identical;
+    cc_cold_stores = cold_stores;
+    cc_warm_hits = warm_hits;
+    cc_quarantined = !quarantined;
+    cc_store_failures = !store_failures;
+    cc_injected = !injected;
+    cc_failures = List.rev !failures;
+  }
+
+let pp_cc_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>cache chaos: %d units, %d/%d damaged and faulted runs \
+     byte-identical to the uncached baseline@,\
+     cold stores %d | warm hits %d | quarantined %d | store failures %d | \
+     faults injected %d@,\
+     failures: %d@]"
+    s.cc_units s.cc_identical s.cc_runs s.cc_cold_stores s.cc_warm_hits
+    s.cc_quarantined s.cc_store_failures s.cc_injected
+    (List.length s.cc_failures)

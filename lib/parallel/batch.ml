@@ -37,6 +37,7 @@ type t = {
   lost : int;
   respawns : int;  (** replacement workers forked after a death *)
   worker_queries : int;
+  cache_hits : int;  (** rows served from the result cache, not analyzed *)
 }
 
 let tsv_field s =
@@ -64,17 +65,61 @@ let render rows clusters =
     [budget_fuel] bound each {e dump}'s analysis separately (a budget
     cannot be shared across processes, and per-dump bounds are what batch
     triage wants: one pathological dump degrades to [partial] without
-    starving its neighbours). *)
+    starving its neighbours).  With [?cache], each loadable dump is
+    looked up in the content-addressed result cache first and only
+    misses are farmed to the pool; fresh results are stored back
+    best-effort.  Cache hits reproduce the exact row an analysis would
+    have produced, so the TSV is byte-identical warm or cold. *)
 let run ?(config = Res.default_config) ?budget_wall ?budget_fuel ?(jobs = 1)
-    ?backend ?kill_unit ?attempts ?backoff_base ?backoff_cap items =
+    ?backend ?kill_unit ?attempts ?backoff_base ?backoff_cap ?cache items =
+  let module Cache = Res_cache.Cache in
   let items =
     List.sort (fun a b -> compare a.it_name b.it_name) items |> Array.of_list
   in
   let n = Array.length items in
+  (* Everything that can change a row is folded into the cache key:
+     program and dump bytes plus this config/budget rendering. *)
+  let config_key =
+    let s = config.Res.search in
+    Cache.row_config ~wall:budget_wall ~fuel:budget_fuel
+      ~engine:
+        (Fmt.str "batch %d %d %d %b %b %d %b %d" s.Search.max_segments
+           s.max_suffixes s.max_nodes s.use_breadcrumbs s.static_prune
+           config.determinism_runs config.stop_at_first_cause
+           config.max_attempts)
+  in
+  let prog_text =
+    (* items overwhelmingly share one program; memoize its rendering *)
+    let last = ref None in
+    fun p ->
+      match !last with
+      | Some (p', s) when p' == p -> s
+      | _ ->
+          let s = Res_ir.Prog.to_string p in
+          last := Some (p, s);
+          s
+  in
+  let keys = Array.make n "" in
+  let cached = Array.make n None in
+  (match cache with
+  | None -> ()
+  | Some c ->
+      Array.iteri
+        (fun i it ->
+          match it.it_dump with
+          | Error _ -> ()
+          | Ok d ->
+              let k =
+                Cache.key ~prog:(prog_text it.it_prog)
+                  ~dump:(Res_vm.Coredump_io.to_string d) ~config:config_key
+              in
+              keys.(i) <- k;
+              cached.(i) <- Option.bind (Cache.find c k) Cache.decode_row)
+        items);
   let farm =
-    (* only loadable dumps go to the pool *)
+    (* only loadable dumps the cache could not answer go to the pool *)
     List.filter
-      (fun i -> Result.is_ok items.(i).it_dump)
+      (fun i -> Result.is_ok items.(i).it_dump && cached.(i) = None)
       (List.init n Fun.id)
   in
   let worker () =
@@ -126,11 +171,33 @@ let run ?(config = Res.default_config) ?budget_wall ?budget_fuel ?(jobs = 1)
           triaged.(b.Wire.b_index) <- Some b
       | _ -> ())
     replies;
+  (* store fresh verdicts back (best-effort; failures leave the entry
+     cold, they never fail the batch) *)
+  (match cache with
+  | None -> ()
+  | Some c ->
+      Array.iteri
+        (fun i b ->
+          match b with
+          | Some b when keys.(i) <> "" && cached.(i) = None ->
+              Cache.store c keys.(i)
+                (Cache.encode_row
+                   {
+                     Cache.c_outcome = b.Wire.b_outcome;
+                     c_timeout = false;
+                     c_bucket = b.Wire.b_bucket;
+                     c_cause = b.Wire.b_cause;
+                     c_nodes = b.Wire.b_nodes;
+                     c_pruned = b.Wire.b_pruned;
+                     c_queries = b.Wire.b_queries;
+                   })
+          | _ -> ())
+        triaged);
   let rows =
     List.init n (fun i ->
         let it = items.(i) in
-        match (it.it_dump, triaged.(i)) with
-        | Error msg, _ ->
+        match (it.it_dump, cached.(i), triaged.(i)) with
+        | Error msg, _, _ ->
             {
               row_name = it.it_name;
               row_outcome = "failed";
@@ -139,7 +206,17 @@ let run ?(config = Res.default_config) ?budget_wall ?budget_fuel ?(jobs = 1)
               row_nodes = 0;
               row_pruned = 0;
             }
-        | Ok _, None ->
+        | Ok _, Some r, _ ->
+            (* served from the cache: the exact row the analysis produced *)
+            {
+              row_name = it.it_name;
+              row_outcome = r.Cache.c_outcome;
+              row_bucket = r.Cache.c_bucket;
+              row_cause = r.Cache.c_cause;
+              row_nodes = r.Cache.c_nodes;
+              row_pruned = r.Cache.c_pruned;
+            }
+        | Ok _, None, None ->
             (* every attempt died with the worker *)
             {
               row_name = it.it_name;
@@ -149,7 +226,7 @@ let run ?(config = Res.default_config) ?budget_wall ?budget_fuel ?(jobs = 1)
               row_nodes = 0;
               row_pruned = 0;
             }
-        | Ok _, Some b ->
+        | Ok _, None, Some b ->
             {
               row_name = it.it_name;
               row_outcome = b.Wire.b_outcome;
@@ -177,6 +254,8 @@ let run ?(config = Res.default_config) ?budget_wall ?budget_fuel ?(jobs = 1)
     lost = pstats.Pool.p_lost;
     respawns = pstats.Pool.p_respawns;
     worker_queries;
+    cache_hits =
+      Array.fold_left (fun a c -> if c <> None then a + 1 else a) 0 cached;
   }
 
 (** Aggregate node/prune work across rows, for [--stats]. *)

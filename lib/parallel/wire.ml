@@ -123,7 +123,7 @@ let seq_of rd f =
   go [] n
 
 let decode ~header ~version s parse =
-  match Io.validate_sealed ~header:(String.equal (header ^ " " ^ version)) s with
+  match Res_core.Sealing.validate ~header:(header ^ " " ^ version) s with
   | Error e -> Error (Io.dump_error_to_string e)
   | Ok payload -> (
       let rd = { Io.toks = Res_ir.Parser.tokenize payload } in
@@ -158,7 +158,7 @@ let unit_version = "v1"
 
 let encode_unit u =
   let c = u.u_config in
-  Io.seal
+  Res_core.Sealing.seal
     (Fmt.str "@[<v>%s %s@,unit %d@,config %d %d %d %a %a@,budget %a %a@,restore %a@,%a@]@."
        unit_header unit_version u.u_index c.Search.max_segments c.max_suffixes
        c.max_nodes pp_bool c.use_breadcrumbs pp_bool c.static_prune pp_int_opt
@@ -236,7 +236,7 @@ let exhaustion_opt_of rd =
   | s -> Io.fail "expected none/deadline/fuel, got %S" s
 
 let encode_result r =
-  Io.seal
+  Res_core.Sealing.seal
     (Fmt.str
        "@[<v>%s %s@,unit %d %a %a@,stats %d %d %d %d %d %d@,suffixes %a@]@."
        result_header result_version r.r_index pp_bool r.r_complete
@@ -286,7 +286,7 @@ let ckpt_header = "resparckpt"
 let ckpt_version = "v1"
 
 let encode_unit_ckpt c =
-  Io.seal
+  Res_core.Sealing.seal
     (Fmt.str "@[<v>%s %s@,expr %d@,%a@]@." ckpt_header ckpt_version
        c.c_expr_counter Ckpt.pp_suspended c.c_suspended)
 
@@ -321,7 +321,7 @@ let batch_header = "resbatchres"
 let batch_version = "v1"
 
 let encode_batch b =
-  Io.seal
+  Res_core.Sealing.seal
     (Fmt.str "@[<v>%s %s@,row %d %S %S %S@,work %d %d %d@]@." batch_header
        batch_version b.b_index b.b_outcome b.b_bucket b.b_cause b.b_nodes
        b.b_pruned b.b_queries)

@@ -44,6 +44,15 @@ val recover_journal : string -> unit
     journals through this. *)
 val recover_journal_with : valid:(string -> bool) -> string -> unit
 
+(** Journal recovery across a whole directory: for every [.tmp] sibling
+    found under [dir], derive its destination (stripping the
+    [.<pid>.<n>.tmp] journal suffix, or the legacy [.tmp]) and
+    promote/delete it with {!recover_journal_with}, using
+    [valid_for dest] as that destination's validator.  The request
+    spool, the cluster result journal, and the result cache all boot
+    through this. *)
+val recover_dir : valid_for:(string -> string -> bool) -> string -> unit
+
 (** Load a checkpoint, after {!recover_journal}. *)
 val load : string -> (t, Res_vm.Coredump_io.dump_error) result
 

@@ -20,6 +20,8 @@
 
 module Io = Res_vm.Coredump_io
 
+let seal = Res_core.Sealing.seal
+
 let write_frame = Res_parallel.Wire.write_frame
 let read_frame = Res_parallel.Wire.read_frame
 
@@ -89,6 +91,8 @@ type reply =
       st_running : int;
       st_worker_restarts : int;
       st_breakers_open : int;
+      st_cache_hits : int;
+          (** submissions answered from the result cache, never queued *)
       st_draining : bool;
       st_breakers : (string * string * int) list;
           (** per-workload breaker health: (signature, state name, trips) *)
@@ -111,7 +115,7 @@ let encode_request = function
            (int_opt sb_fuel));
       blob b "prog" sb_prog;
       blob b "dump" sb_dump;
-      Io.seal (Buffer.contents b)
+      seal (Buffer.contents b)
   | Triage { tg_name; tg_prog; tg_dump; tg_deadline_ms; tg_fuel } ->
       let b =
         Buffer.create (String.length tg_prog + String.length tg_dump + 96)
@@ -122,17 +126,17 @@ let encode_request = function
       blob b "name" tg_name;
       blob b "prog" tg_prog;
       blob b "dump" tg_dump;
-      Io.seal (Buffer.contents b)
-  | Fetch id -> Io.seal (Fmt.str "%s\nfetch %s\n" req_header id)
-  | Status -> Io.seal (Fmt.str "%s\nstatus\n" req_header)
-  | Drain -> Io.seal (Fmt.str "%s\ndrain\n" req_header)
-  | Ping -> Io.seal (Fmt.str "%s\nping\n" req_header)
+      seal (Buffer.contents b)
+  | Fetch id -> seal (Fmt.str "%s\nfetch %s\n" req_header id)
+  | Status -> seal (Fmt.str "%s\nstatus\n" req_header)
+  | Drain -> seal (Fmt.str "%s\ndrain\n" req_header)
+  | Ping -> seal (Fmt.str "%s\nping\n" req_header)
 
 let encode_reply = function
   | Accepted { ac_id; ac_queued } ->
-      Io.seal (Fmt.str "%s\naccepted %s %d\n" rep_header ac_id ac_queued)
+      seal (Fmt.str "%s\naccepted %s %d\n" rep_header ac_id ac_queued)
   | Rejected_overload { ro_queued; ro_capacity } ->
-      Io.seal
+      seal
         (Fmt.str "%s\nrejected-overload %d %d\n" rep_header ro_queued
            ro_capacity)
   | Rejected_breaker { rb_signature; rb_retry_ms } ->
@@ -140,8 +144,8 @@ let encode_reply = function
       Buffer.add_string b
         (Fmt.str "%s\nrejected-breaker %d\n" rep_header rb_retry_ms);
       blob b "sig" rb_signature;
-      Io.seal (Buffer.contents b)
-  | Rejected_draining -> Io.seal (Fmt.str "%s\nrejected-draining\n" rep_header)
+      seal (Buffer.contents b)
+  | Rejected_draining -> seal (Fmt.str "%s\nrejected-draining\n" rep_header)
   | Result { rs_id; rs_outcome; rs_timeout; rs_elapsed_ms; rs_body } ->
       let b = Buffer.create (String.length rs_body + 96) in
       Buffer.add_string b
@@ -149,7 +153,7 @@ let encode_reply = function
            (if rs_timeout then 1 else 0)
            rs_elapsed_ms);
       blob b "body" rs_body;
-      Io.seal (Buffer.contents b)
+      seal (Buffer.contents b)
   | Row r ->
       let b = Buffer.create (String.length r.rw_bucket + 160) in
       Buffer.add_string b
@@ -159,17 +163,17 @@ let encode_reply = function
       blob b "name" r.rw_name;
       blob b "bucket" r.rw_bucket;
       blob b "cause" r.rw_cause;
-      Io.seal (Buffer.contents b)
+      seal (Buffer.contents b)
   | Pending { pd_id; pd_state } ->
-      Io.seal (Fmt.str "%s\npending %s %s\n" rep_header pd_id pd_state)
-  | Unknown id -> Io.seal (Fmt.str "%s\nunknown %s\n" rep_header id)
+      seal (Fmt.str "%s\npending %s %s\n" rep_header pd_id pd_state)
+  | Unknown id -> seal (Fmt.str "%s\nunknown %s\n" rep_header id)
   | Status_reply s ->
       let b = Buffer.create 256 in
       Buffer.add_string b
-        (Fmt.str "%s\nstatus %d %d %d %d %d %d %d %d %d %d\n" rep_header
+        (Fmt.str "%s\nstatus %d %d %d %d %d %d %d %d %d %d %d\n" rep_header
            s.st_accepted s.st_completed s.st_shed s.st_breaker_rejected
            s.st_recovered s.st_queued s.st_running s.st_worker_restarts
-           s.st_breakers_open
+           s.st_breakers_open s.st_cache_hits
            (if s.st_draining then 1 else 0));
       Buffer.add_string b (Fmt.str "breakers %d\n" (List.length s.st_breakers));
       List.iter
@@ -177,15 +181,15 @@ let encode_reply = function
           Buffer.add_string b (Fmt.str "b %s %d\n" state trips);
           blob b "sig" signature)
         s.st_breakers;
-      Io.seal (Buffer.contents b)
+      seal (Buffer.contents b)
   | Drained { dr_remaining } ->
-      Io.seal (Fmt.str "%s\ndrained %d\n" rep_header dr_remaining)
-  | Pong pid -> Io.seal (Fmt.str "%s\npong %d\n" rep_header pid)
+      seal (Fmt.str "%s\ndrained %d\n" rep_header dr_remaining)
+  | Pong pid -> seal (Fmt.str "%s\npong %d\n" rep_header pid)
   | Err msg ->
       let b = Buffer.create (String.length msg + 64) in
       Buffer.add_string b (Fmt.str "%s\nerror\n" rep_header);
       blob b "msg" msg;
-      Io.seal (Buffer.contents b)
+      seal (Buffer.contents b)
 
 (* --- decoding -------------------------------------------------------- *)
 
@@ -252,7 +256,7 @@ let blob_word c tag =
   body
 
 let decode ~header s parse =
-  match Io.validate_sealed ~header:(String.equal header) s with
+  match Res_core.Sealing.validate ~header s with
   | Error e -> Error (Io.dump_error_to_string e)
   | Ok payload -> (
       let c = { src = payload; pos = String.length header } in
@@ -342,6 +346,7 @@ let decode_reply s =
           let st_running = int_word c in
           let st_worker_restarts = int_word c in
           let st_breakers_open = int_word c in
+          let st_cache_hits = int_word c in
           let st_draining = bool_word c in
           expect c "breakers";
           let n = int_word c in
@@ -370,6 +375,7 @@ let decode_reply s =
               st_running;
               st_worker_restarts;
               st_breakers_open;
+              st_cache_hits;
               st_draining;
               st_breakers;
             }
@@ -400,10 +406,11 @@ let pp_reply ppf = function
   | Status_reply s ->
       Fmt.pf ppf
         "accepted=%d completed=%d shed=%d breaker_rejected=%d recovered=%d \
-         queued=%d running=%d worker_restarts=%d breakers_open=%d draining=%b"
+         queued=%d running=%d worker_restarts=%d breakers_open=%d \
+         cache_hits=%d draining=%b"
         s.st_accepted s.st_completed s.st_shed s.st_breaker_rejected
         s.st_recovered s.st_queued s.st_running s.st_worker_restarts
-        s.st_breakers_open s.st_draining;
+        s.st_breakers_open s.st_cache_hits s.st_draining;
       List.iter
         (fun (signature, state, trips) ->
           Fmt.pf ppf "@,breaker %-9s trips=%d sig=%s" state trips signature)

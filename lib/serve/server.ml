@@ -49,6 +49,11 @@ type config = {
           harnesses bind ephemeral ports race-free and pass the fd
           through fork); overrides [tcp] and [socket_path] *)
   spool_dir : string;
+  cache_dir : string option;
+      (** content-addressed result cache ({!Res_cache.Cache}): a
+          submission whose exact (program, dump, budgets, config) was
+          answered before is served from disk without consuming a queue
+          slot or a worker.  [None] disables caching. *)
   jobs : int;  (** max concurrent analysis workers *)
   capacity : int;  (** max queued (not yet running) requests *)
   default_deadline : float option;  (** seconds, when the client sets none *)
@@ -76,6 +81,7 @@ let default_config =
     tcp = None;
     prebound = None;
     spool_dir = "res-spool";
+    cache_dir = None;
     jobs = 2;
     capacity = 8;
     default_deadline = Some 30.;
@@ -107,6 +113,9 @@ type job = {
   j_deadline : float option;
   j_fuel : int option;
   j_probe : bool;  (** this run is its breaker's half-open probe *)
+  j_cache_key : string;
+      (** content key the finished reply is stored under ([""] when the
+          cache is off) *)
   j_enqueued : float;
   mutable j_attempts : int;  (** worker deaths so far *)
   mutable j_not_before : float;  (** backoff gate for the next dispatch *)
@@ -128,6 +137,7 @@ type t = {
   sig_rd : Unix.file_descr;
   sig_wr : Unix.file_descr;
   spool : Spool.t;
+  cache : Res_cache.Cache.t option;
   breaker : Breaker.t;
   mutable clients : Unix.file_descr list;
   queue : job Queue.t;  (** admitted, waiting for a worker slot *)
@@ -141,6 +151,7 @@ type t = {
   mutable n_breaker_rejected : int;
   mutable n_recovered : int;
   mutable n_restarts : int;
+  mutable n_cache_hits : int;
 }
 
 let queued_count t = Queue.length t.queue
@@ -222,6 +233,136 @@ let worker_child cfg job wfd =
   (try Unix.close wfd with Unix.Unix_error _ -> ());
   Unix._exit 0
 
+(* --- result cache ----------------------------------------------------- *)
+
+(** The config part of a cache key: everything beyond the raw program and
+    dump bytes that can change the answer — the task kind, the
+    {e effective} budgets (daemon defaults applied, so a request that
+    says nothing and one that spells out the default share an entry), the
+    analysis knobs, and the reply codec version (so a protocol bump turns
+    old entries into honest misses). *)
+let cache_config cfg ~task ~deadline_ms ~fuel =
+  let wall =
+    match deadline_ms with
+    | Some ms -> Some (float_of_int ms /. 1000.)
+    | None -> cfg.default_deadline
+  in
+  let fuel = match fuel with Some _ -> fuel | None -> cfg.default_fuel in
+  let c = cfg.analyze_config in
+  let s = c.Res.search in
+  Res_cache.Cache.row_config ~wall ~fuel
+    ~engine:
+      (Fmt.str "%s %s %d %d %d %b %b %d %b %d" P.rep_header
+         (match task with Analyze -> "serve" | Triage_unit _ -> "servetriage")
+         s.Res_core.Search.max_segments s.max_suffixes s.max_nodes
+         s.use_breadcrumbs s.static_prune c.determinism_runs
+         c.stop_at_first_cause c.max_attempts)
+
+let cache_key_for t ~task ~prog_text ~dump_text ~deadline_ms ~fuel =
+  match t.cache with
+  | None -> ""
+  | Some _ ->
+      Res_cache.Cache.key ~prog:prog_text ~dump:dump_text
+        ~config:(cache_config t.cfg ~task ~deadline_ms ~fuel)
+
+(** Serve a submission from the cache if its content key has a stored
+    reply.  Runs on the {e raw request bytes}, before parsing and before
+    every admission gate — identical bytes imply an identical answer, so
+    a hit costs one [read] and never touches the queue, the breaker, or
+    a worker slot.  The stored frame is identity-normalized; a [Result]
+    hit is re-journaled under a fresh spool id (so [fetch] replays it
+    like any computed answer), and a [Row] hit is re-labeled with this
+    request's unit name so a coordinator can apply it. *)
+let cache_lookup t ~task ~key =
+  if String.equal key "" then None
+  else
+    match t.cache with
+    | None -> None
+    | Some c -> (
+        match Res_cache.Cache.find c key with
+        | None -> None
+        | Some body -> (
+            match (task, P.decode_reply body) with
+            | Analyze, Ok (P.Result _ as r) -> Some r
+            | ( Triage_unit name,
+                Ok
+                  (P.Row
+                     {
+                       rw_outcome;
+                       rw_timeout;
+                       rw_elapsed_ms;
+                       rw_bucket;
+                       rw_cause;
+                       rw_nodes;
+                       rw_pruned;
+                       rw_queries;
+                       _;
+                     }) ) ->
+                Some
+                  (P.Row
+                     {
+                       rw_name = name;
+                       rw_outcome;
+                       rw_timeout;
+                       rw_elapsed_ms;
+                       rw_bucket;
+                       rw_cause;
+                       rw_nodes;
+                       rw_pruned;
+                       rw_queries;
+                     })
+            | _, (Ok _ | Error _) -> None))
+
+(** Store a worker-produced terminal reply, identity-normalized (id and
+    elapsed time are per-request noise, not part of the answer).
+    Timed-out and synthetic replies are never cached: both describe what
+    {e this} run managed, not what the inputs mean. *)
+let cache_store t job (reply : P.reply) =
+  match (t.cache, reply) with
+  | ( Some c,
+      P.Result { rs_id = _; rs_outcome; rs_timeout; rs_elapsed_ms = _; rs_body }
+    )
+    when (not (String.equal job.j_cache_key "")) && not rs_timeout ->
+      Res_cache.Cache.store c job.j_cache_key
+        (P.encode_reply
+           (P.Result
+              {
+                rs_id = "cached";
+                rs_outcome;
+                rs_timeout;
+                rs_elapsed_ms = 0;
+                rs_body;
+              }))
+  | ( Some c,
+      P.Row
+        {
+          rw_name = _;
+          rw_outcome;
+          rw_timeout;
+          rw_elapsed_ms = _;
+          rw_bucket;
+          rw_cause;
+          rw_nodes;
+          rw_pruned;
+          rw_queries;
+        } )
+    when (not (String.equal job.j_cache_key "")) && not rw_timeout ->
+      Res_cache.Cache.store c job.j_cache_key
+        (P.encode_reply
+           (P.Row
+              {
+                rw_name = "cached";
+                rw_outcome;
+                rw_timeout;
+                rw_elapsed_ms = 0;
+                rw_bucket;
+                rw_cause;
+                rw_nodes;
+                rw_pruned;
+                rw_queries;
+              }))
+  | _ -> ()
+
 (* --- result plumbing -------------------------------------------------- *)
 
 (** Push a frame to a client, tolerating clients that vanished: a closed
@@ -237,9 +378,10 @@ let push t fd frame =
     way an accepted request leaves the daemon — every code path that
     retires a job funnels through here, which is what makes "accepted
     implies answered" an invariant rather than a hope. *)
-let finish t job (reply : P.reply) =
+let finish ?(store = true) t job (reply : P.reply) =
   let frame = P.encode_reply reply in
   Spool.complete t.spool ~id:job.j_id ~frame;
+  if store then cache_store t job reply;
   (match reply with
   | P.Result { rs_timeout = timeout; _ } | P.Row { rw_timeout = timeout; _ } ->
       if timeout then Breaker.record_timeout t.breaker job.j_signature
@@ -287,7 +429,9 @@ let finish_synthetic t job ~outcome ~timeout ~why =
             rw_queries = 0;
           }
   in
-  finish t job reply
+  (* a synthetic reply is what the daemon managed, not what the inputs
+     mean — it must never warm the cache *)
+  finish ~store:false t job reply
 
 (* --- dispatch and supervision ----------------------------------------- *)
 
@@ -404,6 +548,7 @@ let status_reply t =
       st_running = running_count t;
       st_worker_restarts = t.n_restarts;
       st_breakers_open = Breaker.open_count t.breaker;
+      st_cache_hits = t.n_cache_hits;
       st_draining = t.draining;
       st_breakers = Breaker.entries t.breaker;
     }
@@ -431,7 +576,7 @@ let parse_submission ~prog_text ~dump_text =
     Capacity is checked {e before} the breaker so a shed request can
     never leave a breaker stuck half-open waiting for a probe that was
     never admitted. *)
-let admit t ~task ~frame ~prog_text ~dump_text ~deadline_ms ~fuel =
+let admit t ~task ~key ~frame ~prog_text ~dump_text ~deadline_ms ~fuel =
   if t.draining then P.Rejected_draining
   else
     match parse_submission ~prog_text ~dump_text with
@@ -464,6 +609,7 @@ let admit t ~task ~frame ~prog_text ~dump_text ~deadline_ms ~fuel =
                     | None -> t.cfg.default_deadline);
                   j_fuel = (match fuel with Some _ -> fuel | None -> t.cfg.default_fuel);
                   j_probe = d = Breaker.Probe;
+                  j_cache_key = key;
                   j_enqueued = now;
                   j_attempts = 0;
                   j_not_before = now;
@@ -493,31 +639,79 @@ let handle_fetch t id =
     accepted submit, a later pushed [Result]). *)
 let handle_request t fd frame = function
   | P.Submit { sb_prog; sb_dump; sb_deadline_ms; sb_fuel } -> (
-      let reply =
-        admit t ~task:Analyze ~frame ~prog_text:sb_prog ~dump_text:sb_dump
-          ~deadline_ms:sb_deadline_ms ~fuel:sb_fuel
+      let task = Analyze in
+      let key =
+        if t.draining then ""
+        else
+          cache_key_for t ~task ~prog_text:sb_prog ~dump_text:sb_dump
+            ~deadline_ms:sb_deadline_ms ~fuel:sb_fuel
       in
-      push t fd (P.encode_reply reply);
-      match reply with
-      | P.Accepted { ac_id; _ } -> (
-          (* register the submitter for the result push *)
-          match find_queued t ac_id with
-          | Some j -> j.j_waiters <- fd :: j.j_waiters
-          | None -> ())
-      | _ -> ())
+      match cache_lookup t ~task ~key with
+      | Some reply ->
+          (* answered before admission, but the conversation stays real:
+             the hit mints a spool id and journals the cached result
+             under it, so a later [fetch] — this incarnation or the
+             next — replays the answer exactly like a computed one *)
+          t.n_cache_hits <- t.n_cache_hits + 1;
+          let id = Spool.accept t.spool ~frame in
+          let reply =
+            match reply with
+            | P.Result { rs_id = _; rs_outcome; rs_timeout; rs_elapsed_ms; rs_body }
+              ->
+                P.Result { rs_id = id; rs_outcome; rs_timeout; rs_elapsed_ms; rs_body }
+            | r -> r
+          in
+          let result_frame = P.encode_reply reply in
+          Spool.complete t.spool ~id ~frame:result_frame;
+          t.n_accepted <- t.n_accepted + 1;
+          t.n_completed <- t.n_completed + 1;
+          t.cfg.log (Fmt.str "cache hit %s -> %s" key id);
+          push t fd
+            (P.encode_reply
+               (P.Accepted { ac_id = id; ac_queued = queued_count t }));
+          push t fd result_frame
+      | None -> (
+          let reply =
+            admit t ~task ~key ~frame ~prog_text:sb_prog ~dump_text:sb_dump
+              ~deadline_ms:sb_deadline_ms ~fuel:sb_fuel
+          in
+          push t fd (P.encode_reply reply);
+          match reply with
+          | P.Accepted { ac_id; _ } -> (
+              (* register the submitter for the result push *)
+              match find_queued t ac_id with
+              | Some j -> j.j_waiters <- fd :: j.j_waiters
+              | None -> ())
+          | _ -> ()))
   | P.Triage { tg_name; tg_prog; tg_dump; tg_deadline_ms; tg_fuel } -> (
-      let reply =
-        admit t ~task:(Triage_unit tg_name) ~frame ~prog_text:tg_prog
-          ~dump_text:tg_dump ~deadline_ms:tg_deadline_ms ~fuel:tg_fuel
+      let task = Triage_unit tg_name in
+      let key =
+        if t.draining then ""
+        else
+          cache_key_for t ~task ~prog_text:tg_prog ~dump_text:tg_dump
+            ~deadline_ms:tg_deadline_ms ~fuel:tg_fuel
       in
-      push t fd (P.encode_reply reply);
-      match reply with
-      | P.Accepted { ac_id; _ } -> (
-          (* the coordinator holds this connection open for the Row push *)
-          match find_queued t ac_id with
-          | Some j -> j.j_waiters <- fd :: j.j_waiters
-          | None -> ())
-      | _ -> ())
+      match cache_lookup t ~task ~key with
+      | Some reply ->
+          t.n_cache_hits <- t.n_cache_hits + 1;
+          t.cfg.log (Fmt.str "cache hit %s (%s)" key tg_name);
+          push t fd
+            (P.encode_reply
+               (P.Accepted { ac_id = "cached"; ac_queued = queued_count t }));
+          push t fd (P.encode_reply reply)
+      | None -> (
+          let reply =
+            admit t ~task ~key ~frame ~prog_text:tg_prog ~dump_text:tg_dump
+              ~deadline_ms:tg_deadline_ms ~fuel:tg_fuel
+          in
+          push t fd (P.encode_reply reply);
+          match reply with
+          | P.Accepted { ac_id; _ } -> (
+              (* the coordinator holds this connection open for the Row push *)
+              match find_queued t ac_id with
+              | Some j -> j.j_waiters <- fd :: j.j_waiters
+              | None -> ())
+          | _ -> ()))
   | P.Fetch id -> (
       match handle_fetch t id with
       | `Raw frame -> push t fd frame
@@ -599,6 +793,9 @@ let recover t =
                     j_fuel =
                       (match fuel with Some _ -> fuel | None -> t.cfg.default_fuel);
                     j_probe = false;
+                    j_cache_key =
+                      cache_key_for t ~task ~prog_text ~dump_text ~deadline_ms
+                        ~fuel;
                     j_enqueued = now;
                     j_attempts = 0;
                     j_not_before = now;
@@ -659,6 +856,7 @@ let run (cfg : config) =
       sig_rd;
       sig_wr;
       spool;
+      cache = Option.map Res_cache.Cache.openr cfg.cache_dir;
       breaker =
         Breaker.create ~threshold:cfg.breaker_threshold
           ~cooldown:cfg.breaker_cooldown ();
@@ -673,6 +871,7 @@ let run (cfg : config) =
       n_breaker_rejected = 0;
       n_recovered = 0;
       n_restarts = 0;
+      n_cache_hits = 0;
     }
   in
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;

@@ -34,51 +34,19 @@ let parse_id name =
 let req_path t id = Filename.concat t.dir (id ^ ".req")
 let res_path t id = Filename.concat t.dir (id ^ ".res")
 
-let valid_with header src =
-  Result.is_ok (Io.validate_sealed ~header:(String.equal header) src)
+let valid_with header src = Res_core.Sealing.valid ~header src
 
 (** Journal recovery across the whole spool: for every [.tmp] sibling,
     derive its destination and promote/delete it by seal validity. *)
 let recover_journals dir =
-  match Sys.readdir dir with
-  | exception Sys_error _ -> ()
-  | entries ->
-      let dests = Hashtbl.create 8 in
-      Array.iter
-        (fun e ->
-          if Filename.check_suffix e ".tmp" then begin
-            (* strip [.<pid>.<n>.tmp] (current) or [.tmp] (legacy) *)
-            let stem = Filename.chop_suffix e ".tmp" in
-            let stem =
-              match String.rindex_opt stem '.' with
-              | Some i when int_of_string_opt (String.sub stem (i + 1) (String.length stem - i - 1)) <> None -> (
-                  let stem2 = String.sub stem 0 i in
-                  match String.rindex_opt stem2 '.' with
-                  | Some j
-                    when int_of_string_opt
-                           (String.sub stem2 (j + 1) (String.length stem2 - j - 1))
-                         <> None ->
-                      String.sub stem2 0 j
-                  | _ -> stem)
-              | _ -> stem
-            in
-            Hashtbl.replace dests (Filename.concat dir stem) ()
-          end)
-        entries;
-      Hashtbl.iter
-        (fun dest () ->
-          let header =
-            if Filename.check_suffix dest ".res" then Protocol.rep_header
-            else Protocol.req_header
-          in
-          Res_persist.Checkpoint.recover_journal_with
-            ~valid:(valid_with header) dest)
-        dests
+  Res_persist.Checkpoint.recover_dir dir ~valid_for:(fun dest ->
+      valid_with
+        (if Filename.check_suffix dest ".res" then Protocol.rep_header
+         else Protocol.req_header))
 
 (** Open (and recover) a spool directory, creating it if needed. *)
 let openr dir =
-  (if not (Sys.file_exists dir) then
-     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Res_core.Ioshim.mkdir_durable dir;
   recover_journals dir;
   let next =
     match Sys.readdir dir with
@@ -98,14 +66,15 @@ let openr dir =
 let accept t ~frame =
   let id = id_of t.next in
   t.next <- t.next + 1;
-  Io.write_file_atomic (req_path t id) frame;
+  Res_core.Ioshim.write_file_atomic (req_path t id) frame;
   id
 
 (** Durably journal a finished request's [Result] reply payload. *)
-let complete t ~id ~frame = Io.write_file_atomic (res_path t id) frame
+let complete t ~id ~frame =
+  Res_core.Ioshim.write_file_atomic (res_path t id) frame
 
-let read_request t id = Io.read_file (req_path t id)
-let read_result t id = Io.read_file (res_path t id)
+let read_request t id = Res_core.Ioshim.read_file (req_path t id)
+let read_result t id = Res_core.Ioshim.read_file (res_path t id)
 
 let has_request t id = Sys.file_exists (req_path t id)
 let has_result t id = Sys.file_exists (res_path t id)

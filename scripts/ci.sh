@@ -38,6 +38,58 @@ dune exec bin/res_cli.exe -- selftest --parallel-equivalence 4
 timeout 120 dune exec bin/res_cli.exe -- selftest --serve-soak
 timeout 240 dune exec bin/res_cli.exe -- selftest --cluster-soak
 
+# Result-cache gate: the chaos campaign (torn writes, injected disk
+# faults, garbage and bit-flipped entries) under a hard timeout, then a
+# cold/warm byte-identity smoke of the CLI flags themselves: a second
+# triage of the same dumps must be answered entirely from the cache and
+# emit the byte-identical TSV.
+timeout 120 dune exec bin/res_cli.exe -- selftest --cache-chaos
+cache_tmp=$(mktemp -d)
+trap 'rm -rf "$cache_tmp"' EXIT
+mkdir "$cache_tmp/dumps"
+dune exec bin/res_cli.exe -- workload counter-race \
+  -o "$cache_tmp/dumps/a.core" --program "$cache_tmp/prog.res"
+cp "$cache_tmp/dumps/a.core" "$cache_tmp/dumps/b.core"
+dune exec bin/res_cli.exe -- triage "$cache_tmp/prog.res" \
+  --dir "$cache_tmp/dumps" --cache-dir "$cache_tmp/cache" > "$cache_tmp/cold.tsv"
+dune exec bin/res_cli.exe -- triage "$cache_tmp/prog.res" \
+  --dir "$cache_tmp/dumps" --cache-dir "$cache_tmp/cache" --stats \
+  > "$cache_tmp/warm.tsv" 2> "$cache_tmp/warm.stats"
+cmp "$cache_tmp/cold.tsv" "$cache_tmp/warm.tsv" \
+  || { echo "warm cached triage TSV diverged from cold"; exit 1; }
+grep -q "cache_hits=2" "$cache_tmp/warm.stats" \
+  || { echo "warm triage did not hit the cache:"; cat "$cache_tmp/warm.stats"; exit 1; }
+
+# A cached daemon submit must still mint a fetchable spool id: warm up
+# the cache with one blocking submit, then a --no-wait submit answered
+# from the cache must return a real id whose fetch replays the report.
+# The daemon is run from the built binary, not `dune exec`: a
+# backgrounded dune holds the build lock for as long as the daemon
+# lives, deadlocking every later dune command in this script.
+RES=_build/default/bin/res_cli.exe
+"$RES" serve --socket "$cache_tmp/s.sock" \
+  --spool "$cache_tmp/spool" --cache-dir "$cache_tmp/srv-cache" &
+serve_pid=$!
+i=0
+until "$RES" client ping --socket "$cache_tmp/s.sock" >/dev/null 2>&1; do
+  i=$((i + 1)); [ "$i" -le 100 ] || { echo "daemon never came up"; exit 1; }
+  sleep 0.1
+done
+"$RES" client submit "$cache_tmp/prog.res" "$cache_tmp/dumps/a.core" \
+  --socket "$cache_tmp/s.sock" > "$cache_tmp/s1.txt"
+sid=$("$RES" client submit "$cache_tmp/prog.res" "$cache_tmp/dumps/a.core" \
+  --socket "$cache_tmp/s.sock" --no-wait | awk '{print $2}')
+"$RES" client fetch "$sid" --socket "$cache_tmp/s.sock" \
+  > "$cache_tmp/s2.txt" \
+  || { echo "cached submit id '$sid' is not fetchable"; exit 1; }
+"$RES" client drain --socket "$cache_tmp/s.sock" >/dev/null
+wait "$serve_pid"
+# normalize the header line: id and elapsed are per-request noise
+sed '1s/^result .*: \(.*\) (.*)$/result: \1/' "$cache_tmp/s1.txt" > "$cache_tmp/s1.norm"
+sed '1s/^result .*: \(.*\) (.*)$/result: \1/' "$cache_tmp/s2.txt" > "$cache_tmp/s2.norm"
+cmp "$cache_tmp/s1.norm" "$cache_tmp/s2.norm" \
+  || { echo "fetched cached report diverged from the computed one"; exit 1; }
+
 # Static lint over the corpus: warnings are expected (exit 2) but only
 # on the seeded bugs; any other program producing a finding, or any
 # lint error, fails CI.

@@ -1,0 +1,341 @@
+(* The crash-only result cache: content-key derivation, sealed-entry
+   store/find round trips, quarantine of damaged entries, torn-journal
+   recovery at open, injected disk faults through the I/O shim, the
+   triage-row codec, and cold/warm byte-identity of cached batch triage.
+   The invariant under test: a cache in any state of disrepair — torn,
+   bit-flipped, garbage, or on a failing disk — changes triage wall
+   clock, never triage bytes. *)
+
+module Cache = Res_cache.Cache
+module Sealing = Res_core.Sealing
+module Shim = Res_core.Ioshim
+module Io = Res_vm.Coredump_io
+
+let tmp_dir =
+  let count = ref 0 in
+  fun () ->
+    incr count;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "res-cache-test-%d-%d" (Unix.getpid ()) !count)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+(* --- content keys ----------------------------------------------------- *)
+
+let test_content_key_shape () =
+  let k = Sealing.content_key [ "prog"; "dump"; "config" ] in
+  Alcotest.(check int) "16 hex chars" 16 (String.length k);
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "hex digit" true
+        ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+    k;
+  Alcotest.(check string) "deterministic" k
+    (Sealing.content_key [ "prog"; "dump"; "config" ])
+
+let test_content_key_part_boundaries () =
+  (* length-prefixed folding: moving a byte across a part boundary must
+     change the key, or (prog="ab", dump="c") would collide with
+     (prog="a", dump="bc") *)
+  Alcotest.(check bool) "boundary shift changes key" false
+    (String.equal
+       (Sealing.content_key [ "ab"; "c" ])
+       (Sealing.content_key [ "a"; "bc" ]));
+  Alcotest.(check bool) "any byte changes key" false
+    (String.equal
+       (Sealing.content_key [ "prog"; "dump"; "config" ])
+       (Sealing.content_key [ "prog"; "dump"; "confih" ]))
+
+(* --- store / find round trip ------------------------------------------ *)
+
+let test_store_find_roundtrip () =
+  let c = Cache.openr (tmp_dir ()) in
+  let k = Cache.key ~prog:"p" ~dump:"d" ~config:"cfg" in
+  Alcotest.(check bool) "empty cache misses" true (Cache.find c k = None);
+  Cache.store c k "verdict body";
+  (match Cache.find c k with
+  | Some body -> Alcotest.(check string) "body back" "verdict body\n" body
+  | None -> Alcotest.fail "stored entry did not hit");
+  let s = Cache.stats c in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  Alcotest.(check int) "one store" 1 s.Cache.stores;
+  Alcotest.(check int) "nothing quarantined" 0 s.Cache.quarantined
+
+let test_entries_survive_reopen () =
+  let dir = tmp_dir () in
+  let c = Cache.openr dir in
+  let k = Cache.key ~prog:"p" ~dump:"d" ~config:"cfg" in
+  Cache.store c k "verdict body";
+  let c2 = Cache.openr dir in
+  Alcotest.(check bool) "hit after reopen" true
+    (Cache.find c2 k = Some "verdict body\n");
+  Alcotest.(check int) "one entry on disk" 1 (Cache.entry_count dir)
+
+(* --- damage degrades to recompute ------------------------------------- *)
+
+let test_damaged_entry_quarantined () =
+  let dir = tmp_dir () in
+  let c = Cache.openr dir in
+  let k = Cache.key ~prog:"p" ~dump:"d" ~config:"cfg" in
+  Cache.store c k "verdict body";
+  let path = Filename.concat dir (k ^ ".entry") in
+  let src = match Io.read_file path with Ok s -> s | Error _ -> "" in
+  let b = Bytes.of_string src in
+  let i = Bytes.length b / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  Alcotest.(check bool) "flipped bit reads as a miss" true
+    (Cache.find c k = None);
+  Alcotest.(check int) "entry quarantined" 1 (Cache.stats c).Cache.quarantined;
+  Alcotest.(check bool) "entry moved out of the index" false
+    (Sys.file_exists path);
+  Alcotest.(check bool) "quarantined copy kept for the post-mortem" true
+    (Sys.file_exists
+       (Filename.concat (Filename.concat dir "quarantine") (k ^ ".entry")));
+  (* the caller recomputes and re-stores: the key serves again *)
+  Cache.store c k "verdict body";
+  Alcotest.(check bool) "re-stored entry hits" true
+    (Cache.find c k = Some "verdict body\n")
+
+let test_garbage_cache_is_cold_cache () =
+  let dir = tmp_dir () in
+  let c = Cache.openr dir in
+  let k = Cache.key ~prog:"p" ~dump:"d" ~config:"cfg" in
+  let oc = open_out_bin (Filename.concat dir (k ^ ".entry")) in
+  output_string oc "total garbage, never sealed";
+  close_out oc;
+  Alcotest.(check bool) "garbage is a miss, not a crash" true
+    (Cache.find c k = None);
+  Cache.store c k "real verdict";
+  Alcotest.(check bool) "healed" true (Cache.find c k = Some "real verdict\n")
+
+let test_torn_journal_recovered_at_open () =
+  let dir = tmp_dir () in
+  let c = Cache.openr dir in
+  let k = Cache.key ~prog:"p" ~dump:"d" ~config:"cfg" in
+  Cache.store c k "verdict body";
+  (* a writer died mid-write: a torn (unsealed) tmp journal remains *)
+  let torn = Io.fresh_tmp_path (Filename.concat dir (k ^ ".entry")) in
+  let oc = open_out_bin torn in
+  output_string oc "rescache v1\nhalf an entr";
+  close_out oc;
+  ignore (Cache.openr dir);
+  Alcotest.(check bool) "torn journal deleted at open" false
+    (Sys.file_exists torn);
+  Alcotest.(check bool) "intact entry untouched" true
+    (Cache.find (Cache.openr dir) k = Some "verdict body\n")
+
+(* --- injected disk faults --------------------------------------------- *)
+
+let test_store_survives_injected_faults () =
+  let dir = tmp_dir () in
+  let c = Cache.openr dir in
+  let k = Cache.key ~prog:"p" ~dump:"d" ~config:"cfg" in
+  List.iter
+    (fun f ->
+      Shim.with_injector
+        (fun op path ->
+          match op with
+          | Shim.Write when String.length path >= String.length dir -> Some f
+          | _ -> None)
+        (fun () -> Cache.store c k "verdict body"))
+    [ Shim.Enospc; Shim.Eio; Shim.Fsync_fail; Shim.Torn 7 ];
+  let s = Cache.stats c in
+  Alcotest.(check int) "every faulted store counted" 4 s.Cache.store_failures;
+  Alcotest.(check int) "no faulted store claimed success" 0 s.Cache.stores;
+  (* write faults leave realistic torn journals; reopen sweeps them *)
+  ignore (Cache.openr dir);
+  Array.iter
+    (fun e ->
+      Alcotest.(check bool) "no .tmp survives reopen" false
+        (Filename.check_suffix e ".tmp"))
+    (Sys.readdir dir);
+  (* the disk healed: the same store now lands *)
+  Cache.store c k "verdict body";
+  Alcotest.(check bool) "store after faults hits" true
+    (Cache.find c k = Some "verdict body\n")
+
+let test_read_fault_degrades_to_miss () =
+  let dir = tmp_dir () in
+  let c = Cache.openr dir in
+  let k = Cache.key ~prog:"p" ~dump:"d" ~config:"cfg" in
+  Cache.store c k "verdict body";
+  Shim.with_injector
+    (fun op _ -> match op with Shim.Read -> Some Shim.Eio | _ -> None)
+    (fun () ->
+      Alcotest.(check bool) "EIO on read is a miss" true
+        (Cache.find c k = None));
+  Alcotest.(check int) "unreadable entry quarantined" 1
+    (Cache.stats c).Cache.quarantined
+
+let test_injector_restored_on_exit () =
+  (try
+     Shim.with_injector
+       (fun _ _ -> Some Shim.Eio)
+       (fun () -> raise Exit)
+   with Exit -> ());
+  let dir = tmp_dir () in
+  let c = Cache.openr dir in
+  let k = Cache.key ~prog:"p" ~dump:"d" ~config:"cfg" in
+  Cache.store c k "body";
+  Alcotest.(check bool) "faults do not leak past with_injector" true
+    (Cache.find c k = Some "body\n")
+
+let test_mkdir_fault_means_cold_forever () =
+  let dir =
+    Filename.concat (tmp_dir ()) "never-created"
+  in
+  let c =
+    Shim.with_injector
+      (fun op _ -> match op with Shim.Mkdir -> Some Shim.Eio | _ -> None)
+      (fun () -> Cache.openr dir)
+  in
+  let k = Cache.key ~prog:"p" ~dump:"d" ~config:"cfg" in
+  Alcotest.(check bool) "openr never raises; lookups miss" true
+    (Cache.find c k = None);
+  Cache.store c k "body";
+  Alcotest.(check int) "stores into the void fail softly" 1
+    (Cache.stats c).Cache.store_failures
+
+(* --- the triage-row codec --------------------------------------------- *)
+
+let test_row_roundtrip () =
+  let r =
+    {
+      Cache.c_outcome = "complete";
+      c_timeout = false;
+      c_bucket = "div-zero @ main+3";
+      c_cause = "x := 0 \"quoted\"\nnewline";
+      c_nodes = 42;
+      c_pruned = 7;
+      c_queries = 99;
+    }
+  in
+  match Cache.decode_row (Cache.encode_row r) with
+  | Some r' ->
+      Alcotest.(check string) "outcome" r.Cache.c_outcome r'.Cache.c_outcome;
+      Alcotest.(check bool) "timeout" r.Cache.c_timeout r'.Cache.c_timeout;
+      Alcotest.(check string) "bucket" r.Cache.c_bucket r'.Cache.c_bucket;
+      Alcotest.(check string) "cause" r.Cache.c_cause r'.Cache.c_cause;
+      Alcotest.(check int) "nodes" r.Cache.c_nodes r'.Cache.c_nodes;
+      Alcotest.(check int) "pruned" r.Cache.c_pruned r'.Cache.c_pruned;
+      Alcotest.(check int) "queries" r.Cache.c_queries r'.Cache.c_queries
+  | None -> Alcotest.fail "row did not round-trip"
+
+let test_row_decode_rejects_garbage () =
+  Alcotest.(check bool) "garbage body is an honest miss" true
+    (Cache.decode_row "not a verdict at all" = None);
+  Alcotest.(check bool) "truncated body is an honest miss" true
+    (Cache.decode_row "verdict \"complete\" 0" = None)
+
+let test_row_config_covers_budgets () =
+  let base = Cache.row_config ~wall:(Some 5.) ~fuel:(Some 100) ~engine:"e" in
+  Alcotest.(check bool) "wall in key" false
+    (String.equal base (Cache.row_config ~wall:(Some 6.) ~fuel:(Some 100) ~engine:"e"));
+  Alcotest.(check bool) "fuel in key" false
+    (String.equal base (Cache.row_config ~wall:(Some 5.) ~fuel:None ~engine:"e"));
+  Alcotest.(check bool) "engine in key" false
+    (String.equal base (Cache.row_config ~wall:(Some 5.) ~fuel:(Some 100) ~engine:"f"))
+
+(* --- cached batch triage ---------------------------------------------- *)
+
+let batch_items () =
+  List.map
+    (fun (r : Res_workloads.Corpus.report) ->
+      {
+        Res_parallel.Batch.it_name = Fmt.str "%s-%02d" r.r_bug r.r_id;
+        it_prog = r.r_prog;
+        it_dump = Ok r.r_dump;
+      })
+    (Res_workloads.Corpus.generate ~n_per_bug:1 ())
+
+let test_batch_cold_warm_identity () =
+  let items = batch_items () in
+  let n = List.length items in
+  let backend = Res_parallel.Pool.Forked in
+  let baseline = Res_parallel.Batch.run ~jobs:1 ~backend items in
+  let dir = tmp_dir () in
+  let cold = Res_parallel.Batch.run ~jobs:1 ~backend ~cache:(Cache.openr dir) items in
+  Alcotest.(check string) "cold TSV = uncached TSV"
+    baseline.Res_parallel.Batch.tsv cold.Res_parallel.Batch.tsv;
+  Alcotest.(check int) "cold run hit nothing" 0
+    cold.Res_parallel.Batch.cache_hits;
+  Alcotest.(check int) "every verdict stored" n (Cache.entry_count dir);
+  let warm_cache = Cache.openr dir in
+  let warm = Res_parallel.Batch.run ~jobs:1 ~backend ~cache:warm_cache items in
+  Alcotest.(check string) "warm TSV = cold TSV"
+    cold.Res_parallel.Batch.tsv warm.Res_parallel.Batch.tsv;
+  Alcotest.(check int) "every row from the cache" n
+    warm.Res_parallel.Batch.cache_hits;
+  Alcotest.(check int) "warm run analyzed nothing" n
+    (Cache.stats warm_cache).Cache.hits
+
+let test_batch_budget_change_is_a_miss () =
+  let items = batch_items () in
+  let backend = Res_parallel.Pool.Forked in
+  let dir = tmp_dir () in
+  ignore (Res_parallel.Batch.run ~jobs:1 ~backend ~cache:(Cache.openr dir) items);
+  (* a different fuel budget can change the verdict: it must never be
+     served from entries computed under the old budget *)
+  let other =
+    Res_parallel.Batch.run ~jobs:1 ~backend ~budget_fuel:1_000_000
+      ~cache:(Cache.openr dir) items
+  in
+  Alcotest.(check int) "budget change misses everything" 0
+    other.Res_parallel.Batch.cache_hits
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "keys",
+        [
+          Alcotest.test_case "content key shape" `Quick test_content_key_shape;
+          Alcotest.test_case "part boundaries matter" `Quick
+            test_content_key_part_boundaries;
+          Alcotest.test_case "row_config covers budgets" `Quick
+            test_row_config_covers_budgets;
+        ] );
+      ( "entries",
+        [
+          Alcotest.test_case "store/find round trip" `Quick
+            test_store_find_roundtrip;
+          Alcotest.test_case "entries survive reopen" `Quick
+            test_entries_survive_reopen;
+          Alcotest.test_case "damaged entry quarantined" `Quick
+            test_damaged_entry_quarantined;
+          Alcotest.test_case "garbage cache is a cold cache" `Quick
+            test_garbage_cache_is_cold_cache;
+          Alcotest.test_case "torn journal recovered at open" `Quick
+            test_torn_journal_recovered_at_open;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "store survives injected faults" `Quick
+            test_store_survives_injected_faults;
+          Alcotest.test_case "read fault degrades to miss" `Quick
+            test_read_fault_degrades_to_miss;
+          Alcotest.test_case "injector restored on exit" `Quick
+            test_injector_restored_on_exit;
+          Alcotest.test_case "mkdir fault means cold forever" `Quick
+            test_mkdir_fault_means_cold_forever;
+        ] );
+      ( "rows",
+        [
+          Alcotest.test_case "row round trip" `Quick test_row_roundtrip;
+          Alcotest.test_case "decode rejects garbage" `Quick
+            test_row_decode_rejects_garbage;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "cold/warm byte identity" `Quick
+            test_batch_cold_warm_identity;
+          Alcotest.test_case "budget change is a miss" `Quick
+            test_batch_budget_change_is_a_miss;
+        ] );
+    ]

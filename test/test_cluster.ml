@@ -222,6 +222,19 @@ let test_registry_next_gate () =
         (g >= 100. && g <= 200.)
   | None -> Alcotest.fail "two backing-off nodes must gate"
 
+let test_registry_next_gate_all_dead () =
+  (* Dead nodes must never contribute a gate: a gate over a dead fleet
+     would make the dispatch loop sleep toward a wakeup that cannot
+     help, instead of declaring the run lost.  All-dead means [None] —
+     the loop's signal to stop waiting and fail the remaining units. *)
+  let r = Registry.create ~attempts:1 ~backoff_base:4.0 ~backoff_cap:64.0
+      (reg_addrs 2) in
+  Registry.mark_failure r 0 ~now:100.;
+  Registry.mark_failure r 1 ~now:200.;
+  Alcotest.(check bool) "every node dead" true (Registry.all_dead r);
+  Alcotest.(check bool) "no gate over a dead fleet" true
+    (Registry.next_gate r = None)
+
 (* --- journal --------------------------------------------------------- *)
 
 let fresh_dir name =
@@ -482,6 +495,8 @@ let () =
             test_registry_success_resets_streak;
           Alcotest.test_case "earliest gate drives the sleep" `Quick
             test_registry_next_gate;
+          Alcotest.test_case "no gate over a dead fleet" `Quick
+            test_registry_next_gate_all_dead;
         ] );
       ( "journal",
         [

@@ -80,6 +80,31 @@ let test_breaker_probe_failure_reopens () =
     (match Breaker.check b "sig" with Breaker.Reject _ -> true | _ -> false);
   Alcotest.(check int) "each trip counted" 2 (Breaker.total_trips b)
 
+let test_breaker_probe_outlives_cooldown () =
+  (* The probe is still in flight when the cooldown elapses again: the
+     breaker must keep rejecting — one probe per half-open episode, no
+     matter how slow the probe is.  Only the probe's own outcome may
+     move the state machine. *)
+  let now, advance = make_clock () in
+  let b = Breaker.create ~threshold:1 ~cooldown:5.0 ~now () in
+  Breaker.record_timeout b "sig";
+  advance 5.5;
+  Alcotest.(check bool) "probe admitted" true
+    (Breaker.check b "sig" = Breaker.Probe);
+  advance 50.0;
+  Alcotest.(check bool) "no second probe while the first is in flight" true
+    (match Breaker.check b "sig" with Breaker.Reject _ -> true | _ -> false);
+  Alcotest.(check string) "still half-open" "half-open"
+    (Breaker.state_name (Breaker.state b "sig"));
+  (* the slow probe finally times out: re-open, cooldown restarts from
+     now — not from the long-gone first opening *)
+  Breaker.record_timeout b "sig";
+  Alcotest.(check bool) "cooldown restarted from the probe timeout" true
+    (match Breaker.check b "sig" with Breaker.Reject _ -> true | _ -> false);
+  advance 5.5;
+  Alcotest.(check bool) "next episode gets its probe" true
+    (Breaker.check b "sig" = Breaker.Probe)
+
 let test_breaker_signatures_independent () =
   let now, _ = make_clock () in
   let b = Breaker.create ~threshold:1 ~cooldown:5.0 ~now () in
@@ -161,6 +186,7 @@ let test_protocol_reply_roundtrip () =
           st_running = 2;
           st_worker_restarts = 4;
           st_breakers_open = 1;
+          st_cache_hits = 5;
           st_draining = true;
           st_breakers =
             [ (hostile_blob, "open", 2); ("vm-crash|f:b:0", "closed", 0) ];
@@ -393,6 +419,8 @@ let () =
             test_breaker_half_open_probe;
           Alcotest.test_case "probe failure reopens" `Quick
             test_breaker_probe_failure_reopens;
+          Alcotest.test_case "probe outlives the cooldown" `Quick
+            test_breaker_probe_outlives_cooldown;
           Alcotest.test_case "signatures independent" `Quick
             test_breaker_signatures_independent;
         ] );
