@@ -1007,6 +1007,136 @@ let e18 () =
      damaged cache changes wall clock, never bytes@."
     n n
 
+(* ------------------------------------------------------------------ *)
+(* E19: the concrete reverse-execution fast path (DESIGN.md §14).      *)
+(* Statically invertible loop bodies are stepped backward concretely,  *)
+(* skipping symbolic execution and the solver; the claim is arbitrary  *)
+(* wall-clock/query savings on long executions at byte-identical       *)
+(* reports.  Measures the deep backward chain of long-exec-50 with the *)
+(* fast path on vs off, the per-workload equivalence campaign, and the *)
+(* per-step cost of a concrete reverse vs a symbolic step.             *)
+(* ------------------------------------------------------------------ *)
+let e19 () =
+  section "e19" "reverse execution — solver queries saved, reports equal";
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let w = Res_workloads.Workloads.find "long-exec-50" in
+  let prog = w.Res_workloads.Truth.w_prog in
+  (* Deep chain: enough segments to walk the whole busy loop backward,
+     the regime the paper's title claim is about. *)
+  let config reverse_exec =
+    {
+      Res_core.Res.default_config with
+      search =
+        {
+          Res_core.Search.default_config with
+          max_segments = 55;
+          max_nodes = 10_000;
+          reverse_exec;
+        };
+    }
+  in
+  let leg reverse_exec =
+    Res_solver.Expr.reset_counter_for_tests ();
+    let dump = Res_workloads.Truth.coredump w in
+    let ctx = Res_core.Backstep.make_ctx prog in
+    let q0 = Res_solver.Solver.queries () in
+    let outcome, t =
+      wall (fun () -> Res_core.Res.analyze ~config:(config reverse_exec) ctx dump)
+    in
+    let a = Res_core.Res.analysis outcome in
+    ( Res_core.Report.report_list_to_string ctx (Res_core.Res.analysis outcome),
+      t,
+      Res_solver.Solver.queries () - q0,
+      a )
+  in
+  let body_off, t_off, q_off, a_off = leg false in
+  let body_on, t_on, q_on, a_on = leg true in
+  Fmt.pr "deep backward chain, long-exec-50 (55 segments):@.";
+  Fmt.pr "%-14s %-11s %-9s %-9s %-10s %s@." "fast path" "wall (s)" "queries"
+    "nodes" "reversed" "reports";
+  Fmt.pr "%-14s %-11.4f %-9d %-9d %-10d %s@." "off" t_off q_off
+    a_off.Res_core.Res.nodes_expanded a_off.Res_core.Res.nodes_reversed
+    "baseline";
+  Fmt.pr "%-14s %-11.4f %-9d %-9d %-10d %s@." "on" t_on q_on
+    a_on.Res_core.Res.nodes_expanded a_on.Res_core.Res.nodes_reversed
+    (if String.equal body_on body_off then "identical" else "DIVERGED");
+  Fmt.pr "query reduction: %.1fx; wall speedup: %.1fx@."
+    (float_of_int q_off /. float_of_int (max 1 q_on))
+    (t_off /. t_on);
+  (* Per-workload equivalence campaign at the triage config. *)
+  Fmt.pr "@.equivalence campaign (triage depth, all workloads):@.";
+  let s = Res_faultinject.Faultinject.reverse_equivalence_campaign () in
+  Fmt.pr "%-24s %-10s %-14s %-13s %s@." "workload" "reversed" "slice-skipped"
+    "queries" "reports";
+  List.iter
+    (fun (r : Res_faultinject.Faultinject.re_run) ->
+      Fmt.pr "%-24s %-10d %-14d %-13s %s@."
+        r.Res_faultinject.Faultinject.re_workload
+        r.Res_faultinject.Faultinject.re_reversed
+        r.Res_faultinject.Faultinject.re_slice_skipped
+        (Fmt.str "%d -> %d" r.Res_faultinject.Faultinject.re_queries_off
+           r.Res_faultinject.Faultinject.re_queries_on)
+        (if r.Res_faultinject.Faultinject.re_equivalent then "identical"
+         else "DIVERGED"))
+    s.Res_faultinject.Faultinject.re_runs;
+  Fmt.pr "campaign: %d/%d identical@." s.Res_faultinject.Faultinject.re_ok
+    s.Res_faultinject.Faultinject.re_total;
+  (* Per-step microbench: the pure engine cost of reversing the loop
+     body concretely, vs the in-situ per-node cost of the two legs. *)
+  let block = Res_ir.Prog.block prog ~func:"main" ~label:"loop" in
+  let summary = Res_static.Summary.of_prog prog in
+  let plan =
+    match Res_static.Invert.classify ~summary block with
+    | Res_static.Invert.Invertible p -> p
+    | Res_static.Invert.Not_invertible e ->
+        Fmt.failwith "long-exec loop body not invertible: %s" e
+  in
+  let scratch = 4096 in
+  let oracle =
+    {
+      Res_static.Revexec.post_reg =
+        (fun r ->
+          if r = 0 then Res_static.Revexec.P_val 4
+          else Res_static.Revexec.P_free);
+      read_post = (fun a -> if a = scratch then Some 8 else None);
+      is_mapped = (fun a -> a = scratch);
+      global_base =
+        (fun g -> if String.equal g "scratch" then Some scratch else None);
+      require_target = "loop";
+      regs = [ 0; 1; 2; 3; 4; 5 ];
+    }
+  in
+  let iters = 200_000 in
+  let (), t_rev =
+    wall (fun () ->
+        for _ = 1 to iters do
+          match Res_static.Revexec.run block plan oracle with
+          | Res_static.Revexec.Reversed _ -> ()
+          | Res_static.Revexec.Infeasible e | Res_static.Revexec.Unknown e ->
+              Fmt.failwith "microbench reverse failed: %s" e
+        done)
+  in
+  let per_node t (a : Res_core.Res.analysis) =
+    1e6 *. t /. float_of_int (max 1 a.Res_core.Res.nodes_expanded)
+  in
+  Fmt.pr "@.per-step cost:@.";
+  Fmt.pr "%-34s %.3f us@." "concrete reverse (engine only)"
+    (1e6 *. t_rev /. float_of_int iters);
+  Fmt.pr "%-34s %.3f us@." "fast-path-on per node (in situ)"
+    (per_node t_on a_on);
+  Fmt.pr "%-34s %.3f us@." "symbolic per node (in situ)"
+    (per_node t_off a_off);
+  Fmt.pr
+    "@.expected shape: >=2x fewer solver queries on the deep chain (the \
+     measured runs land near %d -> %d), every report column reads \
+     'identical', and a concrete reverse step costs microseconds where a \
+     symbolic step costs milliseconds@."
+    q_off q_on
+
 let experiments =
   [
     ("e1", e1);
@@ -1026,6 +1156,7 @@ let experiments =
     ("e16", e16);
     ("e17", e17);
     ("e18", e18);
+    ("e19", e19);
     ("a1", a1);
     ("bechamel", bechamel);
   ]

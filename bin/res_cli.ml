@@ -213,6 +213,14 @@ let check_cmd =
     List.iter
       (fun f -> Fmt.pr "%s\t%s@." name (Res_static.Lint.to_line f))
       findings;
+    (* Informational coverage row: how much of the program the concrete
+       reverse-execution fast path can handle, and how large the crash
+       slice is.  Same column shape as a finding (severity "info"), so
+       the output stays machine-splittable. *)
+    let cov = Res_static.Invert.program_coverage prog in
+    Fmt.pr "%s\tinfo\tinvert-coverage\t-\tinvertible=%d/%d slice=%d@." name
+      cov.Res_static.Invert.cov_invertible cov.Res_static.Invert.cov_total
+      cov.Res_static.Invert.cov_slice;
     Res_static.Lint.exit_code findings
   in
   let run prog_path all_workloads =
@@ -358,10 +366,12 @@ let stats_arg =
     wire, so the total is meaningful under every backend.  [restarts] is
     how many times the pool's supervisor respawned a dead worker — a
     healthy run prints 0, so a nonzero value is a cheap flake signal. *)
-let print_stats ~wall_s ~nodes ~pruned ~queries ~workers ~restarts =
+let print_stats ~wall_s ~nodes ~pruned ~reversed ~slice_skipped ~queries
+    ~workers ~restarts =
   Fmt.epr
-    "wall_s=%.3f nodes=%d pruned=%d solver_queries=%d workers=%d restarts=%d@."
-    wall_s nodes pruned queries workers restarts
+    "wall_s=%.3f nodes=%d pruned=%d reversed=%d slice_skipped=%d \
+     solver_queries=%d workers=%d restarts=%d@."
+    wall_s nodes pruned reversed slice_skipped queries workers restarts
 
 let analyze_cmd =
   let deadline =
@@ -413,9 +423,18 @@ let analyze_cmd =
             "Disable the static chain-refutation pruner (the reports must \
              not change, only the amount of search work).")
   in
+  let no_reverse_exec =
+    Arg.(
+      value & flag
+      & info [ "no-reverse-exec" ]
+          ~doc:
+            "Disable the concrete reverse-execution fast path for \
+             invertible segments (the reports must not change, only the \
+             amount of symbolic execution and solver work).")
+  in
   let run prog_path dump_path depth breadcrumbs deadline fuel attempts salvage
-      checkpoint checkpoint_every no_static_prune jobs backend shard_depth
-      stats =
+      checkpoint checkpoint_every no_static_prune no_reverse_exec jobs backend
+      shard_depth stats =
     if jobs > 0 && checkpoint <> None then
       raise
         (Die
@@ -436,6 +455,7 @@ let analyze_cmd =
             max_nodes = 30_000;
             use_breadcrumbs = breadcrumbs;
             static_prune = not no_static_prune;
+            reverse_exec = not no_reverse_exec;
           };
         max_attempts = max 1 attempts;
       }
@@ -469,6 +489,8 @@ let analyze_cmd =
         ~wall_s:(Unix.gettimeofday () -. t0)
         ~nodes:a.Res_core.Res.nodes_expanded
         ~pruned:a.Res_core.Res.nodes_pruned
+        ~reversed:a.Res_core.Res.nodes_reversed
+        ~slice_skipped:a.Res_core.Res.slice_skipped
         ~queries:(Res_solver.Solver.queries () - q0 + worker_queries)
         ~workers ~restarts
     end;
@@ -484,8 +506,8 @@ let analyze_cmd =
     Term.(
       const run $ prog_arg $ dump_arg 1 $ depth_arg $ breadcrumbs_arg
       $ deadline $ fuel $ attempts $ salvage_arg $ checkpoint
-      $ checkpoint_every $ no_static_prune $ jobs_arg $ backend_arg
-      $ shard_depth_arg $ stats_arg)
+      $ checkpoint_every $ no_static_prune $ no_reverse_exec $ jobs_arg
+      $ backend_arg $ shard_depth_arg $ stats_arg)
 
 (* --- resume --- *)
 
@@ -750,6 +772,7 @@ let triage_batch_cmd =
         ~wall_s:(Unix.gettimeofday () -. t0)
         ~nodes:(Res_parallel.Batch.total_nodes t)
         ~pruned:(Res_parallel.Batch.total_pruned t)
+        ~reversed:0 ~slice_skipped:0
         ~queries:
           (Res_solver.Solver.queries () - q0
           + t.Res_parallel.Batch.worker_queries)
@@ -1356,6 +1379,15 @@ let selftest_cmd =
              workload with pruning on and off and assert byte-identical \
              reports.")
   in
+  let reverse_equivalence =
+    Arg.(
+      value & flag
+      & info [ "reverse-equivalence" ]
+          ~doc:
+            "Run the reverse-execution equivalence campaign: analyze every \
+             workload with the concrete reverse-execution fast path on and \
+             off and assert byte-identical reports.")
+  in
   let worker_kill =
     Arg.(
       value & flag
@@ -1413,8 +1445,8 @@ let selftest_cmd =
              single-node triage with zero lost units.")
   in
   let run runs seed verbose skip_deadline kill_resume prune_equivalence
-      worker_kill parallel_equivalence serve_soak cluster_soak cache_chaos
-      backend =
+      reverse_equivalence worker_kill parallel_equivalence serve_soak
+      cluster_soak cache_chaos backend =
     let open Res_faultinject.Faultinject in
     (* Fork-backed campaigns (cluster/daemon soak, worker kill, cache
        chaos) must precede any campaign that spawns domains: the runtime
@@ -1480,6 +1512,15 @@ let selftest_cmd =
       in
       if wk_ok && pq_ok then exit_ok else exit_internal
     end
+    else if reverse_equivalence then begin
+      let s = reverse_equivalence_campaign () in
+      if verbose then List.iter (fun r -> Fmt.pr "%a@." pp_re_run r) s.re_runs;
+      Fmt.pr "%a@." pp_re_summary s;
+      List.iter
+        (fun r -> Fmt.epr "REVERSE-EQUIVALENCE FAILURE: %a@." pp_re_run r)
+        s.re_failures;
+      if s.re_failures = [] then exit_ok else exit_internal
+    end
     else if prune_equivalence then begin
       let s = prune_equivalence_campaign () in
       if verbose then List.iter (fun r -> Fmt.pr "%a@." pp_pe_run r) s.pe_runs;
@@ -1521,8 +1562,9 @@ let selftest_cmd =
           outcome.")
     Term.(
       const run $ runs $ seed $ verbose $ skip_deadline $ kill_resume
-      $ prune_equivalence $ worker_kill $ parallel_equivalence $ serve_soak
-      $ cluster_soak $ cache_chaos $ backend_arg)
+      $ prune_equivalence $ reverse_equivalence $ worker_kill
+      $ parallel_equivalence $ serve_soak $ cluster_soak $ cache_chaos
+      $ backend_arg)
 
 let main_cmd =
   let doc = "reverse execution synthesis for MiniIR coredumps" in

@@ -35,6 +35,10 @@ type ctx = {
           addresses (suffix-touched first); disabling it is the A1 ablation *)
   statics : Res_static.Summary.t Lazy.t;
       (** whole-program mod/ref summaries, forced on first static prune *)
+  invert_memo : (string * string, Res_static.Invert.verdict) Hashtbl.t;
+      (** memoized invertibility verdicts per (func, block) — the
+          classifier is purely static, so one verdict serves every
+          segment over the same block *)
 }
 
 let make_ctx ?(sym_config = Res_symex.Symexec.default_config)
@@ -50,6 +54,7 @@ let make_ctx ?(sym_config = Res_symex.Symexec.default_config)
     relaxed_regs;
     use_addr_pool;
     statics = lazy (Res_static.Summary.of_prog prog);
+    invert_memo = Hashtbl.create 64;
   }
 
 (** Thread a cooperative interrupt into every engine the context drives:
@@ -94,9 +99,20 @@ type applied = {
           the coredump's error log when breadcrumb pruning is on *)
 }
 
-type step_result = { applied : applied list; rejects : string list }
+type step_result = {
+  applied : applied list;
+  rejects : string list;
+  reversed : int;
+      (** 1 when the concrete reverse-execution fast path decided this
+          move (recovered a pre-state or proved it infeasible) without
+          symbolic execution or a solver query *)
+  slice_skipped : int;
+      (** pure definitions outside the block's backward slice the fast
+          path never touched *)
+}
 
-let no_result msg = { applied = []; rejects = [ msg ] }
+let no_result msg =
+  { applied = []; rejects = [ msg ]; reversed = 0; slice_skipped = 0 }
 
 (* --- static block summaries: alloc/spawn counts and callee regions --- *)
 
@@ -486,13 +502,206 @@ let build_addr_pool ctx (snapshot : Snapshot.t) ~addr_hint =
   let pool = dedup (addr_hint @ Snapshot.symbolic_addrs snapshot @ globals @ heap_words) in
   List.filteri (fun i _ -> i < 96) pool
 
+(* --- concrete reverse-execution fast path --- *)
+
+let invert_verdict ctx ~func ~block_label =
+  let key = (func, block_label) in
+  match Hashtbl.find_opt ctx.invert_memo key with
+  | Some v -> v
+  | None ->
+      let v =
+        match Res_ir.Prog.block ctx.prog ~func ~label:block_label with
+        | exception Not_found ->
+            Res_static.Invert.Not_invertible "unknown block"
+        | b -> Res_static.Invert.classify ~summary:(Lazy.force ctx.statics) b
+      in
+      Hashtbl.add ctx.invert_memo key v;
+      v
+
+(** Occurrence count of every symbol in the snapshot — constraints,
+    memory overrides, and every thread's frame registers.  A symbol that
+    occurs exactly once, as the bare value of a post-frame register, is
+    {e free}: nothing else can force it, so the compatibility equality
+    the symbolic path would emit against it is satisfiable for any
+    execution — the reverse engine may treat the register as a wildcard
+    ([Revexec.P_free]).  Counting per expression site ([Expr.syms]
+    de-duplicates within one expression) is enough: a second site, or a
+    compound slot, already disqualifies the symbol. *)
+let snapshot_sym_counts (snapshot : Snapshot.t) =
+  let counts : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let count_expr e =
+    Expr.Sym_set.iter
+      (fun s ->
+        Hashtbl.replace counts s.Expr.id
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts s.Expr.id)))
+      (Expr.syms e)
+  in
+  List.iter count_expr snapshot.Snapshot.constraints;
+  IMap.iter (fun _ e -> count_expr e) snapshot.Snapshot.mem_over;
+  IMap.iter
+    (fun _ (ts : Snapshot.thread_state) ->
+      List.iter
+        (fun fr ->
+          List.iter (fun (_, e) -> count_expr e) (Res_symex.Symframe.reg_bindings fr))
+        ts.Snapshot.ts_frames)
+    snapshot.Snapshot.threads;
+  counts
+
+(** Try to decide a [K_full] move concretely: when the candidate block is
+    statically invertible and the segment's post-state is concrete, the
+    reverse engine either recovers the unique pre-state or proves no
+    pre-state exists — skipping symbolic execution {e and} the solver.
+    [None] means the question could not be settled concretely and the
+    caller must fall back to the symbolic step. *)
+let fast_reverse ctx (snapshot : Snapshot.t) ~tid ~func ~block_label
+    ~(post_root : Res_symex.Symframe.t option) ~require_target :
+    step_result option =
+  match post_root with
+  | None -> None
+  | Some post when ctx.relaxed_regs <> [] || not (ISet.is_empty ctx.relaxed_mem)
+    ->
+      ignore post;
+      (* relaxation hypotheses exempt locations from consistency — only
+         the solver knows which, so stay symbolic *)
+      None
+  | Some post -> (
+      match invert_verdict ctx ~func ~block_label with
+      | Res_static.Invert.Not_invertible _ -> None
+      | Res_static.Invert.Invertible plan -> (
+          let f = Res_ir.Prog.func ctx.prog func in
+          let block = Res_ir.Prog.block ctx.prog ~func ~label:block_label in
+          let concrete e = Expr.const_val (Simplify.norm e) in
+          let sym_counts = lazy (snapshot_sym_counts snapshot) in
+          let post_reg r =
+            let e = frame_reg post r in
+            match concrete e with
+            | Some v -> Res_static.Revexec.P_val v
+            | None -> (
+                match e with
+                | Expr.Sym s
+                  when Hashtbl.find_opt (Lazy.force sym_counts) s.Expr.id
+                       = Some 1 ->
+                    Res_static.Revexec.P_free
+                | _ -> Res_static.Revexec.P_sym)
+          in
+          let oracle =
+            {
+              Res_static.Revexec.post_reg;
+              read_post = (fun a -> concrete (Snapshot.read_mem snapshot a));
+              is_mapped =
+                (fun a ->
+                  if Res_mem.Layout.in_heap_region a then
+                    match Res_mem.Heap.check_access snapshot.Snapshot.heap a with
+                    | Res_mem.Heap.Ok_access _ -> true
+                    | _ -> false
+                  else Res_mem.Layout.find_global ctx.layout a <> None);
+              global_base =
+                (fun g ->
+                  match Res_mem.Layout.global_base ctx.layout g with
+                  | base -> Some base
+                  | exception Not_found -> None);
+              require_target;
+              regs = Res_ir.Func.all_regs f;
+            }
+          in
+          match Res_static.Revexec.run block plan oracle with
+          | Res_static.Revexec.Unknown _ -> None
+          | Res_static.Revexec.Infeasible msg ->
+              Some
+                {
+                  applied = [];
+                  rejects = [ Fmt.str "reverse-exec: %s" msg ];
+                  reversed = 1;
+                  slice_skipped = plan.Res_static.Invert.pl_slice.Res_static.Slice.sl_skipped;
+                }
+          | Res_static.Revexec.Reversed rs ->
+              (* Mirror [apply_outcome]'s construction exactly: recovered
+                 values become constants, unobserved pre-values become the
+                 same fresh symbols the symbolic path would mint, and no
+                 constraints are added (every recovered value is forced,
+                 so the constraint set stays satisfiability-equivalent). *)
+              let defined = plan.Res_static.Invert.pl_defined in
+              let live_in = plan.Res_static.Invert.pl_live_in in
+              let regs =
+                List.fold_left
+                  (fun m r ->
+                    let v =
+                      if not (Res_static.Invert.ISet.mem r defined) then
+                        frame_reg post r
+                      else if Res_static.Invert.ISet.mem r live_in then
+                        Expr.const
+                          (Res_static.Revexec.IMap.find r
+                             rs.Res_static.Revexec.rs_entry_regs)
+                      else fresh_pre_reg r
+                    in
+                    IMap.add r v m)
+                  IMap.empty (Res_ir.Func.all_regs f)
+              in
+              let pre_frame =
+                {
+                  Res_symex.Symframe.func;
+                  block = block_label;
+                  idx = 0;
+                  regs;
+                  ret_reg = None;
+                  lazy_pre = false;
+                }
+              in
+              let snap =
+                List.fold_left
+                  (fun s (a, v) -> Snapshot.write_mem_over s a (Expr.const v))
+                  snapshot rs.Res_static.Revexec.rs_pre_mem
+              in
+              let snap =
+                List.fold_left
+                  (fun s a ->
+                    Snapshot.write_mem_over s a
+                      (Expr.fresh (Fmt.str "pre:mem[0x%x]!" a)))
+                  snap rs.Res_static.Revexec.rs_fresh_mem
+              in
+              let snap =
+                Snapshot.with_thread snap
+                  {
+                    Snapshot.ts_tid = tid;
+                    ts_frames = [ pre_frame ];
+                    ts_status = Res_vm.Thread.Runnable;
+                    ts_stepped = true;
+                  }
+              in
+              let segment =
+                {
+                  Suffix.seg_tid = tid;
+                  seg_func = func;
+                  seg_block = block_label;
+                  seg_end = Suffix.Seg_branch rs.Res_static.Revexec.rs_target;
+                  seg_writes = rs.Res_static.Revexec.rs_writes;
+                  seg_reads = rs.Res_static.Revexec.rs_reads;
+                  seg_inputs = [];
+                  seg_lock_ops = [];
+                  seg_allocs = [];
+                  seg_spawns = [];
+                  seg_frees = [];
+                  seg_steps = rs.Res_static.Revexec.rs_steps;
+                }
+              in
+              Some
+                {
+                  applied =
+                    [ { ap_snapshot = snap; ap_segment = segment; ap_logs = [] } ];
+                  rejects = [];
+                  reversed = 1;
+                  slice_skipped =
+                    plan.Res_static.Invert.pl_slice.Res_static.Slice.sl_skipped;
+                }))
+
 (** Apply one candidate backward move for thread [tid].  Returns every
     feasible application (several execution paths of the candidate block
     may be compatible) plus reject diagnostics.  [addr_hint] biases
     unconstrained-pointer resolution toward addresses the suffix already
-    touches. *)
-let rec step_back ?(addr_hint = []) ctx (snapshot : Snapshot.t) ~tid
-    ~(kind : kind) : step_result =
+    touches.  [reverse_exec] enables the concrete reverse-execution fast
+    path for invertible full-block segments. *)
+let rec step_back ?(addr_hint = []) ?(reverse_exec = true) ctx
+    (snapshot : Snapshot.t) ~tid ~(kind : kind) : step_result =
   let ts = Snapshot.thread snapshot tid in
   let post_root = root_frame ts in
   (* Resolve the candidate block and execution mode. *)
@@ -532,6 +741,26 @@ let rec step_back ?(addr_hint = []) ctx (snapshot : Snapshot.t) ~tid
   match resolved with
   | Error msg -> no_result msg
   | Ok (func, block_label, mode) -> (
+      (* Concrete reverse-execution fast path: a proven-invertible
+         full-block segment with a concrete post-state is decided without
+         symbolic execution or the solver. *)
+      let fast =
+        if not reverse_exec then None
+        else
+          match (kind, mode) with
+          | K_full _, Res_symex.Symexec.Full { require_target = Some target }
+            -> (
+              match
+                fast_reverse ctx snapshot ~tid ~func ~block_label ~post_root
+                  ~require_target:target
+              with
+              | exception Not_found -> None
+              | r -> r)
+          | _ -> None
+      in
+      match fast with
+      | Some r -> r
+      | None -> (
       (* Static effects: allocation plan and spawn plan. *)
       match static_block_effects ctx.prog ~func ~block_label with
       | exception Dynamic msg -> no_result msg
@@ -611,7 +840,7 @@ let rec step_back ?(addr_hint = []) ctx (snapshot : Snapshot.t) ~tid
                           ~post_root ~kind out)
                       outs
                   in
-                  { applied; rejects })))
+                  { applied; rejects; reversed = 0; slice_skipped = 0 }))))
 
 (** Check one execution outcome against the snapshot and build the
     pre-snapshot if compatible. *)

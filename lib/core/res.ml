@@ -23,6 +23,10 @@ type analysis = {
   candidates_tried : int;
   nodes_pruned : int;
       (** candidates the static layer refuted without evaluation *)
+  nodes_reversed : int;
+      (** backward steps decided by concrete reverse execution *)
+  slice_skipped : int;
+      (** instructions reverse steps skipped as outside the slice *)
   suffixes_synthesized : int;
   cpu_seconds : float;
   checkpoint : string option;
@@ -125,6 +129,8 @@ type ckpt_state = {
   ck_nodes : int;
   ck_cands : int;
   ck_pruned : int;
+  ck_reversed : int;
+  ck_slice_skipped : int;
   ck_synth : int;
   ck_suspended : Search.suspended option;
       (** the in-flight search frontier; [None] between depths *)
@@ -148,6 +154,8 @@ let empty_analysis =
     nodes_expanded = 0;
     candidates_tried = 0;
     nodes_pruned = 0;
+    nodes_reversed = 0;
+    slice_skipped = 0;
     suffixes_synthesized = 0;
     cpu_seconds = 0.;
     checkpoint = None;
@@ -225,6 +233,8 @@ let initial_state config =
     ck_nodes = 0;
     ck_cands = 0;
     ck_pruned = 0;
+    ck_reversed = 0;
+    ck_slice_skipped = 0;
     ck_synth = 0;
     ck_suspended = None;
     ck_fuel = None;
@@ -270,6 +280,8 @@ let run ?(search_fn = default_search_fn) config budget checkpointer ctx
   let nodes = ref st0.ck_nodes
   and cands = ref st0.ck_cands
   and pruned = ref st0.ck_pruned
+  and reversed = ref st0.ck_reversed
+  and sliced = ref st0.ck_slice_skipped
   and synth = ref st0.ck_synth in
   let truncated = ref st0.ck_truncated in
   let last_ckpt = ref None in
@@ -284,6 +296,8 @@ let run ?(search_fn = default_search_fn) config budget checkpointer ctx
       ck_nodes = !nodes;
       ck_cands = !cands;
       ck_pruned = !pruned;
+      ck_reversed = !reversed;
+      ck_slice_skipped = !sliced;
       ck_synth = !synth;
       ck_suspended = suspended;
       ck_fuel = Budget.remaining_fuel budget;
@@ -340,6 +354,8 @@ let run ?(search_fn = default_search_fn) config budget checkpointer ctx
       nodes_expanded = !nodes;
       candidates_tried = !cands;
       nodes_pruned = !pruned;
+      nodes_reversed = !reversed;
+      slice_skipped = !sliced;
       suffixes_synthesized = !synth;
       cpu_seconds = Sys.time () -. t0;
       checkpoint = !last_ckpt;
@@ -380,6 +396,8 @@ let run ?(search_fn = default_search_fn) config budget checkpointer ctx
         nodes := !nodes + result.Search.stats.Search.nodes;
         cands := !cands + result.Search.stats.Search.candidates;
         pruned := !pruned + result.Search.stats.Search.pruned;
+        reversed := !reversed + result.Search.stats.Search.reversed;
+        sliced := !sliced + result.Search.stats.Search.slice_skipped;
         synth := !synth + List.length result.Search.suffixes;
         if not result.Search.complete then truncated := true;
         let reports =

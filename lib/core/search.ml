@@ -22,6 +22,10 @@ type config = {
       (** skip candidate steps the static chain refuter proves the solver
           would reject — admissible: emitted suffixes are identical either
           way, only the work differs *)
+  reverse_exec : bool;
+      (** decide proven-invertible full-block segments by concrete reverse
+          execution, skipping symbolic execution and the solver —
+          admissible: emitted suffixes are identical either way *)
 }
 
 let default_config =
@@ -31,6 +35,7 @@ let default_config =
     max_nodes = 4000;
     use_breadcrumbs = false;
     static_prune = true;
+    reverse_exec = true;
   }
 
 type stats = {
@@ -39,10 +44,22 @@ type stats = {
   mutable feasible : int;  (** candidates that survived the solver *)
   mutable emitted : int;  (** suffixes produced *)
   mutable pruned : int;  (** candidates refuted statically, never evaluated *)
+  mutable reversed : int;
+      (** backward steps decided by concrete reverse execution *)
+  mutable slice_skipped : int;
+      (** instructions the reverse steps skipped as outside the slice *)
 }
 
 let new_stats () =
-  { nodes = 0; candidates = 0; feasible = 0; emitted = 0; pruned = 0 }
+  {
+    nodes = 0;
+    candidates = 0;
+    feasible = 0;
+    emitted = 0;
+    pruned = 0;
+    reversed = 0;
+    slice_skipped = 0;
+  }
 
 (** Per-thread LBR breadcrumbs: branches of the thread's root function,
     most recent first — exactly the segment-end branches, in reverse
@@ -253,6 +270,8 @@ type suspended = {
   s_feasible : int;
   s_emitted : int;
   s_pruned : int;
+  s_reversed : int;
+  s_slice_skipped : int;
   s_next_id : int;
   s_out : Suffix.t list;
 }
@@ -445,6 +464,8 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node
           feasible = s.s_feasible;
           emitted = s.s_emitted;
           pruned = s.s_pruned;
+          reversed = s.s_reversed;
+          slice_skipped = s.s_slice_skipped;
         }
     | None -> new_stats ()
   in
@@ -520,6 +541,8 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node
       s_feasible = stats.feasible;
       s_emitted = stats.emitted;
       s_pruned = stats.pruned;
+      s_reversed = stats.reversed;
+      s_slice_skipped = stats.slice_skipped;
       s_next_id = !next_id;
       s_out = !out;
     }
@@ -575,10 +598,13 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node
      is even evaluated. *)
   let eval ~depth ~parent (node : node) mv =
     stats.nodes <- stats.nodes + 1;
-    let { Backstep.applied; rejects = _ } =
-      Backstep.step_back ~addr_hint:node.n_touched ctx node.n_snapshot
-        ~tid:mv.mv_tid ~kind:mv.mv_kind
+    let { Backstep.applied; rejects = _; reversed; slice_skipped } =
+      Backstep.step_back ~addr_hint:node.n_touched
+        ~reverse_exec:config.reverse_exec ctx node.n_snapshot ~tid:mv.mv_tid
+        ~kind:mv.mv_kind
     in
+    stats.reversed <- stats.reversed + reversed;
+    stats.slice_skipped <- stats.slice_skipped + slice_skipped;
     let children =
       List.filter_map
         (fun (ap : Backstep.applied) ->
@@ -711,8 +737,10 @@ let search ?(config = default_config) ?snapshot0 ?budget ?resume ?on_node
              root of every branch of the search). *)
           stats.candidates <- stats.candidates + 1;
           stats.nodes <- stats.nodes + 1;
-          let { Backstep.applied; rejects = _ } =
-            Backstep.step_back ctx snapshot0 ~tid:crash.Res_vm.Crash.tid
+          let { Backstep.applied; rejects = _; reversed = _; slice_skipped = _ }
+              =
+            Backstep.step_back ~reverse_exec:config.reverse_exec ctx snapshot0
+              ~tid:crash.Res_vm.Crash.tid
               ~kind:(Backstep.K_partial (Some crash.Res_vm.Crash.kind))
           in
           stack :=

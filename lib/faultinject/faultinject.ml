@@ -615,6 +615,117 @@ let pp_pe_summary ppf s =
      backward-step evaluations: %d unpruned -> %d pruned@]"
     s.pe_total s.pe_ok s.pe_total off on
 
+(* --- reverse-execution equivalence campaign --- *)
+
+(** One workload analyzed twice — concrete reverse execution on and off —
+    with the display-sorted report {e bodies} compared byte for byte.  The
+    fast path is admissible: it only decides a step when it can prove the
+    unique pre-state (or its absence) the symbolic step would have found,
+    and it mints the same fresh symbols the symbolic path would, so the
+    two runs must report exactly the same defects. *)
+type re_run = {
+  re_workload : string;
+  re_equivalent : bool;
+  re_reversed : int;  (** backward steps the fast path decided *)
+  re_slice_skipped : int;  (** instructions skipped as outside the slice *)
+  re_queries_on : int;  (** solver queries with the fast path on *)
+  re_queries_off : int;  (** … with it off *)
+  re_detail : string;  (** diagnosis when not equivalent *)
+}
+
+type re_summary = {
+  re_runs : re_run list;
+  re_total : int;
+  re_ok : int;
+  re_failures : re_run list;  (** empty iff reverse execution is sound *)
+}
+
+(* Exhaustive deepening (no early stop) so the fast path is exercised on
+   every branch of every workload's search. *)
+let re_config ~reverse =
+  {
+    Res_core.Res.default_config with
+    search =
+      {
+        Res_core.Search.default_config with
+        Res_core.Search.reverse_exec = reverse;
+      };
+    stop_at_first_cause = false;
+  }
+
+let reverse_equivalence_one (w : Res_workloads.Truth.t) : re_run =
+  let analyze ~reverse =
+    (* Reset the symbol counter so both runs mint identical symbol ids
+       for the search prefixes they share. *)
+    Res_solver.Expr.reset_counter_for_tests ();
+    let dump = Res_workloads.Truth.coredump w in
+    let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+    let q0 = Res_solver.Solver.queries () in
+    let outcome =
+      Res_core.Res.analyze ~config:(re_config ~reverse) ctx dump
+    in
+    let a = Res_core.Res.analysis outcome in
+    (Res_core.Report.report_list_to_string ctx a, a, Res_solver.Solver.queries () - q0)
+  in
+  try
+    let s_on, a_on, q_on = analyze ~reverse:true in
+    let s_off, _a_off, q_off = analyze ~reverse:false in
+    let equivalent = String.equal s_on s_off in
+    {
+      re_workload = w.Res_workloads.Truth.w_name;
+      re_equivalent = equivalent;
+      re_reversed = a_on.Res_core.Res.nodes_reversed;
+      re_slice_skipped = a_on.Res_core.Res.slice_skipped;
+      re_queries_on = q_on;
+      re_queries_off = q_off;
+      re_detail = (if equivalent then "" else "reports diverged");
+    }
+  with exn ->
+    {
+      re_workload = w.Res_workloads.Truth.w_name;
+      re_equivalent = false;
+      re_reversed = 0;
+      re_slice_skipped = 0;
+      re_queries_on = 0;
+      re_queries_off = 0;
+      re_detail = Fmt.str "escaped exception: %s" (Printexc.to_string exn);
+    }
+
+(** Reverse-execution equivalence campaign over the whole workload corpus
+    (every workload, fast path on and off, reports compared bitwise). *)
+let reverse_equivalence_campaign ?workloads () : re_summary =
+  let workloads =
+    match workloads with
+    | Some ws -> ws
+    | None -> Res_workloads.Workloads.all
+  in
+  let runs = List.map reverse_equivalence_one workloads in
+  {
+    re_runs = runs;
+    re_total = List.length runs;
+    re_ok = List.length (List.filter (fun r -> r.re_equivalent) runs);
+    re_failures = List.filter (fun r -> not r.re_equivalent) runs;
+  }
+
+let pp_re_run ppf r =
+  Fmt.pf ppf "%-26s %s  reversed %d (sliced %d), queries %d -> %d%s"
+    r.re_workload
+    (if r.re_equivalent then "bit-identical" else "DIVERGED")
+    r.re_reversed r.re_slice_skipped r.re_queries_off r.re_queries_on
+    (if r.re_detail = "" then "" else Fmt.str " (%s)" r.re_detail)
+
+let pp_re_summary ppf s =
+  let rev = List.fold_left (fun a r -> a + r.re_reversed) 0 s.re_runs in
+  let q_on = List.fold_left (fun a r -> a + r.re_queries_on) 0 s.re_runs in
+  let q_off = List.fold_left (fun a r -> a + r.re_queries_off) 0 s.re_runs in
+  Fmt.pf ppf
+    "@[<v>reverse-execution equivalence self-test: %d workloads analyzed \
+     twice@,\
+     bit-identical reports: %d/%d@,\
+     steps decided concretely: %d@,\
+     solver queries: %d symbolic -> %d with fast path@]"
+    s.re_total s.re_ok s.re_total rev q_off q_on
+
 (* --- campaign: parallel/serial equivalence --------------------------- *)
 
 type pq_run = {

@@ -83,9 +83,9 @@ let run ?(config = Res.default_config) ?budget_wall ?budget_fuel ?(jobs = 1)
     let s = config.Res.search in
     Cache.row_config ~wall:budget_wall ~fuel:budget_fuel
       ~engine:
-        (Fmt.str "batch %d %d %d %b %b %d %b %d" s.Search.max_segments
+        (Fmt.str "batch %d %d %d %b %b %b %d %b %d" s.Search.max_segments
            s.max_suffixes s.max_nodes s.use_breadcrumbs s.static_prune
-           config.determinism_runs config.stop_at_first_cause
+           s.reverse_exec config.determinism_runs config.stop_at_first_cause
            config.max_attempts)
   in
   let prog_text =

@@ -90,6 +90,8 @@ let run_unit ~ctx ~dump ?ckpt_dir payload =
           r_feasible = r.Search.stats.Search.feasible;
           r_emitted = r.Search.stats.Search.emitted;
           r_pruned = r.Search.stats.Search.pruned;
+          r_reversed = r.Search.stats.Search.reversed;
+          r_slice_skipped = r.Search.stats.Search.slice_skipped;
           r_queries = Res_solver.Solver.queries () - q0;
           r_suffixes = r.Search.suffixes;
         }
@@ -156,6 +158,8 @@ let search ?(config = Search.default_config) ?budget ?(jobs = 1)
           s_feasible = 0;
           s_emitted = 0;
           s_pruned = 0;
+          s_reversed = 0;
+          s_slice_skipped = 0;
           s_next_id = 0;
           s_out = [];
         }
@@ -242,6 +246,12 @@ let search ?(config = Search.default_config) ?budget ?(jobs = 1)
         feasible = fold (fun a u -> a + u.Wire.r_feasible) r0.Search.stats.Search.feasible;
         emitted = !count;
         pruned = fold (fun a u -> a + u.Wire.r_pruned) r0.Search.stats.Search.pruned;
+        reversed =
+          fold (fun a u -> a + u.Wire.r_reversed) r0.Search.stats.Search.reversed;
+        slice_skipped =
+          fold
+            (fun a u -> a + u.Wire.r_slice_skipped)
+            r0.Search.stats.Search.slice_skipped;
       }
     in
     let all_present = Array.for_all Option.is_some unit_res in

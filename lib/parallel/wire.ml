@@ -154,16 +154,16 @@ type work_unit = {
 }
 
 let unit_header = "resparunit"
-let unit_version = "v1"
+let unit_version = "v2"
 
 let encode_unit u =
   let c = u.u_config in
   Res_core.Sealing.seal
-    (Fmt.str "@[<v>%s %s@,unit %d@,config %d %d %d %a %a@,budget %a %a@,restore %a@,%a@]@."
+    (Fmt.str "@[<v>%s %s@,unit %d@,config %d %d %d %a %a %a@,budget %a %a@,restore %a@,%a@]@."
        unit_header unit_version u.u_index c.Search.max_segments c.max_suffixes
-       c.max_nodes pp_bool c.use_breadcrumbs pp_bool c.static_prune pp_int_opt
-       u.u_fuel pp_int_opt u.u_wall_ms pp_int_opt u.u_restore Ckpt.pp_suspended
-       u.u_suspended)
+       c.max_nodes pp_bool c.use_breadcrumbs pp_bool c.static_prune pp_bool
+       c.reverse_exec pp_int_opt u.u_fuel pp_int_opt u.u_wall_ms pp_int_opt
+       u.u_restore Ckpt.pp_suspended u.u_suspended)
 
 let decode_unit s =
   decode ~header:unit_header ~version:unit_version s (fun rd ->
@@ -175,6 +175,7 @@ let decode_unit s =
       let max_nodes = Io.int_tok rd in
       let use_breadcrumbs = bool_of rd in
       let static_prune = bool_of rd in
+      let reverse_exec = bool_of rd in
       keyword rd "budget";
       let u_fuel = int_opt_of rd in
       let u_wall_ms = int_opt_of rd in
@@ -194,6 +195,7 @@ let decode_unit s =
             max_nodes;
             use_breadcrumbs;
             static_prune;
+            reverse_exec;
           };
         u_fuel;
         u_wall_ms;
@@ -216,12 +218,14 @@ type unit_result = {
   r_feasible : int;
   r_emitted : int;
   r_pruned : int;
+  r_reversed : int;
+  r_slice_skipped : int;
   r_queries : int;
   r_suffixes : Suffix.t list;
 }
 
 let result_header = "resparres"
-let result_version = "v1"
+let result_version = "v2"
 
 let pp_exhaustion_opt ppf = function
   | None -> Fmt.string ppf "none"
@@ -238,10 +242,11 @@ let exhaustion_opt_of rd =
 let encode_result r =
   Res_core.Sealing.seal
     (Fmt.str
-       "@[<v>%s %s@,unit %d %a %a@,stats %d %d %d %d %d %d@,suffixes %a@]@."
+       "@[<v>%s %s@,unit %d %a %a@,stats %d %d %d %d %d %d %d %d@,suffixes %a@]@."
        result_header result_version r.r_index pp_bool r.r_complete
        pp_exhaustion_opt r.r_exhausted r.r_nodes r.r_candidates r.r_feasible
-       r.r_emitted r.r_pruned r.r_queries (pp_seq Ckpt.pp_suffix) r.r_suffixes)
+       r.r_emitted r.r_pruned r.r_reversed r.r_slice_skipped r.r_queries
+       (pp_seq Ckpt.pp_suffix) r.r_suffixes)
 
 let decode_result s =
   decode ~header:result_header ~version:result_version s (fun rd ->
@@ -255,6 +260,8 @@ let decode_result s =
       let r_feasible = Io.int_tok rd in
       let r_emitted = Io.int_tok rd in
       let r_pruned = Io.int_tok rd in
+      let r_reversed = Io.int_tok rd in
+      let r_slice_skipped = Io.int_tok rd in
       let r_queries = Io.int_tok rd in
       keyword rd "suffixes";
       let r_suffixes = seq_of rd Ckpt.suffix_of in
@@ -267,6 +274,8 @@ let decode_result s =
         r_feasible;
         r_emitted;
         r_pruned;
+        r_reversed;
+        r_slice_skipped;
         r_queries;
         r_suffixes;
       })

@@ -10,7 +10,7 @@
 
     The on-disk format reuses the coredump format's building blocks
     ({!Res_vm.Coredump_io}): a line-oriented text record under a
-    [rescheckpoint v2] header, sealed with the FNV-1a
+    [rescheckpoint v3] header, sealed with the FNV-1a
     [end <lines> <checksum>] footer, written via temp-file + atomic
     rename.  Loading classifies damage into the same {!dump_error}
     taxonomy as coredumps — truncation, bit corruption, and torn writes
@@ -34,7 +34,7 @@ type t = {
   state : Res_core.Res.ckpt_state;
 }
 
-let header = "rescheckpoint v2"
+let header = "rescheckpoint v3"
 
 (* --- writers ------------------------------------------------------- *)
 
@@ -161,10 +161,10 @@ let pp_item ppf (it : Res_core.Search.frontier_item) =
       Fmt.pf ppf "item seal %d@,%a" s_parent pp_node s_node
 
 let pp_suspended ppf (s : Res_core.Search.suspended) =
-  Fmt.pf ppf "@[<v>suspended 1 %d %d %d %d %d %d@,out %a@,frontier %a@]"
+  Fmt.pf ppf "@[<v>suspended 1 %d %d %d %d %d %d %d %d@,out %a@,frontier %a@]"
     s.Res_core.Search.s_nodes s.s_candidates s.s_feasible s.s_emitted
-    s.s_pruned s.s_next_id (pp_seq pp_suffix) s.s_out (pp_seq pp_item)
-    s.s_frontier
+    s.s_pruned s.s_reversed s.s_slice_skipped s.s_next_id (pp_seq pp_suffix)
+    s.s_out (pp_seq pp_item) s.s_frontier
 
 let to_string (c : t) =
   let cfg = c.config in
@@ -172,15 +172,15 @@ let to_string (c : t) =
   let st = c.state in
   let payload =
     Fmt.str
-      "@[<v>%s@,config %d %d %d %a %a %d %a %d@,prog %S@,dump %S@,state %d %d %d %a %d %d %d %d %d@,fuel %a@,suffixes %a@,%a@]@."
+      "@[<v>%s@,config %d %d %d %a %a %a %d %a %d@,prog %S@,dump %S@,state %d %d %d %a %d %d %d %d %d %d %d@,fuel %a@,suffixes %a@,%a@]@."
       header sc.Res_core.Search.max_segments sc.max_suffixes sc.max_nodes
-      pp_bool sc.use_breadcrumbs pp_bool sc.static_prune cfg.determinism_runs
-      pp_bool cfg.stop_at_first_cause cfg.max_attempts
+      pp_bool sc.use_breadcrumbs pp_bool sc.static_prune pp_bool sc.reverse_exec
+      cfg.determinism_runs pp_bool cfg.stop_at_first_cause cfg.max_attempts
       (Res_ir.Prog.to_string c.prog)
       (Io.to_string c.dump) st.Res_core.Res.ck_attempt st.ck_max_nodes
       st.ck_depth pp_bool st.ck_truncated st.ck_nodes st.ck_cands st.ck_pruned
-      st.ck_synth st.ck_expr_counter pp_int_opt st.ck_fuel (pp_seq pp_suffix)
-      st.ck_suffixes
+      st.ck_reversed st.ck_slice_skipped st.ck_synth st.ck_expr_counter
+      pp_int_opt st.ck_fuel (pp_seq pp_suffix) st.ck_suffixes
       (fun ppf -> function
         | None -> Fmt.string ppf "suspended 0"
         | Some s -> pp_suspended ppf s)
@@ -489,6 +489,8 @@ let suspended_of rd : Res_core.Search.suspended option =
       let s_feasible = Io.int_tok rd in
       let s_emitted = Io.int_tok rd in
       let s_pruned = Io.int_tok rd in
+      let s_reversed = Io.int_tok rd in
+      let s_slice_skipped = Io.int_tok rd in
       let s_next_id = Io.int_tok rd in
       keyword rd "out";
       let s_out = seq_of rd suffix_of in
@@ -502,6 +504,8 @@ let suspended_of rd : Res_core.Search.suspended option =
           s_feasible;
           s_emitted;
           s_pruned;
+          s_reversed;
+          s_slice_skipped;
           s_next_id;
           s_out;
         }
@@ -510,13 +514,14 @@ let suspended_of rd : Res_core.Search.suspended option =
 let parse_payload payload : t =
   let rd = { Io.toks = Res_ir.Parser.tokenize payload } in
   keyword rd "rescheckpoint";
-  keyword rd "v2";
+  keyword rd "v3";
   keyword rd "config";
   let max_segments = Io.int_tok rd in
   let max_suffixes = Io.int_tok rd in
   let max_nodes = Io.int_tok rd in
   let use_breadcrumbs = bool_of rd in
   let static_prune = bool_of rd in
+  let reverse_exec = bool_of rd in
   let determinism_runs = Io.int_tok rd in
   let stop_at_first_cause = bool_of rd in
   let max_attempts = Io.int_tok rd in
@@ -529,6 +534,7 @@ let parse_payload payload : t =
           max_nodes;
           use_breadcrumbs;
           static_prune;
+          reverse_exec;
         };
       determinism_runs;
       stop_at_first_cause;
@@ -551,6 +557,8 @@ let parse_payload payload : t =
   let ck_nodes = Io.int_tok rd in
   let ck_cands = Io.int_tok rd in
   let ck_pruned = Io.int_tok rd in
+  let ck_reversed = Io.int_tok rd in
+  let ck_slice_skipped = Io.int_tok rd in
   let ck_synth = Io.int_tok rd in
   let ck_expr_counter = Io.int_tok rd in
   keyword rd "fuel";
@@ -575,6 +583,8 @@ let parse_payload payload : t =
         ck_nodes;
         ck_cands;
         ck_pruned;
+        ck_reversed;
+        ck_slice_skipped;
         ck_synth;
         ck_suspended;
         ck_fuel;

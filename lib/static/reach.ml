@@ -139,6 +139,66 @@ let observable_after summary (f : Res_ir.Func.t) ~block ~idx cell =
       done;
       !found
 
+(** [def_clear_between summary f ~from_block ~from_idx ~to_block cell] — is
+    there a CFG path from just {e after} instruction [from_idx] of
+    [from_block] ([from_idx = -1]: from the block's entry) to the {e start}
+    of [to_block], along which no intervening instruction must-writes
+    [cell]?  [to_block]'s own body is not walked.
+
+    This is the segment-boundary liveness query behind the backward
+    slicer: a store to [cell] contributes to the value the crash segment
+    observes only if such a def-clear path exists from the store to the
+    observing block.  Reads never kill a path (only must-writes do), and
+    may-writes (unresolved stores, calls) do not kill it either — the
+    query is a may-path, so over-approximation keeps the slice sound. *)
+let def_clear_between summary (f : Res_ir.Func.t) ~from_block ~from_idx
+    ~to_block cell =
+  let envs = Summary.envs_of summary f.Res_ir.Func.name in
+  let env_at l =
+    Option.value ~default:Absval.IMap.empty (SMap.find_opt l envs)
+  in
+  (* Scan [b] from [idx]: [`Killed] if a must-write is hit, else [`Fell]. *)
+  let scan (b : Res_ir.Block.t) ~idx env =
+    let n = Res_ir.Block.length b in
+    let rec go i env =
+      if i >= n then `Fell
+      else
+        match classify summary env cell b.instrs.(i) with
+        | Must_write -> `Killed
+        | May_read | Neither -> go (i + 1) (Absval.transfer env b.instrs.(i))
+    in
+    go idx env
+  in
+  let b0 = Res_ir.Func.block f from_block in
+  let env0 =
+    let e = ref (env_at from_block) in
+    for i = 0 to min from_idx (Res_ir.Block.length b0 - 1) do
+      e := Absval.transfer !e b0.Res_ir.Block.instrs.(i)
+    done;
+    !e
+  in
+  match scan b0 ~idx:(max 0 (from_idx + 1)) env0 with
+  | `Killed -> false
+  | `Fell ->
+      let seen = ref SSet.empty in
+      let q = Queue.create () in
+      let found = ref false in
+      let push s =
+        if String.equal s to_block then found := true else Queue.add s q
+      in
+      List.iter push (Res_ir.Block.successors b0);
+      while (not !found) && not (Queue.is_empty q) do
+        let l = Queue.pop q in
+        if not (SSet.mem l !seen) then begin
+          seen := SSet.add l !seen;
+          let b = Res_ir.Func.block f l in
+          match scan b ~idx:0 (env_at l) with
+          | `Killed -> ()
+          | `Fell -> List.iter push (Res_ir.Block.successors b)
+        end
+      done;
+      !found
+
 (** [can_reach_without_write summary f ~from ~target cell] — is there a
     CFG path from the {e start} of [from] to the start of [target] along
     which no intervening instruction must-writes [cell]?  ([from] itself

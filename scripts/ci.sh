@@ -6,7 +6,10 @@
 # exits non-zero if any killed-and-resumed analysis fails to reconverge
 # to bit-identical reports or leaves a torn file on disk, and the
 # prune-equivalence campaign exits non-zero if disabling the static
-# pruner changes any workload's reports.  The parallel gates assert the
+# pruner changes any workload's reports, and the reverse-equivalence
+# campaign does the same for the concrete reverse-execution fast path
+# (under a hard timeout: equivalence is only meaningful if the fast
+# path is also fast).  The parallel gates assert the
 # sharded engine is byte-identical to the serial one at -j 2 and -j 4
 # and that SIGKILLing batch-triage workers mid-unit never changes the
 # final TSV.  The serve-soak gate floods the triage daemon past
@@ -22,7 +25,8 @@
 # single-node triage by a byte; same hard timeout so a wedged cluster
 # fails CI instead of hanging it.  Finally `res check` lints the whole
 # workload corpus: the three seeded concurrency bugs must be the only
-# findings.
+# findings (per-program invert-coverage info rows are expected and
+# exempt).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -32,6 +36,7 @@ dune runtest
 dune exec bin/res_cli.exe -- selftest --runs 60
 dune exec bin/res_cli.exe -- selftest --kill-resume
 dune exec bin/res_cli.exe -- selftest --prune-equivalence
+timeout 120 dune exec bin/res_cli.exe -- selftest --reverse-equivalence
 dune exec bin/res_cli.exe -- selftest --worker-kill
 dune exec bin/res_cli.exe -- selftest --parallel-equivalence 2
 dune exec bin/res_cli.exe -- selftest --parallel-equivalence 4
@@ -96,7 +101,8 @@ cmp "$cache_tmp/s1.norm" "$cache_tmp/s2.norm" \
 lint=$(dune exec bin/res_cli.exe -- check --all-workloads) || [ $? -eq 2 ]
 echo "$lint"
 bad=$(echo "$lint" | awk -F'\t' \
-  '$1 != "counter-race" && $1 != "lock-order-deadlock" && $1 != "kvstore-stats-race"')
+  '$1 != "counter-race" && $1 != "lock-order-deadlock" && $1 != "kvstore-stats-race" \
+   && $3 != "invert-coverage"')
 [ -z "$bad" ] || { echo "unexpected lint findings:"; echo "$bad"; exit 1; }
 echo "$lint" | grep -q "^counter-race	warning	race" || { echo "missing counter-race race finding"; exit 1; }
 echo "$lint" | grep -q "^lock-order-deadlock	warning	deadlock" || { echo "missing deadlock finding"; exit 1; }

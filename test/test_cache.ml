@@ -290,6 +290,37 @@ let test_batch_budget_change_is_a_miss () =
   Alcotest.(check int) "budget change misses everything" 0
     other.Res_parallel.Batch.cache_hits
 
+let test_batch_reverse_exec_flip_is_a_miss () =
+  let items = batch_items () in
+  let backend = Res_parallel.Pool.Forked in
+  let dir = tmp_dir () in
+  ignore (Res_parallel.Batch.run ~jobs:1 ~backend ~cache:(Cache.openr dir) items);
+  (* disabling the concrete reverse-execution fast path must not be
+     served entries computed with it on: equivalence between the two
+     modes is an invariant under test elsewhere, never an assumption
+     the cache may bake in *)
+  let config =
+    {
+      Res_core.Res.default_config with
+      search =
+        { Res_core.Search.default_config with reverse_exec = false };
+    }
+  in
+  let other =
+    Res_parallel.Batch.run ~jobs:1 ~backend ~config ~cache:(Cache.openr dir)
+      items
+  in
+  Alcotest.(check int) "reverse-exec flip misses everything" 0
+    other.Res_parallel.Batch.cache_hits;
+  (* same flag again: now every row is served from the second run's
+     entries *)
+  let again =
+    Res_parallel.Batch.run ~jobs:1 ~backend ~config ~cache:(Cache.openr dir)
+      items
+  in
+  Alcotest.(check int) "same flag hits everything" (List.length items)
+    again.Res_parallel.Batch.cache_hits
+
 let () =
   Alcotest.run "cache"
     [
@@ -337,5 +368,7 @@ let () =
             test_batch_cold_warm_identity;
           Alcotest.test_case "budget change is a miss" `Quick
             test_batch_budget_change_is_a_miss;
+          Alcotest.test_case "reverse-exec flip is a miss" `Quick
+            test_batch_reverse_exec_flip_is_a_miss;
         ] );
     ]

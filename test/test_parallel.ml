@@ -115,6 +115,8 @@ let test_wire_roundtrip () =
       s_feasible = 4;
       s_emitted = 2;
       s_pruned = 1;
+      s_reversed = 6;
+      s_slice_skipped = 3;
       s_next_id = 42;
       s_out = suffixes;
     }
@@ -145,6 +147,8 @@ let test_wire_roundtrip () =
       r_feasible = 5;
       r_emitted = 2;
       r_pruned = 0;
+      r_reversed = 4;
+      r_slice_skipped = 1;
       r_queries = 21;
       r_suffixes = suffixes;
     }
@@ -196,6 +200,8 @@ let test_wire_rejects_corrupt () =
           s_feasible = 0;
           s_emitted = 0;
           s_pruned = 0;
+          s_reversed = 0;
+          s_slice_skipped = 0;
           s_next_id = 0;
           s_out = [];
         };

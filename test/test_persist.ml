@@ -71,6 +71,8 @@ let test_roundtrip_all_workloads () =
                 ck_nodes = 0;
                 ck_cands = 0;
                 ck_pruned = 0;
+                ck_reversed = 0;
+                ck_slice_skipped = 0;
                 ck_synth = 0;
                 ck_suspended = None;
                 ck_fuel = Some 42;

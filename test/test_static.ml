@@ -230,6 +230,28 @@ entry:
   check bool_t "second store is read" true
     (Reach.observable_after s f ~block:"entry" ~idx:4 ("g", 0))
 
+let test_reach_def_clear_between_edges () =
+  (* Block-entry ([from_idx = -1]) and past-the-last-instruction edge
+     cases of the def-clear corridor query. *)
+  let prog = parse reach_src in
+  let s = Summary.of_prog prog in
+  let f = Res_ir.Prog.func prog "f" in
+  check bool_t "entry->t: the s arm avoids the store" true
+    (Reach.def_clear_between s f ~from_block:"entry" ~from_idx:(-1)
+       ~to_block:"t" ("g", 0));
+  check bool_t "w-entry->t: the store kills the corridor" false
+    (Reach.def_clear_between s f ~from_block:"w" ~from_idx:(-1) ~to_block:"t"
+       ("g", 0));
+  check bool_t "after the store, w falls through clear" true
+    (Reach.def_clear_between s f ~from_block:"w" ~from_idx:1 ~to_block:"t"
+       ("g", 0));
+  check bool_t "from_idx past the block end scans nothing" true
+    (Reach.def_clear_between s f ~from_block:"w" ~from_idx:99 ~to_block:"t"
+       ("g", 0));
+  check bool_t "empty straight-line block is clear" true
+    (Reach.def_clear_between s f ~from_block:"s" ~from_idx:(-1) ~to_block:"t"
+       ("g", 0))
+
 (* --- the chain refuter --- *)
 
 let mk_query ?(tid = 0) ?(seed = fun _ -> Chain.Top)
@@ -486,6 +508,292 @@ let test_prune_reduces_long_exec () =
   if not (on * 10 <= off * 7) then
     Alcotest.failf "expected >=30%% node reduction, got %d -> %d" off on
 
+(* --- the invertibility classifier --- *)
+
+let loop_src =
+  {|
+global g 1
+
+func main(r0) {
+entry:
+  jmp loop
+loop:
+  r1 = global g
+  r2 = load r1[0]
+  r3 = const 1
+  r4 = add r2, r3
+  store r1[0] = r4
+  r5 = sub r0, r3
+  r0 = mov r5
+  br r0, loop, done
+done:
+  halt
+}
+|}
+
+let classify_block ?(func = "main") ~block src =
+  let prog = parse src in
+  let summary = Summary.of_prog prog in
+  Invert.classify ~summary (Res_ir.Prog.block prog ~func ~label:block)
+
+let check_invertible name v =
+  match v with
+  | Invert.Invertible _ -> ()
+  | Invert.Not_invertible e -> Alcotest.failf "%s: unexpectedly rejected: %s" name e
+
+let contains_substr ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check_barrier name ~substr v =
+  match v with
+  | Invert.Invertible _ -> Alcotest.failf "%s: unexpectedly invertible" name
+  | Invert.Not_invertible e ->
+      check bool_t (Fmt.str "%s: reason mentions %S (got %S)" name substr e)
+        true (contains_substr ~sub:substr e)
+
+let test_invert_classifier_classes () =
+  check_invertible "pure arithmetic + load/store loop body"
+    (classify_block ~block:"loop" loop_src);
+  let wrap body term =
+    Fmt.str {|
+global g 1
+
+func callee(r9) {
+entry:
+  r8 = const 1
+  store r9[0] = r8
+  ret
+}
+
+func main(r0) {
+entry:
+  %s
+  %s
+next:
+  halt
+}
+|} body term
+  in
+  check_barrier "input is non-deterministic" ~substr:"input"
+    (classify_block ~block:"entry" (wrap "r1 = input net" "jmp next"));
+  check_barrier "unresolved call target" ~substr:"unresolved"
+    (classify_block ~block:"entry" (wrap "r1 = global g\ncall callee(r1)" "jmp next"));
+  check_barrier "spawn creates a thread" ~substr:"spawn"
+    (classify_block ~block:"entry" (wrap "r1 = spawn callee(r0)" "jmp next"));
+  check_barrier "alloc mutates the heap" ~substr:"alloc"
+    (classify_block ~block:"entry" (wrap "r1 = const 4\nr2 = alloc r1" "jmp next"));
+  check_barrier "lock is a synchronization point" ~substr:"lock"
+    (classify_block ~block:"entry" (wrap "r1 = global g\nlock r1" "jmp next"));
+  check_barrier "ret leaves the frame" ~substr:"ret"
+    (classify_block ~block:"entry" (wrap "r1 = const 0" "ret"));
+  check_barrier "halt ends the thread" ~substr:"halt"
+    (classify_block ~block:"done" loop_src)
+
+(* --- the concrete reverse engine --- *)
+
+(* Forward truth for [loop_src]'s loop body: entry r0 = 5, g[0] = 7
+   steps to exit r0 = 4, g[0] = 8, branching back to [loop]. *)
+let g_base = 4096
+
+let loop_oracle ?(post_reg = fun _ -> Revexec.P_sym) ?(target = "loop") () =
+  {
+    Revexec.post_reg;
+    read_post = (fun a -> if a = g_base then Some 8 else None);
+    is_mapped = (fun a -> a = g_base);
+    global_base = (fun g -> if String.equal g "g" then Some g_base else None);
+    require_target = target;
+    regs = [ 0; 1; 2; 3; 4; 5 ];
+  }
+
+let loop_plan () =
+  match classify_block ~block:"loop" loop_src with
+  | Invert.Invertible plan -> plan
+  | Invert.Not_invertible e -> Alcotest.failf "loop body rejected: %s" e
+
+let loop_block () =
+  Res_ir.Prog.block (parse loop_src) ~func:"main" ~label:"loop"
+
+let concrete_posts r =
+  (* the full concrete post frame the first backward step sees *)
+  List.assoc_opt r [ (0, 4); (1, g_base); (2, 7); (3, 1); (4, 8); (5, 4) ]
+
+let test_revexec_recovers_pre_state () =
+  let post_reg r =
+    match concrete_posts r with
+    | Some v -> Revexec.P_val v
+    | None -> Revexec.P_sym
+  in
+  match Revexec.run (loop_block ()) (loop_plan ()) (loop_oracle ~post_reg ()) with
+  | Revexec.Reversed rs ->
+      check int_t "entry r0 recovered" 5
+        (Revexec.IMap.find 0 rs.Revexec.rs_entry_regs);
+      check bool_t "pre g[0] recovered" true
+        (rs.Revexec.rs_pre_mem = [ (g_base, 7) ]);
+      check bool_t "write set is the cell" true (rs.Revexec.rs_writes = [ g_base ]);
+      check string_t "branches back into the loop" "loop" rs.Revexec.rs_target
+  | Revexec.Infeasible e -> Alcotest.failf "infeasible: %s" e
+  | Revexec.Unknown e -> Alcotest.failf "unknown: %s" e
+
+let test_revexec_chains_through_wildcards () =
+  (* After one reverse step the non-live defined registers hold free
+     symbols; only r0 (the live-in) stays concrete.  The rigid pass must
+     still resolve the store address and the walk must still pin r0. *)
+  let post_reg r = if r = 0 then Revexec.P_val 4 else Revexec.P_free in
+  match Revexec.run (loop_block ()) (loop_plan ()) (loop_oracle ~post_reg ()) with
+  | Revexec.Reversed rs ->
+      check int_t "entry r0 recovered through wildcards" 5
+        (Revexec.IMap.find 0 rs.Revexec.rs_entry_regs);
+      check bool_t "pre g[0] recovered through wildcards" true
+        (rs.Revexec.rs_pre_mem = [ (g_base, 7) ])
+  | Revexec.Infeasible e -> Alcotest.failf "infeasible: %s" e
+  | Revexec.Unknown e -> Alcotest.failf "unknown: %s" e
+
+let test_revexec_proves_infeasible () =
+  (* r0 = 4 at the block's end takes the loop arm; a candidate that must
+     land on [done] has no pre-state.  Likewise a post value the block
+     text contradicts (r3 must be const 1). *)
+  let post_reg r = if r = 0 then Revexec.P_val 4 else Revexec.P_free in
+  (match
+     Revexec.run (loop_block ()) (loop_plan ())
+       (loop_oracle ~post_reg ~target:"done" ())
+   with
+  | Revexec.Infeasible _ -> ()
+  | Revexec.Reversed _ -> Alcotest.fail "wrong-target candidate reversed"
+  | Revexec.Unknown e -> Alcotest.failf "expected infeasible, got unknown: %s" e);
+  let post_reg r =
+    if r = 3 then Revexec.P_val 2
+    else if r = 0 then Revexec.P_val 4
+    else Revexec.P_free
+  in
+  match Revexec.run (loop_block ()) (loop_plan ()) (loop_oracle ~post_reg ()) with
+  | Revexec.Infeasible _ -> ()
+  | Revexec.Reversed _ -> Alcotest.fail "contradicted const reversed"
+  | Revexec.Unknown e -> Alcotest.failf "expected infeasible, got unknown: %s" e
+
+let test_revexec_falls_back_on_symbolic_state () =
+  (* A defined register whose post value other constraints may force
+     ([P_sym]) cannot be checked concretely; neither can a wildcard
+     branch register, nor a wildcard carried live-in (the symbolic path
+     would force that symbol through its compatibility equality, so
+     guessing a value would diverge from it). *)
+  let post_reg r = if r = 0 then Revexec.P_val 4 else Revexec.P_sym in
+  (match Revexec.run (loop_block ()) (loop_plan ()) (loop_oracle ~post_reg ()) with
+  | Revexec.Unknown _ -> ()
+  | Revexec.Reversed _ | Revexec.Infeasible _ ->
+      Alcotest.fail "P_sym defined register must fall back");
+  let post_reg r =
+    if r = 0 then Revexec.P_free
+    else match concrete_posts r with
+      | Some v -> Revexec.P_val v
+      | None -> Revexec.P_free
+  in
+  (match Revexec.run (loop_block ()) (loop_plan ()) (loop_oracle ~post_reg ()) with
+  | Revexec.Unknown _ -> ()
+  | Revexec.Reversed _ | Revexec.Infeasible _ ->
+      Alcotest.fail "wildcard branch register must fall back");
+  let carried_src =
+    {|
+global g 1
+
+func main(r0) {
+entry:
+  jmp loop
+loop:
+  r2 = load r1[0]
+  br r0, loop, done
+done:
+  halt
+}
+|}
+  in
+  let prog = parse carried_src in
+  let block = Res_ir.Prog.block prog ~func:"main" ~label:"loop" in
+  let plan =
+    match classify_block ~block:"loop" carried_src with
+    | Invert.Invertible plan -> plan
+    | Invert.Not_invertible e -> Alcotest.failf "rejected: %s" e
+  in
+  let post_reg r =
+    if r = 1 then Revexec.P_free
+    else if r = 0 then Revexec.P_val 1
+    else Revexec.P_val 8
+  in
+  match
+    Revexec.run block plan
+      { (loop_oracle ~post_reg ()) with Revexec.regs = [ 0; 1; 2 ] }
+  with
+  | Revexec.Unknown _ -> ()
+  | Revexec.Reversed _ | Revexec.Infeasible _ ->
+      Alcotest.fail "wildcard carried live-in must fall back"
+
+let test_revexec_self_clobbering_load_falls_back () =
+  let src =
+    {|
+global g 1
+
+func main(r0) {
+entry:
+  jmp loop
+loop:
+  r1 = global g
+  r1 = load r1[0]
+  br r0, loop, done
+done:
+  halt
+}
+|}
+  in
+  let prog = parse src in
+  let block = Res_ir.Prog.block prog ~func:"main" ~label:"loop" in
+  let plan =
+    match classify_block ~block:"loop" src with
+    | Invert.Invertible plan -> plan
+    | Invert.Not_invertible e -> Alcotest.failf "rejected: %s" e
+  in
+  let post_reg r =
+    if r = 0 then Revexec.P_val 1
+    else if r = 1 then Revexec.P_val 8
+    else Revexec.P_sym
+  in
+  match
+    Revexec.run block plan
+      { (loop_oracle ~post_reg ()) with Revexec.regs = [ 0; 1 ] }
+  with
+  | Revexec.Unknown _ -> ()
+  | Revexec.Reversed _ | Revexec.Infeasible _ ->
+      Alcotest.fail "a load clobbering its own address register must fall back"
+
+(* --- reverse execution never changes the reports --- *)
+
+let test_reverse_equivalence_all_workloads () =
+  let s = Res_faultinject.Faultinject.reverse_equivalence_campaign () in
+  List.iter
+    (fun r ->
+      Alcotest.failf "reverse equivalence violated: %a"
+        (fun ppf -> Res_faultinject.Faultinject.pp_re_run ppf)
+        r)
+    s.Res_faultinject.Faultinject.re_failures;
+  check int_t "all workloads bit-identical"
+    s.Res_faultinject.Faultinject.re_total s.Res_faultinject.Faultinject.re_ok
+
+let test_reverse_reduces_long_exec_queries () =
+  (* E19 acceptance: >= 2x fewer solver queries on the long-execution
+     workload when the fast path is on. *)
+  let r =
+    Res_faultinject.Faultinject.reverse_equivalence_one
+      (Res_workloads.Workloads.find "long-exec-50")
+  in
+  check bool_t "long-exec reports unchanged" true
+    r.Res_faultinject.Faultinject.re_equivalent;
+  check bool_t "fast path actually fired" true
+    (r.Res_faultinject.Faultinject.re_reversed > 0);
+  let q_on = r.Res_faultinject.Faultinject.re_queries_on in
+  let q_off = r.Res_faultinject.Faultinject.re_queries_off in
+  if not (q_on * 2 <= q_off) then
+    Alcotest.failf "expected >=2x fewer solver queries, got %d -> %d" q_off q_on
+
 (* --- the lint suite against the workload corpus's ground truth --- *)
 
 let findings_of w =
@@ -657,6 +965,8 @@ let () =
           Alcotest.test_case "def-clear paths" `Quick
             test_reach_def_clear_paths;
           Alcotest.test_case "observable-after" `Quick test_reach_observable;
+          Alcotest.test_case "def-clear block entry/exit edges" `Quick
+            test_reach_def_clear_between_edges;
         ] );
       ( "chain",
         [
@@ -681,6 +991,31 @@ let () =
             test_prune_equivalence_all_workloads;
           Alcotest.test_case "long-exec explores >=30% fewer nodes" `Quick
             test_prune_reduces_long_exec;
+        ] );
+      ( "invert",
+        [
+          Alcotest.test_case "per-instruction-class verdicts" `Quick
+            test_invert_classifier_classes;
+        ] );
+      ( "revexec",
+        [
+          Alcotest.test_case "recovers the unique pre-state" `Quick
+            test_revexec_recovers_pre_state;
+          Alcotest.test_case "chains through free wildcards" `Quick
+            test_revexec_chains_through_wildcards;
+          Alcotest.test_case "proves infeasibility without the solver" `Quick
+            test_revexec_proves_infeasible;
+          Alcotest.test_case "falls back on symbolic state" `Quick
+            test_revexec_falls_back_on_symbolic_state;
+          Alcotest.test_case "self-clobbering load falls back" `Quick
+            test_revexec_self_clobbering_load_falls_back;
+        ] );
+      ( "reverse",
+        [
+          Alcotest.test_case "reports identical on all workloads" `Quick
+            test_reverse_equivalence_all_workloads;
+          Alcotest.test_case "long-exec needs >=2x fewer solver queries" `Quick
+            test_reverse_reduces_long_exec_queries;
         ] );
       ( "lint",
         [
