@@ -1137,6 +1137,107 @@ let e19 () =
      symbolic step costs milliseconds@."
     q_off q_on
 
+let e20 () =
+  section "e20"
+    "time-travel debugging — snapshot index vs replay-from-zero";
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let w = Res_workloads.Workloads.find "long-exec-50" in
+  let dump = Res_workloads.Truth.coredump w in
+  let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+  (* Deep suffix: walk the whole busy loop backward so the timeline is as
+     long as the search can make it — the regime reverse debugging is
+     for. *)
+  let result =
+    Res_core.Search.search
+      ~config:
+        {
+          Res_core.Search.default_config with
+          max_segments = 55;
+          max_nodes = 10_000;
+        }
+      ctx dump
+  in
+  let suffix =
+    let reproducing =
+      List.filter
+        (fun s -> (Res_core.Replay.replay ctx s dump).Res_core.Replay.reproduced)
+        result.Res_core.Search.suffixes
+    in
+    match
+      List.sort
+        (fun a b ->
+          compare
+            (List.length b.Res_core.Suffix.segments)
+            (List.length a.Res_core.Suffix.segments))
+        reproducing
+    with
+    | s :: _ -> s
+    | [] -> Fmt.failwith "no reproducing suffix for long-exec-50"
+  in
+  let dbg interval =
+    match Res_core.Debugger.start ~snapshot_every:interval ctx suffix dump with
+    | Ok d -> d
+    | Error e -> Fmt.failwith "debugger: %s" e
+  in
+  let interval = 16 in
+  let d = dbg interval in
+  let n = Res_core.Debugger.total_steps d in
+  Fmt.pr "suffix timeline: %d instruction steps (%d segments)@." n
+    (List.length suffix.Res_core.Suffix.segments);
+  (* Query workload: a full reverse walk — state at N, N-1, ..., 0 — the
+     access pattern of step-back.  Descending positions are the index's
+     worst case (every query restores a snapshot) and the baseline's
+     average case (replay from zero regardless). *)
+  let reps_on = 20 and reps_off = 2 in
+  let walk state_at reps =
+    for _ = 1 to reps do
+      for p = n downto 0 do
+        ignore (state_at p)
+      done
+    done
+  in
+  let (), t_on = wall (fun () -> walk (Res_core.Debugger.state_at d) reps_on) in
+  let (), t_off =
+    wall (fun () -> walk (Res_core.Debugger.state_at_linear d) reps_off)
+  in
+  let per_query t reps = 1e6 *. t /. float_of_int (reps * (n + 1)) in
+  let us_on = per_query t_on reps_on and us_off = per_query t_off reps_off in
+  Fmt.pr "@.reverse walk (state_at %d..0), per-query latency:@." n;
+  Fmt.pr "%-34s %.3f us@."
+    (Fmt.str "snapshot index (interval %d)" interval)
+    us_on;
+  Fmt.pr "%-34s %.3f us@." "replay-from-zero baseline" us_off;
+  Fmt.pr "%-34s %.1fx@." "speedup" (us_off /. us_on);
+  (* Transition watchpoint: binary-searched probes vs a linear scan. *)
+  let layout = ctx.Res_core.Backstep.layout in
+  let counter =
+    try Res_mem.Layout.global_base layout "scratch"
+    with Not_found -> Res_mem.Layout.globals_base
+  in
+  let final = Res_mem.Memory.read dump.Res_vm.Coredump.mem counter in
+  let eval st =
+    if Res_mem.Memory.read st.Res_vm.Exec.mem counter = final then 1 else 0
+  in
+  let index = Res_debug.Snapindex.create ~interval ctx suffix in
+  (match Res_debug.Snapindex.find_transition index eval with
+  | Some tr ->
+      Fmt.pr "@.transition watchpoint ([0x%x] reaches %d):@." counter final;
+      Fmt.pr "%-34s %d probes@." "binary search" tr.Res_debug.Snapindex.tr_probes;
+      Fmt.pr "%-34s %d state evaluations@." "linear scan" (n + 1);
+      Fmt.pr "%-34s step %d@." "transition found at"
+        tr.Res_debug.Snapindex.tr_pos
+  | None -> Fmt.pr "@.transition watchpoint: endpoints agree (no flip)@.");
+  Fmt.pr
+    "@.expected shape: the snapshot index answers reverse-walk queries \
+     >=10x faster than replay-from-zero on this timeline, and the \
+     transition search probes O(log n) states where the scan evaluates \
+     all %d@."
+    (n + 1)
+
 let experiments =
   [
     ("e1", e1);
@@ -1157,6 +1258,7 @@ let experiments =
     ("e17", e17);
     ("e18", e18);
     ("e19", e19);
+    ("e20", e20);
     ("a1", a1);
     ("bechamel", bechamel);
   ]

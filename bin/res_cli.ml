@@ -6,6 +6,7 @@
      res run prog.res -o core.txt     run; save the coredump on a crash
      res analyze prog.res core.txt    synthesize, replay, classify
      res replay prog.res core.txt     verify deterministic reproduction
+     res debug prog.res core.txt      interactive time-travel debugger
      res hwdiag prog.res core.txt     software bug or hardware error?
      res exploit prog.res core.txt    exploitability rating
      res workload NAME -o core.txt    generate a built-in buggy workload
@@ -612,6 +613,96 @@ let replay_cmd =
        ~doc:"Synthesize a suffix and replay it repeatedly, verifying exact \
              reproduction.")
     Term.(const run $ prog_arg $ dump_arg 1 $ depth_arg $ times)
+
+(* --- debug --- *)
+
+let debug_cmd =
+  let snapshot_every =
+    Arg.(
+      value & opt int 64
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Snapshot-index interval in instructions.")
+  in
+  let no_index =
+    Arg.(
+      value & flag
+      & info [ "no-snapshot-index" ]
+          ~doc:
+            "Disable the snapshot index: every state query replays from \
+             step 0.  Same code path and same transcripts, strictly more \
+             re-execution — the baseline bench E20 measures against.")
+  in
+  let script =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:
+            "Run newline-separated commands from $(docv) instead of an \
+             interactive session; the deterministic transcript goes to \
+             stdout and assert failures set the exit code.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print snapshot-index statistics to stderr when the session \
+             ends (kept off stdout so transcripts stay comparable across \
+             intervals).")
+  in
+  let run prog_path dump_path depth snapshot_every no_index script stats =
+    let prog = or_die (load_prog prog_path) in
+    let dump = load_dump dump_path in
+    let ctx = Res_core.Backstep.make_ctx prog in
+    let result =
+      Res_core.Search.search
+        ~config:{ Res_core.Search.default_config with max_segments = depth }
+        ctx dump
+    in
+    let interval = if no_index then 0 else max 0 snapshot_every in
+    let session =
+      let rec first = function
+        | [] ->
+            raise
+              (Die
+                 ( exit_partial,
+                   "no suffix reproduces the coredump (try a larger --depth)"
+                 ))
+        | suffix :: rest -> (
+            match Res_debug.Session.create ~interval ctx suffix dump with
+            | Ok s -> s
+            | Error _ -> first rest)
+      in
+      first result.Res_core.Search.suffixes
+    in
+    let code =
+      match script with
+      | Some path ->
+          let r = Res_debug.Script.run_script session (read_file path) in
+          print_string r.Res_debug.Script.transcript;
+          r.Res_debug.Script.exit_code
+      | None -> Res_debug.Script.repl session
+    in
+    if stats then begin
+      let restores, replayed, probes = Res_debug.Session.stats session in
+      Fmt.epr
+        "index: interval %d, %d snapshot restores, %d instructions \
+         re-executed, %d transition probes@."
+        interval restores replayed probes
+    end;
+    code
+  in
+  Cmd.v
+    (Cmd.info "debug"
+       ~doc:
+         "Time-travel debugger over a synthesized suffix: step and \
+          reverse-step, continue in both directions, pc breakpoints, value \
+          watchpoints, and binary-searched transition watchpoints — every \
+          state query O(snapshot interval) via the snapshot index.")
+    Term.(
+      const run $ prog_arg $ dump_arg 1 $ depth_arg $ snapshot_every
+      $ no_index $ script $ stats)
 
 (* --- hwdiag --- *)
 
@@ -1388,6 +1479,16 @@ let selftest_cmd =
              workload with the concrete reverse-execution fast path on and \
              off and assert byte-identical reports.")
   in
+  let debug_equivalence =
+    Arg.(
+      value & flag
+      & info [ "debug-equivalence" ]
+          ~doc:
+            "Run the debug-equivalence campaign: drive a scripted \
+             time-travel session over every workload at snapshot intervals \
+             1, 7, 64 and with the index disabled, and assert the \
+             transcripts are byte-identical.")
+  in
   let worker_kill =
     Arg.(
       value & flag
@@ -1445,8 +1546,8 @@ let selftest_cmd =
              single-node triage with zero lost units.")
   in
   let run runs seed verbose skip_deadline kill_resume prune_equivalence
-      reverse_equivalence worker_kill parallel_equivalence serve_soak
-      cluster_soak cache_chaos backend =
+      reverse_equivalence debug_equivalence worker_kill parallel_equivalence
+      serve_soak cluster_soak cache_chaos backend =
     let open Res_faultinject.Faultinject in
     (* Fork-backed campaigns (cluster/daemon soak, worker kill, cache
        chaos) must precede any campaign that spawns domains: the runtime
@@ -1512,6 +1613,15 @@ let selftest_cmd =
       in
       if wk_ok && pq_ok then exit_ok else exit_internal
     end
+    else if debug_equivalence then begin
+      let s = debug_equivalence_campaign () in
+      if verbose then List.iter (fun r -> Fmt.pr "%a@." pp_de_run r) s.de_runs;
+      Fmt.pr "%a@." pp_de_summary s;
+      List.iter
+        (fun r -> Fmt.epr "DEBUG-EQUIVALENCE FAILURE: %a@." pp_de_run r)
+        s.de_failures;
+      if s.de_failures = [] then exit_ok else exit_internal
+    end
     else if reverse_equivalence then begin
       let s = reverse_equivalence_campaign () in
       if verbose then List.iter (fun r -> Fmt.pr "%a@." pp_re_run r) s.re_runs;
@@ -1562,9 +1672,9 @@ let selftest_cmd =
           outcome.")
     Term.(
       const run $ runs $ seed $ verbose $ skip_deadline $ kill_resume
-      $ prune_equivalence $ reverse_equivalence $ worker_kill
-      $ parallel_equivalence $ serve_soak $ cluster_soak $ cache_chaos
-      $ backend_arg)
+      $ prune_equivalence $ reverse_equivalence $ debug_equivalence
+      $ worker_kill $ parallel_equivalence $ serve_soak $ cluster_soak
+      $ cache_chaos $ backend_arg)
 
 let main_cmd =
   let doc = "reverse execution synthesis for MiniIR coredumps" in
@@ -1577,6 +1687,7 @@ let main_cmd =
       analyze_cmd;
       resume_cmd;
       replay_cmd;
+      debug_cmd;
       hwdiag_cmd;
       exploit_cmd;
       workload_cmd;

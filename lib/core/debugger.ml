@@ -13,19 +13,46 @@
     executing at program counter X?" and "was a thread T preempted before
     updating shared memory location M?". *)
 
+module IMap = Map.Make (Int)
+
+(** One cached pass over the event trace, shared by every query that used
+    to rescan it per call: the write history of each address and the step
+    numbers of each thread. *)
+type scan = {
+  sc_writes : int list IMap.t;  (** addr -> steps that wrote it, oldest first *)
+  sc_thread_steps : int list IMap.t;  (** tid -> its steps, oldest first *)
+}
+
 type t = {
   ctx : Backstep.ctx;
   suffix : Suffix.t;
   dump : Res_vm.Coredump.t;
   trace : Res_vm.Event.t array;  (** instruction-level suffix trace *)
+  snapshot_every : int;  (** index interval; 0 replays from step 0 *)
+  mutable index : (Replay.stepper * Replay.Index.t) option;
+      (** lazily-built snapshot index: state queries pay the one-time
+          forward replay only if any are ever made *)
+  mutable scan : scan option;  (** lazily-built shared event scan *)
 }
 
 (** Open a debugging session for a suffix.  Returns [Error] if the suffix
-    does not reproduce the coredump (nothing trustworthy to debug). *)
-let start ctx suffix dump =
+    does not reproduce the coredump (nothing trustworthy to debug).
+    [snapshot_every] is the snapshot-index interval for state queries
+    (0 disables the index: every query replays from step 0). *)
+let start ?(snapshot_every = 64) ctx suffix dump =
   let verdict = Replay.replay ctx suffix dump in
   if not verdict.Replay.reproduced then Error "suffix does not reproduce the coredump"
-  else Ok { ctx; suffix; dump; trace = Array.of_list verdict.Replay.trace }
+  else
+    Ok
+      {
+        ctx;
+        suffix;
+        dump;
+        trace = Array.of_list verdict.Replay.trace;
+        snapshot_every = max 0 snapshot_every;
+        index = None;
+        scan = None;
+      }
 
 (** Number of instruction steps in the suffix. *)
 let length t = Array.length t.trace
@@ -36,9 +63,28 @@ let event_at t i =
     invalid_arg (Fmt.str "Debugger.event_at: step %d out of range" i)
   else t.trace.(i)
 
-(** Reconstruct the exact machine state after executing the first [steps]
-    instructions of the suffix: deterministic partial replay. *)
-let state_at t steps =
+(** The crash the suffix runs into. *)
+let crash t = t.dump.Res_vm.Coredump.crash
+
+(* Trace indices are not step numbers: a blocked scheduling attempt
+   completes a step but emits no event, and a ret from the last frame
+   emits two events (ret + halt) for one step.  Events carry their true
+   step number; translate through it when reconstructing state. *)
+let step_of_event t i = (event_at t i).Res_vm.Event.step
+
+let index t =
+  match t.index with
+  | Some ix -> ix
+  | None ->
+      let sp = Replay.make_stepper t.ctx t.suffix in
+      let ix = Replay.Index.build ~interval:t.snapshot_every sp in
+      t.index <- Some (sp, ix);
+      (sp, ix)
+
+(** Replay-from-zero state reconstruction — the pre-index code path, kept
+    as the baseline the snapshot index is benchmarked (and tested)
+    against.  O(steps) per query. *)
+let state_at_linear t steps =
   let state = Replay.initial_state t.ctx t.suffix in
   let config =
     {
@@ -52,20 +98,45 @@ let state_at t steps =
   in
   (Res_vm.Exec.run_state ~config state).Res_vm.Exec.final
 
-(** Memory word [addr] just after step [i]. *)
-let mem_at t i addr = Res_mem.Memory.read (state_at t (i + 1)).Res_vm.Exec.mem addr
+(** Total completed instruction steps in the suffix (the crash attempt
+    excluded) — the timeline's upper bound for {!state_at}.  Not the same
+    as {!length}: see {!step_of_event}. *)
+let total_steps t = Replay.Index.length (snd (index t))
 
-module IMap = Map.Make (Int)
+(** Reconstruct the exact machine state after executing the first [steps]
+    instructions of the suffix: restore the nearest snapshot at or below
+    [steps] and re-execute forward — O(snapshot interval), not
+    O(execution length). *)
+let state_at t steps =
+  let sp, ix = index t in
+  Replay.Index.seek ix sp steps
 
-(** Register [r] of thread [tid] just after step [i] (innermost frame). *)
+(** Memory word [addr] just after trace event [i]. *)
+let mem_at t i addr =
+  Res_mem.Memory.read
+    (state_at t (step_of_event t i + 1)).Res_vm.Exec.mem
+    addr
+
+(** Register [r] of thread [tid] just after trace event [i] (innermost
+    frame). *)
 let reg_at t i ~tid ~reg =
-  let st = state_at t (i + 1) in
+  let st = state_at t (step_of_event t i + 1) in
   match IMap.find_opt tid st.Res_vm.Exec.threads with
   | Some th -> (
       match Res_vm.Thread.top_opt th with
       | Some fr -> Some (Res_vm.Frame.read_reg fr reg)
       | None -> None)
   | None -> None
+
+(** Every step whose program counter matches [pc], oldest first — the full
+    hit list of a breakpoint (what a [continue] with a hit count walks). *)
+let break_all t (pc : Res_ir.Pc.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun i (e : Res_vm.Event.t) ->
+      if Res_ir.Pc.equal e.Res_vm.Event.pc pc then out := i :: !out)
+    t.trace;
+  List.rev !out
 
 (** First step whose program counter matches [pc] — a breakpoint.  Answers
     "what was the program state when the program was executing at X":
@@ -79,23 +150,46 @@ let break_at t (pc : Res_ir.Pc.t) =
   in
   go 0
 
+(* The shared event scan: one pass over the trace, built on first use,
+   instead of one pass per writes_to/steps_of_thread call. *)
+let scan t =
+  match t.scan with
+  | Some s -> s
+  | None ->
+      let push k i m =
+        IMap.update k
+          (function None -> Some [ i ] | Some l -> Some (i :: l))
+          m
+      in
+      let writes = ref IMap.empty and threads = ref IMap.empty in
+      Array.iteri
+        (fun i (e : Res_vm.Event.t) ->
+          threads := push e.Res_vm.Event.tid e.Res_vm.Event.step !threads;
+          match e.Res_vm.Event.action with
+          | Res_vm.Event.A_write { addr; _ } -> writes := push addr i !writes
+          | _ -> ())
+        t.trace;
+      let s =
+        {
+          sc_writes = IMap.map List.rev !writes;
+          sc_thread_steps = IMap.map List.rev !threads;
+        }
+      in
+      t.scan <- Some s;
+      s
+
 (** All steps executed by thread [tid]. *)
 let steps_of_thread t tid =
-  Array.to_list t.trace
-  |> List.filteri (fun _ (e : Res_vm.Event.t) -> e.Res_vm.Event.tid = tid)
-  |> List.map (fun (e : Res_vm.Event.t) -> e.Res_vm.Event.step)
+  match IMap.find_opt tid (scan t).sc_thread_steps with
+  | Some steps -> steps
+  | None -> []
 
 (** Steps that wrote memory word [addr], oldest first — the write history
     of a location within the suffix. *)
 let writes_to t addr =
-  let out = ref [] in
-  Array.iteri
-    (fun i (e : Res_vm.Event.t) ->
-      match e.Res_vm.Event.action with
-      | Res_vm.Event.A_write { addr = a; _ } when a = addr -> out := i :: !out
-      | _ -> ())
-    t.trace;
-  List.rev !out
+  match IMap.find_opt addr (scan t).sc_writes with
+  | Some steps -> steps
+  | None -> []
 
 (** Hypothesis (paper §3.3): "was thread T preempted before updating shared
     memory location M?" — true when another thread executed between T's

@@ -9,9 +9,16 @@
 type t
 
 (** Open a debugging session for a suffix.  [Error] if the suffix does not
-    reproduce the coredump (nothing trustworthy to debug). *)
+    reproduce the coredump (nothing trustworthy to debug).
+    [snapshot_every] (default 64) is the snapshot-index interval used by
+    state queries; 0 disables the index, so every query replays from
+    step 0. *)
 val start :
-  Backstep.ctx -> Suffix.t -> Res_vm.Coredump.t -> (t, string) result
+  ?snapshot_every:int ->
+  Backstep.ctx ->
+  Suffix.t ->
+  Res_vm.Coredump.t ->
+  (t, string) result
 
 (** Number of instruction steps in the suffix. *)
 val length : t -> int
@@ -20,15 +27,34 @@ val length : t -> int
     @raise Invalid_argument when out of range. *)
 val event_at : t -> int -> Res_vm.Event.t
 
+(** The crash the suffix runs into. *)
+val crash : t -> Res_vm.Crash.t
+
+(** Total completed instruction steps in the suffix, the timeline bound
+    for {!state_at}.  Distinct from {!length}: a blocked scheduling
+    attempt completes a step but emits no event, and a final ret emits
+    two (ret + halt), so trace indices are not step numbers.  Events
+    carry their true step; {!mem_at}/{!reg_at} translate through it. *)
+val total_steps : t -> int
+
 (** Reconstruct the exact machine state after the first [steps]
-    instructions of the suffix (deterministic partial replay). *)
+    instructions of the suffix, via the snapshot index: restore the
+    nearest snapshot at or below [steps], re-execute forward —
+    O(snapshot interval) per query.  The returned state is the session's
+    shared replay cursor: it is valid until the next state query on [t];
+    extract what you need before querying again. *)
 val state_at : t -> int -> Res_vm.Exec.state
 
-(** Memory word [addr] just after step [i]. *)
+(** Replay-from-zero state reconstruction — the pre-index baseline kept
+    for benchmarking and cross-checking the index.  O(steps) per query;
+    returns a fresh state. *)
+val state_at_linear : t -> int -> Res_vm.Exec.state
+
+(** Memory word [addr] just after trace event [i]. *)
 val mem_at : t -> int -> int -> int
 
-(** Register [reg] of thread [tid] just after step [i] (innermost frame);
-    [None] if the thread has no frame there. *)
+(** Register [reg] of thread [tid] just after trace event [i] (innermost
+    frame); [None] if the thread has no frame there. *)
 val reg_at : t -> int -> tid:int -> reg:Res_ir.Instr.reg -> int option
 
 (** First step whose program counter matches — a breakpoint.  Answers
@@ -36,6 +62,10 @@ val reg_at : t -> int -> tid:int -> reg:Res_ir.Instr.reg -> int option
     (combine with {!state_at}).  The faulting instruction itself never
     completes and so has no step. *)
 val break_at : t -> Res_ir.Pc.t -> int option
+
+(** Every step whose program counter matches, oldest first — the full hit
+    list of a breakpoint. *)
+val break_all : t -> Res_ir.Pc.t -> int list
 
 (** All step numbers executed by a thread. *)
 val steps_of_thread : t -> int -> int list

@@ -1,0 +1,152 @@
+(** Debugger command language: AST and line parser.
+
+    One textual line maps to one command; the same parser serves the
+    interactive REPL and script mode, so every interactive session is
+    replayable as a script.  Blank lines and [#] comments parse to
+    {!Nop}. *)
+
+type t =
+  | Step of int  (** [step [n]] — forward n instructions (default 1) *)
+  | Step_back of int  (** [step-back [n]] *)
+  | Continue  (** to the next breakpoint/watchpoint hit, or the crash *)
+  | Continue_back  (** to the previous hit, or step 0 *)
+  | Break of Res_ir.Pc.t  (** [break func:block:idx] *)
+  | Delete of int  (** [delete <breakpoint id>] *)
+  | Breaks  (** list breakpoints *)
+  | Watch of Predicate.expr * string  (** expression + its source text *)
+  | Unwatch of int
+  | Watches
+  | Twatch of Predicate.expr * string
+      (** transition watchpoint: binary-search the timeline *)
+  | Print of Predicate.expr * string
+  | Mem of Predicate.expr * int  (** [mem <addr> [count]] *)
+  | Regs of int option  (** [regs [tid]]; default: focused thread *)
+  | Threads
+  | List of int  (** [list [n]] — n steps of context around the position *)
+  | Where
+  | Goto of int
+  | Thread of int  (** switch focus *)
+  | Assert of Predicate.expr * string
+  | Help
+  | Quit
+  | Nop  (** blank line or comment *)
+
+let help_text =
+  String.concat "\n"
+    [
+      "commands:";
+      "  step [n] | s          execute n instructions (default 1)";
+      "  step-back [n] | sb    un-execute n instructions";
+      "  continue | c          run forward to breakpoint/watchpoint/crash";
+      "  continue-back | cb    run backward to breakpoint/watchpoint/step 0";
+      "  break f:b:i | b       breakpoint at pc func:block:idx";
+      "  delete <id>           remove breakpoint <id>";
+      "  breaks                list breakpoints";
+      "  watch <expr>          stop when <expr> changes (both directions)";
+      "  unwatch <id>          remove watchpoint <id>";
+      "  watches               list watchpoints";
+      "  twatch <expr>         binary-search for the step where <expr> flips";
+      "  print <expr> | p      evaluate <expr> at the current position";
+      "  mem <expr> [n]        dump n memory words at address <expr>";
+      "  regs [tid]            registers of a thread (default: focus)";
+      "  threads               thread table";
+      "  list [n]              trace around the current position";
+      "  where | w             current position";
+      "  goto <step>           jump to an absolute position";
+      "  thread <tid>          switch register/expression focus";
+      "  assert <expr>         record pass/fail; failures set exit code 2";
+      "  help                  this text";
+      "  quit | q              end the session";
+      "expressions: ints, 0x.., r<N>, t<T>:r<N>, [addr], &global,";
+      "  + - * / %, == != < <= > >=, && ||, parentheses";
+    ]
+
+(* --- parsing ---------------------------------------------------------- *)
+
+let parse_pc s =
+  match String.split_on_char ':' s with
+  | [ func; block; idx ] -> (
+      match int_of_string_opt idx with
+      | Some idx when func <> "" && block <> "" ->
+          Ok (Res_ir.Pc.v ~func ~block ~idx)
+      | _ -> Error (Fmt.str "bad pc %S: index must be an integer" s))
+  | _ -> Error (Fmt.str "bad pc %S: expected func:block:idx" s)
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Fmt.str "bad %s %S: expected an integer" what s)
+
+let parse_count dflt = function
+  | [] -> Ok dflt
+  | [ s ] -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok n
+      | _ -> Error (Fmt.str "bad count %S: expected a positive integer" s))
+  | _ -> Error "too many arguments"
+
+let parse_expr what src =
+  match Predicate.parse src with
+  | Ok e -> Ok (e, src)
+  | Error msg -> Error (Fmt.str "bad %s: %s" what msg)
+
+(** Parse one command line.  [Error] carries the message the session
+    prints — stable text, part of the deterministic transcript. *)
+let parse line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok Nop
+  else
+    let words =
+      String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+    in
+    let rest_src prefix =
+      (* everything after the verb, original spacing collapsed *)
+      String.concat " " prefix
+    in
+    match words with
+    | [] -> Ok Nop
+    | verb :: args -> (
+        let open_expr what k =
+          if args = [] then Error (Fmt.str "%s needs an expression" verb)
+          else Result.map k (parse_expr what (rest_src args))
+        in
+        match (verb, args) with
+        | ("step" | "s"), rest ->
+            Result.map (fun n -> Step n) (parse_count 1 rest)
+        | ("step-back" | "sb"), rest ->
+            Result.map (fun n -> Step_back n) (parse_count 1 rest)
+        | ("continue" | "c"), [] -> Ok Continue
+        | ("continue-back" | "cb" | "rc"), [] -> Ok Continue_back
+        | ("break" | "b"), [ pc ] ->
+            Result.map (fun pc -> Break pc) (parse_pc pc)
+        | "delete", [ id ] ->
+            Result.map (fun n -> Delete n) (parse_int "breakpoint id" id)
+        | "breaks", [] -> Ok Breaks
+        | "watch", _ -> open_expr "watch expression" (fun (e, s) -> Watch (e, s))
+        | "unwatch", [ id ] ->
+            Result.map (fun n -> Unwatch n) (parse_int "watchpoint id" id)
+        | "watches", [] -> Ok Watches
+        | "twatch", _ ->
+            open_expr "twatch expression" (fun (e, s) -> Twatch (e, s))
+        | ("print" | "p"), _ ->
+            open_expr "print expression" (fun (e, s) -> Print (e, s))
+        | "mem", addr :: rest ->
+            Result.bind (parse_expr "address" addr) (fun (e, _) ->
+                Result.map (fun n -> Mem (e, n)) (parse_count 1 rest))
+        | "regs", [] -> Ok (Regs None)
+        | "regs", [ tid ] ->
+            Result.map (fun t -> Regs (Some t)) (parse_int "tid" tid)
+        | "threads", [] -> Ok Threads
+        | "list", rest -> Result.map (fun n -> List n) (parse_count 4 rest)
+        | ("where" | "w"), [] -> Ok Where
+        | "goto", [ n ] -> Result.map (fun n -> Goto n) (parse_int "step" n)
+        | "thread", [ tid ] ->
+            Result.map (fun t -> Thread t) (parse_int "tid" tid)
+        | "assert", _ ->
+            open_expr "assert expression" (fun (e, s) -> Assert (e, s))
+        | "help", [] -> Ok Help
+        | ("quit" | "q"), [] -> Ok Quit
+        | _ ->
+            Error
+              (Fmt.str "unknown command %S (try 'help')"
+                 (String.concat " " words)))

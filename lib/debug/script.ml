@@ -1,0 +1,65 @@
+(** Drivers for a {!Session}: script mode and a stdin REPL.
+
+    Script mode is the CI surface: each command line is echoed as
+    ["> <line>"] followed by its output, so a transcript is a complete,
+    diffable record of the session — and byte-identical across snapshot
+    intervals, which the debug-equivalence campaign enforces.  The exit
+    status encodes the result: 0 all asserts passed, 2 an assert failed,
+    1 a command errored (parse failure, bad id, unknown global). *)
+
+type result = {
+  transcript : string;
+  exit_code : int;  (** 0 ok · 1 command error · 2 assertion failure *)
+}
+
+let code_of ~errors session =
+  if errors > 0 then 1
+  else if Session.assert_failures session > 0 then 2
+  else 0
+
+(** Run [lines] through [session], echoing each command. *)
+let run_lines session lines =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  let errors = ref 0 in
+  (try
+     List.iter
+       (fun line ->
+         Fmt.pf ppf "> %s@." line;
+         match Session.exec_line session ppf line with
+         | `Ok -> ()
+         | `Err -> incr errors
+         | `Quit -> raise Exit)
+       lines
+   with Exit -> ());
+  Format.pp_print_flush ppf ();
+  { transcript = Buffer.contents buf; exit_code = code_of ~errors:!errors session }
+
+(** Script mode: newline-separated commands from a file's contents. *)
+let run_script session contents =
+  run_lines session (String.split_on_char '\n' contents)
+
+(** Interactive REPL over stdin/stdout (no readline, no echo — the
+    terminal echoes).  Returns the script-mode exit code so interactive
+    sessions can also gate. *)
+let repl session =
+  let ppf = Format.std_formatter in
+  Fmt.pf ppf "res debug: %d steps, type 'help' for commands@."
+    (Session.length session);
+  let errors = ref 0 in
+  let rec loop () =
+    print_string "(res-dbg) ";
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line -> (
+        match Session.exec_line session ppf line with
+        | `Ok -> loop ()
+        | `Err ->
+            incr errors;
+            loop ()
+        | `Quit -> ())
+  in
+  loop ();
+  Format.pp_print_flush ppf ();
+  code_of ~errors:!errors session

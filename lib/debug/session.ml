@@ -1,0 +1,451 @@
+(** Interactive time-travel session over one verified suffix.
+
+    The engine is a pure command evaluator: it holds the session state
+    (position on the timeline, focused thread, breakpoints, watchpoints)
+    and renders every command's result to a formatter — no TTY anywhere,
+    so a session transcript is a deterministic function of the suffix and
+    the command sequence.  The REPL and script runner are thin drivers
+    ({!Script}).
+
+    Positions are {e completed instruction steps}: position [p] means "the
+    first [p] instructions of the suffix have executed", [p = 0] is the
+    synthesized suffix start, [p = N] is the crash point (the faulting
+    instruction never completes).  Trace events are grouped by the step
+    that emitted them; a step with no event is a scheduling attempt that
+    blocked a thread, and the final [ret] of a thread emits two. *)
+
+module IMap = Map.Make (Int)
+
+type breakpoint = { bp_id : int; bp_pc : Res_ir.Pc.t }
+
+type watchpoint = {
+  wp_id : int;
+  wp_expr : Predicate.expr;
+  wp_src : string;
+}
+
+type t = {
+  index : Snapindex.t;
+  trace : Res_vm.Event.t array;
+  by_step : Res_vm.Event.t list array;  (** events grouped by step, len N *)
+  crash : Res_vm.Crash.t;
+  layout : Res_mem.Layout.t;
+  mutable pos : int;  (** current position, [0..N] *)
+  mutable focus : int;  (** thread for [r<N>] and [regs] *)
+  mutable breakpoints : breakpoint list;  (** newest first *)
+  mutable next_bp : int;
+  mutable watchpoints : watchpoint list;  (** newest first *)
+  mutable next_wp : int;
+  mutable asserts_failed : int;
+  mutable asserts_run : int;
+}
+
+(** Open a session: verify the suffix reproduces the dump (exactly as the
+    batch {!Res_core.Debugger} does), then build the snapshot index with
+    one forward replay.  [interval = 0] disables the index. *)
+let create ?(interval = 64) ctx suffix dump =
+  let verdict = Res_core.Replay.replay ctx suffix dump in
+  if not verdict.Res_core.Replay.reproduced then
+    Error "suffix does not reproduce the coredump"
+  else begin
+    let index = Snapindex.create ~interval ctx suffix in
+    let trace = Array.of_list verdict.Res_core.Replay.trace in
+    let n = Snapindex.length index in
+    let by_step = Array.make n [] in
+    Array.iter
+      (fun (e : Res_vm.Event.t) ->
+        by_step.(e.Res_vm.Event.step) <-
+          by_step.(e.Res_vm.Event.step) @ [ e ])
+      trace;
+    let crash = dump.Res_vm.Coredump.crash in
+    Ok
+      {
+        index;
+        trace;
+        by_step;
+        crash;
+        layout = ctx.Res_core.Backstep.layout;
+        pos = 0;
+        focus = crash.Res_vm.Crash.tid;
+        breakpoints = [];
+        next_bp = 1;
+        watchpoints = [];
+        next_wp = 1;
+        asserts_failed = 0;
+        asserts_run = 0;
+      }
+  end
+
+let length t = Snapindex.length t.index
+let position t = t.pos
+let assert_failures t = t.asserts_failed
+let stats t = Snapindex.stats t.index
+
+(* --- evaluation helpers ------------------------------------------------ *)
+
+let state_at t p = Snapindex.state_at t.index p
+
+let eval_at t p e =
+  Predicate.eval ~layout:t.layout ~focus:t.focus (state_at t p) e
+
+(** Whether position [p] sits at a breakpoint: the instruction about to
+    execute there (= the events step [p] emits) matches a breakpoint pc.
+    Position [N] matches on the faulting pc. *)
+let at_breakpoint t p =
+  let pcs =
+    if p < length t then
+      List.map (fun (e : Res_vm.Event.t) -> e.Res_vm.Event.pc) t.by_step.(p)
+    else [ t.crash.Res_vm.Crash.pc ]
+  in
+  List.find_opt
+    (fun bp -> List.exists (Res_ir.Pc.equal bp.bp_pc) pcs)
+    t.breakpoints
+
+(* --- rendering --------------------------------------------------------- *)
+
+let pp_position ppf (t, p) =
+  if p < Array.length t.by_step then
+    match t.by_step.(p) with
+    | e :: _ ->
+        Fmt.pf ppf "step %d/%d: t%d %a: %a" p (length t) e.Res_vm.Event.tid
+          Res_ir.Pc.pp e.Res_vm.Event.pc Res_vm.Event.pp_action
+          e.Res_vm.Event.action
+    | [] ->
+        Fmt.pf ppf "step %d/%d: (scheduling attempt, thread blocked)" p
+          (length t)
+  else
+    Fmt.pf ppf "step %d/%d: CRASH %a" p (length t) Res_vm.Crash.pp t.crash
+
+let print_where t ppf = Fmt.pf ppf "%a@." pp_position (t, t.pos)
+
+let describe_addr t addr =
+  match Res_mem.Layout.find_global t.layout addr with
+  | Some (base, _, name) when base = addr -> Fmt.str " (&%s)" name
+  | Some (base, _, name) -> Fmt.str " (&%s+%d)" name (addr - base)
+  | None -> ""
+
+(* --- command execution ------------------------------------------------- *)
+
+type outcome = [ `Ok | `Err | `Quit ]
+
+let clamp_pos t p = max 0 (min (length t) p)
+
+let move t ppf p =
+  t.pos <- clamp_pos t p;
+  print_where t ppf
+
+(** Watch origin values at the current position, [(id, src, value)];
+    unresolvable expressions (unknown global) are reported and skipped. *)
+let watch_origins t ppf =
+  List.filter_map
+    (fun wp ->
+      match eval_at t t.pos wp.wp_expr with
+      | v -> Some (wp, v)
+      | exception Predicate.Eval_error msg ->
+          Fmt.pf ppf "watchpoint #%d (%s) skipped: %s@." wp.wp_id wp.wp_src
+            msg;
+          None)
+    (List.rev t.watchpoints)
+
+(** Forward run: stop at the first position [> pos] that hits a
+    breakpoint or changes a watched value, else at the crash.  The sweep
+    seeks ascending positions, so the whole run costs one re-execution
+    pass no matter how many watchpoints are set. *)
+let run_forward t ppf =
+  let origins = watch_origins t ppf in
+  let n = length t in
+  let stop = ref None in
+  let p = ref (t.pos + 1) in
+  while !stop = None && !p <= n do
+    (match at_breakpoint t !p with
+    | Some bp -> stop := Some (`Bp (bp, !p))
+    | None ->
+        let changed =
+          List.filter_map
+            (fun (wp, v0) ->
+              match eval_at t !p wp.wp_expr with
+              | v when v <> v0 -> Some (wp, v0, v)
+              | _ -> None
+              | exception Predicate.Eval_error _ -> None)
+            origins
+        in
+        if changed <> [] then stop := Some (`Watch (changed, !p)));
+    if !stop = None then incr p
+  done;
+  match !stop with
+  | Some (`Bp (bp, p)) ->
+      t.pos <- p;
+      Fmt.pf ppf "breakpoint #%d hit@." bp.bp_id;
+      print_where t ppf
+  | Some (`Watch (changed, p)) ->
+      t.pos <- p;
+      List.iter
+        (fun (wp, v0, v) ->
+          Fmt.pf ppf "watchpoint #%d: %s: %d -> %d@." wp.wp_id wp.wp_src v0 v)
+        changed;
+      print_where t ppf
+  | None ->
+      t.pos <- n;
+      print_where t ppf
+
+(** Backward run: stop at the {e largest} position [< pos] that hits a
+    breakpoint or holds a watched value different from the current one,
+    else at position 0.  Scans snapshot-aligned chunks from the highest
+    downward; inside a chunk positions are swept ascending (cheap), and
+    the last match in the first matching chunk is the answer — identical
+    to a full backward scan, O(interval) replay per chunk. *)
+let run_backward t ppf =
+  let origins = watch_origins t ppf in
+  let hit p =
+    match at_breakpoint t p with
+    | Some bp -> Some (`Bp bp)
+    | None -> (
+        let changed =
+          List.filter_map
+            (fun (wp, v0) ->
+              match eval_at t p wp.wp_expr with
+              | v when v <> v0 -> Some (wp, v0, v)
+              | _ -> None
+              | exception Predicate.Eval_error _ -> None)
+            origins
+        in
+        match changed with [] -> None | l -> Some (`Watch l))
+  in
+  let k = Snapindex.interval t.index in
+  let chunk_of p = if k = 0 then 0 else p / k in
+  let found = ref None in
+  let hi = ref (t.pos - 1) in
+  while !found = None && !hi >= 0 do
+    let lo = if k = 0 then 0 else chunk_of !hi * k in
+    (* ascending sweep of [lo..hi]; keep the last (= largest) match *)
+    Snapindex.sweep t.index ~lo ~hi:!hi (fun p _st ->
+        match hit p with Some h -> found := Some (p, h) | None -> ());
+    hi := lo - 1
+  done;
+  match !found with
+  | Some (p, `Bp bp) ->
+      t.pos <- p;
+      Fmt.pf ppf "breakpoint #%d hit@." bp.bp_id;
+      print_where t ppf
+  | Some (p, `Watch changed) ->
+      t.pos <- p;
+      List.iter
+        (fun (wp, v0, v) ->
+          (* moving backward: the value changes from v (older) to v0 *)
+          Fmt.pf ppf "watchpoint #%d: %s: %d -> %d@." wp.wp_id wp.wp_src v v0)
+        changed;
+      print_where t ppf
+  | None ->
+      t.pos <- 0;
+      print_where t ppf
+
+let exec_list t ppf n =
+  let lo = clamp_pos t (t.pos - n) and hi = clamp_pos t (t.pos + n) in
+  for p = lo to hi do
+    let marker = if p = t.pos then ">" else " " in
+    Fmt.pf ppf "%s %a@." marker pp_position (t, p)
+  done
+
+let exec_regs t ppf tid =
+  let st = state_at t t.pos in
+  match IMap.find_opt tid st.Res_vm.Exec.threads with
+  | None -> Fmt.pf ppf "no thread %d@." tid
+  | Some th -> (
+      Fmt.pf ppf "t%d: %a@." tid Res_vm.Thread.pp_status
+        th.Res_vm.Thread.status;
+      match Res_vm.Thread.top_opt th with
+      | None -> ()
+      | Some fr ->
+          Fmt.pf ppf "  at %a@." Res_ir.Pc.pp (Res_vm.Frame.pc fr);
+          let bindings = Res_vm.Frame.reg_bindings fr in
+          if bindings = [] then Fmt.pf ppf "  (no registers written)@."
+          else
+            List.iter
+              (fun (r, v) -> Fmt.pf ppf "  r%d = %d@." r v)
+              bindings)
+
+let exec_threads t ppf =
+  let st = state_at t t.pos in
+  IMap.iter
+    (fun tid th ->
+      let marker = if tid = t.focus then "*" else " " in
+      let pc =
+        match Res_vm.Thread.top_opt th with
+        | Some fr -> Fmt.str " at %a" Res_ir.Pc.pp (Res_vm.Frame.pc fr)
+        | None -> ""
+      in
+      Fmt.pf ppf "%s t%d: %a%s@." marker tid Res_vm.Thread.pp_status
+        th.Res_vm.Thread.status pc)
+    st.Res_vm.Exec.threads
+
+let exec_mem t ppf addr_e count =
+  match eval_at t t.pos addr_e with
+  | exception Predicate.Eval_error msg -> Fmt.pf ppf "error: %s@." msg
+  | addr ->
+      let st = state_at t t.pos in
+      for i = 0 to count - 1 do
+        let a = addr + i in
+        Fmt.pf ppf "[0x%x]%s = %d@." a (describe_addr t a)
+          (Res_mem.Memory.read st.Res_vm.Exec.mem a)
+      done
+
+(** Execute one parsed command, rendering its output to [ppf]. *)
+let exec_cmd t ppf (cmd : Command.t) : outcome =
+  match cmd with
+  | Command.Nop -> `Ok
+  | Command.Help ->
+      Fmt.pf ppf "%s@." Command.help_text;
+      `Ok
+  | Command.Quit -> `Quit
+  | Command.Where ->
+      print_where t ppf;
+      `Ok
+  | Command.Step n ->
+      move t ppf (t.pos + n);
+      `Ok
+  | Command.Step_back n ->
+      move t ppf (t.pos - n);
+      `Ok
+  | Command.Goto p ->
+      if p < 0 || p > length t then begin
+        Fmt.pf ppf "error: step %d out of [0,%d]@." p (length t);
+        `Err
+      end
+      else begin
+        move t ppf p;
+        `Ok
+      end
+  | Command.Thread tid ->
+      t.focus <- tid;
+      Fmt.pf ppf "focus: t%d@." tid;
+      `Ok
+  | Command.Continue ->
+      run_forward t ppf;
+      `Ok
+  | Command.Continue_back ->
+      run_backward t ppf;
+      `Ok
+  | Command.Break pc ->
+      let bp = { bp_id = t.next_bp; bp_pc = pc } in
+      t.next_bp <- t.next_bp + 1;
+      t.breakpoints <- bp :: t.breakpoints;
+      let hits =
+        Array.to_list t.trace
+        |> List.filter (fun (e : Res_vm.Event.t) ->
+               Res_ir.Pc.equal e.Res_vm.Event.pc pc)
+        |> List.length
+      in
+      let crash_hits =
+        if Res_ir.Pc.equal t.crash.Res_vm.Crash.pc pc then 1 else 0
+      in
+      Fmt.pf ppf "breakpoint #%d at %a (%d hits in suffix)@." bp.bp_id
+        Res_ir.Pc.pp pc (hits + crash_hits);
+      `Ok
+  | Command.Delete id ->
+      if List.exists (fun bp -> bp.bp_id = id) t.breakpoints then begin
+        t.breakpoints <- List.filter (fun bp -> bp.bp_id <> id) t.breakpoints;
+        Fmt.pf ppf "deleted breakpoint #%d@." id;
+        `Ok
+      end
+      else begin
+        Fmt.pf ppf "error: no breakpoint #%d@." id;
+        `Err
+      end
+  | Command.Breaks ->
+      if t.breakpoints = [] then Fmt.pf ppf "no breakpoints@."
+      else
+        List.iter
+          (fun bp -> Fmt.pf ppf "#%d at %a@." bp.bp_id Res_ir.Pc.pp bp.bp_pc)
+          (List.rev t.breakpoints);
+      `Ok
+  | Command.Watch (e, src) -> (
+      match eval_at t t.pos e with
+      | exception Predicate.Eval_error msg ->
+          Fmt.pf ppf "error: %s@." msg;
+          `Err
+      | v ->
+          let wp = { wp_id = t.next_wp; wp_expr = e; wp_src = src } in
+          t.next_wp <- t.next_wp + 1;
+          t.watchpoints <- wp :: t.watchpoints;
+          Fmt.pf ppf "watchpoint #%d: %s = %d@." wp.wp_id src v;
+          `Ok)
+  | Command.Unwatch id ->
+      if List.exists (fun wp -> wp.wp_id = id) t.watchpoints then begin
+        t.watchpoints <- List.filter (fun wp -> wp.wp_id <> id) t.watchpoints;
+        Fmt.pf ppf "deleted watchpoint #%d@." id;
+        `Ok
+      end
+      else begin
+        Fmt.pf ppf "error: no watchpoint #%d@." id;
+        `Err
+      end
+  | Command.Watches ->
+      if t.watchpoints = [] then Fmt.pf ppf "no watchpoints@."
+      else
+        List.iter
+          (fun wp ->
+            match eval_at t t.pos wp.wp_expr with
+            | v -> Fmt.pf ppf "#%d: %s = %d@." wp.wp_id wp.wp_src v
+            | exception Predicate.Eval_error msg ->
+                Fmt.pf ppf "#%d: %s (error: %s)@." wp.wp_id wp.wp_src msg)
+          (List.rev t.watchpoints);
+      `Ok
+  | Command.Twatch (e, src) -> (
+      let eval st = Predicate.eval ~layout:t.layout ~focus:t.focus st e in
+      match Snapindex.find_transition t.index eval with
+      | exception Predicate.Eval_error msg ->
+          Fmt.pf ppf "error: %s@." msg;
+          `Err
+      | None ->
+          Fmt.pf ppf "no transition: %s has the same value at step 0 and step %d@."
+            src (length t);
+          `Ok
+      | Some tr ->
+          Fmt.pf ppf
+            "transition: %s: %d -> %d at step %d (%d probes, %d steps)@." src
+            tr.Snapindex.tr_before tr.Snapindex.tr_after tr.Snapindex.tr_pos
+            tr.Snapindex.tr_probes (length t);
+          move t ppf tr.Snapindex.tr_pos;
+          `Ok)
+  | Command.Print (e, src) -> (
+      match eval_at t t.pos e with
+      | v ->
+          Fmt.pf ppf "%s = %d@." src v;
+          `Ok
+      | exception Predicate.Eval_error msg ->
+          Fmt.pf ppf "error: %s@." msg;
+          `Err)
+  | Command.Mem (addr_e, count) ->
+      exec_mem t ppf addr_e count;
+      `Ok
+  | Command.Regs tid ->
+      exec_regs t ppf (Option.value tid ~default:t.focus);
+      `Ok
+  | Command.Threads ->
+      exec_threads t ppf;
+      `Ok
+  | Command.List n ->
+      exec_list t ppf n;
+      `Ok
+  | Command.Assert (e, src) -> (
+      t.asserts_run <- t.asserts_run + 1;
+      match eval_at t t.pos e with
+      | v when v <> 0 ->
+          Fmt.pf ppf "assert %s: PASS@." src;
+          `Ok
+      | v ->
+          t.asserts_failed <- t.asserts_failed + 1;
+          Fmt.pf ppf "assert %s: FAIL (= %d)@." src v;
+          `Ok
+      | exception Predicate.Eval_error msg ->
+          t.asserts_failed <- t.asserts_failed + 1;
+          Fmt.pf ppf "assert %s: FAIL (%s)@." src msg;
+          `Ok)
+
+(** Parse and execute one line. *)
+let exec_line t ppf line : outcome =
+  match Command.parse line with
+  | Ok cmd -> exec_cmd t ppf cmd
+  | Error msg ->
+      Fmt.pf ppf "error: %s@." msg;
+      `Err

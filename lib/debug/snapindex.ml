@@ -1,0 +1,91 @@
+(** Session-level snapshot index: seek, sweep, and transition search.
+
+    A thin policy layer over {!Res_core.Replay.Index} — the generic
+    snapshot machinery lives in [lib/core] (the batch {!Res_core.Debugger}
+    uses it too); this wrapper owns one stepper, counts the replay work a
+    debugging session causes, and implements the two access patterns the
+    session engine needs beyond point seeks: ordered forward sweeps (for
+    [continue]/[continue-back]) and binary search over the timeline for a
+    predicate transition (FReD / Transition-Watchpoints style). *)
+
+type t = {
+  sp : Res_core.Replay.stepper;
+  ix : Res_core.Replay.Index.t;
+  mutable probes : int;  (** state evaluations made by transition searches *)
+}
+
+(** Build the index with one forward replay of the suffix.
+    [interval = 0] disables snapshotting: every seek replays from step 0
+    through the very same code path, which is the [--no-snapshot-index]
+    baseline. *)
+let create ?(interval = 64) ctx suffix =
+  let sp = Res_core.Replay.make_stepper ctx suffix in
+  let ix = Res_core.Replay.Index.build ~interval sp in
+  { sp; ix; probes = 0 }
+
+(** Completed instruction steps in the suffix — positions are [0..length]. *)
+let length t = Res_core.Replay.Index.length t.ix
+
+let interval t = Res_core.Replay.Index.interval t.ix
+
+(** The machine state after [n] completed steps.  The returned state is
+    the shared replay cursor — read what you need before the next query. *)
+let state_at t n = Res_core.Replay.Index.seek t.ix t.sp n
+
+(** Evaluate [f] on every position in [lo..hi] (inclusive), ascending.
+    Seeking an ascending sequence never restores a snapshot after the
+    first position, so a sweep costs one pass of re-execution regardless
+    of the snapshot interval. *)
+let sweep t ~lo ~hi f =
+  for n = lo to hi do
+    f n (state_at t n)
+  done
+
+(** Replay-work counters: [(restores, replayed_steps, probes)]. *)
+let stats t =
+  ( t.ix.Res_core.Replay.Index.ix_restores,
+    t.ix.Res_core.Replay.Index.ix_replayed,
+    t.probes )
+
+(** What a transition search found. *)
+type transition = {
+  tr_pos : int;  (** first position whose value differs from position 0 *)
+  tr_before : int;  (** value at [tr_pos - 1] (= value at position 0) *)
+  tr_after : int;  (** value at [tr_pos] *)
+  tr_probes : int;  (** state evaluations the search made *)
+}
+
+(** Binary search the timeline for a position where [eval] flips.
+
+    Evaluates the endpoints; when they agree, reports [None] (no
+    transition observable from the endpoints — the FReD precondition).
+    Otherwise maintains [eval lo = v0 <> eval hi] and bisects to an
+    adjacent pair, returning the higher position: the step executed at
+    [tr_pos - 1] changed the value.  O(log n) probes, each O(snapshot
+    interval) of replay — and the probe sequence depends only on the
+    timeline length and the probed values, never on the interval, so
+    transcripts that print probe counts stay byte-identical across
+    intervals.  Exceptions from [eval] propagate. *)
+let find_transition t eval =
+  let probe n =
+    t.probes <- t.probes + 1;
+    eval (state_at t n)
+  in
+  let n = length t in
+  let v0 = probe 0 in
+  let vn = if n = 0 then v0 else probe n in
+  if n = 0 || v0 = vn then None
+  else begin
+    let lo = ref 0 and hi = ref n and vhi = ref vn and probes = ref 2 in
+    while !hi - !lo > 1 do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      incr probes;
+      let v = probe mid in
+      if v = v0 then lo := mid
+      else begin
+        hi := mid;
+        vhi := v
+      end
+    done;
+    Some { tr_pos = !hi; tr_before = v0; tr_after = !vhi; tr_probes = !probes }
+  end

@@ -726,6 +726,200 @@ let pp_re_summary ppf s =
      solver queries: %d symbolic -> %d with fast path@]"
     s.re_total s.re_ok s.re_total rev q_off q_on
 
+(* --- debug-equivalence campaign -------------------------------------- *)
+
+(** One workload debugged four times — snapshot intervals 1, 7, 64, and
+    the index disabled — with the scripted-session transcripts compared
+    byte for byte.  The snapshot index must only change how much replay a
+    state query costs, never what any command prints: every query goes
+    through the same seek path, an interval of 0 merely degenerates it to
+    replay-from-zero. *)
+type de_run = {
+  de_workload : string;
+  de_equivalent : bool;
+  de_steps : int;  (** timeline length (completed suffix instructions) *)
+  de_commands : int;  (** script lines driven through the session *)
+  de_exit : int;  (** script exit code (must also agree across intervals) *)
+  de_detail : string;  (** diagnosis when not equivalent *)
+}
+
+type de_summary = {
+  de_runs : de_run list;
+  de_total : int;
+  de_ok : int;
+  de_failures : de_run list;  (** empty iff the index never changes output *)
+}
+
+(* A session script exercising every command family, derived from the
+   suffix's own trace (first written address, a mid-trace pc, the final
+   value) so it is meaningful on all workloads yet fully deterministic. *)
+let de_script (dump : Res_vm.Coredump.t) (trace : Res_vm.Event.t list) =
+  let first_write =
+    List.find_map
+      (fun (e : Res_vm.Event.t) ->
+        match e.Res_vm.Event.action with
+        | Res_vm.Event.A_write { addr; _ } -> Some addr
+        | _ -> None)
+      trace
+  in
+  let mid_pc =
+    match List.nth_opt trace (List.length trace / 2) with
+    | Some e -> Some e.Res_vm.Event.pc
+    | None -> None
+  in
+  let base =
+    [
+      "where";
+      "threads";
+      "step 3";
+      "regs";
+      "step-back 2";
+      "where";
+      "continue";
+      "where";
+      "list 2";
+      "continue-back";
+      "goto 0";
+      "assert 1";
+    ]
+  in
+  let watch_part =
+    match first_write with
+    | None -> []
+    | Some addr ->
+        let final = Res_mem.Memory.read dump.Res_vm.Coredump.mem addr in
+        [
+          Fmt.str "watch [0x%x]" addr;
+          "continue";
+          "where";
+          "continue-back";
+          Fmt.str "twatch [0x%x] == %d" addr final;
+          Fmt.str "mem 0x%x 2" addr;
+          "continue";
+          Fmt.str "assert [0x%x] == %d" addr final;
+        ]
+  in
+  let break_part =
+    match mid_pc with
+    | None -> []
+    | Some pc ->
+        [
+          Fmt.str "break %s" (Res_ir.Pc.to_string pc);
+          "goto 0";
+          "continue";
+          "breaks";
+          "delete 1";
+          "continue";
+        ]
+  in
+  base @ watch_part @ break_part
+
+let de_intervals = [ 64; 7; 1; 0 ]
+
+let debug_equivalence_one (w : Res_workloads.Truth.t) : de_run =
+  try
+    let dump = Res_workloads.Truth.coredump w in
+    let ctx = Res_core.Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+    let result =
+      Res_core.Search.search
+        ~config:
+          { Res_core.Search.default_config with max_segments = 8; max_suffixes = 8 }
+        ctx dump
+    in
+    let suffixes =
+      let complete, rest =
+        List.partition
+          (fun s -> s.Res_core.Suffix.complete)
+          result.Res_core.Search.suffixes
+      in
+      complete @ rest
+    in
+    let session interval =
+      let rec first = function
+        | [] -> failwith "no suffix reproduces the coredump"
+        | suffix :: rest -> (
+            match Res_debug.Session.create ~interval ctx suffix dump with
+            | Ok s -> (suffix, s)
+            | Error _ -> first rest)
+      in
+      first suffixes
+    in
+    let suffix, s0 = session (List.hd de_intervals) in
+    let verdict = Res_core.Replay.replay ctx suffix dump in
+    let script = de_script dump verdict.Res_core.Replay.trace in
+    let run s =
+      let r = Res_debug.Script.run_lines s script in
+      (r.Res_debug.Script.transcript, r.Res_debug.Script.exit_code)
+    in
+    let t0, c0 = run s0 in
+    let divergence =
+      List.find_map
+        (fun interval ->
+          let _, s = session interval in
+          let t, c = run s in
+          if not (String.equal t t0) then
+            Some (Fmt.str "transcript diverges at interval %d" interval)
+          else if c <> c0 then
+            Some
+              (Fmt.str "exit code diverges at interval %d: %d vs %d" interval
+                 c c0)
+          else None)
+        (List.tl de_intervals)
+    in
+    {
+      de_workload = w.Res_workloads.Truth.w_name;
+      de_equivalent = divergence = None;
+      de_steps = Res_debug.Session.length s0;
+      de_commands = List.length script;
+      de_exit = c0;
+      de_detail = Option.value divergence ~default:"";
+    }
+  with exn ->
+    {
+      de_workload = w.Res_workloads.Truth.w_name;
+      de_equivalent = false;
+      de_steps = 0;
+      de_commands = 0;
+      de_exit = -1;
+      de_detail = Fmt.str "escaped exception: %s" (Printexc.to_string exn);
+    }
+
+(** Debug-equivalence campaign over the whole workload corpus: scripted
+    time-travel sessions must be byte-identical across snapshot intervals
+    {1, 7, 64} and with the index disabled. *)
+let debug_equivalence_campaign ?workloads () : de_summary =
+  let workloads =
+    match workloads with
+    | Some ws -> ws
+    | None -> Res_workloads.Workloads.all
+  in
+  let runs = List.map debug_equivalence_one workloads in
+  {
+    de_runs = runs;
+    de_total = List.length runs;
+    de_ok = List.length (List.filter (fun r -> r.de_equivalent) runs);
+    de_failures = List.filter (fun r -> not r.de_equivalent) runs;
+  }
+
+let pp_de_run ppf r =
+  Fmt.pf ppf "%-26s %s  %d steps, %d commands, exit %d%s" r.de_workload
+    (if r.de_equivalent then "byte-identical" else "DIVERGED")
+    r.de_steps r.de_commands r.de_exit
+    (if r.de_detail = "" then "" else Fmt.str " (%s)" r.de_detail)
+
+let pp_de_summary ppf s =
+  let steps = List.fold_left (fun a r -> a + r.de_steps) 0 s.de_runs in
+  let cmds = List.fold_left (fun a r -> a + r.de_commands) 0 s.de_runs in
+  let intervals =
+    String.concat "," (List.map string_of_int de_intervals)
+  in
+  Fmt.pf ppf
+    "@[<v>debug-equivalence self-test: %d workloads debugged at intervals \
+     {%s}@,\
+     byte-identical transcripts: %d/%d@,\
+     %d timeline steps, %d commands driven@]"
+    s.de_total intervals s.de_ok s.de_total steps cmds
+
 (* --- campaign: parallel/serial equivalence --------------------------- *)
 
 type pq_run = {

@@ -23,7 +23,10 @@
 # must reschedule), and stalls a node past the unit deadline — and
 # exits non-zero if any unit is lost or any merged TSV differs from
 # single-node triage by a byte; same hard timeout so a wedged cluster
-# fails CI instead of hanging it.  Finally `res check` lints the whole
+# fails CI instead of hanging it.  The debug-equivalence gate scripts
+# the time-travel debugger over every workload and fails if the
+# snapshot index is anything but latency-invisible.  Finally `res
+# check` lints the whole
 # workload corpus: the three seeded concurrency bugs must be the only
 # findings (per-program invert-coverage info rows are expected and
 # exempt).
@@ -42,6 +45,13 @@ dune exec bin/res_cli.exe -- selftest --parallel-equivalence 2
 dune exec bin/res_cli.exe -- selftest --parallel-equivalence 4
 timeout 120 dune exec bin/res_cli.exe -- selftest --serve-soak
 timeout 240 dune exec bin/res_cli.exe -- selftest --cluster-soak
+
+# Time-travel debugger gate: drive the same scripted session over every
+# workload's crash at snapshot intervals {64,7,1} and with the index
+# disabled entirely, and exit non-zero if any transcript or exit code
+# differs by a byte — the snapshot index must be invisible except in
+# latency.
+timeout 120 dune exec bin/res_cli.exe -- selftest --debug-equivalence
 
 # Result-cache gate: the chaos campaign (torn writes, injected disk
 # faults, garbage and bit-flipped entries) under a hard timeout, then a
@@ -64,6 +74,43 @@ cmp "$cache_tmp/cold.tsv" "$cache_tmp/warm.tsv" \
   || { echo "warm cached triage TSV diverged from cold"; exit 1; }
 grep -q "cache_hits=2" "$cache_tmp/warm.stats" \
   || { echo "warm triage did not hit the cache:"; cat "$cache_tmp/warm.stats"; exit 1; }
+
+# Scripted debugger session smoke: a passing script must exit 0 and its
+# transcript must be byte-identical at a different snapshot interval and
+# with the index off; a failing assert must exit 2, not 0 or 1.
+cat > "$cache_tmp/session.dbg" <<'EOF'
+where
+threads
+step 4
+regs
+step-back 2
+where
+continue
+where
+goto 0
+assert 2 == 1 + 1
+EOF
+dune exec bin/res_cli.exe -- debug "$cache_tmp/prog.res" \
+  "$cache_tmp/dumps/a.core" --script "$cache_tmp/session.dbg" \
+  > "$cache_tmp/dbg64.txt" \
+  || { echo "passing debug script exited non-zero"; exit 1; }
+dune exec bin/res_cli.exe -- debug "$cache_tmp/prog.res" \
+  "$cache_tmp/dumps/a.core" --script "$cache_tmp/session.dbg" \
+  --snapshot-every 7 > "$cache_tmp/dbg7.txt"
+dune exec bin/res_cli.exe -- debug "$cache_tmp/prog.res" \
+  "$cache_tmp/dumps/a.core" --script "$cache_tmp/session.dbg" \
+  --no-snapshot-index > "$cache_tmp/dbg0.txt"
+cmp "$cache_tmp/dbg64.txt" "$cache_tmp/dbg7.txt" \
+  || { echo "debug transcript changed with snapshot interval 7"; exit 1; }
+cmp "$cache_tmp/dbg64.txt" "$cache_tmp/dbg0.txt" \
+  || { echo "debug transcript changed with the snapshot index off"; exit 1; }
+echo "assert 1 == 2" > "$cache_tmp/fail.dbg"
+dbg_rc=0
+dune exec bin/res_cli.exe -- debug "$cache_tmp/prog.res" \
+  "$cache_tmp/dumps/a.core" --script "$cache_tmp/fail.dbg" \
+  > /dev/null || dbg_rc=$?
+[ "$dbg_rc" -eq 2 ] \
+  || { echo "failing debug assert exited $dbg_rc, expected 2"; exit 1; }
 
 # A cached daemon submit must still mint a fetchable spool id: warm up
 # the cache with one blocking submit, then a --no-wait submit answered

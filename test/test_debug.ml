@@ -1,0 +1,418 @@
+(* Tests for the time-travel debugger (lib/debug) and the snapshot-indexed
+   Debugger rebase (lib/core): indexed state reconstruction must be
+   bit-for-bit the replay-from-zero baseline, reverse/forward navigation
+   must round-trip, watchpoint and transition-watchpoint answers must
+   match a linear scan, and scripted transcripts must be byte-identical
+   across snapshot intervals. *)
+
+open Res_core
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+let string_t = Alcotest.string
+
+module IMap = Map.Make (Int)
+
+(* One reproducing suffix per workload, shared across tests. *)
+let sessions = Hashtbl.create 16
+
+let suffix_for (w : Res_workloads.Truth.t) =
+  match Hashtbl.find_opt sessions w.Res_workloads.Truth.w_name with
+  | Some v -> v
+  | None ->
+      let dump = Res_workloads.Truth.coredump w in
+      let ctx = Backstep.make_ctx w.Res_workloads.Truth.w_prog in
+      let result =
+        Search.search
+          ~config:
+            { Search.default_config with max_segments = 8; max_suffixes = 8 }
+          ctx dump
+      in
+      let suffixes =
+        let complete, rest =
+          List.partition
+            (fun s -> s.Suffix.complete)
+            result.Search.suffixes
+        in
+        complete @ rest
+      in
+      let rec first = function
+        | [] -> Alcotest.failf "%s: no reproducing suffix" w.Res_workloads.Truth.w_name
+        | s :: rest ->
+            if (Replay.replay ctx s dump).Replay.reproduced then s
+            else first rest
+      in
+      let v = (ctx, first suffixes, dump) in
+      Hashtbl.add sessions w.Res_workloads.Truth.w_name v;
+      v
+
+let workload name =
+  List.find
+    (fun w -> w.Res_workloads.Truth.w_name = name)
+    Res_workloads.Workloads.all
+
+(* States are equal when their persistent components read equally; the
+   tracer is presentation-only and ignored. *)
+let states_equal (a : Res_vm.Exec.state) (b : Res_vm.Exec.state) =
+  a.Res_vm.Exec.steps = b.Res_vm.Exec.steps
+  && Res_mem.Memory.equal a.Res_vm.Exec.mem b.Res_vm.Exec.mem
+  && Res_mem.Heap.blocks a.Res_vm.Exec.heap
+     = Res_mem.Heap.blocks b.Res_vm.Exec.heap
+  && IMap.equal Res_vm.Thread.equal a.Res_vm.Exec.threads
+       b.Res_vm.Exec.threads
+
+(* Copy the fields of the shared mutable seek cursor that tests compare. *)
+let snap_state (st : Res_vm.Exec.state) =
+  (st.Res_vm.Exec.steps, st.Res_vm.Exec.mem, st.Res_vm.Exec.heap,
+   st.Res_vm.Exec.threads)
+
+(* --- snapshot index vs replay-from-zero baseline --- *)
+
+let test_index_matches_linear () =
+  List.iter
+    (fun wname ->
+      let ctx, suffix, dump = suffix_for (workload wname) in
+      let dbg =
+        match Debugger.start ~snapshot_every:7 ctx suffix dump with
+        | Ok d -> d
+        | Error e -> Alcotest.fail e
+      in
+      let n = Debugger.total_steps dbg in
+      check bool_t (wname ^ ": non-empty timeline") true (n > 0);
+      (* every position: indexed seek == linear replay, bit for bit *)
+      for p = 0 to n do
+        let steps, mem, heap, threads = snap_state (Debugger.state_at dbg p) in
+        let lin = Debugger.state_at_linear dbg p in
+        check bool_t
+          (Fmt.str "%s: state_at %d matches linear" wname p)
+          true
+          (states_equal lin
+             { lin with Res_vm.Exec.steps; mem; heap; threads })
+      done)
+    [ "fig1-overflow"; "counter-race"; "double-free"; "long-exec-50" ]
+
+let test_index_interval_sweep () =
+  let ctx, suffix, dump = suffix_for (workload "counter-race") in
+  let mems interval =
+    let dbg =
+      match Debugger.start ~snapshot_every:interval ctx suffix dump with
+      | Ok d -> d
+      | Error e -> Alcotest.fail e
+    in
+    List.init
+      (Debugger.total_steps dbg + 1)
+      (fun p ->
+        Res_mem.Memory.bindings (Debugger.state_at dbg p).Res_vm.Exec.mem)
+  in
+  let base = mems 64 in
+  List.iter
+    (fun interval ->
+      check bool_t
+        (Fmt.str "interval %d yields identical memories" interval)
+        true
+        (mems interval = base))
+    [ 1; 7; 0 ]
+
+(* --- step / step-back round trips --- *)
+
+let test_round_trip () =
+  let ctx, suffix, dump = suffix_for (workload "counter-race") in
+  let s =
+    match Res_debug.Session.create ~interval:7 ctx suffix dump with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let null = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let exec line =
+    match Res_debug.Session.exec_line s null line with
+    | `Ok -> ()
+    | `Err -> Alcotest.failf "command failed: %s" line
+    | `Quit -> Alcotest.fail "unexpected quit"
+  in
+  let n = Res_debug.Session.length s in
+  (* forward k then back k lands at the start, from several anchors *)
+  List.iter
+    (fun k ->
+      exec "goto 0";
+      exec (Fmt.str "step %d" k);
+      check int_t (Fmt.str "step %d" k) (min k n) (Res_debug.Session.position s);
+      exec (Fmt.str "step-back %d" k);
+      check int_t (Fmt.str "round trip %d" k) 0 (Res_debug.Session.position s))
+    [ 1; 3; n; n + 5 ];
+  (* state at an interior position equals a fresh linear reconstruction *)
+  let dbg =
+    match Debugger.start ~snapshot_every:7 ctx suffix dump with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  exec (Fmt.str "goto %d" (n / 2));
+  exec "step-back 2";
+  exec "step 2";
+  let lin = Debugger.state_at_linear dbg (n / 2) in
+  check bool_t "wandering preserves exactness" true
+    (Res_mem.Memory.equal lin.Res_vm.Exec.mem
+       (Debugger.state_at dbg (Res_debug.Session.position s)).Res_vm.Exec.mem)
+
+(* --- breakpoints --- *)
+
+let test_break_all () =
+  let ctx, suffix, dump = suffix_for (workload "counter-race") in
+  let dbg =
+    match Debugger.start ctx suffix dump with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  let pc = Res_ir.Pc.v ~func:"worker" ~block:"upd" ~idx:2 in
+  let all = Debugger.break_all dbg pc in
+  check int_t "both racing writes found" 2 (List.length all);
+  check bool_t "break_at is the head of break_all" true
+    (Debugger.break_at dbg pc = Some (List.hd all));
+  (* cross-check against a manual scan *)
+  let manual = ref [] in
+  for i = Debugger.length dbg - 1 downto 0 do
+    if Res_ir.Pc.equal (Debugger.event_at dbg i).Res_vm.Event.pc pc then
+      manual := i :: !manual
+  done;
+  check bool_t "break_all matches manual scan" true (all = !manual)
+
+let test_shared_scan () =
+  let ctx, suffix, dump = suffix_for (workload "counter-race") in
+  let dbg =
+    match Debugger.start ctx suffix dump with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  let layout =
+    Res_mem.Layout.of_prog (workload "counter-race").Res_workloads.Truth.w_prog
+  in
+  let counter = Res_mem.Layout.global_base layout "counter" in
+  let writes = Debugger.writes_to dbg counter in
+  check int_t "two writes to the counter" 2 (List.length writes);
+  List.iter
+    (fun i ->
+      check bool_t "writes_to entries are writes" true
+        (Res_vm.Event.is_write (Debugger.event_at dbg i)))
+    writes;
+  (* steps_of_thread covers the trace exactly once *)
+  let by_thread =
+    List.concat_map (fun tid -> Debugger.steps_of_thread dbg tid) [ 0; 1; 2 ]
+  in
+  let n_events = Debugger.length dbg in
+  check int_t "thread partition covers the trace" n_events
+    (List.length by_thread)
+
+(* --- watchpoints vs linear scan --- *)
+
+let test_watchpoint_matches_scan () =
+  let ctx, suffix, dump = suffix_for (workload "counter-race") in
+  let s =
+    match Res_debug.Session.create ~interval:7 ctx suffix dump with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let layout =
+    Res_mem.Layout.of_prog (workload "counter-race").Res_workloads.Truth.w_prog
+  in
+  let counter = Res_mem.Layout.global_base layout "counter" in
+  let dbg =
+    match Debugger.start ~snapshot_every:7 ctx suffix dump with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  let n = Debugger.total_steps dbg in
+  let value_at p =
+    Res_mem.Memory.read (Debugger.state_at dbg p).Res_vm.Exec.mem counter
+  in
+  (* linear scan: first position where the value differs from position 0 *)
+  let expected =
+    let rec go p = if p > n then None else if value_at p <> value_at 0 then Some p else go (p + 1) in
+    go 1
+  in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  ignore (Res_debug.Session.exec_line s ppf (Fmt.str "watch [0x%x]" counter));
+  ignore (Res_debug.Session.exec_line s ppf "continue");
+  Format.pp_print_flush ppf ();
+  (match expected with
+  | Some p ->
+      check int_t "continue stops where the linear scan says" p
+        (Res_debug.Session.position s)
+  | None -> Alcotest.fail "counter never changes?");
+  check bool_t "transcript mentions the watchpoint" true
+    (String.length (Buffer.contents buf) > 0)
+
+(* --- transition watchpoints: binary search vs linear scan --- *)
+
+let test_transition_matches_scan () =
+  List.iter
+    (fun wname ->
+      let ctx, suffix, dump = suffix_for (workload wname) in
+      let index = Res_debug.Snapindex.create ~interval:7 ctx suffix in
+      let n = Res_debug.Snapindex.length index in
+      (* predicate: the first-written address has reached its final value *)
+      let addr =
+        let v = Replay.replay ctx suffix dump in
+        List.find_map
+          (fun (e : Res_vm.Event.t) ->
+            match e.Res_vm.Event.action with
+            | Res_vm.Event.A_write { addr; _ } -> Some addr
+            | _ -> None)
+          v.Replay.trace
+      in
+      match addr with
+      | None -> () (* workload without writes: nothing to search *)
+      | Some addr ->
+          let final = Res_mem.Memory.read dump.Res_vm.Coredump.mem addr in
+          let eval st =
+            if Res_mem.Memory.read st.Res_vm.Exec.mem addr = final then 1
+            else 0
+          in
+          let linear =
+            let v0 = eval (Res_debug.Snapindex.state_at index 0) in
+            let rec go p =
+              if p > n then None
+              else if eval (Res_debug.Snapindex.state_at index p) <> v0 then
+                Some p
+              else go (p + 1)
+            in
+            go 1
+          in
+          (match Res_debug.Snapindex.find_transition index eval with
+          | None ->
+              check bool_t (wname ^ ": no transition iff endpoints agree")
+                true (linear = None)
+          | Some tr ->
+              let p = tr.Res_debug.Snapindex.tr_pos in
+              (* the returned pair really is an adjacent flip *)
+              check bool_t (wname ^ ": genuine transition") true
+                (eval (Res_debug.Snapindex.state_at index (p - 1))
+                 <> eval (Res_debug.Snapindex.state_at index p));
+              (* a monotone predicate makes it THE first flip *)
+              (match linear with
+              | Some lp when lp = p -> ()
+              | Some lp ->
+                  check bool_t
+                    (Fmt.str "%s: bisection %d vs linear %d (non-monotone ok)"
+                       wname p lp)
+                    true
+                    (eval (Res_debug.Snapindex.state_at index (p - 1)) = 0
+                    && eval (Res_debug.Snapindex.state_at index p) = 1)
+              | None -> Alcotest.fail (wname ^ ": bisection found a flip the scan missed"));
+              (* O(log n) probes: endpoints + ceil(log2 n) bisections *)
+              let bound =
+                let rec log2 n = if n <= 1 then 0 else 1 + log2 ((n + 1) / 2) in
+                2 + log2 n + 1
+              in
+              check bool_t
+                (Fmt.str "%s: %d probes within O(log %d) bound %d" wname
+                   tr.Res_debug.Snapindex.tr_probes n bound)
+                true
+                (tr.Res_debug.Snapindex.tr_probes <= bound)))
+    [ "fig1-overflow"; "counter-race"; "long-exec-50"; "kvstore-stats-race" ]
+
+(* --- scripted sessions: transcript byte-identity across intervals --- *)
+
+let transcript interval ctx suffix dump script =
+  match Res_debug.Session.create ~interval ctx suffix dump with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      let r = Res_debug.Script.run_lines s script in
+      (r.Res_debug.Script.transcript, r.Res_debug.Script.exit_code)
+
+let test_interval_transcripts () =
+  List.iter
+    (fun wname ->
+      let ctx, suffix, dump = suffix_for (workload wname) in
+      let script =
+        [
+          "where";
+          "threads";
+          "step 2";
+          "list 2";
+          "regs";
+          "continue";
+          "where";
+          "step-back 3";
+          "continue-back";
+          "goto 0";
+          "assert 1 + 1 == 2";
+        ]
+      in
+      let base = transcript 64 ctx suffix dump script in
+      List.iter
+        (fun interval ->
+          let t = transcript interval ctx suffix dump script in
+          check string_t
+            (Fmt.str "%s: interval %d transcript" wname interval)
+            (fst base) (fst t);
+          check int_t
+            (Fmt.str "%s: interval %d exit code" wname interval)
+            (snd base) (snd t))
+        [ 7; 1; 0 ])
+    [ "fig1-overflow"; "counter-race"; "long-exec-50" ]
+
+(* --- script exit codes --- *)
+
+let test_script_exit_codes () =
+  let ctx, suffix, dump = suffix_for (workload "fig1-overflow") in
+  let code script = snd (transcript 64 ctx suffix dump script) in
+  check int_t "all asserts pass" 0 (code [ "where"; "assert 1" ]);
+  check int_t "assert failure is 2" 2 (code [ "assert 0" ]);
+  check int_t "parse error is 1" 1 (code [ "frobnicate" ]);
+  check int_t "error beats assert failure" 1 (code [ "assert 0"; "frobnicate" ]);
+  check int_t "quit stops the script" 0 (code [ "quit"; "frobnicate" ])
+
+(* --- the whole corpus drives the campaign --- *)
+
+let test_campaign_subset () =
+  let s =
+    Res_faultinject.Faultinject.debug_equivalence_campaign
+      ~workloads:
+        [
+          workload "lock-order-deadlock";
+          workload "div-by-zero";
+          workload "semantic-discount";
+        ]
+      ()
+  in
+  check int_t "subset campaign all equivalent" 3
+    s.Res_faultinject.Faultinject.de_ok;
+  check bool_t "no failures" true
+    (s.Res_faultinject.Faultinject.de_failures = [])
+
+let () =
+  Alcotest.run "res_debug"
+    [
+      ( "snapshot index",
+        [
+          Alcotest.test_case "indexed state == linear replay" `Quick
+            test_index_matches_linear;
+          Alcotest.test_case "interval sweep identical" `Quick
+            test_index_interval_sweep;
+        ] );
+      ( "navigation",
+        [
+          Alcotest.test_case "step/step-back round trips" `Quick
+            test_round_trip;
+        ] );
+      ( "breakpoints",
+        [
+          Alcotest.test_case "break_all every hit" `Quick test_break_all;
+          Alcotest.test_case "shared event scan" `Quick test_shared_scan;
+        ] );
+      ( "watchpoints",
+        [
+          Alcotest.test_case "watchpoint == linear scan" `Quick
+            test_watchpoint_matches_scan;
+          Alcotest.test_case "transition == linear scan, O(log n)" `Quick
+            test_transition_matches_scan;
+        ] );
+      ( "scripts",
+        [
+          Alcotest.test_case "transcripts byte-identical across intervals"
+            `Quick test_interval_transcripts;
+          Alcotest.test_case "exit codes" `Quick test_script_exit_codes;
+          Alcotest.test_case "campaign subset" `Quick test_campaign_subset;
+        ] );
+    ]
