@@ -746,6 +746,70 @@ let exploit_cmd =
              inputs through the synthesized suffix.")
     Term.(const run $ prog_arg $ dump_arg 1)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let run seed runs fmt smoke corpus =
+    let runs = if smoke then min runs 300 else runs in
+    let only = match fmt with None -> [] | Some f -> [ f ] in
+    List.iter
+      (fun f ->
+        if not (List.mem f Res_fuzz.Fuzz.format_names) then
+          raise
+            (Die
+               ( exit_internal,
+                 Fmt.str "unknown format %S; expected one of: %s" f
+                   (String.concat ", " Res_fuzz.Fuzz.format_names) )))
+      only;
+    let r = Res_fuzz.Fuzz.run ?corpus_dir:corpus ~only ~seed ~runs () in
+    Fmt.pr "%a@." Res_fuzz.Fuzz.pp_report r;
+    if Res_fuzz.Fuzz.total_findings r > 0 then exit_internal else exit_ok
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "PRNG seed.  The whole campaign — every case byte and every \
+             decision — is reproducible from it; the printed per-format \
+             digest is the witness.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "runs" ] ~docv:"K"
+          ~doc:
+            "Random cases per format (pristine seeds and the hostile corpus \
+             always run in addition).")
+  in
+  let fmt_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "format" ] ~docv:"F"
+          ~doc:
+            "Fuzz only this format: coredump, checkpoint, wire, protocol, \
+             cache, journal, ir, predicate, or command.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI smoke mode: cap the random stream at 300 cases per format.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Write shrunk violation reproducers into this directory.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Deterministic structured fuzzing of every sealed codec and parser: \
+          never an uncaught exception, never a hang, never silent acceptance \
+          of damaged bytes.  Exits 1 if any contract violation is found.")
+    Term.(const run $ seed_arg $ runs_arg $ fmt_arg $ smoke_arg $ corpus_arg)
+
 (* --- workload --- *)
 
 let workload_cmd =
@@ -1338,6 +1402,25 @@ let coordinate_cmd =
       & info [ "fuel" ] ~docv:"N"
           ~doc:"Per-dump search-node budget, forwarded to the nodes.")
   in
+  let spot_check =
+    Arg.(
+      value & opt int 0
+      & info [ "spot-check" ] ~docv:"K"
+          ~doc:
+            "Re-derive roughly 1/$(docv) of node-returned rows locally and \
+             reject (and quarantine the node for) any that disagree — an \
+             independent replay oracle against byzantine nodes.  0 \
+             disables replay; the structural per-row identity check always \
+             runs unless $(b,--no-verify-rows).")
+  in
+  let no_verify_rows =
+    Arg.(
+      value & flag
+      & info [ "no-verify-rows" ]
+          ~doc:
+            "Trust node-returned rows blindly: skip the per-row identity \
+             and schema checks (and any $(b,--spot-check) replay).")
+  in
   let verbose =
     Arg.(
       value & flag
@@ -1345,7 +1428,8 @@ let coordinate_cmd =
           ~doc:"Log retries, reschedules, and node failures to stderr.")
   in
   let run prog_path dir nodes journal window attempts unit_deadline
-      connect_timeout deadline fuel stats verbose cache_dir no_cache =
+      connect_timeout deadline fuel spot_check no_verify_rows stats verbose
+      cache_dir no_cache =
     let module C = Res_cluster.Coordinator in
     let prog = or_die (load_prog prog_path) in
     let prog_text = Res_ir.Prog.to_string prog in
@@ -1397,6 +1481,8 @@ let coordinate_cmd =
         connect_timeout;
         deadline_ms = Option.map (fun s -> int_of_float (s *. 1000.)) deadline;
         fuel;
+        verify_rows = not no_verify_rows;
+        spot_check = max 0 spot_check;
         journal_dir = journal;
         cache_dir = (if no_cache then None else cache_dir);
         log =
@@ -1427,8 +1513,8 @@ let coordinate_cmd =
           deterministic TSV a single-node $(b,res triage) prints.")
     Term.(
       const run $ prog_arg $ dir_arg $ nodes_arg $ journal $ window $ attempts
-      $ unit_deadline $ connect_timeout $ deadline $ fuel $ stats_arg
-      $ verbose $ cache_dir_arg $ no_cache_arg)
+      $ unit_deadline $ connect_timeout $ deadline $ fuel $ spot_check
+      $ no_verify_rows $ stats_arg $ verbose $ cache_dir_arg $ no_cache_arg)
 
 (* --- selftest --- *)
 
@@ -1545,14 +1631,38 @@ let selftest_cmd =
              deadline — and assert the merged TSV stays byte-identical to \
              single-node triage with zero lost units.")
   in
+  let byzantine =
+    Arg.(
+      value & flag
+      & info [ "byzantine" ]
+          ~doc:
+            "Run the byzantine-node campaign: shard the corpus across three \
+             TCP node daemons where one computes honestly but falsifies the \
+             rows it returns (wrong unit name, then plausible fabricated \
+             verdict fields), and assert every lie is rejected — by the \
+             structural identity check and by the replay spot-check \
+             respectively — the liar is quarantined, its units reschedule, \
+             and the merged TSV stays byte-identical to single-node triage \
+             with zero lost units.")
+  in
   let run runs seed verbose skip_deadline kill_resume prune_equivalence
       reverse_equivalence debug_equivalence worker_kill parallel_equivalence
-      serve_soak cluster_soak cache_chaos backend =
+      serve_soak cluster_soak byzantine cache_chaos backend =
     let open Res_faultinject.Faultinject in
-    (* Fork-backed campaigns (cluster/daemon soak, worker kill, cache
-       chaos) must precede any campaign that spawns domains: the runtime
-       forbids fork after domains. *)
-    if cache_chaos then begin
+    (* Fork-backed campaigns (cluster/daemon soak, byzantine, worker
+       kill, cache chaos) must precede any campaign that spawns domains:
+       the runtime forbids fork after domains. *)
+    if byzantine then begin
+      let s =
+        byzantine_campaign
+          ~log:(if verbose then fun m -> Fmt.epr "byzantine: %s@." m else ignore)
+          ()
+      in
+      Fmt.pr "%a@." pp_bz_summary s;
+      List.iter (fun m -> Fmt.epr "BYZANTINE FAILURE: %s@." m) s.bz_failures;
+      if s.bz_failures = [] then exit_ok else exit_internal
+    end
+    else if cache_chaos then begin
       let s =
         cache_chaos_campaign
           ~dir:(Filename.get_temp_dir_name ())
@@ -1674,7 +1784,7 @@ let selftest_cmd =
       const run $ runs $ seed $ verbose $ skip_deadline $ kill_resume
       $ prune_equivalence $ reverse_equivalence $ debug_equivalence
       $ worker_kill $ parallel_equivalence $ serve_soak $ cluster_soak
-      $ cache_chaos $ backend_arg)
+      $ byzantine $ cache_chaos $ backend_arg)
 
 let main_cmd =
   let doc = "reverse execution synthesis for MiniIR coredumps" in
@@ -1693,6 +1803,7 @@ let main_cmd =
       workload_cmd;
       triage_batch_cmd;
       triage_cmd;
+      fuzz_cmd;
       selftest_cmd;
       serve_cmd;
       client_cmd;

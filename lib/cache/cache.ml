@@ -192,6 +192,9 @@ let decode_row body =
     let c_nodes = Io.int_tok rd in
     let c_pruned = Io.int_tok rd in
     let c_queries = Io.int_tok rd in
+    (match rd.Io.toks with
+    | [] -> ()
+    | _ -> Io.fail "trailing bytes after cached verdict");
     { c_outcome; c_timeout; c_bucket; c_cause; c_nodes; c_pruned; c_queries }
   with
   | r -> Some r

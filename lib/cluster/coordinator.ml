@@ -61,6 +61,20 @@ type config = {
       (** content-addressed result cache: units whose exact
           (program, dump, budgets) were triaged by any earlier run are
           applied from disk and never dispatched to a node *)
+  verify_rows : bool;
+      (** structural verification of every node-returned row: the seal
+          and schema were already checked by the codec; this adds
+          identity (row names the unit we sent) and sanity (non-empty
+          verdict, non-negative work counters).  A failing row is
+          byzantine: the node is charged as failed and the unit
+          rescheduled. *)
+  spot_check : int;
+      (** 0 disables; [k > 0] re-analyzes roughly 1/k of the returned
+          rows locally (deterministic selection by workload signature)
+          and compares the verdict fields — the replay oracle that
+          catches a node returning {e plausible} but wrong rows.
+          Timed-out rows are exempt (their verdict depends on the
+          node's wall clock, not the inputs). *)
   log : string -> unit;
 }
 
@@ -78,6 +92,8 @@ let default_config =
     backoff_cap = 0.25;
     journal_dir = None;
     cache_dir = None;
+    verify_rows = true;
+    spot_check = 0;
     log = ignore;
   }
 
@@ -93,6 +109,8 @@ type stats = {
   cs_duplicates : int;  (** late rows dropped by at-most-once *)
   cs_cache_hits : int;  (** units applied from the result cache *)
   cs_queries : int;  (** solver queries reported by applied rows *)
+  cs_byzantine : int;
+      (** rows rejected by verification or the replay spot check *)
 }
 
 type t = {
@@ -107,10 +125,11 @@ type t = {
 let pp_stats ppf s =
   Fmt.pf ppf
     "units=%d applied=%d recovered=%d lost=%d retries=%d reschedules=%d \
-     node_failures=%d nodes_dead=%d duplicates=%d cache_hits=%d queries=%d"
+     node_failures=%d nodes_dead=%d duplicates=%d cache_hits=%d queries=%d \
+     byzantine=%d"
     s.cs_units s.cs_applied s.cs_recovered s.cs_lost s.cs_retries
     s.cs_reschedules s.cs_node_failures s.cs_nodes_dead s.cs_duplicates
-    s.cs_cache_hits s.cs_queries
+    s.cs_cache_hits s.cs_queries s.cs_byzantine
 
 (** Decode a [Row] reply frame into a renderable batch row. *)
 let row_of_frame frame =
@@ -267,6 +286,7 @@ let run ?(config = default_config) ?(extra_rows = []) items =
   let n_node_failures = ref 0 in
   let n_duplicates = ref 0 in
   let n_cache_hits = ref 0 in
+  let n_byzantine = ref 0 in
   (* boot: replay the journal — rows applied by any prior incarnation
      are final *)
   (match journal with
@@ -444,6 +464,69 @@ let run ?(config = default_config) ?(extra_rows = []) items =
                     }
                     :: !inflight))
   in
+  (* --- byzantine verification ----------------------------------------- *)
+  (* The codec already enforced seal and schema; what is left is whether
+     this row is the answer to the unit we actually sent.  [row_verdict]
+     checks identity and sanity on every row; the replay spot check is
+     the oracle for rows that are well-formed but {e wrong} — re-run the
+     unit locally (same fuel, the same default analyze config the nodes
+     run) and compare the verdict fields.  Timed-out rows are exempt:
+     their verdict reflects the node's wall clock, not the inputs. *)
+  let spot_check_due u =
+    config.spot_check > 0
+    && Io.fnv1a32 items.(u).ci_sig mod config.spot_check = 0
+  in
+  let replay_verdict u ~rw_outcome ~rw_bucket ~rw_cause ~rw_nodes ~rw_pruned =
+    let it = items.(u) in
+    match Res_ir.Parser.parse_result it.ci_prog with
+    | Error _ -> Ok () (* cannot replay locally: inconclusive, accept *)
+    | Ok prog -> (
+        match Io.of_string_result it.ci_dump with
+        | Error _ -> Ok ()
+        | Ok { Io.dump; _ } -> (
+            match
+              (* fresh symbol ids, as each node worker starts with *)
+              Res_solver.Expr.reset_counter_for_tests ();
+              let budget =
+                Option.map
+                  (fun f -> Res_core.Budget.create ~fuel:f ())
+                  config.fuel
+              in
+              Res_usecases.Triage.triage_one ?budget prog dump
+            with
+            | exception _ -> Ok ()
+            | tr ->
+                let module T = Res_usecases.Triage in
+                if
+                  String.equal tr.T.tr_outcome rw_outcome
+                  && String.equal tr.T.tr_bucket rw_bucket
+                  && String.equal tr.T.tr_cause rw_cause
+                  && tr.T.tr_nodes = rw_nodes
+                  && tr.T.tr_pruned = rw_pruned
+                then Ok ()
+                else
+                  Error
+                    (Fmt.str
+                       "replay mismatch: node said %s/%s/%s nodes=%d \
+                        pruned=%d; local replay says %s/%s/%s nodes=%d \
+                        pruned=%d"
+                       rw_outcome rw_bucket rw_cause rw_nodes rw_pruned
+                       tr.T.tr_outcome tr.T.tr_bucket tr.T.tr_cause
+                       tr.T.tr_nodes tr.T.tr_pruned)))
+  in
+  let row_verdict u ~rw_name ~rw_outcome ~rw_timeout ~rw_elapsed_ms ~rw_bucket
+      ~rw_cause ~rw_nodes ~rw_pruned ~rw_queries =
+    if not config.verify_rows then Ok ()
+    else if not (String.equal rw_name items.(u).ci_name) then
+      Error (Fmt.str "row names unit %S, we sent %S" rw_name items.(u).ci_name)
+    else if String.equal rw_outcome "" || String.equal rw_bucket "" then
+      Error "empty outcome or bucket"
+    else if rw_nodes < 0 || rw_pruned < 0 || rw_queries < 0 || rw_elapsed_ms < 0
+    then Error "negative work counters"
+    else if (not rw_timeout) && spot_check_due u then
+      replay_verdict u ~rw_outcome ~rw_bucket ~rw_cause ~rw_nodes ~rw_pruned
+    else Ok ()
+  in
   let on_reply f =
     (* the descriptor is readable: a frame should complete promptly; a
        peer that stalls mid-frame is cut off well before the unit
@@ -460,10 +543,34 @@ let run ?(config = default_config) ?(extra_rows = []) items =
             Registry.mark_success reg f.if_node;
             unit_failed f.if_unit
               (Fmt.str "node supervision gave up: %s" rw_cause)
-        | Ok (P.Row _) ->
-            retire f;
-            Registry.mark_success reg f.if_node;
-            apply f.if_unit frame
+        | Ok
+            (P.Row
+               {
+                 rw_name;
+                 rw_outcome;
+                 rw_timeout;
+                 rw_elapsed_ms;
+                 rw_bucket;
+                 rw_cause;
+                 rw_nodes;
+                 rw_pruned;
+                 rw_queries;
+               }) -> (
+            match
+              row_verdict f.if_unit ~rw_name ~rw_outcome ~rw_timeout
+                ~rw_elapsed_ms ~rw_bucket ~rw_cause ~rw_nodes ~rw_pruned
+                ~rw_queries
+            with
+            | Error why ->
+                (* a lying node is indistinguishable from a corrupt one:
+                   charge it like any misbehaving peer (backoff, then the
+                   Registry's Dead quarantine) and reschedule the unit *)
+                incr n_byzantine;
+                exchange_failed f (Fmt.str "byzantine row rejected: %s" why)
+            | Ok () ->
+                retire f;
+                Registry.mark_success reg f.if_node;
+                apply f.if_unit frame)
         | Ok (P.Rejected_overload _) ->
             (* backpressure, not failure: back off without charging the
                node *)
@@ -584,6 +691,7 @@ let run ?(config = default_config) ?(extra_rows = []) items =
         cs_duplicates = !n_duplicates;
         cs_cache_hits = !n_cache_hits;
         cs_queries = queries;
+        cs_byzantine = !n_byzantine;
       };
     node_health = Registry.report reg;
   }

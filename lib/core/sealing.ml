@@ -35,6 +35,37 @@ let validate ~header src =
     form every journal-recovery path wants. *)
 let valid ~header src = Result.is_ok (validate ~header src)
 
+(* --- bounded counts: validate before allocating --- *)
+
+(** Upper bound on any decoded element count (sequence lengths, list
+    sizes, breaker rows).  Every length-prefix and count field in a
+    sealed format is attacker-controlled bytes until proven otherwise;
+    a count is only trusted after it passes this gate, {e before} any
+    allocation sized by it.  2^20 elements is far beyond any legitimate
+    artifact (the largest real payloads are a few thousand lines) while
+    small enough that even a worst-case per-element allocation stays in
+    the tens of megabytes — the same philosophy as
+    [Wire.max_frame_bytes]. *)
+let max_count = 1 lsl 20
+
+(** [count_error ~what n] — [Some reason] if [n] is not a trustworthy
+    element count ([0 <= n <= max_count]), [None] if it is.  Callers
+    with their own error channel ([Protocol.Bad], [result] types) use
+    this form. *)
+let count_error ~what n =
+  if n < 0 then Some (Printf.sprintf "negative %s count %d" what n)
+  else if n > max_count then
+    Some (Printf.sprintf "%s count %d exceeds limit %d" what n max_count)
+  else None
+
+(** [check_count ~what n] — [n] back if trustworthy, else
+    [Io.Bad_format]; the form for token-reader decoders (wire frames,
+    checkpoints) whose error channel is already [Bad_format]. *)
+let check_count ~what n =
+  match count_error ~what n with
+  | None -> n
+  | Some reason -> raise (Io.Bad_format reason)
+
 (* --- 64-bit FNV-1a for content-addressed keys --- *)
 
 let fnv64_basis = 0xcbf29ce484222325L

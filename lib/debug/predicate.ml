@@ -133,6 +133,8 @@ type token =
 let is_digit c = c >= '0' && c <= '9'
 let is_ident c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_'
 
+exception Lex of string
+
 let tokenize s =
   let n = String.length s in
   let toks = ref [] in
@@ -157,7 +159,12 @@ let tokenize s =
       done
     end
     else while !i < n && is_digit s.[!i] do incr i done;
-    int_of_string (String.sub s start (!i - start))
+    (* bare "0x" (no hex digits) and out-of-range literals both land
+       here: [int_of_string] would raise Failure straight through the
+       debugger, so lex errors get their own exception, caught below. *)
+    match int_of_string_opt (String.sub s start (!i - start)) with
+    | Some v -> v
+    | None -> raise (Lex "malformed or out-of-range integer literal")
   in
   let rec loop () =
     if !i >= n then Ok (List.rev !toks)
@@ -229,7 +236,9 @@ let tokenize s =
         end
         else fail (Fmt.str "unexpected character '%c'" c)
   in
-  loop ()
+  match loop () with
+  | r -> r
+  | exception Lex msg -> fail msg
 
 let binop_of = function
   | "+" -> Add
@@ -248,33 +257,45 @@ let binop_of = function
   | s -> invalid_arg ("Predicate.binop_of: " ^ s)
 
 (* Recursive descent; precedence (loosest first): || < && < comparisons
-   < additive < multiplicative. *)
+   < additive < multiplicative.  A depth counter caps nesting: without
+   it a hostile "((((..." or "----..." prefix recurses once per
+   character and kills the debugger with Stack_overflow instead of a
+   parse error. *)
+let max_depth = 200
+
 let parse_tokens toks =
   let toks = ref toks in
   let peek () = match !toks with t :: _ -> Some t | [] -> None in
   let advance () = match !toks with _ :: r -> toks := r | [] -> () in
   let exception Parse of string in
+  let depth = ref 0 in
   let rec atom () =
-    match peek () with
-    | Some (T_int n) -> advance (); Lit n
-    | Some (T_reg (tid, reg)) -> advance (); Reg { tid; reg }
-    | Some (T_global g) -> advance (); Global g
-    | Some T_lbrack ->
-        advance ();
-        let e = disj () in
-        (match peek () with
-        | Some T_rbrack -> advance (); Mem e
-        | _ -> raise (Parse "expected ']'"))
-    | Some T_lparen ->
-        advance ();
-        let e = disj () in
-        (match peek () with
-        | Some T_rparen -> advance (); e
-        | _ -> raise (Parse "expected ')'"))
-    | Some (T_op "-") ->
-        advance ();
-        Bin (Sub, Lit 0, atom ())
-    | _ -> raise (Parse "expected a value")
+    incr depth;
+    if !depth > max_depth then raise (Parse "expression too deeply nested");
+    let e =
+      match peek () with
+      | Some (T_int n) -> advance (); Lit n
+      | Some (T_reg (tid, reg)) -> advance (); Reg { tid; reg }
+      | Some (T_global g) -> advance (); Global g
+      | Some T_lbrack ->
+          advance ();
+          let e = disj () in
+          (match peek () with
+          | Some T_rbrack -> advance (); Mem e
+          | _ -> raise (Parse "expected ']'"))
+      | Some T_lparen ->
+          advance ();
+          let e = disj () in
+          (match peek () with
+          | Some T_rparen -> advance (); e
+          | _ -> raise (Parse "expected ')'"))
+      | Some (T_op "-") ->
+          advance ();
+          Bin (Sub, Lit 0, atom ())
+      | _ -> raise (Parse "expected a value")
+    in
+    decr depth;
+    e
   and level ops next () =
     let left = ref (next ()) in
     let rec go () =

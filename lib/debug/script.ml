@@ -5,17 +5,59 @@
     diffable record of the session — and byte-identical across snapshot
     intervals, which the debug-equivalence campaign enforces.  The exit
     status encodes the result: 0 all asserts passed, 2 an assert failed,
-    1 a command errored (parse failure, bad id, unknown global). *)
+    1 a command errored (parse failure, bad id, unknown global).
+
+    Both drivers treat their input as hostile: an oversized line, a
+    line with embedded NUL or other non-UTF8 bytes, or an exception
+    escaping command execution are all reported as command errors
+    (exit 1), never as an uncaught exception — the contract the fuzzer
+    enforces over every parser in the system. *)
 
 type result = {
   transcript : string;
   exit_code : int;  (** 0 ok · 1 command error · 2 assertion failure *)
 }
 
+(** Longest command line either driver will hand to the parser.  Real
+    sessions are tens of characters; anything near this bound is a
+    hostile or corrupted script, rejected with a typed error before any
+    tokenizer sees it. *)
+let max_line_bytes = 4096
+
 let code_of ~errors session =
   if errors > 0 then 1
   else if Session.assert_failures session > 0 then 2
   else 0
+
+(* Reject a line the parsers should never see (too long, embedded NUL);
+   [None] means acceptable.  NUL is the one byte that can smuggle a
+   truncated view past every downstream consumer, so it is rejected at
+   the boundary; other non-ASCII bytes fall through to the tokenizers,
+   which reject them with their own typed errors. *)
+let line_error line =
+  if String.length line > max_line_bytes then
+    Some
+      (Fmt.str "line too long (%d bytes, limit %d)" (String.length line)
+         max_line_bytes)
+  else if String.contains line '\000' then Some "line contains a NUL byte"
+  else None
+
+(* One guarded dispatch: anything escaping [Session.exec_line] — which
+   should already be total — is downgraded to [`Err] so a driver can
+   never die with an uncaught exception on hostile input. *)
+let exec_guarded session ppf line =
+  match line_error line with
+  | Some msg ->
+      Fmt.pf ppf "error: %s@." msg;
+      `Err
+  | None -> (
+      try Session.exec_line session ppf line with
+      | Stack_overflow ->
+          Fmt.pf ppf "error: command exhausted the stack@." ;
+          `Err
+      | exn ->
+          Fmt.pf ppf "error: internal: %s@." (Printexc.to_string exn);
+          `Err)
 
 (** Run [lines] through [session], echoing each command. *)
 let run_lines session lines =
@@ -26,7 +68,7 @@ let run_lines session lines =
      List.iter
        (fun line ->
          Fmt.pf ppf "> %s@." line;
-         match Session.exec_line session ppf line with
+         match exec_guarded session ppf line with
          | `Ok -> ()
          | `Err -> incr errors
          | `Quit -> raise Exit)
@@ -41,7 +83,8 @@ let run_script session contents =
 
 (** Interactive REPL over stdin/stdout (no readline, no echo — the
     terminal echoes).  Returns the script-mode exit code so interactive
-    sessions can also gate. *)
+    sessions can also gate.  EOF mid-line is a clean quit; an I/O error
+    reading stdin counts as a command error rather than an exception. *)
 let repl session =
   let ppf = Format.std_formatter in
   Fmt.pf ppf "res debug: %d steps, type 'help' for commands@."
@@ -52,8 +95,11 @@ let repl session =
     flush stdout;
     match input_line stdin with
     | exception End_of_file -> ()
+    | exception Sys_error msg ->
+        incr errors;
+        Fmt.pf ppf "error: stdin: %s@." msg
     | line -> (
-        match Session.exec_line session ppf line with
+        match exec_guarded session ppf line with
         | `Ok -> loop ()
         | `Err ->
             incr errors;

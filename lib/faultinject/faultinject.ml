@@ -1711,6 +1711,255 @@ let pp_ck_summary ppf s =
     s.ck_reschedules s.ck_nodes_dead s.ck_stall_failures s.ck_lost
     s.ck_duplicates s.ck_drain_ok
 
+(* --- campaign: byzantine node ---------------------------------------- *)
+
+(** Prove the coordinator survives a {e lying} node, not just a dead
+    one.  Three TCP node daemons serve the corpus; one is forked with a
+    result-corruption fault injected ([fi_corrupt_rows]) so it computes
+    honestly and then falsifies the row it returns.  Two lies are
+    tried, each against the defense built for it:
+
+    - {b wrong unit name} (caught by the structural identity check that
+      runs on every row): the reply claims to answer a unit that was
+      never asked;
+    - {b fabricated verdict fields} (caught only by the probabilistic
+      replay spot-check, [spot_check = 1] here so every row is
+      re-derived locally): the reply is structurally perfect but its
+      bucket, cause, and node count are invented.
+
+    In both phases the campaign asserts the lie was rejected
+    ([cs_byzantine] > 0), the liar was quarantined via the registry's
+    Dead path, its units rescheduled onto honest nodes, and the merged
+    TSV came out byte-identical to fork-backed single-node triage with
+    zero lost units — corrupted answers must cost retries, never
+    results.
+
+    Fork-backed by construction (every node is a forked process), so it
+    must run before any domains are spawned in this process. *)
+
+type bz_summary = {
+  bz_units : int;  (** corpus size fed to every run *)
+  bz_identical : int;  (** of [bz_runs], TSV byte-identical to single-node *)
+  bz_runs : int;
+  bz_rejected_name : int;  (** rows rejected by the identity check *)
+  bz_rejected_fields : int;  (** rows rejected by the replay spot-check *)
+  bz_reschedules : int;  (** re-dispatches that moved off the liar *)
+  bz_nodes_dead : int;  (** liars declared dead, both phases *)
+  bz_lost : int;  (** units degraded to worker-lost: must be 0 *)
+  bz_drain_ok : bool;  (** honest nodes drained cleanly on SIGTERM *)
+  bz_failures : string list;  (** empty iff every lie was caught *)
+}
+
+let byzantine_campaign ?(dir = Filename.get_temp_dir_name ()) ?(log = ignore)
+    () : bz_summary =
+  let module Server = Res_serve.Server in
+  let module Transport = Res_cluster.Transport in
+  let module C = Res_cluster.Coordinator in
+  let base = Filename.concat dir (Fmt.str "res-byzantine-%d" (Unix.getpid ())) in
+  (try Unix.mkdir base 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun m -> log m; failures := m :: !failures) fmt in
+  (* --- corpus and the single-node truth ------------------------------ *)
+  let reports = Res_workloads.Corpus.generate ~n_per_bug:3 () in
+  let items =
+    List.map
+      (fun (r : Res_workloads.Corpus.report) ->
+        {
+          Res_parallel.Batch.it_name = Fmt.str "%s-%02d" r.r_bug r.r_id;
+          it_prog = r.r_prog;
+          it_dump = Ok r.r_dump;
+        })
+      reports
+  in
+  let n_units = List.length items in
+  (* fork-backed single-node baseline: domains must not exist yet *)
+  let baseline =
+    Res_parallel.Batch.run ~jobs:1 ~backend:Res_parallel.Pool.Forked items
+  in
+  let units =
+    List.map
+      (fun (r : Res_workloads.Corpus.report) ->
+        {
+          C.ci_name = Fmt.str "%s-%02d" r.r_bug r.r_id;
+          ci_prog = Res_ir.Prog.to_string r.r_prog;
+          ci_dump = Res_vm.Coredump_io.to_string r.r_dump;
+          ci_sig = Res_usecases.Triage.wer_key r.r_dump;
+        })
+      reports
+  in
+  (* The coordinator routes unit [u] to node [fnv1a32 ci_sig mod 3]; put
+     the liar at the index that owns the most units so the lie is
+     guaranteed traffic, deterministically. *)
+  let liar_slot =
+    let counts = Array.make 3 0 in
+    List.iter
+      (fun u ->
+        let i = Res_vm.Coredump_io.fnv1a32 u.C.ci_sig mod 3 in
+        counts.(i) <- counts.(i) + 1)
+      units;
+    let best = ref 0 in
+    Array.iteri (fun i c -> if c > counts.(!best) then best := i) counts;
+    !best
+  in
+  let start_node ~name ~corrupt =
+    let fd, port = Transport.listen_ephemeral () in
+    let pid =
+      match Unix.fork () with
+      | 0 ->
+          (try
+             Server.run
+               {
+                 Server.default_config with
+                 Server.prebound = Some fd;
+                 spool_dir = Filename.concat base (name ^ "-spool");
+                 jobs = 2;
+                 capacity = 8;
+                 default_deadline = Some 10.;
+                 fi_corrupt_rows = corrupt;
+               }
+           with _ -> Unix._exit 1);
+          Unix._exit 0
+      | pid -> pid
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (pid, { Transport.host = "127.0.0.1"; port })
+  in
+  let wait_ready addr =
+    let deadline = Unix.gettimeofday () +. 10. in
+    let rec go () =
+      Transport.ping addr
+      ||
+      if Unix.gettimeofday () > deadline then false
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+    in
+    if not (go ()) then
+      fail "node %s never became ready" (Transport.addr_to_string addr)
+  in
+  let pid_h1, addr_h1 = start_node ~name:"honest1" ~corrupt:"" in
+  let pid_h2, addr_h2 = start_node ~name:"honest2" ~corrupt:"" in
+  List.iter wait_ready [ addr_h1; addr_h2 ];
+  (* honest nodes fill the non-liar slots in index order *)
+  let fleet liar_addr =
+    match liar_slot with
+    | 0 -> [ liar_addr; addr_h1; addr_h2 ]
+    | 1 -> [ addr_h1; liar_addr; addr_h2 ]
+    | _ -> [ addr_h1; addr_h2; liar_addr ]
+  in
+  let config ~nodes ~spot_check journal_dir =
+    {
+      C.default_config with
+      C.nodes;
+      window = 2;
+      node_attempts = 2;
+      spot_check;
+      journal_dir = Some journal_dir;
+      log;
+    }
+  in
+  let check_identical phase (t : C.t) =
+    if t.C.stats.C.cs_lost > 0 then
+      fail "%s: %d unit(s) lost" phase t.C.stats.C.cs_lost;
+    if String.equal t.C.tsv baseline.Res_parallel.Batch.tsv then true
+    else begin
+      fail "%s: merged TSV differs from single-node triage" phase;
+      false
+    end
+  in
+  let check_caught phase (t : C.t) =
+    if t.C.stats.C.cs_byzantine = 0 then
+      fail "%s: no corrupted row was ever rejected" phase;
+    if t.C.stats.C.cs_nodes_dead = 0 then
+      fail "%s: the lying node was never quarantined" phase;
+    if t.C.stats.C.cs_reschedules = 0 then
+      fail "%s: no unit was ever rescheduled off the liar" phase
+  in
+  (* --- phase A: wrong-name corruption vs. the identity check --------- *)
+  let pid_la, addr_la = start_node ~name:"liar-name" ~corrupt:"name" in
+  wait_ready addr_la;
+  let ta =
+    C.run
+      ~config:
+        (config ~nodes:(fleet addr_la) ~spot_check:0
+           (Filename.concat base "journalA"))
+      units
+  in
+  let identical_a = check_identical "wrong-name" ta in
+  check_caught "wrong-name" ta;
+  (try Unix.kill pid_la Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] pid_la) with Unix.Unix_error _ -> ());
+  (* --- phase B: plausible fabricated fields vs. the replay oracle.
+     The row is structurally perfect, so only re-deriving the verdict
+     locally can expose it; spot_check = 1 replays every row --- *)
+  let pid_lb, addr_lb = start_node ~name:"liar-fields" ~corrupt:"fields" in
+  wait_ready addr_lb;
+  let tb =
+    C.run
+      ~config:
+        (config ~nodes:(fleet addr_lb) ~spot_check:1
+           (Filename.concat base "journalB"))
+      units
+  in
+  let identical_b = check_identical "fabricated-fields" tb in
+  check_caught "fabricated-fields" tb;
+  (try Unix.kill pid_lb Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] pid_lb) with Unix.Unix_error _ -> ());
+  (* --- drain: the honest nodes must exit 0 on SIGTERM ---------------- *)
+  let reap_drained name pid =
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    let rec reap tries =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          if tries = 0 then begin
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] pid);
+            fail "%s did not drain within 30s" name;
+            false
+          end
+          else begin
+            Unix.sleepf 0.05;
+            reap (tries - 1)
+          end
+      | _, Unix.WEXITED 0 -> true
+      | _, st ->
+          fail "%s drain exit: %s" name
+            (match st with
+            | Unix.WEXITED c -> Fmt.str "exit %d" c
+            | Unix.WSIGNALED c -> Fmt.str "signal %d" c
+            | Unix.WSTOPPED c -> Fmt.str "stopped %d" c);
+          false
+    in
+    reap 600
+  in
+  let drain1 = reap_drained "honest1" pid_h1 in
+  let drain2 = reap_drained "honest2" pid_h2 in
+  {
+    bz_units = n_units;
+    bz_identical =
+      List.length (List.filter Fun.id [ identical_a; identical_b ]);
+    bz_runs = 2;
+    bz_rejected_name = ta.C.stats.C.cs_byzantine;
+    bz_rejected_fields = tb.C.stats.C.cs_byzantine;
+    bz_reschedules = ta.C.stats.C.cs_reschedules + tb.C.stats.C.cs_reschedules;
+    bz_nodes_dead = ta.C.stats.C.cs_nodes_dead + tb.C.stats.C.cs_nodes_dead;
+    bz_lost = ta.C.stats.C.cs_lost + tb.C.stats.C.cs_lost;
+    bz_drain_ok = drain1 && drain2;
+    bz_failures = List.rev !failures;
+  }
+
+let pp_bz_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>byzantine: %d units, %d/%d lying-node runs byte-identical to \
+     single-node triage@,\
+     wrong-name rows rejected %d | fabricated-field rows rejected %d | %d \
+     reschedules off the liar | %d liar(s) quarantined@,\
+     lost %d | graceful drain %b@]"
+    s.bz_units s.bz_identical s.bz_runs s.bz_rejected_name
+    s.bz_rejected_fields s.bz_reschedules s.bz_nodes_dead s.bz_lost
+    s.bz_drain_ok
+
 (* --- campaign: result-cache chaos ------------------------------------ *)
 
 (** Chaos-test the content-addressed result cache the way a hostile disk

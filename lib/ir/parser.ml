@@ -96,7 +96,9 @@ let tokenize src =
       while !i < n && is_digit src.[!i] do
         incr i
       done;
-      emit (INT (int_of_string (String.sub src start (!i - start)))))
+      match int_of_string_opt (String.sub src start (!i - start)) with
+      | Some v -> emit (INT v)
+      | None -> fail !line "integer literal out of range")
     else if is_ident_start c then (
       let start = !i in
       while !i < n && is_ident_char src.[!i] do
@@ -142,7 +144,10 @@ let string_lit c =
 let reg_of_ident l s =
   let len = String.length s in
   if len >= 2 && s.[0] = 'r' && String.for_all is_digit (String.sub s 1 (len - 1))
-  then int_of_string (String.sub s 1 (len - 1))
+  then
+    match int_of_string_opt (String.sub s 1 (len - 1)) with
+    | Some r -> r
+    | None -> fail l "register number out of range in %s" s
   else fail l "expected register (rN), found %s" s
 
 let reg c =

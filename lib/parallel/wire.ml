@@ -117,8 +117,7 @@ let int_opt_of rd =
   | _ -> Some (Io.int_tok rd)
 
 let seq_of rd f =
-  let n = Io.int_tok rd in
-  if n < 0 then Io.fail "negative sequence length %d" n;
+  let n = Res_core.Sealing.check_count ~what:"sequence" (Io.int_tok rd) in
   let rec go acc k = if k = 0 then List.rev acc else go (f rd :: acc) (k - 1) in
   go [] n
 

@@ -208,16 +208,23 @@ let int_opt_of rd =
       None
   | _ -> Some (Io.int_tok rd)
 
-(* Count-prefixed sequence, read strictly left to right. *)
+(* Count-prefixed sequence, read strictly left to right.  The count is
+   untrusted bytes: it is bounds-checked before the first element is
+   read, so a forged header can never size an allocation. *)
 let seq_of rd f =
-  let n = Io.int_tok rd in
-  if n < 0 then Io.fail "negative sequence length %d" n;
+  let n = Res_core.Sealing.check_count ~what:"sequence" (Io.int_tok rd) in
   let rec go acc k = if k = 0 then List.rev acc else go (f rd :: acc) (k - 1) in
   go [] n
 
 let ints_of rd = seq_of rd Io.int_tok
 
-let rec expr_of rd : Expr.t =
+(* Deeper than any expression the solver actually builds, shallow
+   enough that a hostile checkpoint gets a typed error instead of
+   exhausting the stack. *)
+let max_expr_depth = 10_000
+
+let rec expr_at d rd : Expr.t =
+  if d > max_expr_depth then Io.fail "expression too deeply nested";
   match Io.ident rd with
   | "c" -> Expr.Const (Io.int_tok rd)
   | "s" ->
@@ -227,20 +234,22 @@ let rec expr_of rd : Expr.t =
   | "b" -> (
       match Res_ir.Instr.binop_of_name (Io.ident rd) with
       | Some op ->
-          let a = expr_of rd in
-          let b = expr_of rd in
+          let a = expr_at (d + 1) rd in
+          let b = expr_at (d + 1) rd in
           Expr.Binop (op, a, b)
       | None -> Io.fail "unknown binary operator")
   | "u" -> (
       match Res_ir.Instr.unop_of_name (Io.ident rd) with
-      | Some op -> Expr.Unop (op, expr_of rd)
+      | Some op -> Expr.Unop (op, expr_at (d + 1) rd)
       | None -> Io.fail "unknown unary operator")
   | "i" ->
-      let c = expr_of rd in
-      let a = expr_of rd in
-      let b = expr_of rd in
+      let c = expr_at (d + 1) rd in
+      let a = expr_at (d + 1) rd in
+      let b = expr_at (d + 1) rd in
       Expr.Ite (c, a, b)
   | k -> Io.fail "unknown expression tag %S" k
+
+let expr_of rd = expr_at 0 rd
 
 let seg_end_of rd : Res_core.Suffix.segment_end =
   match Io.ident rd with

@@ -249,7 +249,10 @@ let blob_word c tag =
   if c.pos >= String.length c.src || c.src.[c.pos] <> '\n' then
     raise (Bad (Fmt.str "missing newline after %s length" tag));
   c.pos <- c.pos + 1;
-  if c.pos + len > String.length c.src then
+  (* compare by subtraction on the trusted side: [c.pos + len] could
+     wrap to negative for a near-max_int forged length and sail past
+     the bound *)
+  if len > String.length c.src - c.pos then
     raise (Bad (Fmt.str "truncated %s blob" tag));
   let body = String.sub c.src c.pos len in
   c.pos <- c.pos + len;
@@ -350,7 +353,9 @@ let decode_reply s =
           let st_draining = bool_word c in
           expect c "breakers";
           let n = int_word c in
-          if n < 0 then raise (Bad "negative breaker count");
+          (match Res_core.Sealing.count_error ~what:"breaker" n with
+          | None -> ()
+          | Some reason -> raise (Bad reason));
           (* explicit loop: the cursor is stateful, so evaluation order
              must be left-to-right *)
           let rec breakers_of acc k =

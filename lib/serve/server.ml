@@ -72,6 +72,11 @@ type config = {
       (** fault injection: every worker sleeps this long before analyzing —
           simulates slow analyses, so soak tests can build queue pressure
           deterministically *)
+  fi_corrupt_rows : string;
+      (** fault injection: [""] honest; ["name"] returns triage rows
+          labelled with the wrong unit name; ["fields"] returns rows with
+          plausible but fabricated verdict fields — a byzantine node, for
+          campaigns that must prove the coordinator catches one *)
   log : string -> unit;
 }
 
@@ -95,6 +100,7 @@ let default_config =
     analyze_config = Res.default_config;
     fi_kill_workers = [];
     fi_worker_delay = 0.;
+    fi_corrupt_rows = "";
     log = ignore;
   }
 
@@ -227,6 +233,22 @@ let worker_child cfg job wfd =
             rw_pruned = tr.Res_usecases.Triage.tr_pruned;
             rw_queries = Res_solver.Solver.queries () - q0;
           }
+  in
+  (* byzantine fault injection: corrupt the honest answer just before it
+     leaves the worker, so the bytes on the wire are a perfectly sealed,
+     schema-valid frame whose content is a lie *)
+  let reply =
+    match (reply, cfg.fi_corrupt_rows) with
+    | P.Row r, "name" -> P.Row { r with rw_name = r.rw_name ^ "-evil" }
+    | P.Row r, "fields" ->
+        P.Row
+          {
+            r with
+            rw_bucket = "fabricated-bucket";
+            rw_cause = "fabricated cause";
+            rw_nodes = r.rw_nodes + 7;
+          }
+    | r, _ -> r
   in
   (try P.write_frame wfd (P.encode_reply reply)
    with Unix.Unix_error _ | Sys_error _ -> ());

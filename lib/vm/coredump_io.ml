@@ -373,12 +373,18 @@ let first_line src =
 (** Split off the final [end ...] footer line, returning (payload, footer). *)
 let split_footer src =
   let len = String.length src in
-  let end_ = if len > 0 && src.[len - 1] = '\n' then len - 1 else len in
-  if end_ <= 0 then None
+  (* [seal] always terminates the footer line: a file without the final
+     newline is one deleted byte away from what was written, and must be
+     detected as truncation, not tolerated *)
+  if len = 0 || src.[len - 1] <> '\n' then None
   else
-    match String.rindex_from_opt src (end_ - 1) '\n' with
-    | None -> None
-    | Some i -> Some (String.sub src 0 (i + 1), String.sub src (i + 1) (end_ - i - 1))
+    let end_ = len - 1 in
+    if end_ <= 0 then None
+    else
+      match String.rindex_from_opt src (end_ - 1) '\n' with
+      | None -> None
+      | Some i ->
+          Some (String.sub src 0 (i + 1), String.sub src (i + 1) (end_ - i - 1))
 
 (** Validate a sealed envelope whose first line must satisfy [header]:
     check the [end <lines> <checksum>] footer and return the record payload
@@ -392,6 +398,12 @@ let validate_sealed ~header src : (string, dump_error) result =
                                   && String.sub footer 0 4 = "end " -> (
         match Scanf.sscanf_opt footer "end %d %d" (fun a b -> (a, b)) with
         | None -> Error (Truncated "unparsable end-of-record footer")
+        | Some (lines, checksum)
+          when not (String.equal footer (Printf.sprintf "end %d %d" lines checksum))
+          ->
+            (* sscanf ignores trailing bytes, so "end 5 123junk" would
+               otherwise validate: require the footer to round-trip *)
+            Error (Truncated "trailing bytes in end-of-record footer")
         | Some (lines, checksum) ->
             let actual_lines = count_lines payload in
             if actual_lines <> lines then

@@ -23,9 +23,15 @@
 # must reschedule), and stalls a node past the unit deadline — and
 # exits non-zero if any unit is lost or any merged TSV differs from
 # single-node triage by a byte; same hard timeout so a wedged cluster
-# fails CI instead of hanging it.  The debug-equivalence gate scripts
-# the time-travel debugger over every workload and fails if the
-# snapshot index is anything but latency-invisible.  Finally `res
+# fails CI instead of hanging it.  The byzantine gate puts a lying
+# node in the fleet and exits non-zero unless both corruption modes
+# (wrong unit name, fabricated verdict fields) are rejected, the liar
+# quarantined, and the TSV unchanged.  The fuzz gate runs a bounded
+# deterministic structured-fuzzing campaign over every sealed codec
+# and text grammar and exits non-zero on any uncaught exception, hang,
+# or silent acceptance of damaged bytes.  The debug-equivalence gate
+# scripts the time-travel debugger over every workload and fails if
+# the snapshot index is anything but latency-invisible.  Finally `res
 # check` lints the whole
 # workload corpus: the three seeded concurrency bugs must be the only
 # findings (per-program invert-coverage info rows are expected and
@@ -45,6 +51,18 @@ dune exec bin/res_cli.exe -- selftest --parallel-equivalence 2
 dune exec bin/res_cli.exe -- selftest --parallel-equivalence 4
 timeout 120 dune exec bin/res_cli.exe -- selftest --serve-soak
 timeout 240 dune exec bin/res_cli.exe -- selftest --cluster-soak
+
+# Byzantine-node gate: one of three node daemons computes honestly but
+# falsifies the rows it returns (wrong unit name, then fabricated
+# verdict fields); exits non-zero unless every lie is rejected, the
+# liar is quarantined, its units reschedule, and the merged TSV stays
+# byte-identical to single-node triage with zero lost units.
+timeout 240 dune exec bin/res_cli.exe -- selftest --byzantine
+
+# Fuzzing gate: a bounded deterministic campaign over every sealed
+# codec and text grammar; exits non-zero on any uncaught exception,
+# hang, silent acceptance of damaged bytes, or rejected pristine seed.
+timeout 240 dune exec bin/res_cli.exe -- fuzz --smoke
 
 # Time-travel debugger gate: drive the same scripted session over every
 # workload's crash at snapshot intervals {64,7,1} and with the index

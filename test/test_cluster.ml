@@ -324,7 +324,7 @@ let corpus_units () =
   in
   (items, units)
 
-let start_node ~name =
+let start_node ?(corrupt = "") ~name () =
   let fd, port = Transport.listen_ephemeral () in
   let pid =
     match Unix.fork () with
@@ -337,6 +337,7 @@ let start_node ~name =
                spool_dir = Filename.concat (fresh_dir "nodes") name;
                jobs = 2;
                capacity = 8;
+               fi_corrupt_rows = corrupt;
              }
          with _ -> Unix._exit 1);
         Unix._exit 0
@@ -384,8 +385,8 @@ let test_cluster_matches_single_node () =
   let items, units = corpus_units () in
   (* fork-backed baseline: no domains may exist in this binary *)
   let baseline = Batch.run ~jobs:1 ~backend:Pool.Forked items in
-  let pid1, addr1 = start_node ~name:"e2e-n1" in
-  let pid2, addr2 = start_node ~name:"e2e-n2" in
+  let pid1, addr1 = start_node ~name:"e2e-n1" () in
+  let pid2, addr2 = start_node ~name:"e2e-n2" () in
   Fun.protect
     ~finally:(fun () ->
       List.iter
@@ -436,7 +437,7 @@ let test_cluster_survives_dead_node_in_fleet () =
   let dead_fd, dead_port = Transport.listen_ephemeral () in
   Unix.close dead_fd;
   let dead = { Transport.host = "127.0.0.1"; port = dead_port } in
-  let pid1, addr1 = start_node ~name:"e2e-dead-n1" in
+  let pid1, addr1 = start_node ~name:"e2e-dead-n1" () in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.kill pid1 Sys.sigkill with Unix.Unix_error _ -> ());
@@ -462,6 +463,97 @@ let test_cluster_survives_dead_node_in_fleet () =
       Alcotest.(check int) "the dead node was declared dead" 1
         t.C.stats.C.cs_nodes_dead;
       drain_node pid1)
+
+(* --- byzantine nodes: lying answers are rejected, liars quarantined -- *)
+
+(* A node that falsifies the unit name on every row it returns: the
+   structural identity check must reject each lie, the registry must
+   walk the liar down its Dead path, and the rescheduled units must
+   still produce a TSV byte-identical to single-node triage. *)
+let test_cluster_quarantines_byzantine_name () =
+  let items, units = corpus_units () in
+  let baseline = Batch.run ~jobs:1 ~backend:Pool.Forked items in
+  let pid_h, addr_h = start_node ~name:"bz-honest" () in
+  let pid_l, addr_l = start_node ~name:"bz-liar" ~corrupt:"name" () in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [ Unix.WNOHANG ] pid)
+          with Unix.Unix_error _ -> ())
+        [ pid_h; pid_l ])
+    (fun () ->
+      wait_ready addr_h;
+      wait_ready addr_l;
+      let config =
+        {
+          C.default_config with
+          C.nodes = [ addr_h; addr_l ];
+          node_attempts = 2;
+        }
+      in
+      let t = C.run ~config units in
+      Alcotest.(check string)
+        "TSV identical despite a lying node" baseline.Batch.tsv t.C.tsv;
+      Alcotest.(check int) "nothing lost" 0 t.C.stats.C.cs_lost;
+      Alcotest.(check bool)
+        "corrupted rows were rejected" true
+        (t.C.stats.C.cs_byzantine >= 1);
+      Alcotest.(check int) "the liar was quarantined as dead" 1
+        t.C.stats.C.cs_nodes_dead;
+      Alcotest.(check bool)
+        "the liar's units were rescheduled" true
+        (t.C.stats.C.cs_reschedules >= 1);
+      drain_node pid_h)
+
+(* A subtler liar: the row is structurally perfect but its verdict
+   fields are fabricated.  Only the replay spot-check can expose it;
+   with [verify_rows] off the same lie must poison the TSV, proving the
+   defense (not luck) is what kept the first run clean. *)
+let test_cluster_replay_catches_fabricated_fields () =
+  let items, units = corpus_units () in
+  let baseline = Batch.run ~jobs:1 ~backend:Pool.Forked items in
+  let pid_h, addr_h = start_node ~name:"bzf-honest" () in
+  let pid_l, addr_l = start_node ~name:"bzf-liar" ~corrupt:"fields" () in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [ Unix.WNOHANG ] pid)
+          with Unix.Unix_error _ -> ())
+        [ pid_h; pid_l ])
+    (fun () ->
+      wait_ready addr_h;
+      wait_ready addr_l;
+      let config spot_check verify_rows =
+        {
+          C.default_config with
+          C.nodes = [ addr_h; addr_l ];
+          node_attempts = 2;
+          spot_check;
+          verify_rows;
+        }
+      in
+      let t = C.run ~config:(config 1 true) units in
+      Alcotest.(check string)
+        "TSV identical: every fabricated row re-derived and rejected"
+        baseline.Batch.tsv t.C.tsv;
+      Alcotest.(check int) "nothing lost" 0 t.C.stats.C.cs_lost;
+      Alcotest.(check bool)
+        "fabricated rows failed the replay" true
+        (t.C.stats.C.cs_byzantine >= 1);
+      Alcotest.(check int) "the liar was quarantined as dead" 1
+        t.C.stats.C.cs_nodes_dead;
+      (* negative control: with verification off the lie goes through *)
+      let t2 = C.run ~config:(config 0 false) units in
+      Alcotest.(check bool)
+        "with verify_rows off, fabricated rows poison the TSV" false
+        (String.equal baseline.Batch.tsv t2.C.tsv);
+      Alcotest.(check int) "and none are counted byzantine" 0
+        t2.C.stats.C.cs_byzantine;
+      drain_node pid_h)
 
 let () =
   Alcotest.run "cluster"
@@ -511,5 +603,9 @@ let () =
             test_cluster_matches_single_node;
           Alcotest.test_case "a dead node reroutes, TSV unchanged" `Slow
             test_cluster_survives_dead_node_in_fleet;
+          Alcotest.test_case "a name-lying node is quarantined" `Slow
+            test_cluster_quarantines_byzantine_name;
+          Alcotest.test_case "replay spot-check catches fabricated fields"
+            `Slow test_cluster_replay_catches_fabricated_fields;
         ] );
     ]

@@ -363,6 +363,83 @@ let test_script_exit_codes () =
   check int_t "error beats assert failure" 1 (code [ "assert 0"; "frobnicate" ]);
   check int_t "quit stops the script" 0 (code [ "quit"; "frobnicate" ])
 
+(* --- hostile input: every parse failure is a typed error ------------- *)
+
+let test_predicate_negative_paths () =
+  List.iter
+    (fun src ->
+      match Res_debug.Predicate.parse src with
+      | Ok _ -> Alcotest.failf "%S must not parse" src
+      | Error msg ->
+          check bool_t
+            (Fmt.str "%S fails with a reason" src)
+            true
+            (String.length msg > 0))
+    [
+      "";
+      "0x";
+      "99999999999999999999";
+      String.make 5000 '(';
+      String.make 5000 '-';
+      String.make 5000 '[';
+      "t99999999999999999999:r1";
+      "1 +";
+      "(1";
+      "[w0";
+      "@";
+      "\x00\xff\xfe";
+    ]
+
+let test_command_negative_paths () =
+  List.iter
+    (fun line ->
+      match Res_debug.Command.parse line with
+      | Ok _ -> Alcotest.failf "%S must not parse" line
+      | Error _ -> ())
+    [
+      "frobnicate";
+      "step 99999999999999999999";
+      "break";
+      "break notanumber";
+      "delete many args here";
+      "print";
+      "print " ^ String.make 4000 '(';
+      "mem";
+      "goto 0x";
+      "assert";
+    ]
+
+(* Script lines the REPL must survive: oversized, NUL-laced, non-UTF8 —
+   each a typed [error:] line and exit 1, never an exception, and the
+   session keeps serving well-formed commands afterwards. *)
+let test_script_hostile_lines () =
+  let ctx, suffix, dump = suffix_for (workload "fig1-overflow") in
+  let run script =
+    match Res_debug.Session.create ~interval:64 ctx suffix dump with
+    | Error e -> Alcotest.fail e
+    | Ok s -> Res_debug.Script.run_lines s script
+  in
+  let code script = (run script).Res_debug.Script.exit_code in
+  check int_t "oversized line is a typed error" 1
+    (code [ "print " ^ String.make 8192 'a' ]);
+  check int_t "NUL byte is a typed error" 1 (code [ "wh\x00ere" ]);
+  check int_t "non-UTF8 garbage is a typed error" 1 (code [ "\xff\xfe\xc0" ]);
+  check int_t "depth bomb is a typed error" 1
+    (code [ "print " ^ String.make 4000 '(' ]);
+  let r = run [ "\xff\xfe"; "assert 1 + 1 == 2" ] in
+  check int_t "session survives the hostile line" 1
+    r.Res_debug.Script.exit_code;
+  check bool_t "and still executes what follows" true
+    (let open Res_debug.Script in
+     String.length r.transcript > 0);
+  (* EOF mid-line: a script with no final newline still runs cleanly *)
+  match Res_debug.Session.create ~interval:64 ctx suffix dump with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      check int_t "script without trailing newline" 0
+        (Res_debug.Script.run_script s "where\nassert 1").Res_debug.Script
+          .exit_code
+
 (* --- the whole corpus drives the campaign --- *)
 
 let test_campaign_subset () =
@@ -414,5 +491,14 @@ let () =
             `Quick test_interval_transcripts;
           Alcotest.test_case "exit codes" `Quick test_script_exit_codes;
           Alcotest.test_case "campaign subset" `Quick test_campaign_subset;
+        ] );
+      ( "hostile-input",
+        [
+          Alcotest.test_case "predicate parser rejects typed" `Quick
+            test_predicate_negative_paths;
+          Alcotest.test_case "command parser rejects typed" `Quick
+            test_command_negative_paths;
+          Alcotest.test_case "script survives hostile lines" `Quick
+            test_script_hostile_lines;
         ] );
     ]
